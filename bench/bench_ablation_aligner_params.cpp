@@ -1,0 +1,97 @@
+// ABL-ALIGN — sensitivity of the Fig 3 result to aligner tuning.
+//
+// The release-108 slowdown should be a property of the GENOME, not of one
+// parameter choice. This ablation re-measures the r108/r111 time ratio
+// and both mapping rates while sweeping the aligner knobs that most
+// influence repetitive-sequence work: seed_search_start_lmax (seed
+// density), anchor_max_loci (enumeration cap), window_loci_cap (stitching
+// DP bound) and multimap_nmax (reporting cap).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/report.h"
+
+using namespace staratlas;
+using namespace staratlas::bench;
+
+namespace {
+
+struct Row {
+  std::string label;
+  AlignerParams params;
+};
+
+}  // namespace
+
+int main() {
+  const BenchWorld& w = bench_world();
+  const ReadSet reads =
+      w.simulator->simulate(bulk_rna_profile(), 6'000, Rng(3131));
+  std::cout << "ABL-ALIGN: aligner-parameter sensitivity of the release\n"
+            << "slowdown (6000-read bulk sample, real alignment)\n\n";
+
+  std::vector<Row> rows;
+  {
+    Row base{"defaults", AlignerParams{}};
+    rows.push_back(base);
+    Row r = base;
+    r.label = "seed grid 25 (denser seeds)";
+    r.params.seed_search_start_lmax = 25;
+    rows.push_back(r);
+    r = base;
+    r.label = "seed grid 100 (sparser seeds)";
+    r.params.seed_search_start_lmax = 100;
+    rows.push_back(r);
+    r = base;
+    r.label = "anchor_max_loci 512";
+    r.params.anchor_max_loci = 512;
+    rows.push_back(r);
+    r = base;
+    r.label = "anchor_max_loci 16384";
+    r.params.anchor_max_loci = 16'384;
+    rows.push_back(r);
+    r = base;
+    r.label = "window_loci_cap 128";
+    r.params.window_loci_cap = 128;
+    rows.push_back(r);
+    r = base;
+    r.label = "multimap_nmax 10 (STAR default)";
+    r.params.multimap_nmax = 10;
+    rows.push_back(r);
+    r = base;
+    r.label = "multimap_nmax 200";
+    r.params.multimap_nmax = 200;
+    rows.push_back(r);
+    r = base;
+    r.label = "seed_min_length 25";
+    r.params.seed_min_length = 25;
+    rows.push_back(r);
+  }
+
+  Table table({"configuration", "t108(s)", "t111(s)", "slowdown", "map108%",
+               "map111%", "delta pp"});
+  for (const Row& row : rows) {
+    EngineConfig config;
+    config.num_threads = 4;
+    config.params = row.params;
+    const AlignmentEngine e108(w.index108, &w.synthesizer->annotation(), config);
+    const AlignmentEngine e111(w.index111, &w.synthesizer->annotation(), config);
+    const AlignmentRun run108 = e108.run(reads);
+    const AlignmentRun run111 = e111.run(reads);
+    table.add_row(
+        {row.label, strf("%.3f", run108.wall_seconds),
+         strf("%.3f", run111.wall_seconds),
+         strf("%.1fx", run108.wall_seconds / run111.wall_seconds),
+         strf("%.1f", 100.0 * run108.stats.mapped_rate()),
+         strf("%.1f", 100.0 * run111.stats.mapped_rate()),
+         strf("%+.2f", 100.0 * (run108.stats.mapped_rate() -
+                                run111.stats.mapped_rate()))});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: the slowdown persists across every configuration; "
+               "only multimap_nmax 10\n(STAR's default) trades mapping-rate "
+               "parity for it, which is why the atlas runs nmax=50\n(the "
+               "ENCODE long-RNA setting) on scaffold-heavy assemblies.\n";
+  return 0;
+}

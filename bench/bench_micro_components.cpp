@@ -1,0 +1,163 @@
+// MICRO — google-benchmark microbenchmarks for the library's components:
+// suffix-array construction, MMP lookups, single-read alignment on both
+// releases, FASTQ parsing, SRA container codec, DESeq2 normalization, and
+// the discrete-event kernel.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "align/aligner.h"
+#include "bench_common.h"
+#include "cloud/event_sim.h"
+#include "index/suffix_array.h"
+#include "io/fastq.h"
+#include "quant/deseq2.h"
+#include "sim/catalog.h"
+#include "sra/container.h"
+
+using namespace staratlas;
+using namespace staratlas::bench;
+
+namespace {
+
+std::string random_dna(usize length, u64 seed) {
+  static const char kBases[] = "ACGT";
+  Rng rng(seed);
+  std::string text(length, 'A');
+  for (auto& c : text) c = kBases[rng.uniform(4)];
+  return text;
+}
+
+void BM_SuffixArraySais(benchmark::State& state) {
+  const std::string text = random_dna(static_cast<usize>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_suffix_array(text));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SuffixArraySais)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_SuffixArrayDoublingReference(benchmark::State& state) {
+  const std::string text = random_dna(static_cast<usize>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_suffix_array_doubling(text));
+  }
+}
+BENCHMARK(BM_SuffixArrayDoublingReference)->Arg(10'000)->Arg(100'000);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const BenchWorld& w = bench_world();
+  const Assembly& assembly = state.range(0) == 108 ? w.r108 : w.r111;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenomeIndex::build(assembly));
+  }
+}
+BENCHMARK(BM_IndexBuild)->Arg(108)->Arg(111)->Unit(benchmark::kMillisecond);
+
+void BM_MmpLookup(benchmark::State& state) {
+  const BenchWorld& w = bench_world();
+  const std::string query = w.r111.contig(0).sequence.substr(50'000, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.index111.mmp(query));
+  }
+}
+BENCHMARK(BM_MmpLookup);
+
+void BM_AlignRead(benchmark::State& state) {
+  const BenchWorld& w = bench_world();
+  const GenomeIndex& index = state.range(0) == 108 ? w.index108 : w.index111;
+  const bool repeat_read = state.range(1) == 1;
+  LibraryProfile profile = bulk_rna_profile();
+  if (repeat_read) {
+    profile.exonic_fraction = 0;
+    profile.intronic_fraction = 0;
+    profile.intergenic_fraction = 0;
+    profile.repeat_fraction = 1.0;
+    profile.junk_fraction = 0;
+  }
+  const ReadSet reads = w.simulator->simulate(profile, 64, Rng(5));
+  const Aligner aligner(index, AlignerParams{});
+  usize i = 0;
+  for (auto _ : state) {
+    MappingStats work;
+    benchmark::DoNotOptimize(
+        aligner.align(reads.reads[i % reads.size()].sequence, work));
+    ++i;
+  }
+}
+BENCHMARK(BM_AlignRead)
+    ->Args({111, 0})
+    ->Args({108, 0})
+    ->Args({111, 1})
+    ->Args({108, 1});
+
+void BM_FastqParse(benchmark::State& state) {
+  const BenchWorld& w = bench_world();
+  const ReadSet reads = w.simulator->simulate(bulk_rna_profile(), 2'000, Rng(6));
+  std::ostringstream out;
+  write_fastq(out, reads.reads);
+  const std::string fastq = out.str();
+  for (auto _ : state) {
+    std::istringstream in(fastq);
+    benchmark::DoNotOptimize(read_fastq(in));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(fastq.size()));
+}
+BENCHMARK(BM_FastqParse);
+
+void BM_SraEncodeDecode(benchmark::State& state) {
+  const BenchWorld& w = bench_world();
+  const ReadSet reads = w.simulator->simulate(bulk_rna_profile(), 2'000, Rng(7));
+  SraMetadata metadata;
+  metadata.accession = "SRR1";
+  metadata.num_reads = reads.size();
+  for (const auto& read : reads.reads) {
+    metadata.total_bases += read.sequence.size();
+  }
+  for (auto _ : state) {
+    const auto container = sra_encode(metadata, reads.reads);
+    benchmark::DoNotOptimize(sra_decode(container));
+  }
+}
+BENCHMARK(BM_SraEncodeDecode)->Unit(benchmark::kMillisecond);
+
+void BM_Deseq2Normalize(benchmark::State& state) {
+  Rng rng(8);
+  const usize genes = 500;
+  const usize samples = 32;
+  std::vector<std::string> ids;
+  for (usize g = 0; g < genes; ++g) ids.push_back("G" + std::to_string(g));
+  CountMatrix matrix(ids);
+  for (usize s = 0; s < samples; ++s) {
+    GeneCountsTable table(genes);
+    for (auto& count : table.per_gene) count = 1 + rng.uniform(5'000);
+    matrix.add_sample("S" + std::to_string(s), table);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deseq2_normalize(matrix));
+  }
+}
+BENCHMARK(BM_Deseq2Normalize);
+
+void BM_EventKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    SimKernel kernel;
+    u64 counter = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      kernel.schedule_after(VirtualDuration::seconds(i % 100), [&counter] {
+        ++counter;
+      });
+    }
+    kernel.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_EventKernel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// SPOT — §II: instances "can be run in spot mode for cheaper processing".
+//
+// Sweeps spot-market hostility (mean time to interruption) and compares
+// against on-demand: cost savings, interruption count, makespan penalty,
+// and whether every sample still completes (at-least-once delivery via
+// the SQS visibility timeout).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/atlas_sim.h"
+#include "core/report.h"
+
+using namespace staratlas;
+using namespace staratlas::bench;
+
+int main() {
+  CatalogSpec spec;
+  spec.num_samples = 250;
+  spec.seed = 61;
+  const auto catalog = make_catalog(spec);
+
+  auto run_config = [&](bool spot, double mtti_hours) {
+    AtlasConfig config;
+    config.use_release(111);
+    config.spot = spot;
+    config.mean_time_to_interruption = VirtualDuration::hours(mtti_hours);
+    config.asg.max_size = 16;
+    config.visibility_timeout = VirtualDuration::hours(12);
+    config.seed = 2025;
+    return AtlasSimulation(catalog, config).run();
+  };
+
+  std::cout << "SPOT: spot vs on-demand for the atlas campaign ("
+            << catalog.size() << " accessions, r6a.4xlarge, release 111)\n\n";
+
+  const AtlasReport ondemand = run_config(false, 1e6);
+  Table table({"mode", "mean TTI", "makespan", "EC2 cost", "$/sample",
+               "interrupts", "redelivered", "dead-lettered"});
+  table.add_row({"on-demand", "-", strf("%.1f h", ondemand.makespan_hours),
+                 strf("$%.0f", ondemand.total_cost_usd),
+                 strf("$%.2f", ondemand.cost_per_sample_usd()), "0", "-",
+                 strf("%zu", ondemand.samples_dead_lettered)});
+
+  for (const double mtti : {48.0, 12.0, 4.0, 1.5}) {
+    const AtlasReport report = run_config(true, mtti);
+    table.add_row(
+        {"spot", strf("%.1f h", mtti), strf("%.1f h", report.makespan_hours),
+         strf("$%.0f", report.total_cost_usd),
+         strf("$%.2f", report.cost_per_sample_usd()),
+         strf("%llu", static_cast<unsigned long long>(report.interruptions)),
+         strf("%zu", report.samples_total - report.samples_completed -
+                         report.samples_early_stopped -
+                         report.samples_rejected_late -
+                         report.samples_dead_lettered),
+         strf("%zu", report.samples_dead_lettered)});
+  }
+  table.print(std::cout);
+
+  const AtlasReport calm_spot = run_config(true, 48.0);
+  std::cout << "\npaper claim: spot mode is cheaper. measured: "
+            << strf("%.0f%%", 100.0 * (1.0 - calm_spot.total_cost_usd /
+                                                 ondemand.total_cost_usd))
+            << " cheaper in a calm market (catalog spot discount ~62%), "
+               "shrinking as interruptions force rework.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// TAB1 — the paper's §III.A "Test configuration" block:
+//   Instance type: r6a.4xlarge (16 vCPU, 128 GB RAM)
+//   Input: 49 FASTQ files (15.9 GiB mean size, 777 GiB total)
+//   Index size: 85 GiB (release 108), 29.5 GiB (release 111)
+//
+// We regenerate every row from this repository's own substrates: the EC2
+// catalog, the corpus generator, and the measured synthetic index sizes
+// mapped through the release-111 anchor.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/instance_types.h"
+#include "core/report.h"
+#include "sim/catalog.h"
+
+using namespace staratlas;
+using namespace staratlas::bench;
+
+int main() {
+  const BenchWorld& w = bench_world();
+  const InstanceType& type = instance_type("r6a.4xlarge");
+
+  CatalogSpec corpus;
+  corpus.num_samples = 49;
+  corpus.single_cell_fraction = 0.0;
+  corpus.mean_fastq = ByteSize::from_gib(kPaperMeanFastqGib);
+  corpus.seed = 31;
+  const CatalogSummary summary = summarize(make_catalog(corpus));
+
+  const ScaleModel scale = index_scale_model();
+  const IndexStats stats108 = w.index108.stats();
+  const IndexStats stats111 = w.index111.stats();
+
+  std::cout << "TAB1: test configuration (paper §III.A)\n";
+  Table table({"field", "paper", "this repo"});
+  table.add_row({"instance type", "r6a.4xlarge", type.name});
+  table.add_row({"vCPU", "16", strf("%u", type.vcpus)});
+  table.add_row({"RAM", "128 GB", type.memory.str()});
+  table.add_row({"input files", "49", strf("%zu", summary.num_samples)});
+  table.add_row({"mean FASTQ size", "15.9 GiB",
+                 strf("%.1f GiB", summary.mean_fastq.gib())});
+  table.add_row({"total FASTQ", "777 GiB",
+                 strf("%.0f GiB", summary.total_fastq.gib())});
+  table.add_row({"index size (release 108)", "85 GiB",
+                 strf("%.1f GiB (modeled)", scale.map(stats108.total()).gib())});
+  table.add_row({"index size (release 111)", "29.5 GiB",
+                 strf("%.1f GiB (anchor)", scale.map(stats111.total()).gib())});
+  table.add_row({"index size ratio 108/111", "2.88x",
+                 strf("%.2fx", static_cast<double>(stats108.total().bytes()) /
+                                   static_cast<double>(stats111.total().bytes()))});
+  table.add_row(
+      {"toplevel FASTA ratio 108/111", "~2.9x (85/29.5 follows FASTA)",
+       strf("%.2fx", static_cast<double>(w.r108.fasta_size().bytes()) /
+                         static_cast<double>(w.r111.fasta_size().bytes()))});
+  table.add_row({"contigs (release 108 toplevel)", "~640 (GRCh38 toplevel)",
+                 strf("%zu", w.r108.num_contigs())});
+  table.add_row({"contigs (release 111 toplevel)", "far fewer",
+                 strf("%zu", w.r111.num_contigs())});
+  table.print(std::cout);
+
+  std::cout << "\nsynthetic measured index composition:\n";
+  Table comp({"release", "text", "suffix array", "prefix LUT", "total"});
+  for (const auto& [name, stats] :
+       {std::pair{"108", stats108}, std::pair{"111", stats111}}) {
+    comp.add_row({name, stats.text_bytes.str(), stats.suffix_array_bytes.str(),
+                  stats.lut_bytes.str(), stats.total().str()});
+  }
+  comp.print(std::cout);
+  return 0;
+}

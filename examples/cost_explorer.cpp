@@ -1,0 +1,45 @@
+// Cost explorer: the right-sizing consequence of the paper's §III.A —
+// the 29.5 GiB release-111 index fits instance types the 85 GiB
+// release-108 index cannot, unlocking cheaper $/sample.
+//
+// Run:  ./cost_explorer
+
+#include <iostream>
+
+#include "core/report.h"
+#include "core/rightsizing.h"
+
+using namespace staratlas;
+
+namespace {
+
+void explore(int release, ByteSize index_bytes) {
+  RightSizingQuery query;
+  query.genome_release = release;
+  query.index_bytes = index_bytes;
+  std::cout << "=== release " << release << " index (" << index_bytes.str()
+            << ") ===\n";
+  Table table({"instance", "vCPU", "RAM", "feasible", "sample time",
+               "$/sample", "samples/h"});
+  for (const auto& option : evaluate_instances(query)) {
+    table.add_row(
+        {option.type->name, strf("%u", option.type->vcpus),
+         option.type->memory.str(),
+         option.feasible ? "yes" : "no: " + option.infeasible_reason,
+         option.feasible ? strf("%.0f s", option.sample_seconds) : "-",
+         option.feasible ? strf("$%.3f", option.cost_per_sample_usd) : "-",
+         option.feasible ? strf("%.1f", option.samples_per_hour) : "-"});
+  }
+  table.print(std::cout);
+  const RightSizingOption& best = best_option(evaluate_instances(query));
+  std::cout << "best: " << best.type->name << " at $"
+            << best.cost_per_sample_usd << " per sample\n\n";
+}
+
+}  // namespace
+
+int main() {
+  explore(108, ByteSize::from_gib(85.0));
+  explore(111, ByteSize::from_gib(29.5));
+  return 0;
+}

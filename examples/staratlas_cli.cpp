@@ -1,0 +1,267 @@
+// staratlas_cli — a file-based command-line front end to the library,
+// mirroring a miniature sra-tools + STAR workflow:
+//
+//   staratlas_cli synthesize --out-dir data [--release 111] [--seed 42]
+//       writes genome.fa (toplevel), annotation.gtf
+//   staratlas_cli index --fasta data/genome.fa --out data/genome.idx
+//   staratlas_cli simulate --fasta data/genome.fa --gtf data/annotation.gtf ...
+//       --profile bulk|single_cell --reads 5000 --out data/sample.fastq
+//   staratlas_cli align --index data/genome.idx --fastq data/sample.fastq \
+//       --gtf data/annotation.gtf --out-prefix data/sample ...
+//       [--threads 4] [--early-stop]
+//       writes sample.sam, sample.SJ.out.tab, sample.ReadsPerGene.out.tab,
+//       sample.Log.final.out
+//
+// Run without arguments for usage. Exit code 0 on success, 1 on usage
+// errors, 2 on runtime failures.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "align/engine.h"
+#include "common/error.h"
+#include "align/final_log.h"
+#include "align/sam.h"
+#include "core/early_stopping.h"
+#include "genome/synthesizer.h"
+#include "index/genome_index.h"
+#include "io/fasta.h"
+#include "io/fastq.h"
+#include "io/gtf.h"
+#include "sim/read_simulator.h"
+
+using namespace staratlas;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw InvalidArgument("expected --flag, got '" + key + "'");
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::string require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) throw InvalidArgument("missing --" + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  u64 get_u64(const std::string& key, u64 fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int usage() {
+  std::cerr <<
+      "usage: staratlas_cli <command> [flags]\n"
+      "  synthesize --out-dir DIR [--release 108|111] [--seed N]\n"
+      "  index      --fasta FILE --out FILE [--release N]\n"
+      "  simulate   --fasta FILE --gtf FILE --out FILE\n"
+      "             [--profile bulk|single_cell] [--reads N] [--seed N]\n"
+      "  align      --index FILE --fastq FILE --out-prefix P\n"
+      "             [--gtf FILE] [--threads N] [--early-stop] [--no-sam]\n";
+  return 1;
+}
+
+// The synthesize/simulate commands share one genome spec so annotation and
+// repeat regions are reproducible from the seed alone.
+GenomeSpec cli_spec(u64 seed) {
+  GenomeSpec spec;
+  spec.num_chromosomes = 2;
+  spec.chromosome_length = 200'000;
+  spec.genes_per_chromosome = 20;
+  spec.seed = seed;
+  return spec;
+}
+
+int cmd_synthesize(const Args& args) {
+  const std::string out_dir = args.require("out-dir");
+  const int release = static_cast<int>(args.get_u64("release", 111));
+  const u64 seed = args.get_u64("seed", 42);
+  std::filesystem::create_directories(out_dir);
+
+  const GenomeSynthesizer synthesizer(cli_spec(seed));
+  const Assembly assembly = synthesizer.make_release(
+      release == 108 ? release108_style() : release111_style());
+  write_fasta_file(out_dir + "/genome.fa", assembly.to_fasta());
+  write_gtf_file(out_dir + "/annotation.gtf",
+                 synthesizer.annotation().to_gtf(assembly));
+  std::cout << "wrote " << out_dir << "/genome.fa ("
+            << assembly.fasta_size().str() << ", " << assembly.num_contigs()
+            << " contigs, release " << release << ")\n"
+            << "wrote " << out_dir << "/annotation.gtf ("
+            << synthesizer.annotation().num_genes() << " genes)\n";
+  return 0;
+}
+
+int cmd_index(const Args& args) {
+  const std::string fasta = args.require("fasta");
+  const std::string out = args.require("out");
+  const int release = static_cast<int>(args.get_u64("release", 0));
+  const Assembly assembly = Assembly::from_fasta(
+      "cli", release, AssemblyType::kToplevel, read_fasta_file(fasta));
+  const GenomeIndex index = GenomeIndex::build(assembly);
+  index.save_file(out);
+  const IndexStats stats = index.stats();
+  std::cout << "indexed " << stats.genome_length << " bp into " << out << " ("
+            << stats.total().str() << ", LUT k=" << stats.prefix_lut_k
+            << ")\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::string fasta = args.require("fasta");
+  const std::string gtf = args.require("gtf");
+  const std::string out = args.require("out");
+  const std::string profile_name = args.get("profile", "bulk");
+  const usize num_reads = args.get_u64("reads", 5'000);
+  const u64 seed = args.get_u64("seed", 7);
+
+  const Assembly assembly = Assembly::from_fasta(
+      "cli", 0, AssemblyType::kToplevel, read_fasta_file(fasta));
+  const Annotation annotation =
+      Annotation::from_gtf(read_gtf_file(gtf), assembly);
+
+  // Recover repeat regions is not possible from FASTA alone; simulate
+  // without repeat reads when running from files.
+  LibraryProfile profile = profile_name == "single_cell"
+                               ? single_cell_profile()
+                               : bulk_rna_profile();
+  profile.exonic_fraction += profile.repeat_fraction;
+  profile.repeat_fraction = 0.0;
+  profile.validate();
+
+  const ReadSimulator simulator(assembly, annotation, {});
+  const ReadSet reads = simulator.simulate(profile, num_reads, Rng(seed));
+  write_fastq_file(out, reads.reads);
+  std::cout << "wrote " << out << " (" << reads.size() << " reads, "
+            << reads.fastq_bytes.str() << ", profile " << profile.name
+            << ")\n";
+  return 0;
+}
+
+int cmd_align(const Args& args) {
+  const std::string index_path = args.require("index");
+  const std::string fastq = args.require("fastq");
+  const std::string prefix = args.require("out-prefix");
+
+  const GenomeIndex index = GenomeIndex::load_file(index_path);
+  const ReadSet reads = make_read_set(read_fastq_file(fastq));
+
+  Annotation annotation;
+  const bool quant = args.has("gtf");
+  if (quant) {
+    // Rebuild a throwaway assembly view for contig-name resolution.
+    std::vector<FastaRecord> records;
+    for (const ContigMeta& contig : index.contigs()) {
+      const std::string_view text(index.text());
+      records.push_back({contig.name, "",
+                         std::string(text.substr(contig.text_offset,
+                                                 contig.length))});
+    }
+    const Assembly assembly =
+        Assembly::from_fasta("cli", index.release(), index.assembly_type(),
+                             records);
+    annotation = Annotation::from_gtf(read_gtf_file(args.require("gtf")),
+                                      assembly);
+  }
+
+  EngineConfig config;
+  config.num_threads = args.get_u64("threads", 2);
+  config.quant_gene_counts = quant;
+  config.collect_junctions = true;
+  const AlignmentEngine engine(index, quant ? &annotation : nullptr, config);
+
+  EarlyStopController controller(EarlyStopPolicy{});
+  const AlignmentRun run = args.has("early-stop")
+                               ? engine.run(reads, controller.callback())
+                               : engine.run(reads);
+
+  // Log.final.out
+  double mean_length = 0.0;
+  for (const auto& read : reads.reads) {
+    mean_length += static_cast<double>(read.sequence.size());
+  }
+  mean_length /= static_cast<double>(reads.size());
+  {
+    std::ofstream log(prefix + ".Log.final.out");
+    log << render_final_log(run, reads.size(), mean_length);
+  }
+  // SJ.out.tab
+  {
+    std::ofstream sj(prefix + ".SJ.out.tab");
+    for (const Junction& junction : run.junctions) {
+      sj << index.contigs()[junction.contig].name << '\t'
+         << junction.intron_start + 1 << '\t' << junction.intron_end << '\t'
+         << "0\t0\t0\t" << junction.unique_reads << '\t'
+         << junction.multi_reads << '\t' << junction.max_overhang << '\n';
+    }
+  }
+  // ReadsPerGene.out.tab
+  if (quant) {
+    std::ofstream counts(prefix + ".ReadsPerGene.out.tab");
+    run.gene_counts.write_tsv(counts, annotation);
+  }
+  // SAM (re-aligns to recover per-read hits; fine at CLI scale).
+  if (!args.has("no-sam") && !run.aborted) {
+    std::ofstream sam_out(prefix + ".sam");
+    SamWriter writer(sam_out, index);
+    const Aligner aligner(index, config.params);
+    MappingStats scratch;
+    for (const auto& read : reads.reads) {
+      writer.write_read(read, aligner.align(read.sequence, scratch));
+    }
+    std::cout << "wrote " << prefix << ".sam (" << writer.records_written()
+              << " records)\n";
+  }
+
+  std::cout << "aligned " << run.stats.processed << "/" << reads.size()
+            << " reads: " << 100.0 * run.stats.mapped_rate() << "% mapped"
+            << (run.aborted ? " [EARLY-STOPPED]" : "") << "\n"
+            << "wrote " << prefix << ".Log.final.out, " << prefix
+            << ".SJ.out.tab" << (quant ? ", " + prefix + ".ReadsPerGene.out.tab" : "")
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv);
+    if (command == "synthesize") return cmd_synthesize(args);
+    if (command == "index") return cmd_index(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "align") return cmd_align(args);
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

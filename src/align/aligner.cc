@@ -1,0 +1,84 @@
+#include "align/aligner.h"
+
+#include <algorithm>
+
+#include "align/seed.h"
+#include "index/packed_sequence.h"
+
+namespace staratlas {
+
+ReadAlignment Aligner::align(std::string_view read, MappingStats& work) const {
+  ReadAlignment result;
+  if (read.empty()) return result;
+
+  ExtendStats extend_stats;
+  std::vector<AlignmentHit> hits;
+
+  // Forward orientation.
+  {
+    const SeedSearchResult seeds = find_seeds(*index_, read, params_);
+    work.seeds_generated += seeds.seeds.size();
+    work.bases_compared += seeds.chars_matched;
+    auto forward_hits = score_windows(*index_, read, seeds.seeds,
+                                      /*reverse=*/false, params_, extend_stats);
+    hits.insert(hits.end(), std::make_move_iterator(forward_hits.begin()),
+                std::make_move_iterator(forward_hits.end()));
+  }
+  // Reverse complement.
+  {
+    const std::string rc = reverse_complement(read);
+    const SeedSearchResult seeds = find_seeds(*index_, rc, params_);
+    work.seeds_generated += seeds.seeds.size();
+    work.bases_compared += seeds.chars_matched;
+    auto reverse_hits = score_windows(*index_, rc, seeds.seeds,
+                                      /*reverse=*/true, params_, extend_stats);
+    hits.insert(hits.end(), std::make_move_iterator(reverse_hits.begin()),
+                std::make_move_iterator(reverse_hits.end()));
+  }
+  work.windows_scored += extend_stats.windows_scored;
+  work.bases_compared += extend_stats.bases_compared;
+  result.repetitive_capped = extend_stats.capped;
+
+  if (hits.empty()) {
+    result.outcome = ReadOutcome::kUnmapped;
+    return result;
+  }
+
+  std::sort(hits.begin(), hits.end(),
+            [](const AlignmentHit& a, const AlignmentHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.text_pos < b.text_pos;  // deterministic tie-break
+            });
+  const u32 best_score = hits.front().score;
+  result.best_score = best_score;
+
+  const u32 min_score = static_cast<u32>(
+      params_.min_matched_fraction * static_cast<double>(read.size()));
+  if (best_score < min_score) {
+    result.outcome = ReadOutcome::kUnmapped;
+    return result;
+  }
+
+  // Loci within the multimap score range of the best count as alignments.
+  const u32 floor_score = best_score > params_.multimap_score_range
+                              ? best_score - params_.multimap_score_range
+                              : 0;
+  u32 num_loci = 0;
+  for (const auto& hit : hits) {
+    if (hit.score >= floor_score) ++num_loci;
+  }
+  result.num_loci = num_loci;
+
+  if (num_loci > params_.multimap_nmax) {
+    result.outcome = ReadOutcome::kTooManyLoci;
+    return result;  // STAR drops the alignments of too-many-loci reads
+  }
+  result.outcome = num_loci == 1 ? ReadOutcome::kUniqueMapped
+                                 : ReadOutcome::kMultiMapped;
+  const usize keep = std::min<usize>(num_loci, hits.size());
+  result.hits.assign(std::make_move_iterator(hits.begin()),
+                     std::make_move_iterator(hits.begin() + static_cast<i64>(keep)));
+  return result;
+}
+
+}  // namespace staratlas

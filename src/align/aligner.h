@@ -1,0 +1,33 @@
+// Single-read alignment: seeds both orientations, scores candidate
+// windows, and classifies the read (unique / multi / too-many / unmapped)
+// with STAR-equivalent filter semantics.
+#pragma once
+
+#include <string_view>
+
+#include "align/extend.h"
+#include "align/params.h"
+#include "align/record.h"
+#include "index/genome_index.h"
+
+namespace staratlas {
+
+class Aligner {
+ public:
+  Aligner(const GenomeIndex& index, const AlignerParams& params)
+      : index_(&index), params_(params) {}
+
+  const AlignerParams& params() const { return params_; }
+  const GenomeIndex& index() const { return *index_; }
+
+  /// Aligns one read. Work counters (seeds/windows/bases) are accumulated
+  /// into `work`; the outcome counter is NOT updated here (the engine owns
+  /// outcome accounting).
+  ReadAlignment align(std::string_view read, MappingStats& work) const;
+
+ private:
+  const GenomeIndex* index_;
+  AlignerParams params_;
+};
+
+}  // namespace staratlas

@@ -1,0 +1,124 @@
+#include "align/engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+AlignmentEngine::AlignmentEngine(const GenomeIndex& index,
+                                 const Annotation* annotation,
+                                 EngineConfig config)
+    : index_(&index), annotation_(annotation), config_(std::move(config)) {
+  STARATLAS_CHECK(config_.num_threads >= 1);
+  STARATLAS_CHECK(config_.chunk_size >= 1);
+  if (config_.quant_gene_counts) {
+    STARATLAS_CHECK(annotation_ != nullptr);
+  }
+}
+
+AlignmentRun AlignmentEngine::run(const ReadSet& reads,
+                                  const ProgressCallback& callback) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  AlignmentRun run;
+  run.outcomes.assign(reads.size(), ReadOutcome::kUnmapped);
+  if (reads.empty()) return run;
+
+  const u64 check_interval = config_.progress_check_interval
+                                 ? config_.progress_check_interval
+                                 : std::max<u64>(1, reads.size() / 50);
+
+  const Aligner aligner(*index_, config_.params);
+  GeneCounter const* counter = nullptr;
+  GeneCounter counter_storage = config_.quant_gene_counts
+                                    ? GeneCounter(*annotation_, *index_)
+                                    : GeneCounter(Annotation{}, *index_);
+  if (config_.quant_gene_counts) counter = &counter_storage;
+
+  JunctionCollector merged_junctions(*index_, config_.junction_min_intron);
+  ProgressTracker tracker(reads.size());
+  const usize num_chunks =
+      (reads.size() + config_.chunk_size - 1) / config_.chunk_size;
+
+  std::atomic<usize> next_chunk{0};
+  std::atomic<bool> abort_flag{false};
+  std::mutex merge_mu;
+  u64 next_check = check_interval;
+
+  auto elapsed_secs = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start)
+        .count();
+  };
+
+  auto worker = [&] {
+    MappingStats local_stats;
+    GeneCountsTable local_counts(
+        config_.quant_gene_counts ? annotation_->num_genes() : 0);
+    JunctionCollector local_junctions(*index_, config_.junction_min_intron);
+    for (;;) {
+      if (abort_flag.load(std::memory_order_relaxed)) break;
+      const usize chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      const usize begin = chunk * config_.chunk_size;
+      const usize end = std::min(begin + config_.chunk_size, reads.size());
+
+      MappingStats chunk_stats;
+      for (usize r = begin; r < end; ++r) {
+        const ReadAlignment alignment =
+            aligner.align(reads.reads[r].sequence, chunk_stats);
+        chunk_stats.add_outcome(alignment.outcome);
+        run.outcomes[r] = alignment.outcome;
+        if (counter) counter->count(alignment, local_counts);
+        if (config_.collect_junctions) local_junctions.add(alignment);
+      }
+      local_stats += chunk_stats;
+      tracker.add(chunk_stats);
+
+      // Progress checkpoint: serialized, crossing-triggered.
+      if (callback) {
+        std::lock_guard lock(merge_mu);
+        const ProgressSnapshot snap = tracker.snapshot(elapsed_secs());
+        if (snap.processed >= next_check && !abort_flag.load()) {
+          // Advance past every boundary this snapshot crossed so a single
+          // large chunk produces one log row, not several duplicates.
+          next_check =
+              (snap.processed / check_interval + 1) * check_interval;
+          run.progress_log.append(snap);
+          if (callback(snap) == EngineCommand::kAbort) {
+            abort_flag.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+    std::lock_guard lock(merge_mu);
+    run.stats += local_stats;
+    if (counter) run.gene_counts += local_counts;
+    if (config_.collect_junctions) merged_junctions += local_junctions;
+  };
+
+  if (config_.num_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(config_.num_threads);
+    for (usize t = 0; t < config_.num_threads; ++t) {
+      threads.emplace_back(worker);
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  run.aborted = abort_flag.load();
+  run.wall_seconds = elapsed_secs();
+  if (config_.collect_junctions) run.junctions = merged_junctions.junctions();
+  if (!run.progress_log.entries().empty() || !callback) {
+    run.progress_log.append(tracker.snapshot(run.wall_seconds));
+  }
+  return run;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,72 @@
+// AlignmentEngine: multi-threaded alignment of a whole ReadSet with
+// progress callbacks and cooperative abort — the hook the paper's
+// early-stopping optimization attaches to.
+#pragma once
+
+#include <functional>
+
+#include "align/aligner.h"
+#include "align/gene_counts.h"
+#include "align/junctions.h"
+#include "align/params.h"
+#include "align/progress.h"
+#include "align/record.h"
+#include "genome/annotation.h"
+#include "index/genome_index.h"
+#include "io/fastq.h"
+
+namespace staratlas {
+
+enum class EngineCommand { kContinue, kAbort };
+
+/// Invoked (serialized) whenever `progress_check_interval` more reads have
+/// completed. Returning kAbort stops the run promptly (chunk granularity).
+using ProgressCallback = std::function<EngineCommand(const ProgressSnapshot&)>;
+
+struct EngineConfig {
+  AlignerParams params;
+  usize num_threads = 1;
+  usize chunk_size = 256;  ///< reads per work unit
+  /// Reads between progress-callback invocations; 0 = total/50.
+  u64 progress_check_interval = 0;
+  bool quant_gene_counts = true;
+  /// Collect splice junctions (SJ.out.tab equivalent).
+  bool collect_junctions = false;
+  /// Minimum genomic gap treated as an intron when collecting junctions.
+  u64 junction_min_intron = 21;
+};
+
+struct AlignmentRun {
+  MappingStats stats;
+  GeneCountsTable gene_counts;  ///< empty when quant_gene_counts is false
+  /// Per-read outcomes, index-aligned with the input. On an aborted run,
+  /// entries for unprocessed reads stay kUnmapped; stats.processed is
+  /// authoritative.
+  std::vector<ReadOutcome> outcomes;
+  /// Splice junctions (empty unless collect_junctions was set).
+  std::vector<Junction> junctions;
+  ProgressLog progress_log;
+  bool aborted = false;
+  double wall_seconds = 0.0;  ///< measured real time of the run
+};
+
+class AlignmentEngine {
+ public:
+  /// `annotation` may be null when gene counting is disabled.
+  AlignmentEngine(const GenomeIndex& index, const Annotation* annotation,
+                  EngineConfig config);
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Aligns the read set. Deterministic in its statistics regardless of
+  /// thread count; abort timing has chunk granularity.
+  AlignmentRun run(const ReadSet& reads,
+                   const ProgressCallback& callback = {}) const;
+
+ private:
+  const GenomeIndex* index_;
+  const Annotation* annotation_;
+  EngineConfig config_;
+};
+
+}  // namespace staratlas

@@ -1,0 +1,261 @@
+#include "align/extend.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+namespace {
+
+struct SeedLocus {
+  u64 read_offset;
+  u64 length;
+  GenomePos text_start;
+  ContigId contig;
+
+  i64 diagonal() const {
+    return static_cast<i64>(text_start) - static_cast<i64>(read_offset);
+  }
+  u64 read_end() const { return read_offset + length; }
+  GenomePos text_end() const { return text_start + length; }
+};
+
+/// X-drop extension to the left of (read_pos, text_pos), exclusive.
+/// Returns (matched_bases, extended_length) of the best extension.
+std::pair<u64, u64> extend_left(std::string_view read, std::string_view text,
+                                u64 read_pos, GenomePos text_pos, int xdrop,
+                                u64& bases_compared) {
+  int score = 0;
+  int best_score = 0;
+  u64 matched = 0;
+  u64 best_matched = 0;
+  u64 len = 0;
+  u64 best_len = 0;
+  while (read_pos > 0 && text_pos > 0) {
+    --read_pos;
+    --text_pos;
+    ++len;
+    ++bases_compared;
+    if (read[read_pos] == text[text_pos]) {
+      score += 1;
+      ++matched;
+    } else {
+      score -= 2;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_matched = matched;
+      best_len = len;
+    }
+    if (score <= best_score - xdrop) break;
+  }
+  return {best_matched, best_len};
+}
+
+/// X-drop extension to the right starting at (read_pos, text_pos).
+std::pair<u64, u64> extend_right(std::string_view read, std::string_view text,
+                                 u64 read_pos, GenomePos text_pos, int xdrop,
+                                 u64& bases_compared) {
+  int score = 0;
+  int best_score = 0;
+  u64 matched = 0;
+  u64 best_matched = 0;
+  u64 len = 0;
+  u64 best_len = 0;
+  while (read_pos < read.size() && text_pos < text.size()) {
+    ++bases_compared;
+    if (read[read_pos] == text[text_pos]) {
+      score += 1;
+      ++matched;
+    } else {
+      score -= 2;
+    }
+    ++read_pos;
+    ++text_pos;
+    ++len;
+    if (score > best_score) {
+      best_score = score;
+      best_matched = matched;
+      best_len = len;
+    }
+    if (score <= best_score - xdrop) break;
+  }
+  return {best_matched, best_len};
+}
+
+/// Chains the window's loci (sorted by read_offset) with the classic
+/// O(L^2) DP, maximizing total seed-matched bases under colinearity and
+/// the intron cap. Returns indices of the best chain in ascending order.
+std::vector<usize> chain_window(const std::vector<SeedLocus>& loci,
+                                const AlignerParams& params,
+                                u64& bases_compared) {
+  const usize n = loci.size();
+  std::vector<u64> dp(n);
+  std::vector<i64> prev(n, -1);
+  usize best = 0;
+  for (usize i = 0; i < n; ++i) {
+    dp[i] = loci[i].length;
+    for (usize j = 0; j < i; ++j) {
+      ++bases_compared;  // chaining work is real work
+      const SeedLocus& a = loci[j];
+      const SeedLocus& b = loci[i];
+      if (a.read_end() > b.read_offset) continue;       // read overlap
+      if (a.text_end() > b.text_start) continue;        // genome overlap
+      const u64 read_gap = b.read_offset - a.read_end();
+      const u64 text_gap = b.text_start - a.text_end();
+      if (text_gap < read_gap) continue;                // insertion: skip
+      if (text_gap - read_gap > params.max_intron) continue;
+      if (dp[j] + b.length > dp[i]) {
+        dp[i] = dp[j] + b.length;
+        prev[i] = static_cast<i64>(j);
+      }
+    }
+    if (dp[i] > dp[best]) best = i;
+  }
+  std::vector<usize> chain;
+  for (i64 at = static_cast<i64>(best); at >= 0; at = prev[at]) {
+    chain.push_back(static_cast<usize>(at));
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+}  // namespace
+
+std::vector<AlignmentHit> score_windows(const GenomeIndex& index,
+                                        std::string_view read,
+                                        const std::vector<Seed>& seeds,
+                                        bool reverse,
+                                        const AlignerParams& params,
+                                        ExtendStats& stats) {
+  const std::string_view text = index.text();
+
+  // 1. Enumerate loci (capped per seed for hyper-repetitive seeds).
+  std::vector<SeedLocus> loci;
+  for (const Seed& seed : seeds) {
+    u32 count = seed.interval.count();
+    if (count > params.anchor_max_loci) {
+      stats.capped = true;
+      count = params.anchor_max_loci;
+    }
+    for (u32 k = 0; k < count; ++k) {
+      const GenomePos pos = index.sa_position(seed.interval.lo + k);
+      if (pos < seed.read_offset) continue;  // read would start before text 0
+      loci.push_back(
+          {seed.read_offset, seed.length, pos, index.locate(pos).contig});
+      ++stats.loci_enumerated;
+    }
+  }
+  if (loci.empty()) return {};
+
+  // 2. Cluster by (contig, diagonal): alignments can never span contigs
+  //    (STAR's windows are likewise per-contig bins), and within a contig
+  //    a diagonal gap above the intron cap starts a new genomic window.
+  std::sort(loci.begin(), loci.end(), [](const SeedLocus& a, const SeedLocus& b) {
+    if (a.contig != b.contig) return a.contig < b.contig;
+    return a.diagonal() < b.diagonal();
+  });
+
+  std::vector<AlignmentHit> hits;
+  usize window_begin = 0;
+  for (usize i = 1; i <= loci.size(); ++i) {
+    const bool boundary =
+        i == loci.size() || loci[i].contig != loci[i - 1].contig ||
+        loci[i].diagonal() - loci[i - 1].diagonal() >
+            static_cast<i64>(params.max_intron);
+    if (!boundary) continue;
+
+    // Window is loci[window_begin, i).
+    std::vector<SeedLocus> window(loci.begin() + static_cast<i64>(window_begin),
+                                  loci.begin() + static_cast<i64>(i));
+    window_begin = i;
+    ++stats.windows_scored;
+
+    // Bound the chaining DP on pathological windows (tandem repeats).
+    if (window.size() > params.window_loci_cap) {
+      window.resize(params.window_loci_cap);
+    }
+    std::sort(window.begin(), window.end(),
+              [](const SeedLocus& a, const SeedLocus& b) {
+                if (a.read_offset != b.read_offset) {
+                  return a.read_offset < b.read_offset;
+                }
+                return a.text_start < b.text_start;
+              });
+    const std::vector<usize> chain =
+        chain_window(window, params, stats.bases_compared);
+    if (chain.empty()) continue;
+
+    // 3. Score: chained seed bases + interior gap matches + end extensions.
+    u64 matched = 0;
+    std::vector<AlignedSegment> segments;
+    for (usize c = 0; c < chain.size(); ++c) {
+      const SeedLocus& locus = window[chain[c]];
+      matched += locus.length;
+      segments.push_back({locus.read_offset, locus.text_start, locus.length});
+      if (c == 0) continue;
+      const SeedLocus& prior = window[chain[c - 1]];
+      const u64 read_gap = locus.read_offset - prior.read_end();
+      const u64 text_gap = locus.text_start - prior.text_end();
+      if (read_gap == 0) continue;
+      // Compare gap bases on the downstream diagonal (attributing the gap
+      // to the downstream exon; adequate at our error rates).
+      const GenomePos gap_text = locus.text_start - read_gap;
+      for (u64 g = 0; g < read_gap; ++g) {
+        ++stats.bases_compared;
+        if (read[prior.read_end() + g] == text[gap_text + g]) ++matched;
+      }
+      (void)text_gap;
+    }
+
+    // Left extension from the first chained seed.
+    {
+      const SeedLocus& first = window[chain.front()];
+      const auto [ext_matched, ext_len] =
+          extend_left(read, text, first.read_offset, first.text_start,
+                      params.xdrop, stats.bases_compared);
+      matched += ext_matched;
+      if (ext_len > 0) {
+        segments.front().read_start -= ext_len;
+        segments.front().text_start -= ext_len;
+        segments.front().length += ext_len;
+      }
+    }
+    // Right extension from the last chained seed.
+    {
+      const SeedLocus& last = window[chain.back()];
+      const auto [ext_matched, ext_len] =
+          extend_right(read, text, last.read_end(), last.text_end(),
+                       params.xdrop, stats.bases_compared);
+      matched += ext_matched;
+      if (ext_len > 0) segments.back().length += ext_len;
+    }
+
+    // Merge segments that are contiguous in both read and text (gap filled
+    // on the same diagonal).
+    std::vector<AlignedSegment> merged;
+    for (const auto& segment : segments) {
+      if (!merged.empty()) {
+        AlignedSegment& tail = merged.back();
+        const u64 read_gap = segment.read_start - (tail.read_start + tail.length);
+        const u64 text_gap = segment.text_start - (tail.text_start + tail.length);
+        if (read_gap == text_gap) {
+          tail.length = segment.read_start + segment.length - tail.read_start;
+          continue;
+        }
+      }
+      merged.push_back(segment);
+    }
+
+    AlignmentHit hit;
+    hit.text_pos = merged.front().text_start;
+    hit.reverse = reverse;
+    hit.score = static_cast<u32>(std::min<u64>(matched, read.size()));
+    hit.segments = std::move(merged);
+    if (hit.score > 0) hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+}  // namespace staratlas

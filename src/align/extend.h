@@ -1,0 +1,39 @@
+// Seed stitching and extension: turns seed occurrences into scored,
+// possibly spliced, candidate alignments.
+//
+// Mirrors STAR's architecture: seed loci are grouped into genomic windows
+// (diagonal clustering bounded by the intron cap), each window's seeds are
+// stitched by a chaining DP, chain ends are extended with X-drop, and each
+// window yields at most one candidate alignment hit. The work performed
+// here — loci enumerated, chains computed, bases compared — is exactly
+// what makes repetitive (release-108-style) genomes slow, so the counters
+// are reported faithfully.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "align/params.h"
+#include "align/record.h"
+#include "align/seed.h"
+#include "index/genome_index.h"
+
+namespace staratlas {
+
+struct ExtendStats {
+  u64 windows_scored = 0;
+  u64 bases_compared = 0;
+  u64 loci_enumerated = 0;
+  bool capped = false;  ///< some seed exceeded anchor_max_loci
+};
+
+/// Scores all candidate windows implied by `seeds` for `read` (already
+/// orientation-resolved). Returns one hit per window with score > 0.
+std::vector<AlignmentHit> score_windows(const GenomeIndex& index,
+                                        std::string_view read,
+                                        const std::vector<Seed>& seeds,
+                                        bool reverse,
+                                        const AlignerParams& params,
+                                        ExtendStats& stats);
+
+}  // namespace staratlas

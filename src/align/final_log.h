@@ -1,0 +1,16 @@
+// Log.final.out — STAR's end-of-run summary, rendered from a finished
+// AlignmentRun.
+#pragma once
+
+#include <string>
+
+#include "align/engine.h"
+
+namespace staratlas {
+
+/// STAR-style final summary: input reads, mapping breakdown by class,
+/// speed, and early-termination note if the run was aborted.
+std::string render_final_log(const AlignmentRun& run, u64 input_reads,
+                             double mean_read_length);
+
+}  // namespace staratlas

@@ -1,0 +1,119 @@
+#include "align/gene_counts.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+u64 GeneCountsTable::total_counted() const {
+  u64 total = 0;
+  for (u64 c : per_gene) total += c;
+  return total;
+}
+
+GeneCountsTable& GeneCountsTable::operator+=(const GeneCountsTable& other) {
+  if (per_gene.size() < other.per_gene.size()) {
+    per_gene.resize(other.per_gene.size(), 0);
+  }
+  for (usize i = 0; i < other.per_gene.size(); ++i) {
+    per_gene[i] += other.per_gene[i];
+  }
+  n_unmapped += other.n_unmapped;
+  n_multimapping += other.n_multimapping;
+  n_no_feature += other.n_no_feature;
+  n_ambiguous += other.n_ambiguous;
+  return *this;
+}
+
+void GeneCountsTable::write_tsv(std::ostream& out,
+                                const Annotation& annotation) const {
+  out << "N_unmapped\t" << n_unmapped << '\n'
+      << "N_multimapping\t" << n_multimapping << '\n'
+      << "N_noFeature\t" << n_no_feature << '\n'
+      << "N_ambiguous\t" << n_ambiguous << '\n';
+  for (usize g = 0; g < per_gene.size(); ++g) {
+    out << annotation.gene(static_cast<GeneId>(g)).id << '\t' << per_gene[g]
+        << '\n';
+  }
+}
+
+GeneCounter::GeneCounter(const Annotation& annotation, const GenomeIndex& index)
+    : index_(&index), num_genes_(annotation.num_genes()) {
+  by_contig_.resize(index.contigs().size());
+  max_exon_length_.assign(index.contigs().size(), 0);
+  for (usize g = 0; g < annotation.num_genes(); ++g) {
+    const Gene& gene = annotation.gene(static_cast<GeneId>(g));
+    STARATLAS_CHECK(gene.contig < by_contig_.size());
+    for (const Exon& exon : gene.exons) {
+      by_contig_[gene.contig].push_back(
+          {exon.start, exon.end, static_cast<GeneId>(g)});
+      max_exon_length_[gene.contig] =
+          std::max(max_exon_length_[gene.contig], exon.length());
+    }
+  }
+  for (auto& intervals : by_contig_) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const ExonInterval& a, const ExonInterval& b) {
+                return a.start < b.start;
+              });
+  }
+}
+
+std::vector<GeneId> GeneCounter::genes_overlapping(ContigId contig, u64 start,
+                                                   u64 end) const {
+  STARATLAS_CHECK(contig < by_contig_.size());
+  const auto& intervals = by_contig_[contig];
+  std::vector<GeneId> genes;
+  if (intervals.empty() || start >= end) return genes;
+
+  // Exons whose start is in [start - max_len, end): only those can overlap.
+  const u64 max_len = max_exon_length_[contig];
+  const u64 scan_from = start > max_len ? start - max_len : 0;
+  auto it = std::lower_bound(
+      intervals.begin(), intervals.end(), scan_from,
+      [](const ExonInterval& e, u64 v) { return e.start < v; });
+  for (; it != intervals.end() && it->start < end; ++it) {
+    if (it->end > start) genes.push_back(it->gene);
+  }
+  std::sort(genes.begin(), genes.end());
+  genes.erase(std::unique(genes.begin(), genes.end()), genes.end());
+  return genes;
+}
+
+void GeneCounter::count(const ReadAlignment& alignment,
+                        GeneCountsTable& table) const {
+  if (table.per_gene.size() < num_genes_) table.per_gene.resize(num_genes_, 0);
+  switch (alignment.outcome) {
+    case ReadOutcome::kUnmapped:
+      ++table.n_unmapped;
+      return;
+    case ReadOutcome::kMultiMapped:
+    case ReadOutcome::kTooManyLoci:
+      ++table.n_multimapping;
+      return;
+    case ReadOutcome::kUniqueMapped:
+      break;
+  }
+  STARATLAS_CHECK(!alignment.hits.empty());
+  const AlignmentHit& hit = alignment.hits.front();
+  std::set<GeneId> overlapped;
+  for (const AlignedSegment& segment : hit.segments) {
+    const ContigLocus locus = index_->locate(segment.text_start);
+    for (GeneId gene :
+         genes_overlapping(locus.contig, locus.offset, locus.offset + segment.length)) {
+      overlapped.insert(gene);
+    }
+  }
+  if (overlapped.empty()) {
+    ++table.n_no_feature;
+  } else if (overlapped.size() > 1) {
+    ++table.n_ambiguous;
+  } else {
+    ++table.per_gene[*overlapped.begin()];
+  }
+}
+
+}  // namespace staratlas

@@ -1,0 +1,98 @@
+#include "align/paired.h"
+
+#include <algorithm>
+
+namespace staratlas {
+
+const char* pair_outcome_name(PairOutcome outcome) {
+  switch (outcome) {
+    case PairOutcome::kConcordantUnique: return "concordant_unique";
+    case PairOutcome::kConcordantMulti: return "concordant_multi";
+    case PairOutcome::kDiscordant: return "discordant";
+    case PairOutcome::kOneMateMapped: return "one_mate";
+    case PairOutcome::kUnmapped: return "unmapped";
+  }
+  return "?";
+}
+
+void PairedStats::add(PairOutcome outcome) {
+  ++pairs;
+  switch (outcome) {
+    case PairOutcome::kConcordantUnique: ++concordant_unique; break;
+    case PairOutcome::kConcordantMulti: ++concordant_multi; break;
+    case PairOutcome::kDiscordant: ++discordant; break;
+    case PairOutcome::kOneMateMapped: ++one_mate; break;
+    case PairOutcome::kUnmapped: ++unmapped; break;
+  }
+}
+
+PairedAlignment PairedAligner::align_pair(std::string_view mate1,
+                                          std::string_view mate2,
+                                          MappingStats& work) const {
+  PairedAlignment result;
+  result.mate1 = aligner_.align(mate1, work);
+  result.mate2 = aligner_.align(mate2, work);
+
+  const bool mapped1 = !result.mate1.hits.empty();
+  const bool mapped2 = !result.mate2.hits.empty();
+  if (!mapped1 && !mapped2) {
+    result.outcome = PairOutcome::kUnmapped;
+    return result;
+  }
+  if (mapped1 != mapped2) {
+    result.outcome = PairOutcome::kOneMateMapped;
+    return result;
+  }
+
+  // Enumerate concordant combinations: same contig, opposite strands,
+  // bounded genomic span.
+  struct PairCandidate {
+    const AlignmentHit* hit1;
+    const AlignmentHit* hit2;
+    u32 score;
+  };
+  std::vector<PairCandidate> candidates;
+  const GenomeIndex& index = aligner_.index();
+  for (const AlignmentHit& h1 : result.mate1.hits) {
+    const ContigLocus l1 = index.locate(h1.text_pos);
+    for (const AlignmentHit& h2 : result.mate2.hits) {
+      if (h1.reverse == h2.reverse) continue;  // FR orientation required
+      const ContigLocus l2 = index.locate(h2.text_pos);
+      if (l1.contig != l2.contig) continue;
+      const AlignedSegment& tail1 = h1.segments.back();
+      const AlignedSegment& tail2 = h2.segments.back();
+      const GenomePos end1 = tail1.text_start + tail1.length;
+      const GenomePos end2 = tail2.text_start + tail2.length;
+      const GenomePos span_start = std::min(h1.text_pos, h2.text_pos);
+      const GenomePos span_end = std::max(end1, end2);
+      if (span_end - span_start > params_.max_fragment_span) continue;
+      candidates.push_back({&h1, &h2, h1.score + h2.score});
+    }
+  }
+
+  if (candidates.empty()) {
+    result.outcome = PairOutcome::kDiscordant;
+    return result;
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const PairCandidate& a, const PairCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.hit1->text_pos < b.hit1->text_pos;
+            });
+  const u32 best = candidates.front().score;
+  result.best_pair_score = best;
+  const u32 floor_score =
+      best > params_.pair_score_range ? best - params_.pair_score_range : 0;
+  u32 num_pairs = 0;
+  for (const PairCandidate& candidate : candidates) {
+    if (candidate.score >= floor_score) ++num_pairs;
+  }
+  result.num_pairs = num_pairs;
+  result.hit1 = *candidates.front().hit1;
+  result.hit2 = *candidates.front().hit2;
+  result.outcome = num_pairs == 1 ? PairOutcome::kConcordantUnique
+                                  : PairOutcome::kConcordantMulti;
+  return result;
+}
+
+}  // namespace staratlas

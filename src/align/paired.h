@@ -1,0 +1,76 @@
+// Paired-end alignment: mates are aligned independently, then candidate
+// placements are paired under the standard FR-orientation constraints
+// (same contig, opposite strands, bounded genomic span). Mirrors STAR's
+// paired handling at the level this pipeline needs.
+#pragma once
+
+#include <string_view>
+
+#include "align/aligner.h"
+#include "common/types.h"
+
+namespace staratlas {
+
+enum class PairOutcome : u8 {
+  kConcordantUnique = 0,  ///< exactly one concordant pair placement
+  kConcordantMulti = 1,   ///< several concordant placements
+  kDiscordant = 2,        ///< both mates map, no concordant placement
+  kOneMateMapped = 3,
+  kUnmapped = 4,
+};
+
+const char* pair_outcome_name(PairOutcome outcome);
+
+struct PairedAlignment {
+  PairOutcome outcome = PairOutcome::kUnmapped;
+  u32 num_pairs = 0;        ///< concordant placements within score range
+  u32 best_pair_score = 0;  ///< sum of mate scores of the best placement
+  AlignmentHit hit1;        ///< valid when outcome is concordant
+  AlignmentHit hit2;
+  ReadAlignment mate1;      ///< full single-end results (hits capped)
+  ReadAlignment mate2;
+};
+
+struct PairedStats {
+  u64 pairs = 0;
+  u64 concordant_unique = 0;
+  u64 concordant_multi = 0;
+  u64 discordant = 0;
+  u64 one_mate = 0;
+  u64 unmapped = 0;
+
+  void add(PairOutcome outcome);
+  /// Mapped rate in the paired sense: concordant pairs over all pairs.
+  double concordant_rate() const {
+    return pairs == 0 ? 0.0
+                      : static_cast<double>(concordant_unique +
+                                            concordant_multi) /
+                            static_cast<double>(pairs);
+  }
+};
+
+struct PairedParams {
+  AlignerParams single;
+  /// Maximum genomic span of a proper pair (fragment + spliced introns;
+  /// STAR bounds this with winBinNbits windows).
+  u64 max_fragment_span = 50'000;
+  /// Pair placements within this of the best pair score count as loci.
+  u32 pair_score_range = 2;
+};
+
+class PairedAligner {
+ public:
+  PairedAligner(const GenomeIndex& index, const PairedParams& params)
+      : aligner_(index, params.single), params_(params) {}
+
+  /// Aligns one read pair (mate2 given in sequencing orientation, i.e.
+  /// reverse-complement of the fragment's far end).
+  PairedAlignment align_pair(std::string_view mate1, std::string_view mate2,
+                             MappingStats& work) const;
+
+ private:
+  Aligner aligner_;
+  PairedParams params_;
+};
+
+}  // namespace staratlas

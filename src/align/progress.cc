@@ -1,0 +1,49 @@
+#include "align/progress.h"
+
+#include <cstdio>
+
+namespace staratlas {
+
+void ProgressTracker::add(const MappingStats& chunk) {
+  processed_.fetch_add(chunk.processed, std::memory_order_relaxed);
+  unique_.fetch_add(chunk.unique, std::memory_order_relaxed);
+  multi_.fetch_add(chunk.multi, std::memory_order_relaxed);
+  too_many_.fetch_add(chunk.too_many, std::memory_order_relaxed);
+  unmapped_.fetch_add(chunk.unmapped, std::memory_order_relaxed);
+}
+
+ProgressSnapshot ProgressTracker::snapshot(double elapsed_seconds) const {
+  ProgressSnapshot snap;
+  snap.total_reads = total_reads_;
+  snap.processed = processed_.load(std::memory_order_relaxed);
+  snap.unique = unique_.load(std::memory_order_relaxed);
+  snap.multi = multi_.load(std::memory_order_relaxed);
+  snap.too_many = too_many_.load(std::memory_order_relaxed);
+  snap.unmapped = unmapped_.load(std::memory_order_relaxed);
+  snap.elapsed_seconds = elapsed_seconds;
+  return snap;
+}
+
+void ProgressLog::append(const ProgressSnapshot& snapshot) {
+  entries_.push_back(snapshot);
+}
+
+std::string ProgressLog::render() const {
+  std::string out =
+      "      Reads processed   %complete      %mapped(U+M)   %unique\n";
+  char line[128];
+  for (const auto& snap : entries_) {
+    const double unique_rate =
+        snap.processed == 0 ? 0.0
+                            : 100.0 * static_cast<double>(snap.unique) /
+                                  static_cast<double>(snap.processed);
+    std::snprintf(line, sizeof(line), "%20llu   %8.1f%%   %12.1f%%   %6.1f%%\n",
+                  static_cast<unsigned long long>(snap.processed),
+                  100.0 * snap.fraction_processed(),
+                  100.0 * snap.mapped_rate(), unique_rate);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,121 @@
+#include "align/pseudo.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "index/packed_sequence.h"
+
+namespace staratlas {
+
+namespace {
+// Encodes a pure-ACGT k-mer into 2 bits/base; returns false on N etc.
+bool encode_kmer(std::string_view kmer, u64& code) {
+  code = 0;
+  for (char c : kmer) {
+    const u8 b = base_code(c);
+    if (b == 0xff) return false;
+    code = (code << 2) | b;
+  }
+  return true;
+}
+}  // namespace
+
+PseudoAligner::PseudoAligner(const Assembly& assembly,
+                             const Annotation& annotation,
+                             const PseudoParams& params)
+    : params_(params), num_genes_(annotation.num_genes()) {
+  STARATLAS_CHECK(params_.k >= 11 && params_.k <= 31);
+  STARATLAS_CHECK(params_.min_compatible_fraction > 0.0 &&
+                  params_.min_compatible_fraction <= 1.0);
+  for (usize g = 0; g < annotation.num_genes(); ++g) {
+    const Gene& gene = annotation.gene(static_cast<GeneId>(g));
+    // Index both strands of the spliced transcript so reads from either
+    // sequencing orientation hit directly.
+    for (const std::string& transcript :
+         {gene.transcript_sequence(assembly),
+          reverse_complement(gene.transcript_sequence(assembly))}) {
+      if (transcript.size() < params_.k) continue;
+      for (usize i = 0; i + params_.k <= transcript.size(); ++i) {
+        u64 code;
+        if (!encode_kmer(std::string_view(transcript).substr(i, params_.k),
+                         code)) {
+          continue;
+        }
+        auto& genes = kmer_to_genes_[code];
+        if (genes.empty() || genes.back() != static_cast<GeneId>(g)) {
+          genes.push_back(static_cast<GeneId>(g));
+        }
+      }
+    }
+  }
+}
+
+bool PseudoAligner::kmer_genes(std::string_view kmer,
+                               std::vector<GeneId>& out) const {
+  u64 code;
+  if (!encode_kmer(kmer, code)) return false;
+  auto it = kmer_to_genes_.find(code);
+  if (it == kmer_to_genes_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+PseudoResult PseudoAligner::classify(std::string_view read) const {
+  PseudoResult result;
+  if (read.size() < params_.k) return result;
+
+  // Intersect the gene sets of the read's k-mers (skipping absent k-mers,
+  // which come from errors/junctions), kallisto-style.
+  std::vector<GeneId> intersection;
+  bool started = false;
+  usize total_kmers = 0;
+  usize hit_kmers = 0;
+  // Stride by k/2 (consecutive k-mers are nearly redundant).
+  const usize stride = std::max<usize>(1, params_.k / 2);
+  std::vector<GeneId> genes;
+  for (usize i = 0; i + params_.k <= read.size(); i += stride) {
+    ++total_kmers;
+    if (!kmer_genes(read.substr(i, params_.k), genes)) continue;
+    ++hit_kmers;
+    if (!started) {
+      intersection = genes;
+      started = true;
+    } else {
+      std::vector<GeneId> merged;
+      std::set_intersection(intersection.begin(), intersection.end(),
+                            genes.begin(), genes.end(),
+                            std::back_inserter(merged));
+      if (!merged.empty()) intersection = std::move(merged);
+      // An empty intersection (error k-mer pointing elsewhere) keeps the
+      // previous set, mirroring the skipping-robustness of real tools.
+    }
+  }
+  const double compatible_fraction =
+      total_kmers == 0 ? 0.0
+                       : static_cast<double>(hit_kmers) /
+                             static_cast<double>(total_kmers);
+  if (!started || compatible_fraction < params_.min_compatible_fraction) {
+    return result;
+  }
+  result.mapped = true;
+  result.compatible = std::move(intersection);
+  return result;
+}
+
+PseudoStats PseudoAligner::run(const std::vector<std::string>& reads) const {
+  PseudoStats stats;
+  stats.gene_counts.assign(num_genes_, 0);
+  for (const std::string& read : reads) {
+    ++stats.processed;
+    const PseudoResult result = classify(read);
+    if (!result.mapped) continue;
+    ++stats.mapped;
+    if (result.compatible.size() == 1) {
+      ++stats.unique_gene;
+      ++stats.gene_counts[result.compatible.front()];
+    }
+  }
+  return stats;
+}
+
+}  // namespace staratlas

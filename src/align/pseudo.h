@@ -1,0 +1,73 @@
+// Transcriptome pseudo-aligner — the Salmon/kallisto-style BASELINE the
+// paper's conclusion contrasts STAR with: "other (pseudo)aligners should
+// also provide the current mapping rate value (e.g. Salmon does not)".
+//
+// Reads are assigned to transcripts by k-mer compatibility (the
+// intersection of the transcripts containing the read's k-mers), without
+// base-level alignment. It is much faster than the full aligner and
+// produces transcript counts, but — faithfully to the paper's complaint —
+// its natural output lacks positional alignments; we expose a mapping
+// rate anyway to demonstrate what the paper asks pseudo-aligner authors
+// to add.
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "genome/annotation.h"
+#include "genome/model.h"
+
+namespace staratlas {
+
+struct PseudoParams {
+  u32 k = 21;  ///< k-mer length
+  /// Fraction of a read's k-mers that must agree on >=1 transcript.
+  double min_compatible_fraction = 0.5;
+};
+
+struct PseudoResult {
+  bool mapped = false;
+  std::vector<GeneId> compatible;  ///< genes in the compatibility set
+};
+
+struct PseudoStats {
+  u64 processed = 0;
+  u64 mapped = 0;
+  u64 unique_gene = 0;  ///< compatibility set collapsed to one gene
+  std::vector<u64> gene_counts;
+
+  double mapped_rate() const {
+    return processed == 0
+               ? 0.0
+               : static_cast<double>(mapped) / static_cast<double>(processed);
+  }
+};
+
+class PseudoAligner {
+ public:
+  /// Builds the transcriptome k-mer map from spliced transcripts.
+  PseudoAligner(const Assembly& assembly, const Annotation& annotation,
+                const PseudoParams& params = {});
+
+  /// Classifies one read (checks both orientations).
+  PseudoResult classify(std::string_view read) const;
+
+  /// Classifies a batch, accumulating stats and per-gene counts (reads
+  /// with a single-gene compatibility set).
+  PseudoStats run(const std::vector<std::string>& reads) const;
+
+  usize num_kmers() const { return kmer_to_genes_.size(); }
+  const PseudoParams& params() const { return params_; }
+
+ private:
+  bool kmer_genes(std::string_view kmer, std::vector<GeneId>& out) const;
+
+  PseudoParams params_;
+  usize num_genes_ = 0;
+  /// k-mer code -> sorted unique gene ids containing it.
+  std::unordered_map<u64, std::vector<GeneId>> kmer_to_genes_;
+};
+
+}  // namespace staratlas

@@ -1,0 +1,37 @@
+#include "align/record.h"
+
+namespace staratlas {
+
+const char* read_outcome_name(ReadOutcome outcome) {
+  switch (outcome) {
+    case ReadOutcome::kUniqueMapped: return "unique";
+    case ReadOutcome::kMultiMapped: return "multi";
+    case ReadOutcome::kTooManyLoci: return "too_many_loci";
+    case ReadOutcome::kUnmapped: return "unmapped";
+  }
+  return "?";
+}
+
+void MappingStats::add_outcome(ReadOutcome outcome) {
+  ++processed;
+  switch (outcome) {
+    case ReadOutcome::kUniqueMapped: ++unique; break;
+    case ReadOutcome::kMultiMapped: ++multi; break;
+    case ReadOutcome::kTooManyLoci: ++too_many; break;
+    case ReadOutcome::kUnmapped: ++unmapped; break;
+  }
+}
+
+MappingStats& MappingStats::operator+=(const MappingStats& other) {
+  processed += other.processed;
+  unique += other.unique;
+  multi += other.multi;
+  too_many += other.too_many;
+  unmapped += other.unmapped;
+  seeds_generated += other.seeds_generated;
+  windows_scored += other.windows_scored;
+  bases_compared += other.bases_compared;
+  return *this;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,74 @@
+// Per-read alignment results and aggregate mapping statistics.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace staratlas {
+
+enum class ReadOutcome : u8 {
+  kUniqueMapped = 0,
+  kMultiMapped = 1,
+  kTooManyLoci = 2,
+  kUnmapped = 3,
+};
+
+const char* read_outcome_name(ReadOutcome outcome);
+
+/// A gapless aligned block: read[read_start, read_start+length) matches
+/// text[text_start, text_start+length) up to mismatches.
+struct AlignedSegment {
+  u64 read_start = 0;
+  GenomePos text_start = 0;
+  u64 length = 0;
+};
+
+/// One candidate placement of a read.
+struct AlignmentHit {
+  GenomePos text_pos = 0;  ///< leftmost text coordinate of the alignment
+  bool reverse = false;    ///< read aligned as its reverse complement
+  u32 score = 0;           ///< matched bases
+  std::vector<AlignedSegment> segments;  ///< ascending, possibly spliced
+};
+
+/// Full alignment result for one read.
+struct ReadAlignment {
+  ReadOutcome outcome = ReadOutcome::kUnmapped;
+  u32 best_score = 0;
+  u32 num_loci = 0;  ///< loci scoring within multimap_score_range of best
+  bool repetitive_capped = false;  ///< some seed exceeded anchor_max_loci
+  std::vector<AlignmentHit> hits;  ///< best-first, at most multimap_nmax
+};
+
+/// Aggregate statistics; also carries the honest work counters the virtual
+/// time model is calibrated from.
+struct MappingStats {
+  u64 processed = 0;
+  u64 unique = 0;
+  u64 multi = 0;
+  u64 too_many = 0;
+  u64 unmapped = 0;
+
+  u64 seeds_generated = 0;
+  u64 windows_scored = 0;
+  u64 bases_compared = 0;
+
+  /// STAR-style mapping rate: unique + multi over processed.
+  double mapped_rate() const {
+    return processed == 0
+               ? 0.0
+               : static_cast<double>(unique + multi) /
+                     static_cast<double>(processed);
+  }
+  double unique_rate() const {
+    return processed == 0
+               ? 0.0
+               : static_cast<double>(unique) / static_cast<double>(processed);
+  }
+
+  void add_outcome(ReadOutcome outcome);
+  MappingStats& operator+=(const MappingStats& other);
+};
+
+}  // namespace staratlas

@@ -1,0 +1,100 @@
+#include "align/sam.h"
+
+#include <ostream>
+
+#include "common/error.h"
+#include "index/packed_sequence.h"
+
+namespace staratlas {
+
+std::string cigar_string(const AlignmentHit& hit, usize read_length) {
+  STARATLAS_CHECK(!hit.segments.empty());
+  std::string cigar;
+  auto emit = [&cigar](u64 count, char op) {
+    if (count > 0) cigar += std::to_string(count) + op;
+  };
+
+  const AlignedSegment& first = hit.segments.front();
+  emit(first.read_start, 'S');  // leading soft clip
+
+  for (usize i = 0; i < hit.segments.size(); ++i) {
+    const AlignedSegment& segment = hit.segments[i];
+    u64 match_run = segment.length;
+    // Merge the read-gap portion of a mixed gap into the M run of the
+    // following segment (bases were compared during scoring).
+    if (i + 1 < hit.segments.size()) {
+      const AlignedSegment& next = hit.segments[i + 1];
+      const u64 read_gap = next.read_start - (segment.read_start + segment.length);
+      const u64 text_gap = next.text_start - (segment.text_start + segment.length);
+      STARATLAS_CHECK(text_gap >= read_gap);
+      emit(match_run, 'M');
+      const u64 intron = text_gap - read_gap;
+      if (intron > 0) emit(intron, 'N');
+      // The read-gap bases are attributed to the downstream segment's M
+      // run; fold them in by rewriting the next segment view via emit of
+      // read_gap here as M (kept simple: emit now).
+      if (read_gap > 0) emit(read_gap, 'M');
+    } else {
+      emit(match_run, 'M');
+    }
+  }
+  const AlignedSegment& last = hit.segments.back();
+  const u64 tail = read_length - (last.read_start + last.length);
+  emit(tail, 'S');  // trailing soft clip
+  return cigar;
+}
+
+int star_mapq(u32 num_loci) {
+  if (num_loci <= 1) return 255;
+  if (num_loci == 2) return 3;
+  if (num_loci <= 4) return 1;
+  return 0;
+}
+
+SamWriter::SamWriter(std::ostream& out, const GenomeIndex& index)
+    : out_(&out), index_(&index) {
+  *out_ << "@HD\tVN:1.6\tSO:unsorted\n";
+  for (const ContigMeta& contig : index.contigs()) {
+    *out_ << "@SQ\tSN:" << contig.name << "\tLN:" << contig.length << '\n';
+  }
+  *out_ << "@PG\tID:staratlas\tPN:staratlas\tVN:1.0\n";
+}
+
+void SamWriter::write_read(const FastqRecord& read,
+                           const ReadAlignment& alignment) {
+  if (alignment.hits.empty()) {
+    // Unmapped record.
+    *out_ << read.name << "\t4\t*\t0\t0\t*\t*\t0\t0\t" << read.sequence << '\t'
+          << read.quality << "\tNH:i:0\n";
+    ++records_;
+    return;
+  }
+  for (usize i = 0; i < alignment.hits.size(); ++i) {
+    write_record(read, alignment.hits[i], alignment, /*secondary=*/i > 0);
+  }
+}
+
+void SamWriter::write_record(const FastqRecord& read, const AlignmentHit& hit,
+                             const ReadAlignment& alignment, bool secondary) {
+  const ContigLocus locus = index_->locate(hit.text_pos);
+  u32 flag = 0;
+  if (hit.reverse) flag |= 0x10;
+  if (secondary) flag |= 0x100;
+
+  std::string seq = read.sequence;
+  std::string qual = read.quality;
+  if (hit.reverse) {
+    seq = reverse_complement(seq);
+    qual.assign(read.quality.rbegin(), read.quality.rend());
+  }
+
+  *out_ << read.name << '\t' << flag << '\t'
+        << index_->contigs()[locus.contig].name << '\t' << locus.offset + 1
+        << '\t' << star_mapq(alignment.num_loci) << '\t'
+        << cigar_string(hit, seq.size()) << "\t*\t0\t0\t" << seq << '\t'
+        << qual << "\tNH:i:" << alignment.num_loci
+        << "\tAS:i:" << hit.score << '\n';
+  ++records_;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,46 @@
+// SAM output (STAR's Aligned.out.sam): header generation, CIGAR
+// construction from alignment segments, and record formatting with
+// STAR-compatible MAPQ and NH tags.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "align/record.h"
+#include "index/genome_index.h"
+#include "io/fastq.h"
+
+namespace staratlas {
+
+/// CIGAR for one hit: soft-clipped ends, M runs for aligned segments, N
+/// for intron gaps (genomic gap larger than read gap), and the read-gap
+/// part of mixed gaps as M-through (mismatch scoring absorbed the bases).
+/// `read_length` is the length of the (orientation-resolved) read.
+std::string cigar_string(const AlignmentHit& hit, usize read_length);
+
+/// STAR's MAPQ convention: 255 unique, 3 for 2 loci, 1 for 3-4, 0 beyond.
+int star_mapq(u32 num_loci);
+
+class SamWriter {
+ public:
+  /// Writes @HD/@SQ/@PG headers for the index's contigs.
+  SamWriter(std::ostream& out, const GenomeIndex& index);
+
+  /// Writes all records for one read: the primary hit first, remaining
+  /// hits as secondary (flag 0x100), or one unmapped record (flag 0x4).
+  /// Reverse-strand hits store the reverse-complemented sequence and
+  /// reversed qualities, per the SAM convention.
+  void write_read(const FastqRecord& read, const ReadAlignment& alignment);
+
+  u64 records_written() const { return records_; }
+
+ private:
+  void write_record(const FastqRecord& read, const AlignmentHit& hit,
+                    const ReadAlignment& alignment, bool secondary);
+
+  std::ostream* out_;
+  const GenomeIndex* index_;
+  u64 records_ = 0;
+};
+
+}  // namespace staratlas

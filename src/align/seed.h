@@ -1,0 +1,34 @@
+// Seed search: STAR's Maximal Mappable Prefix walk over a read.
+//
+// Starting at read offset 0, find the longest prefix of the remaining read
+// that occurs in the genome (via the suffix-array index). Record it as a
+// seed if long enough, then restart just past it. Splice junctions and
+// sequencing errors naturally split a read into multiple seeds.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "align/params.h"
+#include "common/types.h"
+#include "index/genome_index.h"
+
+namespace staratlas {
+
+struct Seed {
+  u64 read_offset = 0;
+  u64 length = 0;
+  SaInterval interval;  ///< suffix-array rows of the seed's occurrences
+};
+
+struct SeedSearchResult {
+  std::vector<Seed> seeds;
+  u64 mmp_calls = 0;       ///< MMP invocations performed (work accounting)
+  u64 chars_matched = 0;   ///< total matched characters across MMPs
+};
+
+/// Runs the MMP walk over `read` against `index`.
+SeedSearchResult find_seeds(const GenomeIndex& index, std::string_view read,
+                            const AlignerParams& params);
+
+}  // namespace staratlas

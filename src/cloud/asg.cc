@@ -1,0 +1,61 @@
+#include "cloud/asg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+AutoScalingGroup::AutoScalingGroup(SimKernel& kernel, Ec2Fleet& fleet,
+                                   const InstanceType& type, bool spot,
+                                   AsgPolicy policy,
+                                   std::function<usize()> backlog_fn)
+    : kernel_(&kernel),
+      fleet_(&fleet),
+      type_(&type),
+      spot_(spot),
+      policy_(policy),
+      backlog_fn_(std::move(backlog_fn)) {
+  STARATLAS_CHECK(policy_.min_size <= policy_.max_size);
+  STARATLAS_CHECK(policy_.target_backlog_per_instance > 0.0);
+  STARATLAS_CHECK(backlog_fn_ != nullptr);
+  desired_ = policy_.min_size;
+}
+
+void AutoScalingGroup::start() {
+  if (running_) return;
+  running_ = true;
+  evaluate();
+}
+
+void AutoScalingGroup::stop() {
+  if (!running_) return;
+  running_ = false;
+  kernel_->cancel(timer_);
+}
+
+void AutoScalingGroup::evaluate() {
+  if (!running_) return;
+  const usize backlog = backlog_fn_();
+  const usize by_backlog = static_cast<usize>(std::ceil(
+      static_cast<double>(backlog) / policy_.target_backlog_per_instance));
+  desired_ = std::clamp(by_backlog, policy_.min_size, policy_.max_size);
+
+  const usize running = fleet_->running_count();
+  if (desired_ > running) {
+    const usize to_launch = desired_ - running;
+    for (usize i = 0; i < to_launch; ++i) fleet_->launch(*type_, spot_);
+    ++scale_outs_;
+  }
+  // Scale-in happens by worker attrition via should_release().
+
+  timer_ = kernel_->schedule_after(policy_.evaluation_period,
+                                   [this] { evaluate(); });
+}
+
+bool AutoScalingGroup::should_release() {
+  return fleet_->running_count() > desired_;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,63 @@
+// AutoScalingGroup: periodically sizes the fleet to the SQS backlog
+// (target-tracking on backlog-per-instance, the standard pattern for
+// queue-driven worker fleets like the paper's Fig 2).
+//
+// Scale-out launches instances directly. Scale-in is by attrition: workers
+// call `should_release()` between tasks and self-terminate when the group
+// is over its desired capacity — an instance is never killed mid-sample.
+#pragma once
+
+#include <functional>
+
+#include "cloud/ec2.h"
+#include "cloud/event_sim.h"
+#include "common/types.h"
+
+namespace staratlas {
+
+struct AsgPolicy {
+  usize min_size = 0;
+  usize max_size = 16;
+  /// Target queue backlog per running instance.
+  double target_backlog_per_instance = 2.0;
+  VirtualDuration evaluation_period = VirtualDuration::minutes(1);
+};
+
+class AutoScalingGroup {
+ public:
+  /// `backlog_fn` reports the current queue depth (visible + in flight).
+  AutoScalingGroup(SimKernel& kernel, Ec2Fleet& fleet,
+                   const InstanceType& type, bool spot, AsgPolicy policy,
+                   std::function<usize()> backlog_fn);
+
+  /// Starts periodic evaluation (first evaluation immediately).
+  void start();
+  /// Stops evaluating; does not terminate instances.
+  void stop();
+
+  usize desired_capacity() const { return desired_; }
+  const AsgPolicy& policy() const { return policy_; }
+  const InstanceType& type() const { return *type_; }
+  bool spot() const { return spot_; }
+  u64 scale_out_events() const { return scale_outs_; }
+
+  /// True when the fleet exceeds desired capacity; the calling worker
+  /// should self-terminate. Decrements the internal over-capacity budget.
+  bool should_release();
+
+ private:
+  void evaluate();
+
+  SimKernel* kernel_;
+  Ec2Fleet* fleet_;
+  const InstanceType* type_;
+  bool spot_;
+  AsgPolicy policy_;
+  std::function<usize()> backlog_fn_;
+  bool running_ = false;
+  usize desired_ = 0;
+  u64 scale_outs_ = 0;
+  SimKernel::EventId timer_ = 0;
+};
+
+}  // namespace staratlas

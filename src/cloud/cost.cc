@@ -1,0 +1,30 @@
+#include "cloud/cost.h"
+
+#include "common/error.h"
+
+namespace staratlas {
+
+void CostMeter::add_instance_time(const InstanceType& type, double seconds,
+                                  bool spot) {
+  STARATLAS_CHECK(seconds >= 0.0);
+  const double usd = type.hourly(spot) * seconds / 3600.0;
+  by_category_[std::string("ec2_") + (spot ? "spot" : "ondemand")] += usd;
+  instance_hours_ += seconds / 3600.0;
+}
+
+void CostMeter::add(const std::string& category, double usd) {
+  by_category_[category] += usd;
+}
+
+double CostMeter::total_usd() const {
+  double total = 0.0;
+  for (const auto& [category, usd] : by_category_) total += usd;
+  return total;
+}
+
+double CostMeter::category_usd(const std::string& category) const {
+  auto it = by_category_.find(category);
+  return it == by_category_.end() ? 0.0 : it->second;
+}
+
+}  // namespace staratlas

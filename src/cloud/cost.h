@@ -1,0 +1,31 @@
+// Cloud cost accounting: per-second instance billing plus categorized
+// extras (storage, requests). Powers the paper's cost-minimization goal.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cloud/instance_types.h"
+#include "common/types.h"
+
+namespace staratlas {
+
+class CostMeter {
+ public:
+  /// Bills `seconds` of one instance (per-second billing, like EC2 Linux).
+  void add_instance_time(const InstanceType& type, double seconds, bool spot);
+
+  /// Adds an arbitrary categorized cost (e.g. "s3_storage").
+  void add(const std::string& category, double usd);
+
+  double total_usd() const;
+  double category_usd(const std::string& category) const;
+  const std::map<std::string, double>& breakdown() const { return by_category_; }
+  double instance_hours() const { return instance_hours_; }
+
+ private:
+  std::map<std::string, double> by_category_;
+  double instance_hours_ = 0.0;
+};
+
+}  // namespace staratlas

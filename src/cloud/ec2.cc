@@ -1,0 +1,102 @@
+#include "cloud/ec2.h"
+
+#include "common/error.h"
+
+namespace staratlas {
+
+Ec2Fleet::Ec2Fleet(SimKernel& kernel, CostMeter& cost, SpotMarket* spot_market,
+                   VirtualDuration boot_delay)
+    : kernel_(&kernel),
+      cost_(&cost),
+      spot_market_(spot_market),
+      boot_delay_(boot_delay) {}
+
+u64 Ec2Fleet::launch(const InstanceType& type, bool spot) {
+  if (spot) STARATLAS_CHECK(spot_market_ != nullptr);
+  const u64 id = next_id_++;
+  Ec2Instance instance;
+  instance.id = id;
+  instance.type = &type;
+  instance.spot = spot;
+  instance.launched_at = kernel_->now();
+  instances_.emplace(id, instance);
+
+  kernel_->schedule_after(boot_delay_, [this, id] {
+    auto it = instances_.find(id);
+    if (it == instances_.end() || it->second.state != InstanceState::kPending) {
+      return;  // terminated while booting
+    }
+    it->second.state = InstanceState::kRunning;
+    if (on_ready_) on_ready_(id);
+  });
+
+  if (spot) {
+    const VirtualDuration tti = spot_market_->sample_time_to_interruption();
+    reclaim_timers_[id] =
+        kernel_->schedule_after(tti, [this, id] { reclaim(id); });
+  }
+  return id;
+}
+
+void Ec2Fleet::terminate(u64 id) {
+  auto it = instances_.find(id);
+  STARATLAS_CHECK(it != instances_.end());
+  Ec2Instance& instance = it->second;
+  if (instance.state == InstanceState::kTerminated) return;
+  instance.state = InstanceState::kTerminated;
+  instance.terminated_at = kernel_->now();
+  cost_->add_instance_time(*instance.type,
+                           (instance.terminated_at - instance.launched_at).secs(),
+                           instance.spot);
+  auto timer = reclaim_timers_.find(id);
+  if (timer != reclaim_timers_.end()) {
+    kernel_->cancel(timer->second);
+    reclaim_timers_.erase(timer);
+  }
+}
+
+void Ec2Fleet::terminate_all() {
+  for (auto& [id, instance] : instances_) {
+    if (instance.state != InstanceState::kTerminated) terminate(id);
+  }
+}
+
+void Ec2Fleet::reclaim(u64 id) {
+  auto it = instances_.find(id);
+  if (it == instances_.end() ||
+      it->second.state == InstanceState::kTerminated) {
+    return;
+  }
+  ++interruptions_;
+  terminate(id);
+  if (on_interrupted_) on_interrupted_(id);
+}
+
+const Ec2Instance& Ec2Fleet::instance(u64 id) const {
+  auto it = instances_.find(id);
+  STARATLAS_CHECK(it != instances_.end());
+  return it->second;
+}
+
+double Ec2Fleet::accrued_running_cost(VirtualTime now) const {
+  double usd = 0.0;
+  for (const auto& [id, instance] : instances_) {
+    if (instance.state == InstanceState::kTerminated) continue;
+    usd += instance.type->hourly(instance.spot) *
+           (now - instance.launched_at).secs() / 3600.0;
+  }
+  return usd;
+}
+
+usize Ec2Fleet::running_count() const {
+  usize count = 0;
+  for (const auto& [id, instance] : instances_) {
+    if (instance.state == InstanceState::kRunning ||
+        instance.state == InstanceState::kPending) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace staratlas

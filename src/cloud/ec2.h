@@ -1,0 +1,75 @@
+// EC2 fleet model: instance lifecycle (pending -> running -> terminated),
+// boot delays, per-second billing, and spot reclaims.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "cloud/cost.h"
+#include "cloud/event_sim.h"
+#include "cloud/instance_types.h"
+#include "cloud/spot.h"
+#include "common/types.h"
+
+namespace staratlas {
+
+enum class InstanceState : u8 { kPending, kRunning, kTerminated };
+
+struct Ec2Instance {
+  u64 id = 0;
+  const InstanceType* type = nullptr;
+  bool spot = false;
+  InstanceState state = InstanceState::kPending;
+  VirtualTime launched_at;
+  VirtualTime terminated_at;
+};
+
+class Ec2Fleet {
+ public:
+  /// on_ready(id) fires when a launched instance finishes booting;
+  /// on_interrupted(id) fires when the spot market reclaims it (the
+  /// instance is already terminated when the callback runs).
+  Ec2Fleet(SimKernel& kernel, CostMeter& cost, SpotMarket* spot_market,
+           VirtualDuration boot_delay = VirtualDuration::seconds(45));
+
+  using ReadyFn = std::function<void(u64)>;
+  using InterruptedFn = std::function<void(u64)>;
+  void set_on_ready(ReadyFn fn) { on_ready_ = std::move(fn); }
+  void set_on_interrupted(InterruptedFn fn) { on_interrupted_ = std::move(fn); }
+
+  /// Launches an instance; billing starts immediately (pending time is
+  /// billed, as on EC2). Returns the instance id.
+  u64 launch(const InstanceType& type, bool spot);
+
+  /// Terminates an instance and bills its lifetime. Safe on already
+  /// terminated ids.
+  void terminate(u64 id);
+
+  /// Terminates everything still running (end-of-run cleanup + billing).
+  void terminate_all();
+
+  const Ec2Instance& instance(u64 id) const;
+  usize running_count() const;
+  /// USD accrued so far by instances that are still alive (billed only at
+  /// termination; this estimates the in-flight spend for live metrics).
+  double accrued_running_cost(VirtualTime now) const;
+  usize launched_total() const { return instances_.size(); }
+  u64 interruptions() const { return interruptions_; }
+
+ private:
+  void reclaim(u64 id);
+
+  SimKernel* kernel_;
+  CostMeter* cost_;
+  SpotMarket* spot_market_;
+  VirtualDuration boot_delay_;
+  ReadyFn on_ready_;
+  InterruptedFn on_interrupted_;
+  u64 next_id_ = 1;
+  u64 interruptions_ = 0;
+  std::map<u64, Ec2Instance> instances_;
+  std::map<u64, SimKernel::EventId> reclaim_timers_;
+};
+
+}  // namespace staratlas

@@ -1,0 +1,57 @@
+#include "cloud/event_sim.h"
+
+#include "common/error.h"
+
+namespace staratlas {
+
+SimKernel::EventId SimKernel::schedule_at(VirtualTime t, EventFn fn) {
+  STARATLAS_CHECK(fn != nullptr);
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  const Key key{t.secs(), id};
+  queue_.emplace(key, std::move(fn));
+  keys_.emplace(id, key);
+  return id;
+}
+
+SimKernel::EventId SimKernel::schedule_after(VirtualDuration delay,
+                                             EventFn fn) {
+  if (delay < VirtualDuration::zero()) delay = VirtualDuration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void SimKernel::cancel(EventId id) {
+  auto it = keys_.find(id);
+  if (it == keys_.end()) return;
+  queue_.erase(it->second);
+  keys_.erase(it);
+}
+
+void SimKernel::run() {
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    const Key key = it->first;
+    EventFn fn = std::move(it->second);
+    queue_.erase(it);
+    keys_.erase(key.second);
+    now_ = VirtualTime(key.first);
+    ++processed_;
+    fn();
+  }
+}
+
+void SimKernel::run_until(VirtualTime deadline) {
+  while (!queue_.empty() && queue_.begin()->first.first <= deadline.secs()) {
+    auto it = queue_.begin();
+    const Key key = it->first;
+    EventFn fn = std::move(it->second);
+    queue_.erase(it);
+    keys_.erase(key.second);
+    now_ = VirtualTime(key.first);
+    ++processed_;
+    fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace staratlas

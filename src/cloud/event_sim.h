@@ -1,0 +1,53 @@
+// Discrete-event simulation kernel: a virtual clock plus an ordered event
+// queue. Everything in staratlas::cloud advances through this kernel, so a
+// whole day of cluster activity simulates in milliseconds and every run is
+// exactly reproducible.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "common/vclock.h"
+
+namespace staratlas {
+
+class SimKernel {
+ public:
+  using EventFn = std::function<void()>;
+  using EventId = u64;
+
+  VirtualTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (>= now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(VirtualTime t, EventFn fn);
+
+  /// Schedules `fn` after a relative delay (clamped to >= 0).
+  EventId schedule_after(VirtualDuration delay, EventFn fn);
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs events with time <= deadline; leaves later events queued and
+  /// advances the clock to the deadline.
+  void run_until(VirtualTime deadline);
+
+  u64 events_processed() const { return processed_; }
+  usize pending_events() const { return queue_.size(); }
+
+ private:
+  using Key = std::pair<double, EventId>;  // (seconds, seq) for stable order
+
+  VirtualTime now_;
+  EventId next_id_ = 1;
+  u64 processed_ = 0;
+  std::map<Key, EventFn> queue_;
+  std::unordered_map<EventId, Key> keys_;
+};
+
+}  // namespace staratlas

@@ -1,0 +1,36 @@
+#include "cloud/instance_types.h"
+
+#include "common/error.h"
+
+namespace staratlas {
+
+const std::vector<InstanceType>& instance_catalog() {
+  // Prices: approximate on-demand us-east-1 (2024); spot at the typical
+  // ~62% discount the paper's cost argument assumes.
+  static const std::vector<InstanceType> kCatalog = {
+      // memory-optimized (8 GiB RAM / vCPU) — the paper's family
+      {"r6a.large", 2, ByteSize::from_gib(16), 0.1134, 0.0431, 0.78},
+      {"r6a.xlarge", 4, ByteSize::from_gib(32), 0.2268, 0.0862, 1.56},
+      {"r6a.2xlarge", 8, ByteSize::from_gib(64), 0.4536, 0.1724, 3.12},
+      {"r6a.4xlarge", 16, ByteSize::from_gib(128), 0.9072, 0.3447, 6.25},
+      {"r6a.8xlarge", 32, ByteSize::from_gib(256), 1.8144, 0.6895, 12.5},
+      {"r6a.12xlarge", 48, ByteSize::from_gib(384), 2.7216, 1.0342, 18.75},
+      // general purpose (4 GiB / vCPU)
+      {"m6a.2xlarge", 8, ByteSize::from_gib(32), 0.3456, 0.1313, 3.12},
+      {"m6a.4xlarge", 16, ByteSize::from_gib(64), 0.6912, 0.2627, 6.25},
+      {"m6a.8xlarge", 32, ByteSize::from_gib(128), 1.3824, 0.5253, 12.5},
+      // compute optimized (2 GiB / vCPU)
+      {"c6a.4xlarge", 16, ByteSize::from_gib(32), 0.6120, 0.2326, 6.25},
+      {"c6a.8xlarge", 32, ByteSize::from_gib(64), 1.2240, 0.4651, 12.5},
+  };
+  return kCatalog;
+}
+
+const InstanceType& instance_type(const std::string& name) {
+  for (const auto& type : instance_catalog()) {
+    if (type.name == name) return type;
+  }
+  throw InvalidArgument("unknown instance type: " + name);
+}
+
+}  // namespace staratlas

@@ -1,0 +1,32 @@
+// EC2 instance-type catalog with the shapes and (approximate, us-east-1,
+// 2024) prices relevant to the paper: the memory-optimized r6a family the
+// authors used (the index must fit in RAM), plus general-purpose and
+// compute-optimized contenders for the right-sizing analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace staratlas {
+
+struct InstanceType {
+  std::string name;
+  u32 vcpus = 0;
+  ByteSize memory;
+  double on_demand_hourly = 0.0;  ///< USD
+  double spot_hourly = 0.0;       ///< USD, typical (not bid-simulated)
+  double network_gbps = 0.0;      ///< sustained baseline
+
+  double hourly(bool spot) const { return spot ? spot_hourly : on_demand_hourly; }
+};
+
+/// All known instance types.
+const std::vector<InstanceType>& instance_catalog();
+
+/// Lookup by name; throws InvalidArgument if unknown.
+const InstanceType& instance_type(const std::string& name);
+
+}  // namespace staratlas

@@ -1,0 +1,73 @@
+#include "cloud/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+void MetricSeries::add(VirtualTime time, double value) {
+  if (!points_.empty()) {
+    STARATLAS_CHECK(time >= points_.back().time);
+  }
+  points_.push_back({time, value});
+}
+
+double MetricSeries::max() const {
+  double best = 0.0;
+  for (const auto& point : points_) best = std::max(best, point.value);
+  return best;
+}
+
+double MetricSeries::mean() const {
+  if (points_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& point : points_) total += point.value;
+  return total / static_cast<double>(points_.size());
+}
+
+double MetricSeries::final_value() const {
+  return points_.empty() ? 0.0 : points_.back().value;
+}
+
+double MetricSeries::time_weighted_mean() const {
+  if (points_.size() < 2) return 0.0;
+  double weighted = 0.0;
+  double span = 0.0;
+  for (usize i = 1; i < points_.size(); ++i) {
+    const double dt = (points_[i].time - points_[i - 1].time).secs();
+    weighted += points_[i - 1].value * dt;
+    span += dt;
+  }
+  return span > 0.0 ? weighted / span : 0.0;
+}
+
+void MetricsRecorder::record(const std::string& name, VirtualTime time,
+                             double value) {
+  series_[name].add(time, value);
+}
+
+const MetricSeries& MetricsRecorder::series(const std::string& name) const {
+  auto it = series_.find(name);
+  STARATLAS_CHECK(it != series_.end());
+  return it->second;
+}
+
+std::vector<std::string> MetricsRecorder::names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, series] : series_) names.push_back(name);
+  return names;
+}
+
+void MetricsRecorder::write_csv(std::ostream& out) const {
+  out << "metric,time_seconds,value\n";
+  for (const auto& [name, series] : series_) {
+    for (const auto& point : series.points()) {
+      out << name << ',' << point.time.secs() << ',' << point.value << '\n';
+    }
+  }
+}
+
+}  // namespace staratlas

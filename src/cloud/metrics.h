@@ -1,0 +1,55 @@
+// CloudWatch-style metrics: named time series sampled in virtual time.
+// The atlas simulation records queue depth, fleet size, cumulative cost
+// and completed samples so campaigns can be inspected after the fact
+// (write_csv feeds straight into any plotting tool).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/vclock.h"
+
+namespace staratlas {
+
+struct MetricPoint {
+  VirtualTime time;
+  double value = 0.0;
+};
+
+class MetricSeries {
+ public:
+  void add(VirtualTime time, double value);
+
+  const std::vector<MetricPoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  double max() const;
+  double mean() const;
+  /// Last recorded value (0 when empty).
+  double final_value() const;
+  /// Time-weighted average over the recorded span (0 when < 2 points).
+  double time_weighted_mean() const;
+
+ private:
+  std::vector<MetricPoint> points_;
+};
+
+class MetricsRecorder {
+ public:
+  /// Appends a sample to the named series (created on demand).
+  void record(const std::string& name, VirtualTime time, double value);
+
+  const MetricSeries& series(const std::string& name) const;
+  bool has(const std::string& name) const { return series_.count(name) > 0; }
+  std::vector<std::string> names() const;
+
+  /// Long-format CSV: metric,time_seconds,value.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::map<std::string, MetricSeries> series_;
+};
+
+}  // namespace staratlas

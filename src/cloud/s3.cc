@@ -1,0 +1,47 @@
+#include "cloud/s3.h"
+
+#include "common/error.h"
+
+namespace staratlas {
+
+void S3Bucket::put(const std::string& key, ByteSize size) {
+  objects_[key] = size;
+  ++puts_;
+}
+
+std::optional<ByteSize> S3Bucket::head(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+ByteSize S3Bucket::get(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    throw InvalidArgument("s3://" + name_ + "/" + key + " does not exist");
+  }
+  ++gets_;
+  return it->second;
+}
+
+bool S3Bucket::contains(const std::string& key) const {
+  return objects_.count(key) > 0;
+}
+
+void S3Bucket::remove(const std::string& key) { objects_.erase(key); }
+
+ByteSize S3Bucket::total_bytes() const {
+  ByteSize total;
+  for (const auto& [key, size] : objects_) total += size;
+  return total;
+}
+
+VirtualDuration S3Bucket::transfer_time(ByteSize size, double gbps,
+                                        double efficiency) {
+  STARATLAS_CHECK(gbps > 0.0 && efficiency > 0.0 && efficiency <= 1.0);
+  const double bytes_per_sec = gbps * 1e9 / 8.0 * efficiency;
+  return VirtualDuration::seconds(static_cast<double>(size.bytes()) /
+                                  bytes_per_sec);
+}
+
+}  // namespace staratlas

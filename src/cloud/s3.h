@@ -1,0 +1,47 @@
+// S3-style object store with a byte-accurate inventory and a bandwidth
+// transfer model. Holds the pre-built genome indices the workers download
+// at boot and the per-sample results they upload (Fig 2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "common/vclock.h"
+
+namespace staratlas {
+
+class S3Bucket {
+ public:
+  explicit S3Bucket(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void put(const std::string& key, ByteSize size);
+  /// Object size if present.
+  std::optional<ByteSize> head(const std::string& key) const;
+  /// Object size; throws InvalidArgument when absent.
+  ByteSize get(const std::string& key);
+  bool contains(const std::string& key) const;
+  void remove(const std::string& key);
+
+  usize num_objects() const { return objects_.size(); }
+  ByteSize total_bytes() const;
+  u64 put_count() const { return puts_; }
+  u64 get_count() const { return gets_; }
+
+  /// Transfer time for `size` at `gbps` line rate with a realistic
+  /// sustained efficiency factor.
+  static VirtualDuration transfer_time(ByteSize size, double gbps,
+                                       double efficiency = 0.85);
+
+ private:
+  std::string name_;
+  std::map<std::string, ByteSize> objects_;
+  u64 puts_ = 0;
+  u64 gets_ = 0;
+};
+
+}  // namespace staratlas

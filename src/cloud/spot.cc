@@ -1,0 +1,9 @@
+#include "cloud/spot.h"
+
+namespace staratlas {
+
+VirtualDuration SpotMarket::sample_time_to_interruption() {
+  return VirtualDuration::seconds(rng_.exponential(mean_tti_.secs()));
+}
+
+}  // namespace staratlas

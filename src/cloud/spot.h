@@ -1,0 +1,30 @@
+// Spot market model: interruption arrival process for spot instances.
+// The paper runs its ASG "in spot mode for cheaper processing"; the cost
+// of that choice is requeued work when instances are reclaimed.
+#pragma once
+
+#include "common/rng.h"
+#include "common/vclock.h"
+
+namespace staratlas {
+
+class SpotMarket {
+ public:
+  /// Interruptions arrive per-instance as a Poisson process with the given
+  /// mean time between reclaims (AWS publishes ~5% monthly interruption
+  /// frequencies for calm pools; stress tests use much shorter means).
+  explicit SpotMarket(Rng rng, VirtualDuration mean_time_to_interruption =
+                                   VirtualDuration::hours(48.0))
+      : rng_(rng), mean_tti_(mean_time_to_interruption) {}
+
+  /// Samples a time-to-interruption for a newly launched spot instance.
+  VirtualDuration sample_time_to_interruption();
+
+  VirtualDuration mean_time_to_interruption() const { return mean_tti_; }
+
+ private:
+  Rng rng_;
+  VirtualDuration mean_tti_;
+};
+
+}  // namespace staratlas

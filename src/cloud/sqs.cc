@@ -1,0 +1,71 @@
+#include "cloud/sqs.h"
+
+#include "common/error.h"
+
+namespace staratlas {
+
+SqsQueue::SqsQueue(SimKernel& kernel, VirtualDuration visibility_timeout,
+                   u32 max_receives)
+    : kernel_(&kernel),
+      visibility_timeout_(visibility_timeout),
+      max_receives_(max_receives) {
+  STARATLAS_CHECK(max_receives_ >= 1);
+}
+
+void SqsQueue::send(std::string body) {
+  visible_.emplace_back(std::move(body), 0);
+  ++stats_.sent;
+}
+
+std::optional<SqsMessage> SqsQueue::receive() {
+  if (visible_.empty()) return std::nullopt;
+  auto [body, prior_receives] = std::move(visible_.front());
+  visible_.pop_front();
+
+  const u64 receipt = next_receipt_++;
+  SqsMessage message;
+  message.body = body;
+  message.receipt_handle = receipt;
+  message.receive_count = prior_receives + 1;
+
+  InFlight entry;
+  entry.body = std::move(body);
+  entry.receive_count = message.receive_count;
+  entry.timer = kernel_->schedule_after(
+      visibility_timeout_, [this, receipt] { expire(receipt); });
+  in_flight_.emplace(receipt, std::move(entry));
+  ++stats_.received;
+  return message;
+}
+
+void SqsQueue::delete_message(u64 receipt_handle) {
+  auto it = in_flight_.find(receipt_handle);
+  if (it == in_flight_.end()) return;  // already expired: delete is a no-op
+  kernel_->cancel(it->second.timer);
+  in_flight_.erase(it);
+  ++stats_.deleted;
+}
+
+void SqsQueue::return_message(u64 receipt_handle) {
+  auto it = in_flight_.find(receipt_handle);
+  if (it == in_flight_.end()) return;
+  kernel_->cancel(it->second.timer);
+  visible_.emplace_back(std::move(it->second.body), it->second.receive_count);
+  in_flight_.erase(it);
+}
+
+void SqsQueue::expire(u64 receipt_handle) {
+  auto it = in_flight_.find(receipt_handle);
+  if (it == in_flight_.end()) return;
+  ++stats_.visibility_expired;
+  if (it->second.receive_count >= max_receives_) {
+    dlq_.push_back(std::move(it->second.body));
+    ++stats_.dead_lettered;
+  } else {
+    visible_.emplace_back(std::move(it->second.body),
+                          it->second.receive_count);
+  }
+  in_flight_.erase(it);
+}
+
+}  // namespace staratlas

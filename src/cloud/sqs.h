@@ -1,0 +1,76 @@
+// SQS-style message queue: at-least-once delivery with visibility
+// timeouts, redelivery, and a dead-letter queue — the coordination point
+// of the paper's Fig 2 architecture (SRA IDs in, workers polling).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/event_sim.h"
+#include "common/types.h"
+
+namespace staratlas {
+
+struct SqsMessage {
+  std::string body;
+  u64 receipt_handle = 0;  ///< pass to delete_message / return_message
+  u32 receive_count = 1;
+};
+
+struct SqsStats {
+  u64 sent = 0;
+  u64 received = 0;
+  u64 deleted = 0;
+  u64 visibility_expired = 0;  ///< redeliveries due to timeout
+  u64 dead_lettered = 0;
+};
+
+class SqsQueue {
+ public:
+  /// Messages received but not deleted become visible again after
+  /// `visibility_timeout`; after `max_receives` deliveries they go to the
+  /// dead-letter queue instead.
+  SqsQueue(SimKernel& kernel, VirtualDuration visibility_timeout,
+           u32 max_receives = 5);
+
+  void send(std::string body);
+
+  /// Non-blocking poll. Returns nullopt when no message is visible.
+  std::optional<SqsMessage> receive();
+
+  /// Acknowledges (removes) an in-flight message.
+  void delete_message(u64 receipt_handle);
+
+  /// Returns an in-flight message to the queue immediately (used by
+  /// workers on spot interruption instead of waiting out the timeout).
+  void return_message(u64 receipt_handle);
+
+  usize visible_count() const { return visible_.size(); }
+  usize in_flight_count() const { return in_flight_.size(); }
+  /// ApproximateNumberOfMessages: visible + in flight.
+  usize approximate_depth() const { return visible_count() + in_flight_count(); }
+  const std::vector<std::string>& dead_letter_queue() const { return dlq_; }
+  const SqsStats& stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    std::string body;
+    u32 receive_count;
+    SimKernel::EventId timer;
+  };
+  void expire(u64 receipt_handle);
+
+  SimKernel* kernel_;
+  VirtualDuration visibility_timeout_;
+  u32 max_receives_;
+  u64 next_receipt_ = 1;
+  std::deque<std::pair<std::string, u32>> visible_;  ///< (body, receive_count)
+  std::unordered_map<u64, InFlight> in_flight_;
+  std::vector<std::string> dlq_;
+  SqsStats stats_;
+};
+
+}  // namespace staratlas

@@ -1,0 +1,58 @@
+// Error handling: a single exception hierarchy for the library plus a
+// lightweight STARATLAS_CHECK macro for internal invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace staratlas {
+
+/// Base class for all staratlas errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input data (FASTA/FASTQ/GTF/SRA parsing, bad config values).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// I/O failure (missing file, short read/write).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// Violated API precondition (caller bug).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : Error("invalid argument: " + what) {}
+};
+
+/// Internal invariant broken (library bug).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  throw InternalError(std::string("check failed: ") + expr + " at " + file +
+                      ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace staratlas
+
+/// Invariant check that stays on in release builds; throws InternalError.
+#define STARATLAS_CHECK(expr)                                          \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::staratlas::detail::check_failed(#expr, __FILE__, __LINE__);    \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,41 @@
+// Minimal leveled logger. Benches and examples print through std::cout for
+// their primary output; the logger is for diagnostics and defaults to WARN
+// so library internals stay quiet under test.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace staratlas {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: STARATLAS_LOG(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::log_emit(level_, stream_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace staratlas
+
+#define STARATLAS_LOG(level) ::staratlas::LogLine(::staratlas::LogLevel::level)

@@ -1,0 +1,147 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+u64 splitmix64(u64& state) {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+u64 hash64(u64 value) {
+  u64 state = value;
+  return splitmix64(state);
+}
+
+namespace {
+inline u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 state = seed;
+  for (auto& word : s_) word = splitmix64(state);
+}
+
+u64 Rng::operator()() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::uniform(u64 bound) {
+  STARATLAS_CHECK(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  const u64 threshold = (~bound + 1) % bound;  // (2^64 - bound) % bound
+  for (;;) {
+    const u64 r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+i64 Rng::uniform_range(i64 lo, i64 hi) {
+  STARATLAS_CHECK(lo <= hi);
+  const u64 span = static_cast<u64>(hi - lo) + 1;
+  if (span == 0) return static_cast<i64>((*this)());  // full 64-bit range
+  return lo + static_cast<i64>(uniform(span));
+}
+
+double Rng::uniform01() {
+  // 53 bits of mantissa.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::normal() {
+  // Box-Muller; discard the spare so the stream length per call is fixed.
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal_median(double median, double sigma) {
+  STARATLAS_CHECK(median > 0.0);
+  return median * std::exp(sigma * normal());
+}
+
+double Rng::exponential(double mean) {
+  STARATLAS_CHECK(mean > 0.0);
+  double u = uniform01();
+  while (u <= 0.0) u = uniform01();
+  return -mean * std::log(u);
+}
+
+u64 Rng::poisson(double lambda) {
+  STARATLAS_CHECK(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda > 64.0) {
+    const double draw = normal(lambda, std::sqrt(lambda));
+    return draw <= 0.0 ? 0 : static_cast<u64>(draw + 0.5);
+  }
+  const double limit = std::exp(-lambda);
+  u64 k = 0;
+  double product = uniform01();
+  while (product > limit) {
+    ++k;
+    product *= uniform01();
+  }
+  return k;
+}
+
+usize Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    STARATLAS_CHECK(w >= 0.0);
+    total += w;
+  }
+  STARATLAS_CHECK(total > 0.0);
+  double draw = uniform01() * total;
+  for (usize i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fell off the end
+}
+
+Rng Rng::fork(u64 salt) const {
+  // Derive a child seed from our state and the salt; does not perturb *this.
+  u64 mix = s_[0] ^ rotl(s_[2], 13) ^ hash64(salt);
+  return Rng(hash64(mix));
+}
+
+Rng Rng::fork(const std::string& label) const {
+  u64 h = 0xcbf29ce484222325ULL;  // FNV-1a over the label
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return fork(h);
+}
+
+}  // namespace staratlas

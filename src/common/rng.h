@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in staratlas (genome synthesis, read simulation,
+// spot interruptions, service-time noise) flows through Rng so that every
+// experiment is reproducible from a single seed. The generator is
+// xoshiro256** seeded via splitmix64, which gives high-quality streams that
+// are cheap to fork per-component.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace staratlas {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+u64 splitmix64(u64& state);
+
+/// Stateless 64-bit mix of a value (useful for deriving per-item seeds).
+u64 hash64(u64 value);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = u64;
+
+  /// Seeds the four words of state from `seed` via splitmix64.
+  explicit Rng(u64 seed = 0x5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~u64{0}; }
+
+  /// Next raw 64-bit output.
+  u64 operator()();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  u64 uniform(u64 bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  i64 uniform_range(i64 lo, i64 hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Standard normal via Box-Muller (no cached spare: deterministic stream).
+  double normal();
+
+  /// Normal with given mean and stddev.
+  double normal(double mean, double stddev);
+
+  /// Log-normal such that the *median* of the distribution is `median`
+  /// and sigma is the log-space standard deviation.
+  double lognormal_median(double median, double sigma);
+
+  /// Exponential with given mean (> 0).
+  double exponential(double mean);
+
+  /// Poisson draw (Knuth for small lambda, normal approximation above 64).
+  u64 poisson(double lambda);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  usize weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (usize i = v.size(); i > 1; --i) {
+      usize j = static_cast<usize>(uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Forks an independent child generator; `salt` distinguishes children.
+  Rng fork(u64 salt) const;
+
+  /// Forks a child keyed by a string label (stable across runs).
+  Rng fork(const std::string& label) const;
+
+ private:
+  u64 s_[4];
+};
+
+}  // namespace staratlas

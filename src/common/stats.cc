@@ -1,0 +1,89 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+double sum(std::span<const double> xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
+  if (xs.empty()) return 0.0;
+  STARATLAS_CHECK(xs.size() == ws.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (usize i = 0; i < xs.size(); ++i) {
+    num += xs[i] * ws[i];
+    den += ws[i];
+  }
+  STARATLAS_CHECK(den > 0.0);
+  return num / den;
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  STARATLAS_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const usize lo = static_cast<usize>(rank);
+  const usize hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double geometric_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  total_ += x;
+  if (n_ == 1) {
+    mean_ = x;
+    min_ = x;
+    max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_));
+}
+
+}  // namespace staratlas

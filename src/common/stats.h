@@ -1,0 +1,53 @@
+// Small numeric helpers used by benches, the cost model and DESeq2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace staratlas {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Weighted mean: sum(w_i * x_i) / sum(w_i). Requires equal sizes and a
+/// positive weight total; returns 0 for empty input.
+double weighted_mean(std::span<const double> xs, std::span<const double> ws);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Median (copies + sorts); 0 for an empty span.
+double median(std::span<const double> xs);
+
+/// p-th percentile with linear interpolation, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Geometric mean of strictly positive values; 0 if any value <= 0 or empty.
+double geometric_mean(std::span<const double> xs);
+
+/// Sum.
+double sum(std::span<const double> xs);
+
+/// Online accumulator for streaming mean/min/max/stddev.
+class RunningStats {
+ public:
+  void add(double x);
+  usize count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double stddev() const;
+  double total() const { return total_; }
+
+ private:
+  usize n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace staratlas

@@ -1,0 +1,80 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+ThreadPool::ThreadPool(usize num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (usize i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> result = packaged->get_future();
+  {
+    std::lock_guard lock(mu_);
+    STARATLAS_CHECK(!stop_);
+    tasks_.emplace([packaged] { (*packaged)(); });
+  }
+  cv_task_.notify_one();
+  return result;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for_blocks(ThreadPool& pool, usize count,
+                         const std::function<void(usize, usize)>& body) {
+  if (count == 0) return;
+  const usize num_blocks = std::min(count, pool.size() * 4);
+  const usize block = (count + num_blocks - 1) / num_blocks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_blocks);
+  for (usize begin = 0; begin < count; begin += block) {
+    const usize end = std::min(begin + block, count);
+    futures.push_back(pool.submit([&body, begin, end] { body(begin, end); }));
+  }
+  for (auto& f : futures) f.get();  // rethrows the first failure
+}
+
+}  // namespace staratlas

@@ -1,0 +1,53 @@
+// Fixed-size worker pool with a blocking task queue and a parallel_for
+// helper used by the alignment engine to fan read chunks across cores.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace staratlas {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 means hardware_concurrency).
+  explicit ThreadPool(usize num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  usize size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future resolves when it completes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until all currently queued tasks have finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  usize active_ = 0;
+  bool stop_ = false;
+};
+
+/// Splits [0, count) into contiguous blocks and runs `body(begin, end)` on
+/// the pool, blocking until every block completes. `body` must be safe to
+/// call concurrently on disjoint ranges. Exceptions from blocks are
+/// propagated (the first one encountered is rethrown).
+void parallel_for_blocks(ThreadPool& pool, usize count,
+                         const std::function<void(usize, usize)>& body);
+
+}  // namespace staratlas

@@ -1,0 +1,33 @@
+// Fundamental aliases shared across all staratlas libraries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace staratlas {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Position within a (concatenated) genome sequence.
+using GenomePos = u64;
+/// Index of a contig within an assembly.
+using ContigId = u32;
+/// Index of a gene within an annotation.
+using GeneId = u32;
+/// Zero-based read ordinal within one sample.
+using ReadId = u64;
+
+/// Sentinel for "no position".
+inline constexpr GenomePos kNoPos = ~GenomePos{0};
+/// Sentinel for "no gene".
+inline constexpr GeneId kNoGene = ~GeneId{0};
+
+}  // namespace staratlas

@@ -1,0 +1,66 @@
+#include "common/units.h"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+std::string ByteSize::str() const {
+  struct Unit {
+    double factor;
+    const char* name;
+  };
+  static constexpr std::array<Unit, 5> kUnits{{
+      {1099511627776.0, "TiB"},
+      {1073741824.0, "GiB"},
+      {1048576.0, "MiB"},
+      {1024.0, "KiB"},
+      {1.0, "B"},
+  }};
+  const double b = static_cast<double>(bytes_);
+  for (const auto& unit : kUnits) {
+    if (b >= unit.factor || unit.factor == 1.0) {
+      char buf[48];
+      if (unit.factor == 1.0) {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes_));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.2f %s", b / unit.factor, unit.name);
+      }
+      return buf;
+    }
+  }
+  return "0 B";
+}
+
+ByteSize ByteSize::parse(const std::string& text) {
+  usize pos = 0;
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  usize start = pos;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.')) {
+    ++pos;
+  }
+  if (pos == start) throw ParseError("byte size has no numeric part: '" + text + "'");
+  double value = 0.0;
+  try {
+    value = std::stod(text.substr(start, pos - start));
+  } catch (const std::exception&) {
+    throw ParseError("bad byte size number: '" + text + "'");
+  }
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  std::string unit = text.substr(pos);
+  while (!unit.empty() && std::isspace(static_cast<unsigned char>(unit.back()))) unit.pop_back();
+  if (unit.empty() || unit == "B") return ByteSize(static_cast<u64>(value));
+  if (unit == "KiB" || unit == "KB" || unit == "K") return from_kib(value);
+  if (unit == "MiB" || unit == "MB" || unit == "M") return from_mib(value);
+  if (unit == "GiB" || unit == "GB" || unit == "G") return from_gib(value);
+  if (unit == "TiB" || unit == "TB" || unit == "T") return from_tib(value);
+  throw ParseError("unknown byte size unit: '" + unit + "'");
+}
+
+}  // namespace staratlas

@@ -1,0 +1,58 @@
+// Byte-size value type with binary-unit formatting and parsing.
+//
+// Cloud genomics is full of "85 GiB index", "15.9 GiB FASTQ" quantities;
+// ByteSize keeps them typed instead of raw u64s and formats them the way
+// the paper reports them.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace staratlas {
+
+class ByteSize {
+ public:
+  constexpr ByteSize() = default;
+  constexpr explicit ByteSize(u64 bytes) : bytes_(bytes) {}
+
+  static constexpr ByteSize from_kib(double v) { return from_unit(v, 1); }
+  static constexpr ByteSize from_mib(double v) { return from_unit(v, 2); }
+  static constexpr ByteSize from_gib(double v) { return from_unit(v, 3); }
+  static constexpr ByteSize from_tib(double v) { return from_unit(v, 4); }
+
+  constexpr u64 bytes() const { return bytes_; }
+  constexpr double kib() const { return static_cast<double>(bytes_) / (1ULL << 10); }
+  constexpr double mib() const { return static_cast<double>(bytes_) / (1ULL << 20); }
+  constexpr double gib() const { return static_cast<double>(bytes_) / (1ULL << 30); }
+  constexpr double tib() const { return static_cast<double>(bytes_) / (1ULL << 40); }
+
+  /// Human-readable string with an auto-selected binary unit, e.g. "29.5 GiB".
+  std::string str() const;
+
+  /// Parses strings like "29.5GiB", "512 MiB", "1024" (bytes).
+  /// Throws ParseError on malformed input.
+  static ByteSize parse(const std::string& text);
+
+  constexpr ByteSize operator+(ByteSize o) const { return ByteSize(bytes_ + o.bytes_); }
+  constexpr ByteSize operator-(ByteSize o) const { return ByteSize(bytes_ - o.bytes_); }
+  constexpr ByteSize& operator+=(ByteSize o) { bytes_ += o.bytes_; return *this; }
+  constexpr ByteSize& operator-=(ByteSize o) { bytes_ -= o.bytes_; return *this; }
+  constexpr auto operator<=>(const ByteSize&) const = default;
+
+  friend constexpr ByteSize operator*(ByteSize s, double k) {
+    return ByteSize(static_cast<u64>(static_cast<double>(s.bytes_) * k));
+  }
+  friend constexpr ByteSize operator*(double k, ByteSize s) { return s * k; }
+
+ private:
+  static constexpr ByteSize from_unit(double v, int pow10_of_1024) {
+    double scaled = v;
+    for (int i = 0; i < pow10_of_1024; ++i) scaled *= 1024.0;
+    return ByteSize(static_cast<u64>(scaled));
+  }
+
+  u64 bytes_ = 0;
+};
+
+}  // namespace staratlas

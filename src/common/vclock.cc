@@ -1,0 +1,30 @@
+#include "common/vclock.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace staratlas {
+
+std::string VirtualDuration::str() const {
+  char buf[64];
+  const double s = seconds_;
+  const double abs_s = std::fabs(s);
+  if (abs_s < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+    return buf;
+  }
+  const char* sign = s < 0 ? "-" : "";
+  const double total = abs_s;
+  const long hours = static_cast<long>(total / 3600.0);
+  const long mins = static_cast<long>((total - 3600.0 * static_cast<double>(hours)) / 60.0);
+  const double secs =
+      total - 3600.0 * static_cast<double>(hours) - 60.0 * static_cast<double>(mins);
+  if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%ldh %ldm %.0fs", sign, hours, mins, secs);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%ldm %.1fs", sign, mins, secs);
+  }
+  return buf;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,73 @@
+// Virtual time for the cloud simulator and duration formatting.
+//
+// The discrete-event simulation advances a virtual clock measured in
+// seconds (double). VirtualTime/VirtualDuration keep sim time distinct from
+// wall-clock time in signatures, preventing the classic "added wall seconds
+// to sim seconds" bug.
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace staratlas {
+
+class VirtualDuration {
+ public:
+  constexpr VirtualDuration() = default;
+  constexpr explicit VirtualDuration(double seconds) : seconds_(seconds) {}
+
+  static constexpr VirtualDuration seconds(double s) { return VirtualDuration(s); }
+  static constexpr VirtualDuration minutes(double m) { return VirtualDuration(m * 60.0); }
+  static constexpr VirtualDuration hours(double h) { return VirtualDuration(h * 3600.0); }
+  static constexpr VirtualDuration zero() { return VirtualDuration(0.0); }
+
+  constexpr double secs() const { return seconds_; }
+  constexpr double mins() const { return seconds_ / 60.0; }
+  constexpr double hrs() const { return seconds_ / 3600.0; }
+
+  /// "1h 23m 45s" style formatting (or "12.3s" below a minute).
+  std::string str() const;
+
+  constexpr VirtualDuration operator+(VirtualDuration o) const {
+    return VirtualDuration(seconds_ + o.seconds_);
+  }
+  constexpr VirtualDuration operator-(VirtualDuration o) const {
+    return VirtualDuration(seconds_ - o.seconds_);
+  }
+  constexpr VirtualDuration& operator+=(VirtualDuration o) {
+    seconds_ += o.seconds_;
+    return *this;
+  }
+  constexpr VirtualDuration operator*(double k) const {
+    return VirtualDuration(seconds_ * k);
+  }
+  constexpr double operator/(VirtualDuration o) const { return seconds_ / o.seconds_; }
+  constexpr auto operator<=>(const VirtualDuration&) const = default;
+
+ private:
+  double seconds_ = 0.0;
+};
+
+class VirtualTime {
+ public:
+  constexpr VirtualTime() = default;
+  constexpr explicit VirtualTime(double seconds) : seconds_(seconds) {}
+
+  static constexpr VirtualTime origin() { return VirtualTime(0.0); }
+
+  constexpr double secs() const { return seconds_; }
+  std::string str() const { return VirtualDuration(seconds_).str(); }
+
+  constexpr VirtualTime operator+(VirtualDuration d) const {
+    return VirtualTime(seconds_ + d.secs());
+  }
+  constexpr VirtualDuration operator-(VirtualTime o) const {
+    return VirtualDuration(seconds_ - o.seconds_);
+  }
+  constexpr auto operator<=>(const VirtualTime&) const = default;
+
+ private:
+  double seconds_ = 0.0;
+};
+
+}  // namespace staratlas

@@ -1,0 +1,242 @@
+#include "core/atlas_sim.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+void AtlasConfig::use_release(int release) {
+  STARATLAS_CHECK(release == 108 || release == 111);
+  genome_release = release;
+  index_bytes = release == 108 ? ByteSize::from_gib(85.0)
+                               : ByteSize::from_gib(29.5);
+}
+
+AtlasSimulation::AtlasSimulation(std::vector<SraSample> catalog,
+                                 AtlasConfig config)
+    : catalog_(std::move(catalog)),
+      config_(std::move(config)),
+      type_(&instance_type(config_.instance_type)),
+      spot_market_(Rng(config_.seed).fork("spot"),
+                   config_.mean_time_to_interruption),
+      fleet_(kernel_, cost_, &spot_market_),
+      queue_(kernel_, config_.visibility_timeout),
+      asg_(kernel_, fleet_, *type_, config_.spot, config_.asg,
+           [this] { return queue_.approximate_depth(); }),
+      noise_rng_(Rng(config_.seed).fork("noise")) {
+  STARATLAS_CHECK(!catalog_.empty());
+  config_.early_stop.validate();
+
+  // The index must fit in instance memory — the feasibility constraint the
+  // paper's right-sizing argument is built on.
+  const ByteSize needed = StageTimeModel::required_memory(config_.index_bytes);
+  if (needed > type_->memory) {
+    throw InvalidArgument("index (" + config_.index_bytes.str() +
+                          ") does not fit in " + type_->name + " memory (" +
+                          type_->memory.str() + ")");
+  }
+
+  index_bucket_.put("star-index-r" + std::to_string(config_.genome_release),
+                    config_.index_bytes);
+
+  for (const auto& sample : catalog_) {
+    SampleRuntime runtime;
+    runtime.sample = &sample;
+    Rng rate_rng = Rng(sample.seed).fork("true_rate");
+    runtime.true_rate =
+        config_.maprate.sample_true_rate(sample.type, rate_rng);
+    samples_.emplace(sample.accession, runtime);
+  }
+}
+
+bool AtlasSimulation::instance_alive(u64 instance_id) const {
+  return fleet_.instance(instance_id).state == InstanceState::kRunning;
+}
+
+AtlasReport AtlasSimulation::run() {
+  report_ = AtlasReport{};
+  report_.samples_total = catalog_.size();
+
+  fleet_.set_on_ready([this](u64 id) { worker_ready(id); });
+  fleet_.set_on_interrupted([this](u64 instance_id) {
+    // Spot gives a 2-minute interruption notice: the worker returns its
+    // in-flight message so another instance can pick it up immediately
+    // (the visibility timeout remains the backstop for hard crashes).
+    auto it = active_receipt_.find(instance_id);
+    if (it != active_receipt_.end()) {
+      queue_.return_message(it->second);
+      active_receipt_.erase(it);
+    }
+  });
+
+  for (const auto& sample : catalog_) queue_.send(sample.accession);
+  asg_.start();
+  sample_metrics();
+  kernel_.run();
+
+  report_.samples_dead_lettered = queue_.dead_letter_queue().size();
+  report_.makespan_hours = kernel_.now().secs() / 3600.0;
+  report_.total_cost_usd = cost_.total_usd();
+  report_.ec2_cost_usd =
+      cost_.category_usd("ec2_spot") + cost_.category_usd("ec2_ondemand");
+  report_.instance_hours = cost_.instance_hours();
+  report_.interruptions = fleet_.interruptions();
+  report_.instances_launched = fleet_.launched_total();
+  return report_;
+}
+
+void AtlasSimulation::sample_metrics() {
+  const VirtualTime now = kernel_.now();
+  report_.metrics.record("queue_depth", now,
+                         static_cast<double>(queue_.approximate_depth()));
+  report_.metrics.record("instances_running", now,
+                         static_cast<double>(fleet_.running_count()));
+  report_.metrics.record("cost_usd", now,
+                         cost_.total_usd() + fleet_.accrued_running_cost(now));
+  report_.metrics.record("samples_done", now,
+                         static_cast<double>(terminal_samples_));
+  if (!finished_) {
+    kernel_.schedule_after(config_.metrics_interval,
+                           [this] { sample_metrics(); });
+  }
+}
+
+void AtlasSimulation::worker_ready(u64 instance_id) {
+  report_.peak_instances =
+      std::max(report_.peak_instances, fleet_.running_count());
+  // Boot-time initialization: download the index from S3 and load it into
+  // shared memory (Fig 2's "initialization phase").
+  index_bucket_.get("star-index-r" + std::to_string(config_.genome_release));
+  const VirtualDuration init =
+      config_.stages.index_init_time(config_.index_bytes, *type_);
+  report_.init_hours += init.hrs();
+  kernel_.schedule_after(init, [this, instance_id] { poll(instance_id); });
+}
+
+void AtlasSimulation::poll(u64 instance_id) {
+  if (finished_ || !instance_alive(instance_id)) return;
+  if (asg_.should_release()) {
+    fleet_.terminate(instance_id);
+    return;
+  }
+  std::optional<SqsMessage> message = queue_.receive();
+  if (!message) {
+    if (all_terminal()) {
+      fleet_.terminate(instance_id);
+      maybe_finish();
+      return;
+    }
+    // Queue momentarily empty (work may still be in flight elsewhere, or
+    // redeliveries pending): back off and poll again.
+    kernel_.schedule_after(config_.poll_idle_backoff,
+                           [this, instance_id] { poll(instance_id); });
+    return;
+  }
+  process(instance_id, std::move(*message));
+}
+
+void AtlasSimulation::process(u64 instance_id, SqsMessage message) {
+  auto it = samples_.find(message.body);
+  STARATLAS_CHECK(it != samples_.end());
+  const SampleRuntime& runtime = it->second;
+  if (runtime.done) {
+    // A redelivered duplicate of work that already completed elsewhere.
+    queue_.delete_message(message.receipt_handle);
+    poll(instance_id);
+    return;
+  }
+  const SraSample& sample = *runtime.sample;
+
+  const VirtualDuration prefetch =
+      config_.stages.prefetch_time(sample.sra_bytes, *type_);
+  const VirtualDuration dump =
+      config_.stages.dump_time(sample.fastq_bytes, *type_);
+  const VirtualDuration align_full = config_.stages.align_time(
+      sample.fastq_bytes, config_.genome_release, *type_);
+
+  // Early-stopping decision from the Log.progress.out-equivalent telemetry
+  // at the checkpoint fraction.
+  const double observed = config_.maprate.checkpoint_observation(
+      runtime.true_rate, noise_rng_);
+  const bool stop_early =
+      early_stop_decision(config_.early_stop, observed);
+  const VirtualDuration align_actual =
+      stop_early ? align_full * config_.early_stop.checkpoint_fraction
+                 : align_full;
+  const VirtualDuration post =
+      stop_early ? VirtualDuration::zero() : config_.stages.postprocess_time();
+
+  const VirtualDuration total = prefetch + dump + align_actual + post;
+  const u64 receipt = message.receipt_handle;
+  const std::string accession = message.body;
+  active_receipt_[instance_id] = receipt;
+
+  kernel_.schedule_after(total, [this, instance_id, receipt, accession,
+                                 prefetch, dump, align_actual, align_full,
+                                 stop_early] {
+    if (finished_) return;
+    if (!instance_alive(instance_id)) {
+      // Spot-reclaimed mid-sample: the interruption handler already
+      // returned the message (or the visibility timeout will).
+      return;
+    }
+    active_receipt_.erase(instance_id);
+    SampleRuntime& rt = samples_.at(accession);
+    if (rt.done) {
+      // Another worker finished a redelivered copy first.
+      queue_.delete_message(receipt);
+      poll(instance_id);
+      return;
+    }
+    rt.done = true;
+
+    report_.prefetch_hours += prefetch.hrs();
+    report_.dump_hours += dump.hrs();
+    report_.align_hours_spent += align_actual.hrs();
+
+    if (stop_early) {
+      ++report_.samples_early_stopped;
+      report_.align_hours_saved += (align_full - align_actual).hrs();
+      results_bucket_.put("rejected/" + accession, ByteSize(4096));
+    } else {
+      const bool accepted =
+          rt.true_rate >= config_.early_stop.min_mapped_rate;
+      if (accepted) {
+        ++report_.samples_completed;
+      } else {
+        // Without early stopping (or on a near-threshold miss) the full
+        // alignment ran and the sample is rejected afterwards — the
+        // paper's "unnecessary compute" (Fig 4, yellow).
+        ++report_.samples_rejected_late;
+        report_.unnecessary_align_hours += align_full.hrs();
+      }
+      results_bucket_.put(
+          (accepted ? "counts/" : "rejected/") + accession,
+          ByteSize::from_mib(2.0));
+    }
+    queue_.delete_message(receipt);
+    ++terminal_samples_;
+
+    if (all_terminal()) {
+      fleet_.terminate(instance_id);
+      maybe_finish();
+      return;
+    }
+    poll(instance_id);
+  });
+}
+
+bool AtlasSimulation::all_terminal() const {
+  return terminal_samples_ + queue_.dead_letter_queue().size() >=
+         catalog_.size();
+}
+
+void AtlasSimulation::maybe_finish() {
+  if (finished_ || !all_terminal()) return;
+  finished_ = true;
+  asg_.stop();
+  fleet_.terminate_all();
+}
+
+}  // namespace staratlas

@@ -1,0 +1,138 @@
+// AtlasSimulation: the paper's Fig 2 architecture end to end, in virtual
+// time — SQS queue of SRA accessions, an autoscaled (optionally spot) EC2
+// fleet, per-instance boot-time index initialization, the four pipeline
+// stages per sample, early stopping, S3 result uploads, and full cost
+// accounting.
+//
+// Stage durations come from StageTimeModel (anchored to the paper's
+// measured per-GiB STAR cost and this repo's measured release-108
+// slowdown); each sample's mapping rate comes from MapRateModel
+// (calibrated from real alignment runs).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/asg.h"
+#include "cloud/cost.h"
+#include "cloud/ec2.h"
+#include "cloud/event_sim.h"
+#include "cloud/metrics.h"
+#include "cloud/s3.h"
+#include "cloud/sqs.h"
+#include "core/early_stopping.h"
+#include "core/maprate_model.h"
+#include "core/stage_model.h"
+#include "sim/catalog.h"
+
+namespace staratlas {
+
+struct AtlasConfig {
+  std::string instance_type = "r6a.4xlarge";
+  bool spot = false;
+  AsgPolicy asg{.min_size = 0,
+                .max_size = 16,
+                .target_backlog_per_instance = 2.0,
+                .evaluation_period = VirtualDuration::minutes(1)};
+  int genome_release = 111;
+  /// Paper-scale index object size (85 GiB for r108, 29.5 GiB for r111).
+  ByteSize index_bytes = ByteSize::from_gib(29.5);
+  EarlyStopPolicy early_stop{};  ///< .enabled toggles the optimization
+  StageTimeModel stages{};
+  MapRateModel maprate{};
+  VirtualDuration visibility_timeout = VirtualDuration::hours(8);
+  VirtualDuration mean_time_to_interruption = VirtualDuration::hours(24);
+  VirtualDuration poll_idle_backoff = VirtualDuration::seconds(20);
+  /// Metrics sampling period (queue depth, fleet, cost, completions).
+  VirtualDuration metrics_interval = VirtualDuration::minutes(5);
+  u64 seed = 1234;
+
+  /// Convenience: set release + matching paper-scale index size.
+  void use_release(int release);
+};
+
+struct AtlasReport {
+  usize samples_total = 0;
+  usize samples_completed = 0;      ///< full alignment, accepted
+  usize samples_early_stopped = 0;  ///< aborted at the checkpoint
+  usize samples_rejected_late = 0;  ///< completed but below threshold
+  usize samples_dead_lettered = 0;
+  double makespan_hours = 0.0;
+  double align_hours_spent = 0.0;
+  double align_hours_saved = 0.0;       ///< by early stopping
+  double unnecessary_align_hours = 0.0; ///< spent on ultimately rejected samples
+  double prefetch_hours = 0.0;
+  double dump_hours = 0.0;
+  double init_hours = 0.0;  ///< index download + shm load across boots
+  double total_cost_usd = 0.0;
+  double ec2_cost_usd = 0.0;
+  double instance_hours = 0.0;
+  u64 interruptions = 0;
+  usize peak_instances = 0;
+  usize instances_launched = 0;
+  /// Time series sampled during the run: "queue_depth",
+  /// "instances_running", "cost_usd", "samples_done".
+  MetricsRecorder metrics;
+
+  double throughput_samples_per_hour() const {
+    return makespan_hours > 0.0
+               ? static_cast<double>(samples_completed + samples_early_stopped +
+                                     samples_rejected_late) /
+                     makespan_hours
+               : 0.0;
+  }
+  double cost_per_sample_usd() const {
+    const usize done =
+        samples_completed + samples_early_stopped + samples_rejected_late;
+    return done > 0 ? total_cost_usd / static_cast<double>(done) : 0.0;
+  }
+};
+
+class AtlasSimulation {
+ public:
+  AtlasSimulation(std::vector<SraSample> catalog, AtlasConfig config);
+
+  /// Runs the whole campaign to completion and returns the report.
+  AtlasReport run();
+
+ private:
+  struct SampleRuntime {
+    const SraSample* sample = nullptr;
+    double true_rate = 0.0;
+    bool done = false;  ///< guards against duplicate (redelivered) work
+  };
+
+  void sample_metrics();
+  void worker_ready(u64 instance_id);
+  void poll(u64 instance_id);
+  void process(u64 instance_id, SqsMessage message);
+  bool all_terminal() const;
+  void maybe_finish();
+  bool instance_alive(u64 instance_id) const;
+
+  std::vector<SraSample> catalog_;
+  AtlasConfig config_;
+  const InstanceType* type_ = nullptr;
+
+  SimKernel kernel_;
+  CostMeter cost_;
+  SpotMarket spot_market_;
+  Ec2Fleet fleet_;
+  SqsQueue queue_;
+  S3Bucket index_bucket_{"atlas-index"};
+  S3Bucket results_bucket_{"atlas-results"};
+  AutoScalingGroup asg_;
+
+  std::map<std::string, SampleRuntime> samples_;
+  /// Receipt handle of the message each busy instance is working on, so a
+  /// spot interruption (2-minute notice) can return it to the queue
+  /// immediately instead of waiting out the visibility timeout.
+  std::map<u64, u64> active_receipt_;
+  Rng noise_rng_{0};
+  AtlasReport report_;
+  usize terminal_samples_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace staratlas

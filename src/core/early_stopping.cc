@@ -1,0 +1,42 @@
+#include "core/early_stopping.h"
+
+#include "common/error.h"
+
+namespace staratlas {
+
+void EarlyStopPolicy::validate() const {
+  if (checkpoint_fraction <= 0.0 || checkpoint_fraction >= 1.0) {
+    throw InvalidArgument("early-stop checkpoint fraction must be in (0,1)");
+  }
+  if (min_mapped_rate < 0.0 || min_mapped_rate > 1.0) {
+    throw InvalidArgument("early-stop mapping-rate threshold must be in [0,1]");
+  }
+}
+
+bool early_stop_decision(const EarlyStopPolicy& policy, double observed_rate) {
+  return policy.enabled && observed_rate < policy.min_mapped_rate;
+}
+
+EarlyStopController::EarlyStopController(const EarlyStopPolicy& policy)
+    : policy_(policy) {
+  policy_.validate();
+}
+
+ProgressCallback EarlyStopController::callback() {
+  return [this](const ProgressSnapshot& snapshot) {
+    if (!policy_.enabled || decision_.evaluated) {
+      return EngineCommand::kContinue;
+    }
+    if (snapshot.fraction_processed() < policy_.checkpoint_fraction) {
+      return EngineCommand::kContinue;
+    }
+    decision_.evaluated = true;
+    decision_.observed_rate = snapshot.mapped_rate();
+    decision_.at_fraction = snapshot.fraction_processed();
+    decision_.at_reads = snapshot.processed;
+    decision_.stopped = early_stop_decision(policy_, decision_.observed_rate);
+    return decision_.stopped ? EngineCommand::kAbort : EngineCommand::kContinue;
+  };
+}
+
+}  // namespace staratlas

@@ -1,0 +1,54 @@
+#include "core/estimate.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+CampaignEstimate estimate_campaign(const std::vector<SraSample>& catalog,
+                                   const AtlasConfig& config) {
+  STARATLAS_CHECK(!catalog.empty());
+  const InstanceType& type = instance_type(config.instance_type);
+  const StageTimeModel& stages = config.stages;
+
+  CampaignEstimate estimate;
+  for (const SraSample& sample : catalog) {
+    const double prefetch =
+        stages.prefetch_time(sample.sra_bytes, type).hrs();
+    const double dump = stages.dump_time(sample.fastq_bytes, type).hrs();
+    const double align_full =
+        stages.align_time(sample.fastq_bytes, config.genome_release, type)
+            .hrs();
+    const bool stops = config.early_stop.enabled &&
+                       sample.type == LibraryType::kSingleCell;
+    const double align = stops
+                             ? align_full * config.early_stop.checkpoint_fraction
+                             : align_full;
+    const double post = stops ? 0.0 : stages.postprocess_time().hrs();
+    estimate.align_hours += align;
+    if (stops) {
+      ++estimate.expected_early_stops;
+      estimate.align_hours_saved += align_full - align;
+    }
+    estimate.total_work_hours += prefetch + dump + align + post;
+  }
+
+  // Fleet-level: work spread over the ASG's maximum parallelism, plus one
+  // boot + index initialization per instance.
+  const double fleet = static_cast<double>(std::max<usize>(
+      1, std::min(config.asg.max_size,
+                  catalog.size())));
+  const double init_hours =
+      stages.index_init_time(config.index_bytes, type).hrs();
+  estimate.makespan_hours =
+      estimate.total_work_hours / fleet + init_hours + 45.0 / 3600.0;
+  estimate.instance_hours =
+      estimate.total_work_hours + fleet * init_hours;
+  estimate.ec2_cost_usd = estimate.instance_hours * type.hourly(config.spot);
+  estimate.cost_per_sample_usd =
+      estimate.ec2_cost_usd / static_cast<double>(catalog.size());
+  return estimate;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,32 @@
+// Closed-form campaign estimator: predicts makespan, instance hours and
+// cost of an atlas campaign from the catalog and configuration WITHOUT
+// running the event simulation — the back-of-envelope a platform engineer
+// does before launching (and a cross-check on the simulator: the two must
+// agree when queueing effects are small).
+#pragma once
+
+#include <vector>
+
+#include "core/atlas_sim.h"
+#include "sim/catalog.h"
+
+namespace staratlas {
+
+struct CampaignEstimate {
+  double total_work_hours = 0.0;     ///< sum of per-sample pipeline time
+  double align_hours = 0.0;          ///< alignment share (after early stop)
+  double align_hours_saved = 0.0;    ///< expected early-stop savings
+  usize expected_early_stops = 0;
+  double makespan_hours = 0.0;       ///< work / fleet + boot/init overhead
+  double instance_hours = 0.0;
+  double ec2_cost_usd = 0.0;
+  double cost_per_sample_usd = 0.0;
+};
+
+/// Deterministic expectation (uses each sample's library type directly —
+/// the estimator assumes the early-stop rule is accurate, which ABL-ES
+/// justifies at the paper's design point).
+CampaignEstimate estimate_campaign(const std::vector<SraSample>& catalog,
+                                   const AtlasConfig& config);
+
+}  // namespace staratlas

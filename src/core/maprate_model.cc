@@ -1,0 +1,32 @@
+#include "core/maprate_model.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace staratlas {
+
+double MapRateModel::sample_true_rate(LibraryType type, Rng& rng) const {
+  const double mean =
+      type == LibraryType::kBulk ? bulk_mean : single_cell_mean;
+  const double sd = type == LibraryType::kBulk ? bulk_sd : single_cell_sd;
+  return std::clamp(rng.normal(mean, sd), 0.02, 0.99);
+}
+
+double MapRateModel::checkpoint_observation(double true_rate, Rng& rng) const {
+  return std::clamp(rng.normal(true_rate, checkpoint_noise_sd), 0.0, 1.0);
+}
+
+void MapRateModel::calibrate(const std::vector<double>& bulk_rates,
+                             const std::vector<double>& single_cell_rates) {
+  if (!bulk_rates.empty()) {
+    bulk_mean = mean(bulk_rates);
+    bulk_sd = std::max(0.005, stddev(bulk_rates));
+  }
+  if (!single_cell_rates.empty()) {
+    single_cell_mean = mean(single_cell_rates);
+    single_cell_sd = std::max(0.005, stddev(single_cell_rates));
+  }
+}
+
+}  // namespace staratlas

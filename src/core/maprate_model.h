@@ -1,0 +1,41 @@
+// Mapping-rate distributions by library type, used by the cloud simulator
+// to give every catalog sample a "true" final mapping rate plus a noisy
+// checkpoint observation.
+//
+// The default parameters are CALIBRATED FROM REAL ALIGNMENT: the Fig 4
+// bench first aligns a panel of simulated bulk and single-cell samples
+// with the real engine and refits this model from the measured rates, so
+// the cloud-scale accounting inherits measured behaviour. The constants
+// below are the values that calibration typically produces (documented in
+// EXPERIMENTS.md) so the model is also usable standalone.
+#pragma once
+
+#include "common/rng.h"
+#include "sim/library_profile.h"
+
+namespace staratlas {
+
+struct MapRateModel {
+  double bulk_mean = 0.86;
+  double bulk_sd = 0.035;
+  double single_cell_mean = 0.22;
+  double single_cell_sd = 0.028;
+  /// Std-dev of the checkpoint estimate around the true rate (binomial
+  /// sampling noise at ~10% of reads is tiny; this also absorbs the
+  /// within-file nonstationarity STAR progress shows).
+  double checkpoint_noise_sd = 0.012;
+
+  /// True final mapping rate for a sample (clamped to [0.02, 0.99]).
+  double sample_true_rate(LibraryType type, Rng& rng) const;
+
+  /// Observation of the true rate at the early-stop checkpoint.
+  double checkpoint_observation(double true_rate, Rng& rng) const;
+
+  /// Replaces the distribution parameters from measured data; each vector
+  /// holds final mapped rates of really-aligned samples. Vectors may be
+  /// empty (that side keeps defaults).
+  void calibrate(const std::vector<double>& bulk_rates,
+                 const std::vector<double>& single_cell_rates);
+};
+
+}  // namespace staratlas

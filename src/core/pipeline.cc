@@ -1,0 +1,62 @@
+#include "core/pipeline.h"
+
+#include <chrono>
+
+#include "common/error.h"
+#include "sra/toolkit.h"
+
+namespace staratlas {
+
+PipelineRunner::PipelineRunner(const GenomeIndex& index,
+                               const Annotation& annotation,
+                               SraRepository& repository,
+                               PipelineConfig config)
+    : index_(&index),
+      annotation_(&annotation),
+      repository_(&repository),
+      config_(std::move(config)) {
+  config_.early_stop.validate();
+  // The engine must check progress at least as often as the early-stop
+  // checkpoint needs, or the decision would come late.
+  if (config_.engine.progress_check_interval == 0) {
+    // default (total/50) is fine for a 10% checkpoint
+  }
+}
+
+SampleResult PipelineRunner::process(const std::string& accession) {
+  SampleResult result;
+  result.accession = accession;
+
+  // Stage 1: prefetch.
+  const PrefetchResult fetched = prefetch(*repository_, accession);
+  result.sra_bytes = fetched.bytes_transferred;
+  result.library_type = fetched.metadata.library_type;
+
+  // Stage 2: fasterq-dump.
+  const auto dump_start = std::chrono::steady_clock::now();
+  const DumpResult dumped = fasterq_dump(fetched.container);
+  result.dump_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    dump_start)
+          .count();
+  result.fastq_bytes = dumped.fastq_bytes;
+  result.total_reads = dumped.reads.size();
+
+  // Stage 3: STAR alignment with GeneCounts and early stopping.
+  AlignmentEngine engine(*index_, annotation_, config_.engine);
+  EarlyStopController controller(config_.early_stop);
+  const AlignmentRun run = engine.run(dumped.reads, controller.callback());
+  result.align_wall_seconds = run.wall_seconds;
+  result.stats = run.stats;
+  result.gene_counts = run.gene_counts;
+  result.early_stop = controller.decision();
+
+  // Stage 4 happens across samples (DESeq2 over the count matrix); here we
+  // record acceptance: a completed run above the atlas threshold.
+  result.accepted = !run.aborted &&
+                    result.stats.mapped_rate() >=
+                        config_.early_stop.min_mapped_rate;
+  return result;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,53 @@
+// The real, in-process Transcriptomics Atlas pipeline for one accession
+// (Fig 1): prefetch -> fasterq-dump -> STAR alignment (+GeneCounts,
+// optional early stopping) -> counts. Everything here does the actual data
+// work on synthetic-scale inputs; the cloud simulator (atlas_sim.h) models
+// the same stages at paper scale in virtual time.
+#pragma once
+
+#include <string>
+
+#include "align/engine.h"
+#include "core/early_stopping.h"
+#include "genome/annotation.h"
+#include "index/genome_index.h"
+#include "sra/repository.h"
+
+namespace staratlas {
+
+struct PipelineConfig {
+  EngineConfig engine;
+  EarlyStopPolicy early_stop;
+};
+
+struct SampleResult {
+  std::string accession;
+  LibraryType library_type = LibraryType::kBulk;
+  u64 total_reads = 0;
+  ByteSize sra_bytes;    ///< synthetic container size
+  ByteSize fastq_bytes;  ///< synthetic decoded FASTQ size
+  MappingStats stats;
+  GeneCountsTable gene_counts;
+  EarlyStopDecision early_stop;
+  bool accepted = false;  ///< completed with acceptable mapping rate
+  double align_wall_seconds = 0.0;
+  double dump_wall_seconds = 0.0;
+};
+
+/// Runs the four pipeline stages for every accession handed to process().
+class PipelineRunner {
+ public:
+  PipelineRunner(const GenomeIndex& index, const Annotation& annotation,
+                 SraRepository& repository, PipelineConfig config);
+
+  /// Processes one accession end to end.
+  SampleResult process(const std::string& accession);
+
+ private:
+  const GenomeIndex* index_;
+  const Annotation* annotation_;
+  SraRepository* repository_;
+  PipelineConfig config_;
+};
+
+}  // namespace staratlas

@@ -1,0 +1,31 @@
+// Fixed-width table rendering used by the bench harness so every
+// experiment prints paper-vs-measured rows in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace staratlas {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header underline.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string (benches format many cells).
+std::string strf(const char* fmt, ...);
+
+}  // namespace staratlas

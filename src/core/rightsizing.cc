@@ -1,0 +1,57 @@
+#include "core/rightsizing.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+std::vector<RightSizingOption> evaluate_instances(
+    const RightSizingQuery& query) {
+  std::vector<RightSizingOption> options;
+  const ByteSize needed = StageTimeModel::required_memory(query.index_bytes);
+  for (const auto& type : instance_catalog()) {
+    RightSizingOption option;
+    option.type = &type;
+    if (type.memory < needed) {
+      option.feasible = false;
+      option.infeasible_reason = "needs " + needed.str() + " RAM, has " +
+                                 type.memory.str();
+      options.push_back(option);
+      continue;
+    }
+    option.feasible = true;
+    const double stage_secs =
+        query.stages.prefetch_time(query.mean_sra, type).secs() +
+        query.stages.dump_time(query.mean_fastq, type).secs() +
+        query.stages
+            .align_time(query.mean_fastq, query.genome_release, type)
+            .secs() +
+        query.stages.postprocess_time().secs();
+    const double init_secs =
+        query.stages.index_init_time(query.index_bytes, type).secs();
+    option.sample_seconds =
+        stage_secs + init_secs / query.samples_per_boot;
+    option.cost_per_sample_usd =
+        type.hourly(query.spot) * option.sample_seconds / 3600.0;
+    option.samples_per_hour = 3600.0 / option.sample_seconds;
+    options.push_back(option);
+  }
+  std::sort(options.begin(), options.end(),
+            [](const RightSizingOption& a, const RightSizingOption& b) {
+              if (a.feasible != b.feasible) return a.feasible;
+              if (!a.feasible) return a.type->name < b.type->name;
+              return a.cost_per_sample_usd < b.cost_per_sample_usd;
+            });
+  return options;
+}
+
+const RightSizingOption& best_option(
+    const std::vector<RightSizingOption>& options) {
+  for (const auto& option : options) {
+    if (option.feasible) return option;
+  }
+  throw InvalidArgument("no instance type can hold this index in memory");
+}
+
+}  // namespace staratlas

@@ -1,0 +1,46 @@
+// Instance right-sizing advisor (paper §III.A: "using a much smaller index
+// allows us to use smaller and cheaper instances").
+//
+// Feasibility first: an instance type qualifies only if the genome index
+// plus working set fits its RAM. Feasible types are then ranked by modeled
+// cost per mean-sized sample (all four stages + amortized boot/init).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/instance_types.h"
+#include "common/units.h"
+#include "core/stage_model.h"
+
+namespace staratlas {
+
+struct RightSizingOption {
+  const InstanceType* type = nullptr;
+  bool feasible = false;
+  std::string infeasible_reason;
+  double sample_seconds = 0.0;     ///< pipeline time for a mean sample
+  double cost_per_sample_usd = 0.0;
+  double samples_per_hour = 0.0;
+};
+
+struct RightSizingQuery {
+  ByteSize index_bytes = ByteSize::from_gib(29.5);
+  int genome_release = 111;
+  ByteSize mean_fastq = ByteSize::from_gib(15.9);
+  ByteSize mean_sra = ByteSize::from_gib(6.9);
+  bool spot = false;
+  /// Samples processed per instance lifetime, for amortizing the index
+  /// download/load into per-sample cost.
+  double samples_per_boot = 40.0;
+  StageTimeModel stages{};
+};
+
+/// Evaluates every catalog type; result is sorted feasible-first by cost
+/// per sample.
+std::vector<RightSizingOption> evaluate_instances(const RightSizingQuery& query);
+
+/// The cheapest feasible option; throws InvalidArgument if none is.
+const RightSizingOption& best_option(const std::vector<RightSizingOption>& options);
+
+}  // namespace staratlas

@@ -1,0 +1,258 @@
+#include "genome/synthesizer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+ReleaseSpec release108_style() {
+  ReleaseSpec spec;
+  spec.release = 108;
+  // Scaffold volume tuned so toplevel(108) ~ 2.9x toplevel(111), matching
+  // the paper's 85 GiB vs 29.5 GiB.
+  spec.unlocalized_bytes_fraction = 1.85;
+  spec.unplaced_count = 6;
+  spec.min_scaffold_length = 8'000;
+  spec.max_scaffold_length = 24'000;
+  spec.scaffold_divergence = 0.008;
+  spec.genic_bias = 0.95;
+  spec.repeat_scaffold_fraction = 0.55;
+  return spec;
+}
+
+ReleaseSpec release111_style() {
+  ReleaseSpec spec;
+  spec.release = 111;
+  spec.unlocalized_bytes_fraction = 0.05;
+  spec.unplaced_count = 2;
+  spec.min_scaffold_length = 4'000;
+  spec.max_scaffold_length = 16'000;
+  spec.scaffold_divergence = 0.01;
+  spec.genic_bias = 0.5;
+  spec.repeat_scaffold_fraction = 0.0;
+  return spec;
+}
+
+GenomeSynthesizer::GenomeSynthesizer(const GenomeSpec& spec) : spec_(spec) {
+  STARATLAS_CHECK(spec.num_chromosomes > 0);
+  STARATLAS_CHECK(spec.chromosome_length >= 10'000);
+  STARATLAS_CHECK(spec.min_exons_per_gene >= 1);
+  STARATLAS_CHECK(spec.min_exons_per_gene <= spec.max_exons_per_gene);
+  STARATLAS_CHECK(spec.min_exon_length >= 30);
+  STARATLAS_CHECK(spec.min_exon_length <= spec.max_exon_length);
+  STARATLAS_CHECK(spec.min_intron_length <= spec.max_intron_length);
+  STARATLAS_CHECK(spec.gc_content > 0.0 && spec.gc_content < 1.0);
+  STARATLAS_CHECK(spec.repeat_motif_length >= 50);
+  Rng rng(spec.seed);
+  repeat_motif_ = random_sequence(rng, spec_.repeat_motif_length);
+  build_primary(rng);
+}
+
+std::string GenomeSynthesizer::random_sequence(Rng& rng, u64 length) const {
+  std::string seq(length, 'A');
+  const double gc = spec_.gc_content;
+  for (auto& c : seq) {
+    const double draw = rng.uniform01();
+    if (draw < gc / 2.0) {
+      c = 'G';
+    } else if (draw < gc) {
+      c = 'C';
+    } else if (draw < gc + (1.0 - gc) / 2.0) {
+      c = 'A';
+    } else {
+      c = 'T';
+    }
+  }
+  return seq;
+}
+
+std::string GenomeSynthesizer::repeat_array(Rng& rng, usize copies) const {
+  static const char kBases[] = "ACGT";
+  std::string array;
+  array.reserve(copies * repeat_motif_.size());
+  for (usize copy = 0; copy < copies; ++copy) {
+    std::string unit = repeat_motif_;
+    for (char& c : unit) {
+      if (rng.chance(spec_.repeat_copy_divergence)) {
+        c = kBases[rng.uniform(4)];
+      }
+    }
+    array += unit;
+  }
+  return array;
+}
+
+void GenomeSynthesizer::build_primary(Rng& rng) {
+  std::vector<Gene> genes;
+  chromosomes_.reserve(spec_.num_chromosomes);
+  u64 gene_counter = 0;
+
+  // Genes occupy the first ~78% of each chromosome; the repeat array sits
+  // at 85% so reads from genes and reads from repeats never overlap.
+  const u64 gene_zone_end = spec_.chromosome_length * 78 / 100;
+  const u64 repeat_start = spec_.chromosome_length * 85 / 100;
+  const u64 repeat_len = spec_.repeat_motif_length * spec_.repeat_array_copies;
+  STARATLAS_CHECK(repeat_start + repeat_len < spec_.chromosome_length);
+
+  for (usize chrom_idx = 0; chrom_idx < spec_.num_chromosomes; ++chrom_idx) {
+    Contig chromosome;
+    chromosome.name = std::to_string(chrom_idx + 1);
+    chromosome.cls = ContigClass::kChromosome;
+    chromosome.sequence = random_sequence(rng, spec_.chromosome_length);
+
+    // Splice the satellite array into the gene-free tail.
+    const std::string array = repeat_array(rng, spec_.repeat_array_copies);
+    chromosome.sequence.replace(repeat_start, array.size(), array);
+    repeat_regions_.push_back({static_cast<ContigId>(chrom_idx), repeat_start,
+                               repeat_start + array.size()});
+
+    // Lay genes left-to-right with random intergenic gaps.
+    u64 cursor = 200 + rng.uniform(800);
+    for (usize g = 0; g < spec_.genes_per_chromosome; ++g) {
+      Gene gene;
+      char id_buf[32];
+      std::snprintf(id_buf, sizeof(id_buf), "SYNG%08llu",
+                    static_cast<unsigned long long>(++gene_counter));
+      gene.id = id_buf;
+      std::snprintf(id_buf, sizeof(id_buf), "GENE%llu",
+                    static_cast<unsigned long long>(gene_counter));
+      gene.name = id_buf;
+      gene.contig = static_cast<ContigId>(chrom_idx);
+      gene.strand = rng.chance(0.5) ? '+' : '-';
+
+      const usize num_exons = static_cast<usize>(rng.uniform_range(
+          static_cast<i64>(spec_.min_exons_per_gene),
+          static_cast<i64>(spec_.max_exons_per_gene)));
+      u64 pos = cursor;
+      bool fits = true;
+      for (usize e = 0; e < num_exons; ++e) {
+        const u64 exon_len = static_cast<u64>(
+            rng.uniform_range(static_cast<i64>(spec_.min_exon_length),
+                              static_cast<i64>(spec_.max_exon_length)));
+        if (pos + exon_len >= gene_zone_end) {
+          fits = false;
+          break;
+        }
+        gene.exons.push_back({pos, pos + exon_len});
+        pos += exon_len;
+        if (e + 1 < num_exons) {
+          const u64 intron_len = static_cast<u64>(
+              rng.uniform_range(static_cast<i64>(spec_.min_intron_length),
+                                static_cast<i64>(spec_.max_intron_length)));
+          pos += intron_len;
+        }
+      }
+      if (!fits || gene.exons.empty()) break;  // gene zone full
+      cursor = pos + 300 + rng.uniform(1'500);  // intergenic gap
+      genes.push_back(std::move(gene));
+    }
+    chromosomes_.push_back(std::move(chromosome));
+  }
+  annotation_ = Annotation(std::move(genes));
+}
+
+Assembly GenomeSynthesizer::make_release(const ReleaseSpec& release) const {
+  STARATLAS_CHECK(release.min_scaffold_length >= 1'000);
+  STARATLAS_CHECK(release.min_scaffold_length <= release.max_scaffold_length);
+  STARATLAS_CHECK(release.scaffold_divergence >= 0.0 &&
+                  release.scaffold_divergence < 0.5);
+  STARATLAS_CHECK(release.repeat_scaffold_fraction >= 0.0 &&
+                  release.repeat_scaffold_fraction <= 1.0);
+  STARATLAS_CHECK(release.unlocalized_bytes_fraction >= 0.0 &&
+                  release.unlocalized_bytes_fraction <= 10.0);
+
+  Rng rng = Rng(spec_.seed).fork(static_cast<u64>(release.release) * 7919 + 17);
+
+  std::vector<Contig> contigs = chromosomes_;  // chromosomes first, shared
+  u64 scaffold_counter = 0;
+  static const char kBases[] = "ACGT";
+
+  auto mutate = [&](std::string& seq) {
+    for (char& c : seq) {
+      if (rng.chance(release.scaffold_divergence)) {
+        c = kBases[rng.uniform(4)];
+      }
+    }
+  };
+  auto scaffold_name = [&](const char* prefix) {
+    char name_buf[48];
+    std::snprintf(name_buf, sizeof(name_buf), "%s%04llu.1", prefix,
+                  static_cast<unsigned long long>(++scaffold_counter));
+    return std::string(name_buf);
+  };
+
+  // Unlocalized scaffolds. Two flavors:
+  //  * genic near-copies of chromosome windows centered on exons, so that
+  //    RNA-seq reads genuinely multimap between chromosome and scaffold;
+  //  * repeat arrays — tandem copies of the satellite motif, so that reads
+  //    from the chromosomal repeat region explode in candidate loci.
+  // Both are real properties of pre-110 GRCh38 toplevel scaffolds.
+  for (usize chrom_idx = 0; chrom_idx < chromosomes_.size(); ++chrom_idx) {
+    const std::string& chrom_seq = chromosomes_[chrom_idx].sequence;
+    const auto gene_ids =
+        annotation_.genes_on_contig(static_cast<ContigId>(chrom_idx));
+    const u64 bytes_budget = static_cast<u64>(
+        release.unlocalized_bytes_fraction * static_cast<double>(chrom_seq.size()));
+    u64 bytes_emitted = 0;
+    while (bytes_emitted < bytes_budget) {
+      u64 length = static_cast<u64>(rng.uniform_range(
+          static_cast<i64>(release.min_scaffold_length),
+          static_cast<i64>(release.max_scaffold_length)));
+
+      Contig scaffold;
+      scaffold.cls = ContigClass::kUnlocalizedScaffold;
+
+      if (rng.chance(release.repeat_scaffold_fraction)) {
+        // Fewer, larger satellite arrays (same byte budget).
+        length = static_cast<u64>(static_cast<double>(length) *
+                                  release.repeat_scaffold_length_multiplier);
+        bytes_emitted += length;
+        scaffold.name = scaffold_name("KN99");
+        const usize copies =
+            std::max<usize>(2, length / spec_.repeat_motif_length);
+        scaffold.sequence = repeat_array(rng, copies);
+        contigs.push_back(std::move(scaffold));
+        continue;
+      }
+      bytes_emitted += length;
+
+      u64 center;
+      if (!gene_ids.empty() && rng.chance(release.genic_bias)) {
+        const Gene& gene =
+            annotation_.gene(gene_ids[rng.uniform(gene_ids.size())]);
+        const Exon& exon = gene.exons[rng.uniform(gene.exons.size())];
+        center = (exon.start + exon.end) / 2;
+      } else {
+        center = rng.uniform(chrom_seq.size());
+      }
+      const u64 half = length / 2;
+      const u64 begin = center > half ? center - half : 0;
+      const u64 end = std::min<u64>(begin + length, chrom_seq.size());
+      if (end <= begin + 1'000) continue;  // degenerate window at the edge
+
+      scaffold.name = scaffold_name("KI27");
+      scaffold.sequence = chrom_seq.substr(begin, end - begin);
+      mutate(scaffold.sequence);
+      contigs.push_back(std::move(scaffold));
+    }
+  }
+
+  // Unplaced scaffolds: novel random sequence (index bulk, no multimapping).
+  for (usize s = 0; s < release.unplaced_count; ++s) {
+    const u64 length = static_cast<u64>(
+        rng.uniform_range(static_cast<i64>(release.min_scaffold_length),
+                          static_cast<i64>(release.max_scaffold_length)));
+    Contig scaffold;
+    scaffold.name = scaffold_name("GL00");
+    scaffold.cls = ContigClass::kUnplacedScaffold;
+    scaffold.sequence = random_sequence(rng, length);
+    contigs.push_back(std::move(scaffold));
+  }
+
+  return Assembly("Synthetica sapiens", release.release,
+                  AssemblyType::kToplevel, std::move(contigs));
+}
+
+}  // namespace staratlas

@@ -1,0 +1,123 @@
+// Synthetic genome + annotation generator.
+//
+// Emits matched pairs of assemblies that reproduce, at MiB scale, the
+// difference between Ensembl GRCh38 toplevel release 108 and release 111:
+//
+//  * both releases share IDENTICAL chromosomes and gene annotation
+//    (the primary assembly did not change between those releases);
+//  * the 108-style release carries many unlocalized scaffolds that
+//    near-duplicate genic windows of the chromosomes (~1% divergence)
+//    plus scaffolds that are repeat arrays (satellite-like tandem
+//    repeats also present in the chromosomes) — this is what made the
+//    real toplevel FASTA 85 GiB and exploded STAR's candidate loci;
+//  * the 111-style release keeps only a small residue of scaffolds
+//    (most were placed onto chromosomes by release 110).
+//
+// Because chromosomes always come first in the contig list, one Annotation
+// is valid for every release built from the same synthesizer.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "genome/annotation.h"
+#include "genome/model.h"
+
+namespace staratlas {
+
+/// Shape of the shared primary assembly (chromosomes + genes + repeats).
+struct GenomeSpec {
+  usize num_chromosomes = 3;
+  u64 chromosome_length = 300'000;
+  usize genes_per_chromosome = 30;
+  usize min_exons_per_gene = 2;
+  usize max_exons_per_gene = 7;
+  u64 min_exon_length = 90;
+  u64 max_exon_length = 350;
+  u64 min_intron_length = 60;
+  u64 max_intron_length = 1'200;
+  double gc_content = 0.41;  ///< human-like
+  /// Satellite-like tandem repeat: one array per chromosome, placed in the
+  /// gene-free tail of the chromosome (a stand-in for centromeric repeats).
+  u64 repeat_motif_length = 171;  ///< alpha-satellite-sized
+  usize repeat_array_copies = 10;
+  /// Within-array copies are near-identical, like real satellite DNA —
+  /// this is what makes repeat-derived reads explode in candidate loci.
+  double repeat_copy_divergence = 0.002;
+  u64 seed = 42;
+};
+
+/// A repeat-array region within a contig (0-based half-open).
+struct RepeatRegion {
+  ContigId contig = 0;
+  u64 start = 0;
+  u64 end = 0;
+};
+
+/// Shape of one release's scaffold complement.
+struct ReleaseSpec {
+  int release = 111;
+  /// Total unlocalized-scaffold bytes per chromosome, as a fraction of the
+  /// chromosome length — scaffold volume scales with the genome so the
+  /// toplevel/primary size ratio is invariant to GenomeSpec scale.
+  double unlocalized_bytes_fraction = 0.04;
+  /// Unplaced scaffolds (random novel sequence).
+  usize unplaced_count = 2;
+  u64 min_scaffold_length = 4'000;
+  u64 max_scaffold_length = 40'000;
+  /// Point-mutation rate applied to duplicated scaffold sequence.
+  double scaffold_divergence = 0.01;
+  /// Probability that a genic scaffold window is centered on a gene.
+  double genic_bias = 0.9;
+  /// Fraction of unlocalized scaffolds that are repeat arrays (tandem
+  /// copies of the chromosome repeat motif) rather than genic copies.
+  double repeat_scaffold_fraction = 0.0;
+  /// Repeat scaffolds are drawn this much longer than genic ones (real
+  /// satellite-bearing scaffolds are long arrays); fewer, larger arrays
+  /// keep the per-read window count below the multimap cap while
+  /// concentrating stitching work.
+  double repeat_scaffold_length_multiplier = 3.0;
+};
+
+/// Ensembl-release-style presets. The 108 preset is tuned so that
+/// toplevel_108 / toplevel_111 FASTA size lands near the paper's
+/// 85 GiB / 29.5 GiB = 2.9x ratio, with scaffold content split between
+/// genic near-copies (multimapping) and repeat arrays (seed explosion).
+ReleaseSpec release108_style();
+ReleaseSpec release111_style();
+
+class GenomeSynthesizer {
+ public:
+  explicit GenomeSynthesizer(const GenomeSpec& spec);
+
+  const GenomeSpec& spec() const { return spec_; }
+
+  /// The annotation shared by all releases from this synthesizer.
+  const Annotation& annotation() const { return annotation_; }
+
+  /// Chromosome regions occupied by the satellite repeat arrays; the read
+  /// simulator samples "repeat contamination" reads from these.
+  const std::vector<RepeatRegion>& repeat_regions() const {
+    return repeat_regions_;
+  }
+
+  /// Builds a toplevel assembly for the given release spec. Deterministic
+  /// in (GenomeSpec::seed, ReleaseSpec::release).
+  Assembly make_release(const ReleaseSpec& release) const;
+
+  /// Convenience: the matched pair used throughout the benches.
+  Assembly make_release108() const { return make_release(release108_style()); }
+  Assembly make_release111() const { return make_release(release111_style()); }
+
+ private:
+  std::string random_sequence(Rng& rng, u64 length) const;
+  std::string repeat_array(Rng& rng, usize copies) const;
+  void build_primary(Rng& rng);
+
+  GenomeSpec spec_;
+  std::string repeat_motif_;
+  std::vector<Contig> chromosomes_;
+  std::vector<RepeatRegion> repeat_regions_;
+  Annotation annotation_;
+};
+
+}  // namespace staratlas

@@ -1,0 +1,29 @@
+#include "index/footprint.h"
+
+#include "common/error.h"
+
+namespace staratlas {
+
+ScaleModel ScaleModel::calibrate(ByteSize synthetic_anchor,
+                                 ByteSize paper_anchor) {
+  STARATLAS_CHECK(synthetic_anchor.bytes() > 0);
+  return ScaleModel(static_cast<double>(paper_anchor.bytes()) /
+                    static_cast<double>(synthetic_anchor.bytes()));
+}
+
+ScaleModel ScaleModel::calibrate_time(double synthetic_anchor_secs,
+                                      double paper_anchor_hours) {
+  STARATLAS_CHECK(synthetic_anchor_secs > 0.0);
+  return ScaleModel(paper_anchor_hours / synthetic_anchor_secs);
+}
+
+ByteSize ScaleModel::map(ByteSize synthetic) const {
+  return ByteSize(
+      static_cast<u64>(static_cast<double>(synthetic.bytes()) * factor_));
+}
+
+double ScaleModel::map_hours(double synthetic_secs) const {
+  return synthetic_secs * factor_;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,37 @@
+// Maps synthetic index/FASTQ byte counts to the paper-scale GiB figures.
+//
+// Our genomes are MiB-scale; the paper's are GiB-scale. All *shape* results
+// (speedups, ratios, crossovers) are measured on the real synthetic data;
+// absolute GiB/hours reported next to the paper's numbers are produced by
+// this linear scale model, calibrated once per experiment against a single
+// anchor (e.g. "the release-111-style index corresponds to 29.5 GiB").
+#pragma once
+
+#include "common/units.h"
+
+namespace staratlas {
+
+class ScaleModel {
+ public:
+  /// Identity model (factor 1).
+  ScaleModel() = default;
+
+  /// Model mapping synthetic sizes to paper sizes such that
+  /// `synthetic_anchor` maps exactly to `paper_anchor`.
+  static ScaleModel calibrate(ByteSize synthetic_anchor, ByteSize paper_anchor);
+
+  /// Time-scale variant: maps synthetic seconds to paper hours such that
+  /// `synthetic_anchor_secs` maps to `paper_anchor_hours`.
+  static ScaleModel calibrate_time(double synthetic_anchor_secs,
+                                   double paper_anchor_hours);
+
+  ByteSize map(ByteSize synthetic) const;
+  double map_hours(double synthetic_secs) const;
+  double factor() const { return factor_; }
+
+ private:
+  explicit ScaleModel(double factor) : factor_(factor) {}
+  double factor_ = 1.0;
+};
+
+}  // namespace staratlas

@@ -1,0 +1,279 @@
+#include "index/genome_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/error.h"
+#include "index/packed_sequence.h"
+#include "index/suffix_array.h"
+#include "io/binary.h"
+
+namespace staratlas {
+
+namespace {
+constexpr char kSeparator = '#';
+constexpr u32 kIndexMagic = 0x53544152;  // "STAR"
+constexpr u32 kIndexVersion = 2;
+
+u32 auto_lut_k(u64 text_size) {
+  // Aim for 4^k ~ text_size / 16 so the LUT is dense but small.
+  u32 k = 4;
+  u64 cells = 256;
+  while (cells * 16 < text_size && k < 12) {
+    ++k;
+    cells *= 4;
+  }
+  return k;
+}
+}  // namespace
+
+GenomeIndex GenomeIndex::build(const Assembly& assembly,
+                               const IndexParams& params) {
+  STARATLAS_CHECK(assembly.num_contigs() > 0);
+  GenomeIndex index;
+  index.species_ = assembly.species();
+  index.release_ = assembly.release();
+  index.type_ = assembly.type();
+
+  u64 total = 0;
+  for (const auto& contig : assembly.contigs()) {
+    total += contig.length() + 1;
+  }
+  index.text_.reserve(total);
+  for (const auto& contig : assembly.contigs()) {
+    ContigMeta meta;
+    meta.name = contig.name;
+    meta.cls = contig.cls;
+    meta.text_offset = index.text_.size();
+    meta.length = contig.length();
+    index.contigs_.push_back(std::move(meta));
+    index.text_ += contig.sequence;
+    index.text_ += kSeparator;
+  }
+  index.text_.pop_back();  // no trailing separator
+
+  index.sa_ = build_suffix_array(index.text_);
+  index.lut_k_ =
+      params.prefix_lut_k ? params.prefix_lut_k : auto_lut_k(index.text_.size());
+  STARATLAS_CHECK(index.lut_k_ >= 2 && index.lut_k_ <= 14);
+  index.build_lut();
+  return index;
+}
+
+void GenomeIndex::build_lut() {
+  const u64 cells = u64{1} << (2 * lut_k_);
+  lut_lo_.assign(cells, 0);
+  lut_hi_.assign(cells, 0);
+
+  // Walk the suffix array once; suffixes beginning with the same pure-ACGT
+  // k-mer form one contiguous block, and block codes appear in increasing
+  // order (byte order of A<C<G<T matches code order).
+  u64 current_code = ~u64{0};
+  for (usize row = 0; row < sa_.size(); ++row) {
+    const u64 pos = sa_[row];
+    if (pos + lut_k_ > text_.size()) continue;
+    u64 code = 0;
+    bool valid = true;
+    for (u32 j = 0; j < lut_k_; ++j) {
+      const u8 b = base_code(text_[pos + j]);
+      if (b == 0xff) {
+        valid = false;
+        break;
+      }
+      code = (code << 2) | b;
+    }
+    if (!valid) continue;
+    if (code != current_code) {
+      current_code = code;
+      lut_lo_[code] = static_cast<u32>(row);
+      lut_hi_[code] = static_cast<u32>(row);
+    }
+    lut_hi_[code] = static_cast<u32>(row) + 1;
+  }
+}
+
+ContigLocus GenomeIndex::locate(GenomePos text_pos) const {
+  STARATLAS_CHECK(text_pos < text_.size());
+  // Binary search for the contig whose [text_offset, text_offset+length)
+  // contains text_pos.
+  usize lo = 0;
+  usize hi = contigs_.size();
+  while (lo + 1 < hi) {
+    const usize mid = (lo + hi) / 2;
+    if (contigs_[mid].text_offset <= text_pos) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const ContigMeta& meta = contigs_[lo];
+  STARATLAS_CHECK(text_pos >= meta.text_offset &&
+                  text_pos < meta.text_offset + meta.length);
+  return {static_cast<ContigId>(lo), text_pos - meta.text_offset};
+}
+
+SaInterval GenomeIndex::extend_interval(SaInterval interval, usize depth,
+                                        char c) const {
+  if (interval.empty()) return interval;
+  // Among suffixes in [lo, hi) — all sharing the same `depth`-char prefix —
+  // find the subrange whose next character is `c`. Suffixes shorter than
+  // depth+1 sort first within the range.
+  const auto char_at = [&](u32 row) -> int {
+    const u64 pos = static_cast<u64>(sa_[row]) + depth;
+    return pos < text_.size() ? static_cast<unsigned char>(text_[pos]) : -1;
+  };
+  const int target = static_cast<unsigned char>(c);
+  u32 lo = interval.lo;
+  u32 hi = interval.hi;
+  // lower_bound for target.
+  {
+    u32 a = lo;
+    u32 b = hi;
+    while (a < b) {
+      const u32 mid = a + (b - a) / 2;
+      if (char_at(mid) < target) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    lo = a;
+  }
+  // upper_bound for target.
+  {
+    u32 a = lo;
+    u32 b = hi;
+    while (a < b) {
+      const u32 mid = a + (b - a) / 2;
+      if (char_at(mid) <= target) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    hi = a;
+  }
+  return {lo, hi};
+}
+
+MmpResult GenomeIndex::mmp(std::string_view query) const {
+  MmpResult result;
+  SaInterval interval{0, static_cast<u32>(sa_.size())};
+  usize depth = 0;
+
+  // Jump-start with the prefix LUT when the leading k-mer is pure ACGT.
+  if (query.size() >= lut_k_) {
+    u64 code = 0;
+    bool valid = true;
+    for (u32 j = 0; j < lut_k_; ++j) {
+      const u8 b = base_code(query[j]);
+      if (b == 0xff) {
+        valid = false;
+        break;
+      }
+      code = (code << 2) | b;
+    }
+    if (valid) {
+      const SaInterval hit{lut_lo_[code], lut_hi_[code]};
+      if (!hit.empty()) {
+        interval = hit;
+        depth = lut_k_;
+      }
+      // If the k-mer is absent the MMP is shorter than k; fall through to
+      // the incremental search from the full range.
+    }
+  }
+
+  while (depth < query.size()) {
+    const SaInterval narrowed = extend_interval(interval, depth, query[depth]);
+    if (narrowed.empty()) break;
+    interval = narrowed;
+    ++depth;
+  }
+  result.length = depth;
+  result.interval = depth > 0 ? interval : SaInterval{};
+  return result;
+}
+
+IndexStats GenomeIndex::stats() const {
+  IndexStats stats;
+  stats.text_bytes = ByteSize(text_.size());
+  stats.suffix_array_bytes = ByteSize(sa_.size() * sizeof(u32));
+  stats.lut_bytes = ByteSize((lut_lo_.size() + lut_hi_.size()) * sizeof(u32));
+  stats.genome_length = text_.size() - (contigs_.size() - 1);
+  stats.num_contigs = contigs_.size();
+  stats.prefix_lut_k = lut_k_;
+  return stats;
+}
+
+void GenomeIndex::save(std::ostream& out) const {
+  BinaryWriter writer(out);
+  writer.write_u32(kIndexMagic);
+  writer.write_u32(kIndexVersion);
+  writer.write_string(species_);
+  writer.write_u32(static_cast<u32>(release_));
+  writer.write_u8(type_ == AssemblyType::kToplevel ? 0 : 1);
+  writer.write_u64(contigs_.size());
+  for (const auto& meta : contigs_) {
+    writer.write_string(meta.name);
+    writer.write_u8(static_cast<u8>(meta.cls));
+    writer.write_u64(meta.text_offset);
+    writer.write_u64(meta.length);
+  }
+  writer.write_string(text_);
+  writer.write_pod_vector(sa_);
+  writer.write_u32(lut_k_);
+  writer.write_pod_vector(lut_lo_);
+  writer.write_pod_vector(lut_hi_);
+}
+
+GenomeIndex GenomeIndex::load(std::istream& in) {
+  BinaryReader reader(in);
+  if (reader.read_u32() != kIndexMagic) {
+    throw ParseError("not a staratlas genome index (bad magic)");
+  }
+  const u32 version = reader.read_u32();
+  if (version != kIndexVersion) {
+    throw ParseError("unsupported index version " + std::to_string(version));
+  }
+  GenomeIndex index;
+  index.species_ = reader.read_string();
+  index.release_ = static_cast<int>(reader.read_u32());
+  index.type_ = reader.read_u8() == 0 ? AssemblyType::kToplevel
+                                      : AssemblyType::kPrimaryAssembly;
+  const u64 num_contigs = reader.read_u64();
+  index.contigs_.reserve(num_contigs);
+  for (u64 i = 0; i < num_contigs; ++i) {
+    ContigMeta meta;
+    meta.name = reader.read_string();
+    meta.cls = static_cast<ContigClass>(reader.read_u8());
+    meta.text_offset = reader.read_u64();
+    meta.length = reader.read_u64();
+    index.contigs_.push_back(std::move(meta));
+  }
+  index.text_ = reader.read_string();
+  index.sa_ = reader.read_pod_vector<u32>();
+  index.lut_k_ = reader.read_u32();
+  index.lut_lo_ = reader.read_pod_vector<u32>();
+  index.lut_hi_ = reader.read_pod_vector<u32>();
+  if (index.sa_.size() != index.text_.size()) {
+    throw ParseError("index corrupt: SA/text size mismatch");
+  }
+  return index;
+}
+
+void GenomeIndex::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open index file for writing: " + path);
+  save(out);
+  if (!out) throw IoError("failed writing index file: " + path);
+}
+
+GenomeIndex GenomeIndex::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open index file: " + path);
+  return load(in);
+}
+
+}  // namespace staratlas

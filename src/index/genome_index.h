@@ -1,0 +1,121 @@
+// GenomeIndex: the precomputed data structure the aligner loads into
+// memory, mirroring STAR's genome index (suffix array + prefix lookup).
+//
+// The index concatenates all contigs with a '#' separator byte between
+// them, so no suffix-array match can span a contig boundary, then builds a
+// suffix array (SA-IS) and a k-mer prefix lookup table that jump-starts
+// Maximal Mappable Prefix searches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "genome/model.h"
+
+namespace staratlas {
+
+struct IndexParams {
+  /// Prefix lookup k-mer length; 0 = auto (scales with genome size).
+  u32 prefix_lut_k = 0;
+};
+
+/// Half-open range [lo, hi) of suffix-array rows.
+struct SaInterval {
+  u32 lo = 0;
+  u32 hi = 0;
+  u32 count() const { return hi - lo; }
+  bool empty() const { return lo >= hi; }
+};
+
+/// Result of a Maximal Mappable Prefix search: the longest prefix of the
+/// query occurring in the genome, and the SA rows of its occurrences.
+struct MmpResult {
+  usize length = 0;      ///< matched prefix length (0 = first char absent)
+  SaInterval interval;   ///< occurrences of that prefix
+};
+
+/// Location of a text position within the assembly.
+struct ContigLocus {
+  ContigId contig = 0;
+  u64 offset = 0;  ///< 0-based within the contig
+};
+
+struct ContigMeta {
+  std::string name;
+  ContigClass cls = ContigClass::kChromosome;
+  u64 text_offset = 0;  ///< start within the concatenated text
+  u64 length = 0;
+};
+
+struct IndexStats {
+  ByteSize text_bytes;
+  ByteSize suffix_array_bytes;
+  ByteSize lut_bytes;
+  ByteSize total() const { return text_bytes + suffix_array_bytes + lut_bytes; }
+  u64 genome_length = 0;  ///< residues (without separators)
+  usize num_contigs = 0;
+  u32 prefix_lut_k = 0;
+};
+
+class GenomeIndex {
+ public:
+  GenomeIndex() = default;
+
+  /// Builds the index from an assembly. Single-threaded, O(genome).
+  static GenomeIndex build(const Assembly& assembly,
+                           const IndexParams& params = {});
+
+  const std::string& species() const { return species_; }
+  int release() const { return release_; }
+  AssemblyType assembly_type() const { return type_; }
+
+  const std::vector<ContigMeta>& contigs() const { return contigs_; }
+  const std::string& text() const { return text_; }
+  const std::vector<u32>& suffix_array() const { return sa_; }
+  u32 prefix_lut_k() const { return lut_k_; }
+
+  /// Suffix-array row -> genome text position.
+  GenomePos sa_position(u32 row) const { return sa_[row]; }
+
+  /// Maps a concatenated-text position to (contig, offset). Positions that
+  /// land on a separator are invalid; callers never produce them because
+  /// matches cannot span separators.
+  ContigLocus locate(GenomePos text_pos) const;
+
+  /// Longest prefix of `query` present in the genome, with occurrences.
+  MmpResult mmp(std::string_view query) const;
+
+  /// Narrows `interval` (matching `depth` query chars) to suffixes whose
+  /// next character equals `c`. Exposed for the aligner's seed logic.
+  SaInterval extend_interval(SaInterval interval, usize depth, char c) const;
+
+  IndexStats stats() const;
+
+  /// Serialization (binary, versioned).
+  void save(std::ostream& out) const;
+  static GenomeIndex load(std::istream& in);
+  void save_file(const std::string& path) const;
+  static GenomeIndex load_file(const std::string& path);
+
+ private:
+  void build_lut();
+  char text_at(u64 pos) const {
+    return pos < text_.size() ? text_[pos] : '\0';
+  }
+
+  std::string species_;
+  int release_ = 0;
+  AssemblyType type_ = AssemblyType::kToplevel;
+  std::vector<ContigMeta> contigs_;
+  std::string text_;       ///< contigs joined by '#'
+  std::vector<u32> sa_;
+  u32 lut_k_ = 0;
+  std::vector<u32> lut_lo_;
+  std::vector<u32> lut_hi_;
+};
+
+}  // namespace staratlas

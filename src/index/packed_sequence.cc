@@ -1,0 +1,96 @@
+#include "index/packed_sequence.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+u8 base_code(char base) {
+  switch (base) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'G': return 2;
+    case 'T': return 3;
+    default: return 0xff;
+  }
+}
+
+char code_base(u8 code) {
+  static constexpr char kBases[] = "ACGT";
+  STARATLAS_CHECK(code < 4);
+  return kBases[code];
+}
+
+std::string reverse_complement(std::string_view seq) {
+  std::string out(seq.size(), 'N');
+  for (usize i = 0; i < seq.size(); ++i) {
+    char c;
+    switch (seq[seq.size() - 1 - i]) {
+      case 'A': c = 'T'; break;
+      case 'C': c = 'G'; break;
+      case 'G': c = 'C'; break;
+      case 'T': c = 'A'; break;
+      case 'N': c = 'N'; break;
+      default:
+        throw InvalidArgument("reverse_complement: invalid residue");
+    }
+    out[i] = c;
+  }
+  return out;
+}
+
+PackedSequence PackedSequence::pack(std::string_view seq) {
+  PackedSequence packed;
+  packed.length_ = seq.size();
+  packed.codes_.assign((seq.size() + 3) / 4, 0);
+  for (usize i = 0; i < seq.size(); ++i) {
+    u8 code = base_code(seq[i]);
+    if (code == 0xff) {
+      if (seq[i] != 'N') {
+        throw InvalidArgument(std::string("cannot pack residue '") + seq[i] + "'");
+      }
+      packed.n_positions_.push_back(i);
+      code = 0;  // store N as A; overlay restores it
+    }
+    packed.codes_[i / 4] |= static_cast<u8>(code << ((i % 4) * 2));
+  }
+  return packed;
+}
+
+std::string PackedSequence::unpack() const {
+  std::string seq(length_, 'A');
+  for (u64 i = 0; i < length_; ++i) {
+    const u8 byte = codes_[i / 4];
+    seq[i] = code_base((byte >> ((i % 4) * 2)) & 0x3);
+  }
+  for (u64 pos : n_positions_) seq[pos] = 'N';
+  return seq;
+}
+
+char PackedSequence::at(u64 i) const {
+  STARATLAS_CHECK(i < length_);
+  if (std::binary_search(n_positions_.begin(), n_positions_.end(), i)) {
+    return 'N';
+  }
+  const u8 byte = codes_[i / 4];
+  return code_base((byte >> ((i % 4) * 2)) & 0x3);
+}
+
+ByteSize PackedSequence::packed_bytes() const {
+  return ByteSize(codes_.size() + n_positions_.size() * sizeof(u64) +
+                  sizeof(u64));
+}
+
+PackedSequence PackedSequence::from_raw(u64 length, std::vector<u8> codes,
+                                        std::vector<u64> n_positions) {
+  STARATLAS_CHECK(codes.size() == (length + 3) / 4);
+  STARATLAS_CHECK(std::is_sorted(n_positions.begin(), n_positions.end()));
+  PackedSequence packed;
+  packed.length_ = length;
+  packed.codes_ = std::move(codes);
+  packed.n_positions_ = std::move(n_positions);
+  return packed;
+}
+
+}  // namespace staratlas

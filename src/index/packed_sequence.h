@@ -1,0 +1,54 @@
+// 2-bit packed nucleotide storage with an N-position overlay.
+//
+// Used by the SRA container codec and by the index footprint accounting
+// (STAR's real index stores the genome 1 byte/base; packed form models the
+// compressed on-disk/in-object-store representation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace staratlas {
+
+class PackedSequence {
+ public:
+  PackedSequence() = default;
+
+  /// Packs an ACGTN string. Throws InvalidArgument on other characters.
+  static PackedSequence pack(std::string_view seq);
+
+  /// Unpacks back to an ACGTN string.
+  std::string unpack() const;
+
+  u64 size() const { return length_; }
+  bool empty() const { return length_ == 0; }
+
+  /// Residue at position i (ACGT or N).
+  char at(u64 i) const;
+
+  /// Bytes used by the packed representation (codes + N overlay).
+  ByteSize packed_bytes() const;
+
+  /// Raw access for serialization.
+  const std::vector<u8>& codes() const { return codes_; }
+  const std::vector<u64>& n_positions() const { return n_positions_; }
+  static PackedSequence from_raw(u64 length, std::vector<u8> codes,
+                                 std::vector<u64> n_positions);
+
+ private:
+  u64 length_ = 0;
+  std::vector<u8> codes_;         ///< 4 bases per byte
+  std::vector<u64> n_positions_;  ///< sorted positions stored as 'A' in codes_
+};
+
+/// 2-bit code for A/C/G/T (0..3); 0xff for anything else.
+u8 base_code(char base);
+/// Inverse of base_code for 0..3.
+char code_base(u8 code);
+/// Reverse complement of an ACGTN string (N maps to N).
+std::string reverse_complement(std::string_view seq);
+
+}  // namespace staratlas

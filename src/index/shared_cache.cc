@@ -1,0 +1,76 @@
+#include "index/shared_cache.h"
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+SharedIndexCache::SharedIndexCache(ByteSize capacity_bytes)
+    : capacity_(capacity_bytes) {
+  STARATLAS_CHECK(capacity_.bytes() > 0);
+}
+
+std::shared_ptr<const GenomeIndex> SharedIndexCache::acquire(
+    const std::string& key, const Loader& loader) {
+  std::unique_lock lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    it->second.last_use = ++clock_;
+    return it->second.index;
+  }
+  // Load outside the lock would allow duplicate loads; the load is the
+  // expensive part, so hold the lock for correctness and simplicity —
+  // workers block behind one shared load, exactly like waiting on the shm
+  // segment to appear.
+  ++loads_;
+  auto index = std::make_shared<const GenomeIndex>(loader());
+  Entry entry;
+  entry.index = index;
+  entry.bytes = index->stats().total();
+  entry.last_use = ++clock_;
+  entries_.emplace(key, std::move(entry));
+  evict_if_needed_locked();
+  return index;
+}
+
+void SharedIndexCache::evict_if_needed_locked() {
+  for (;;) {
+    ByteSize total;
+    for (const auto& [key, entry] : entries_) total += entry.bytes;
+    if (total <= capacity_) return;
+    // Evict the least-recently-used entry nobody references (use_count
+    // 1 = only the cache holds it).
+    std::map<std::string, Entry>::iterator victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.index.use_count() > 1) continue;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything in use: over budget
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+bool SharedIndexCache::resident(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  return entries_.count(key) > 0;
+}
+
+usize SharedIndexCache::entries() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+ByteSize SharedIndexCache::resident_bytes() const {
+  std::lock_guard lock(mu_);
+  ByteSize total;
+  for (const auto& [key, entry] : entries_) total += entry.bytes;
+  return total;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,63 @@
+// SharedIndexCache — the in-process analog of STAR's
+// `--genomeLoad LoadAndKeep` shared-memory index (Fig 2: "downloads the
+// pre-computed STAR index and loads it into system memory during the
+// initialization phase").
+//
+// Multiple pipeline workers on one machine share a single loaded index
+// per key instead of each paying the load cost; entries are refcounted
+// via shared_ptr and evicted once released when capacity demands it.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "index/genome_index.h"
+
+namespace staratlas {
+
+class SharedIndexCache {
+ public:
+  using Loader = std::function<GenomeIndex()>;
+
+  /// `capacity_bytes` caps the total resident index bytes; entries still
+  /// referenced by callers are never evicted (like shm segments in use).
+  explicit SharedIndexCache(ByteSize capacity_bytes);
+
+  /// Returns the index for `key`, invoking `loader` only on first use
+  /// (thread-safe; concurrent callers for the same key share one load).
+  std::shared_ptr<const GenomeIndex> acquire(const std::string& key,
+                                             const Loader& loader);
+
+  /// True if `key` is currently resident.
+  bool resident(const std::string& key) const;
+
+  usize entries() const;
+  ByteSize resident_bytes() const;
+  u64 loads() const { return loads_; }
+  u64 hits() const { return hits_; }
+  u64 evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const GenomeIndex> index;
+    ByteSize bytes;
+    u64 last_use = 0;
+  };
+  void evict_if_needed_locked();
+
+  ByteSize capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  u64 clock_ = 0;
+  u64 loads_ = 0;
+  u64 hits_ = 0;
+  u64 evictions_ = 0;
+};
+
+}  // namespace staratlas

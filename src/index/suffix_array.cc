@@ -1,0 +1,202 @@
+#include "index/suffix_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+namespace {
+
+// SA-IS over an integer string `s` that ends with a unique smallest
+// sentinel (value 0, occurring exactly once, at the end). Writes the full
+// suffix array (including the sentinel suffix at sa[0]) into `sa`.
+void sais(const std::vector<u32>& s, std::vector<u32>& sa, u32 alphabet) {
+  const usize n = s.size();
+  sa.assign(n, ~u32{0});
+  if (n == 1) {
+    sa[0] = 0;
+    return;
+  }
+
+  // Classify suffixes: true = S-type, false = L-type.
+  std::vector<bool> is_s(n);
+  is_s[n - 1] = true;
+  for (usize i = n - 1; i-- > 0;) {
+    is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+  }
+  auto is_lms = [&](usize i) { return i > 0 && is_s[i] && !is_s[i - 1]; };
+
+  // Bucket boundaries per symbol.
+  std::vector<u32> counts(alphabet, 0);
+  for (u32 c : s) ++counts[c];
+  std::vector<u32> heads(alphabet), tails(alphabet);
+  auto reset_buckets = [&] {
+    u32 acc = 0;
+    for (u32 c = 0; c < alphabet; ++c) {
+      heads[c] = acc;
+      acc += counts[c];
+      tails[c] = acc;  // one past the end
+    }
+  };
+
+  // Induced sort given LMS suffixes already placed (from bucket tails).
+  auto induce = [&] {
+    reset_buckets();
+    // L-types, left to right from bucket heads.
+    for (usize i = 0; i < n; ++i) {
+      const u32 j = sa[i];
+      if (j == ~u32{0} || j == 0) continue;
+      if (!is_s[j - 1]) sa[heads[s[j - 1]]++] = j - 1;
+    }
+    reset_buckets();
+    // S-types, right to left from bucket tails.
+    for (usize i = n; i-- > 0;) {
+      const u32 j = sa[i];
+      if (j == ~u32{0} || j == 0) continue;
+      if (is_s[j - 1]) sa[--tails[s[j - 1]]] = j - 1;
+    }
+  };
+
+  // Step 1: place LMS suffixes in text order at bucket tails, induce.
+  std::vector<u32> lms_positions;
+  for (usize i = 1; i < n; ++i) {
+    if (is_lms(i)) lms_positions.push_back(static_cast<u32>(i));
+  }
+  reset_buckets();
+  sa.assign(n, ~u32{0});
+  for (u32 p : lms_positions) sa[--tails[s[p]]] = p;
+  induce();
+
+  // Step 2: name LMS substrings in their induced order.
+  std::vector<u32> lms_order;
+  lms_order.reserve(lms_positions.size());
+  for (usize i = 0; i < n; ++i) {
+    const u32 j = sa[i];
+    if (j != ~u32{0} && is_lms(j)) lms_order.push_back(j);
+  }
+  std::vector<u32> name_of(n, 0);
+  u32 names = 0;
+  if (!lms_order.empty()) {
+    name_of[lms_order[0]] = 0;
+    for (usize k = 1; k < lms_order.size(); ++k) {
+      const u32 a = lms_order[k - 1];
+      const u32 b = lms_order[k];
+      // Compare LMS substrings [a .. next LMS after a] and likewise for b.
+      bool equal = true;
+      for (usize d = 0;; ++d) {
+        const bool a_lms = d > 0 && is_lms(a + d);
+        const bool b_lms = d > 0 && is_lms(b + d);
+        if (s[a + d] != s[b + d] || is_s[a + d] != is_s[b + d]) {
+          equal = false;
+          break;
+        }
+        if (a_lms || b_lms) {
+          equal = a_lms && b_lms;
+          break;
+        }
+      }
+      if (!equal) ++names;
+      name_of[b] = names;
+    }
+    ++names;  // count, not max index
+  }
+
+  // Step 3: order the LMS suffixes.
+  std::vector<u32> lms_sorted;
+  if (names == lms_positions.size()) {
+    // All names unique: induced order is already the LMS suffix order.
+    lms_sorted = lms_order;
+  } else {
+    // Recurse on the reduced string of LMS names (in text order).
+    std::vector<u32> reduced(lms_positions.size());
+    for (usize k = 0; k < lms_positions.size(); ++k) {
+      reduced[k] = name_of[lms_positions[k]];
+    }
+    // The last LMS is the sentinel position, whose name is the unique
+    // minimum, so `reduced` itself ends with its smallest symbol — but the
+    // recursion requires value 0 unique at the end; shift others if needed.
+    // name_of assigns 0 to the induced-first LMS which is always the
+    // sentinel (it sorts first), so reduced ends with 0 and no other 0
+    // exists unless duplicates — in that case sentinel shares name 0 only
+    // with equal substrings, impossible since sentinel is unique. Safe.
+    std::vector<u32> sub_sa;
+    sais(reduced, sub_sa, names);
+    lms_sorted.resize(lms_positions.size());
+    for (usize k = 0; k < sub_sa.size(); ++k) {
+      lms_sorted[k] = lms_positions[sub_sa[k]];
+    }
+  }
+
+  // Step 4: final induced sort from correctly ordered LMS suffixes.
+  sa.assign(n, ~u32{0});
+  reset_buckets();
+  for (usize k = lms_sorted.size(); k-- > 0;) {
+    const u32 p = lms_sorted[k];
+    sa[--tails[s[p]]] = p;
+  }
+  induce();
+}
+
+}  // namespace
+
+std::vector<u32> build_suffix_array(std::string_view text) {
+  const usize n = text.size();
+  if (n == 0) return {};
+  STARATLAS_CHECK(n < (~u32{0}) - 2);
+  // Shift bytes by +1 so 0 is free for the sentinel.
+  std::vector<u32> s(n + 1);
+  for (usize i = 0; i < n; ++i) {
+    s[i] = static_cast<u32>(static_cast<unsigned char>(text[i])) + 1;
+  }
+  s[n] = 0;
+  std::vector<u32> sa;
+  sais(s, sa, 257);
+  // Drop the sentinel suffix (always sa[0]).
+  return std::vector<u32>(sa.begin() + 1, sa.end());
+}
+
+std::vector<u32> build_suffix_array_doubling(std::string_view text) {
+  const usize n = text.size();
+  std::vector<u32> sa(n);
+  std::iota(sa.begin(), sa.end(), 0);
+  if (n == 0) return sa;
+
+  std::vector<i64> rank(n), next_rank(n);
+  for (usize i = 0; i < n; ++i) {
+    rank[i] = static_cast<unsigned char>(text[i]);
+  }
+  for (usize k = 1;; k *= 2) {
+    auto key = [&](u32 i) {
+      const i64 second = (i + k < n) ? rank[i + k] : -1;
+      return std::pair<i64, i64>(rank[i], second);
+    };
+    std::sort(sa.begin(), sa.end(),
+              [&](u32 a, u32 b) { return key(a) < key(b); });
+    next_rank[sa[0]] = 0;
+    for (usize i = 1; i < n; ++i) {
+      next_rank[sa[i]] =
+          next_rank[sa[i - 1]] + (key(sa[i - 1]) < key(sa[i]) ? 1 : 0);
+    }
+    rank = next_rank;
+    if (rank[sa[n - 1]] == static_cast<i64>(n) - 1) break;
+  }
+  return sa;
+}
+
+bool is_valid_suffix_array(std::string_view text, const std::vector<u32>& sa) {
+  const usize n = text.size();
+  if (sa.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (u32 p : sa) {
+    if (p >= n || seen[p]) return false;
+    seen[p] = true;
+  }
+  for (usize i = 1; i < n; ++i) {
+    if (text.substr(sa[i - 1]) >= text.substr(sa[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace staratlas

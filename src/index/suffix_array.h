@@ -1,0 +1,28 @@
+// Suffix array construction.
+//
+// The production path is SA-IS (linear time, linear memory), the same
+// family of algorithm STAR uses for its genome generation step. A simple
+// prefix-doubling builder is kept as a reference implementation for
+// property tests and as a fallback for pathological alphabets.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace staratlas {
+
+/// Builds the suffix array of `text` (all suffixes, no sentinel in the
+/// output) using SA-IS. O(n) time. Text may contain arbitrary bytes.
+std::vector<u32> build_suffix_array(std::string_view text);
+
+/// Reference O(n log^2 n) prefix-doubling construction; used by tests to
+/// validate the SA-IS implementation on random inputs.
+std::vector<u32> build_suffix_array_doubling(std::string_view text);
+
+/// Verifies that `sa` is the suffix array of `text` (sorted, a permutation).
+/// O(n log n)-ish; intended for tests and debug assertions.
+bool is_valid_suffix_array(std::string_view text, const std::vector<u32>& sa);
+
+}  // namespace staratlas

@@ -1,0 +1,141 @@
+// Little binary (de)serialization layer for index/SRA container files.
+// All integers are little-endian fixed-width; strings and vectors are
+// length-prefixed with u64. Header-only.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace staratlas {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(&out) {}
+
+  void write_u8(u8 v) { write_raw(&v, 1); }
+  void write_u32(u32 v) { write_le(v); }
+  void write_u64(u64 v) { write_le(v); }
+  void write_f64(double v) {
+    u64 bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    write_le(bits);
+  }
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    write_raw(s.data(), s.size());
+  }
+  void write_bytes(const std::vector<u8>& v) {
+    write_u64(v.size());
+    write_raw(v.data(), v.size());
+  }
+  template <typename T>
+  void write_pod_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_u64(v.size());
+    write_raw(v.data(), v.size() * sizeof(T));
+  }
+  /// Bytes written so far through this writer.
+  u64 bytes_written() const { return written_; }
+
+ private:
+  template <typename T>
+  void write_le(T v) {
+    // Host is little-endian on all supported targets; serialize directly.
+    write_raw(&v, sizeof(v));
+  }
+  void write_raw(const void* data, usize n) {
+    out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    if (!*out_) throw IoError("binary write failed");
+    written_ += n;
+  }
+  std::ostream* out_;
+  u64 written_ = 0;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(&in) {}
+
+  u8 read_u8() {
+    u8 v;
+    read_raw(&v, 1);
+    return v;
+  }
+  u32 read_u32() { return read_le<u32>(); }
+  u64 read_u64() { return read_le<u64>(); }
+  double read_f64() {
+    const u64 bits = read_le<u64>();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string read_string() {
+    const u64 n = read_size();
+    std::string s;
+    read_chunked(s, n);
+    return s;
+  }
+  std::vector<u8> read_bytes() {
+    const u64 n = read_size();
+    std::vector<u8> v;
+    read_chunked(v, n);
+    return v;
+  }
+  template <typename T>
+  std::vector<T> read_pod_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const u64 n = read_size();
+    if (n > (~u64{0}) / sizeof(T)) {
+      throw ParseError("binary vector length overflows");
+    }
+    std::vector<T> v;
+    read_chunked(v, n);
+    return v;
+  }
+
+ private:
+  template <typename T>
+  T read_le() {
+    T v;
+    read_raw(&v, sizeof(v));
+    return v;
+  }
+  u64 read_size() {
+    const u64 n = read_le<u64>();
+    // Guard against corrupted length prefixes allocating the universe.
+    if (n > (1ULL << 40)) throw ParseError("binary length prefix implausibly large");
+    return n;
+  }
+  void read_raw(void* data, usize n) {
+    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<usize>(in_->gcount()) != n) {
+      throw IoError("binary read truncated");
+    }
+  }
+  /// Grows `out` to n elements in bounded chunks so a corrupted length
+  /// prefix fails with IoError at end-of-stream instead of attempting a
+  /// terabyte allocation up front.
+  template <typename Container>
+  void read_chunked(Container& out, u64 n) {
+    using Element = typename Container::value_type;
+    constexpr u64 kChunkBytes = 1ULL << 20;
+    const u64 chunk_elems = std::max<u64>(1, kChunkBytes / sizeof(Element));
+    u64 done = 0;
+    while (done < n) {
+      const u64 take = std::min(chunk_elems, n - done);
+      out.resize(done + take);
+      read_raw(out.data() + done, take * sizeof(Element));
+      done += take;
+    }
+  }
+  std::istream* in_;
+};
+
+}  // namespace staratlas

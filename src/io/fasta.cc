@@ -1,0 +1,102 @@
+#include "io/fasta.h"
+
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "io/text.h"
+
+namespace staratlas {
+
+namespace {
+// Residue normalization table: ACGT stay, IUPAC ambiguity codes -> N,
+// anything else is invalid (0).
+std::array<char, 256> build_residue_table() {
+  std::array<char, 256> table{};
+  table.fill(0);
+  const std::string keep = "ACGT";
+  const std::string to_n = "NRYSWKMBDHVU";  // U (RNA) treated as ambiguity
+  for (char c : keep) {
+    table[static_cast<unsigned char>(c)] = c;
+    table[static_cast<unsigned char>(std::tolower(c))] = c;
+  }
+  for (char c : to_n) {
+    table[static_cast<unsigned char>(c)] = 'N';
+    table[static_cast<unsigned char>(std::tolower(c))] = 'N';
+  }
+  return table;
+}
+const std::array<char, 256> kResidue = build_residue_table();
+}  // namespace
+
+void normalize_sequence(std::string& seq) {
+  for (char& c : seq) {
+    const char mapped = kResidue[static_cast<unsigned char>(c)];
+    if (mapped == 0) {
+      throw ParseError(std::string("invalid residue '") + c + "'");
+    }
+    c = mapped;
+  }
+}
+
+std::vector<FastaRecord> read_fasta(std::istream& in) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  bool have_record = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      FastaRecord rec;
+      const std::string_view header = std::string_view(line).substr(1);
+      const std::size_t space = header.find_first_of(" \t");
+      if (space == std::string_view::npos) {
+        rec.name = std::string(header);
+      } else {
+        rec.name = std::string(header.substr(0, space));
+        rec.description = std::string(trim_view(header.substr(space + 1)));
+      }
+      if (rec.name.empty()) throw ParseError("FASTA header with empty name");
+      records.push_back(std::move(rec));
+      have_record = true;
+      continue;
+    }
+    if (!have_record) throw ParseError("FASTA sequence data before first header");
+    std::string chunk = line;
+    normalize_sequence(chunk);
+    records.back().sequence += chunk;
+  }
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open FASTA file: " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 usize width) {
+  STARATLAS_CHECK(width > 0);
+  for (const auto& rec : records) {
+    out << '>' << rec.name;
+    if (!rec.description.empty()) out << ' ' << rec.description;
+    out << '\n';
+    for (usize pos = 0; pos < rec.sequence.size(); pos += width) {
+      out << std::string_view(rec.sequence).substr(pos, width) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records, usize width) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open FASTA file for writing: " + path);
+  write_fasta(out, records, width);
+  if (!out) throw IoError("failed writing FASTA file: " + path);
+}
+
+}  // namespace staratlas

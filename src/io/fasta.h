@@ -1,0 +1,42 @@
+// FASTA reading and writing.
+//
+// Genomes in staratlas use the alphabet {A,C,G,T,N}; lowercase input is
+// uppercased on read (soft-masking is not preserved, matching how STAR
+// treats the genome by default).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace staratlas {
+
+struct FastaRecord {
+  std::string name;         ///< first word after '>'
+  std::string description;  ///< remainder of the header line (may be empty)
+  std::string sequence;     ///< uppercase ACGTN
+};
+
+/// Reads all records from a FASTA stream. Throws ParseError on malformed
+/// input (data before the first header, invalid residues).
+std::vector<FastaRecord> read_fasta(std::istream& in);
+
+/// Reads a FASTA file from disk. Throws IoError if it cannot be opened.
+std::vector<FastaRecord> read_fasta_file(const std::string& path);
+
+/// Writes records with sequence lines wrapped at `width` columns.
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 usize width = 60);
+
+/// Writes a FASTA file to disk. Throws IoError on failure.
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records, usize width = 60);
+
+/// Validates and normalizes a nucleotide string in place: uppercases and
+/// maps any non-ACGT residue code (IUPAC ambiguity letters) to 'N'.
+/// Throws ParseError on characters that are not plausible residues.
+void normalize_sequence(std::string& seq);
+
+}  // namespace staratlas

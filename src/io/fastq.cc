@@ -1,0 +1,99 @@
+#include "io/fastq.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "io/fasta.h"
+
+namespace staratlas {
+
+bool FastqReader::get_line(std::string& out) {
+  if (!std::getline(*in_, out)) return false;
+  ++line_;
+  if (!out.empty() && out.back() == '\r') out.pop_back();
+  return true;
+}
+
+std::optional<FastqRecord> FastqReader::next() {
+  std::string header;
+  // Skip blank lines between records (lenient, like most tools).
+  do {
+    if (!get_line(header)) return std::nullopt;
+  } while (header.empty());
+
+  if (header[0] != '@') {
+    throw ParseError("FASTQ line " + std::to_string(line_) +
+                     ": expected '@' header, got '" + header + "'");
+  }
+  FastqRecord rec;
+  rec.name = header.substr(1);
+  if (rec.name.empty()) {
+    throw ParseError("FASTQ line " + std::to_string(line_) + ": empty read name");
+  }
+
+  std::string plus;
+  if (!get_line(rec.sequence) || !get_line(plus) || !get_line(rec.quality)) {
+    throw ParseError("FASTQ record truncated at line " + std::to_string(line_));
+  }
+  if (plus.empty() || plus[0] != '+') {
+    throw ParseError("FASTQ line " + std::to_string(line_ - 1) +
+                     ": expected '+' separator");
+  }
+  if (rec.sequence.size() != rec.quality.size()) {
+    throw ParseError("FASTQ record '" + rec.name +
+                     "': sequence/quality length mismatch");
+  }
+  normalize_sequence(rec.sequence);
+  ++count_;
+  return rec;
+}
+
+std::vector<FastqRecord> read_fastq(std::istream& in) {
+  FastqReader reader(in);
+  std::vector<FastqRecord> records;
+  while (auto rec = reader.next()) records.push_back(std::move(*rec));
+  return records;
+}
+
+std::vector<FastqRecord> read_fastq_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open FASTQ file: " + path);
+  return read_fastq(in);
+}
+
+void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records) {
+  for (const auto& rec : records) {
+    out << '@' << rec.name << '\n'
+        << rec.sequence << "\n+\n"
+        << rec.quality << '\n';
+  }
+}
+
+void write_fastq_file(const std::string& path,
+                      const std::vector<FastqRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open FASTQ file for writing: " + path);
+  write_fastq(out, records);
+  if (!out) throw IoError("failed writing FASTQ file: " + path);
+}
+
+ByteSize fastq_serialized_size(const std::vector<FastqRecord>& records) {
+  u64 bytes = 0;
+  for (const auto& rec : records) {
+    // '@' + name + '\n' + seq + '\n' + "+\n" + qual + '\n'
+    bytes += 1 + rec.name.size() + 1 + rec.sequence.size() + 1 + 2 +
+             rec.quality.size() + 1;
+  }
+  return ByteSize(bytes);
+}
+
+ReadSet make_read_set(std::vector<FastqRecord> records) {
+  ReadSet set;
+  set.fastq_bytes = fastq_serialized_size(records);
+  set.reads = std::move(records);
+  return set;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,118 @@
+#include "io/gtf.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "io/text.h"
+
+namespace staratlas {
+
+const char* feature_type_name(FeatureType type) {
+  switch (type) {
+    case FeatureType::kGene: return "gene";
+    case FeatureType::kTranscript: return "transcript";
+    case FeatureType::kExon: return "exon";
+  }
+  return "?";
+}
+
+namespace {
+// Extracts the value of `key "value";` from a GTF attribute column.
+std::string attribute_value(std::string_view attrs, std::string_view key) {
+  usize pos = 0;
+  while (pos < attrs.size()) {
+    const usize key_pos = attrs.find(key, pos);
+    if (key_pos == std::string_view::npos) return {};
+    const usize after = key_pos + key.size();
+    // Must be a whole token: preceded by start/space/;, followed by space.
+    const bool ok_before =
+        key_pos == 0 || attrs[key_pos - 1] == ' ' || attrs[key_pos - 1] == ';';
+    if (!ok_before || after >= attrs.size() || attrs[after] != ' ') {
+      pos = after;
+      continue;
+    }
+    const usize open = attrs.find('"', after);
+    if (open == std::string_view::npos) return {};
+    const usize close = attrs.find('"', open + 1);
+    if (close == std::string_view::npos) return {};
+    return std::string(attrs.substr(open + 1, close - open - 1));
+  }
+  return {};
+}
+}  // namespace
+
+std::vector<GtfFeature> read_gtf(std::istream& in) {
+  std::vector<GtfFeature> features;
+  std::string line;
+  u64 line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_view(line, '\t');
+    if (fields.size() < 9) {
+      throw ParseError("GTF line " + std::to_string(line_no) +
+                       ": expected 9 tab-separated fields");
+    }
+    GtfFeature feature;
+    feature.contig = std::string(fields[0]);
+    const std::string_view type = fields[2];
+    if (type == "gene") {
+      feature.type = FeatureType::kGene;
+    } else if (type == "transcript") {
+      feature.type = FeatureType::kTranscript;
+    } else if (type == "exon") {
+      feature.type = FeatureType::kExon;
+    } else {
+      continue;  // CDS, UTR, ... not needed for GeneCounts
+    }
+    feature.start = parse_u64(fields[3]);
+    feature.end = parse_u64(fields[4]);
+    if (feature.start == 0 || feature.end < feature.start) {
+      throw ParseError("GTF line " + std::to_string(line_no) +
+                       ": bad coordinates");
+    }
+    if (fields[6] != "+" && fields[6] != "-") {
+      throw ParseError("GTF line " + std::to_string(line_no) + ": bad strand");
+    }
+    feature.strand = fields[6][0];
+    feature.gene_id = attribute_value(fields[8], "gene_id");
+    feature.transcript_id = attribute_value(fields[8], "transcript_id");
+    if (feature.gene_id.empty()) {
+      throw ParseError("GTF line " + std::to_string(line_no) +
+                       ": missing gene_id attribute");
+    }
+    features.push_back(std::move(feature));
+  }
+  return features;
+}
+
+std::vector<GtfFeature> read_gtf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open GTF file: " + path);
+  return read_gtf(in);
+}
+
+void write_gtf(std::ostream& out, const std::vector<GtfFeature>& features) {
+  for (const auto& f : features) {
+    out << f.contig << "\tstaratlas\t" << feature_type_name(f.type) << '\t'
+        << f.start << '\t' << f.end << "\t.\t" << f.strand << "\t.\t"
+        << "gene_id \"" << f.gene_id << "\";";
+    if (!f.transcript_id.empty()) {
+      out << " transcript_id \"" << f.transcript_id << "\";";
+    }
+    out << '\n';
+  }
+}
+
+void write_gtf_file(const std::string& path,
+                    const std::vector<GtfFeature>& features) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open GTF file for writing: " + path);
+  write_gtf(out, features);
+  if (!out) throw IoError("failed writing GTF file: " + path);
+}
+
+}  // namespace staratlas

@@ -1,0 +1,42 @@
+// Minimal GTF (gene transfer format) support: the subset STAR needs for
+// --quantMode GeneCounts — gene and exon features with gene_id attributes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace staratlas {
+
+enum class FeatureType { kGene, kTranscript, kExon };
+
+const char* feature_type_name(FeatureType type);
+
+struct GtfFeature {
+  std::string contig;
+  FeatureType type = FeatureType::kExon;
+  u64 start = 1;  ///< 1-based inclusive, per GTF convention
+  u64 end = 1;    ///< 1-based inclusive
+  char strand = '+';
+  std::string gene_id;
+  std::string transcript_id;  ///< empty for gene features
+};
+
+/// Parses GTF text; lines starting with '#' are comments. Unknown feature
+/// types are skipped. Throws ParseError on structurally bad lines.
+std::vector<GtfFeature> read_gtf(std::istream& in);
+
+/// Reads a GTF file from disk.
+std::vector<GtfFeature> read_gtf_file(const std::string& path);
+
+/// Writes features as tab-separated GTF with gene_id/transcript_id
+/// attributes.
+void write_gtf(std::ostream& out, const std::vector<GtfFeature>& features);
+
+/// Writes a GTF file to disk.
+void write_gtf_file(const std::string& path,
+                    const std::vector<GtfFeature>& features);
+
+}  // namespace staratlas

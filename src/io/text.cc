@@ -1,0 +1,56 @@
+#include "io/text.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+std::vector<std::string_view> split_view(std::string_view text, char delim) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(text.substr(start));
+      return fields;
+    }
+    fields.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim_view(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+unsigned long long parse_u64(std::string_view text) {
+  unsigned long long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ParseError("expected unsigned integer, got '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_f64(std::string_view text) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ParseError("expected number, got '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace staratlas

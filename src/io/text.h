@@ -1,0 +1,25 @@
+// Tiny text utilities shared by the parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace staratlas {
+
+/// Splits on a single delimiter; keeps empty fields.
+std::vector<std::string_view> split_view(std::string_view text, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim_view(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parses a non-negative integer; throws ParseError on junk.
+unsigned long long parse_u64(std::string_view text);
+
+/// Parses a double; throws ParseError on junk.
+double parse_f64(std::string_view text);
+
+}  // namespace staratlas

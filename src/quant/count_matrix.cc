@@ -1,0 +1,57 @@
+#include "quant/count_matrix.h"
+
+#include <ostream>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+CountMatrix::CountMatrix(std::vector<std::string> gene_ids)
+    : gene_ids_(std::move(gene_ids)) {}
+
+void CountMatrix::add_sample(const std::string& name,
+                             const GeneCountsTable& counts) {
+  STARATLAS_CHECK(counts.per_gene.size() == gene_ids_.size());
+  sample_names_.push_back(name);
+  columns_.push_back(counts.per_gene);
+}
+
+u64 CountMatrix::at(usize gene, usize sample) const {
+  STARATLAS_CHECK(gene < num_genes() && sample < num_samples());
+  return columns_[sample][gene];
+}
+
+std::vector<double> CountMatrix::gene_row(usize gene) const {
+  STARATLAS_CHECK(gene < num_genes());
+  std::vector<double> row(num_samples());
+  for (usize s = 0; s < num_samples(); ++s) {
+    row[s] = static_cast<double>(columns_[s][gene]);
+  }
+  return row;
+}
+
+std::vector<double> CountMatrix::sample_column(usize sample) const {
+  STARATLAS_CHECK(sample < num_samples());
+  return std::vector<double>(columns_[sample].begin(), columns_[sample].end());
+}
+
+std::vector<double> CountMatrix::library_sizes() const {
+  std::vector<double> sizes(num_samples(), 0.0);
+  for (usize s = 0; s < num_samples(); ++s) {
+    for (u64 c : columns_[s]) sizes[s] += static_cast<double>(c);
+  }
+  return sizes;
+}
+
+void CountMatrix::write_tsv(std::ostream& out) const {
+  out << "gene_id";
+  for (const auto& name : sample_names_) out << '\t' << name;
+  out << '\n';
+  for (usize g = 0; g < num_genes(); ++g) {
+    out << gene_ids_[g];
+    for (usize s = 0; s < num_samples(); ++s) out << '\t' << columns_[s][g];
+    out << '\n';
+  }
+}
+
+}  // namespace staratlas

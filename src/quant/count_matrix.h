@@ -1,0 +1,48 @@
+// Gene x sample count matrix assembled from per-sample GeneCounts tables —
+// the input to the pipeline's DESeq2 normalization stage.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "align/gene_counts.h"
+#include "common/types.h"
+
+namespace staratlas {
+
+class CountMatrix {
+ public:
+  CountMatrix() = default;
+  explicit CountMatrix(std::vector<std::string> gene_ids);
+
+  usize num_genes() const { return gene_ids_.size(); }
+  usize num_samples() const { return sample_names_.size(); }
+  const std::vector<std::string>& gene_ids() const { return gene_ids_; }
+  const std::vector<std::string>& sample_names() const { return sample_names_; }
+
+  /// Appends one sample column. The table's per_gene vector must match
+  /// num_genes().
+  void add_sample(const std::string& name, const GeneCountsTable& counts);
+
+  /// Raw count for (gene, sample).
+  u64 at(usize gene, usize sample) const;
+
+  /// One gene's counts across samples.
+  std::vector<double> gene_row(usize gene) const;
+  /// One sample's counts across genes.
+  std::vector<double> sample_column(usize sample) const;
+
+  /// Library size (total counts) per sample.
+  std::vector<double> library_sizes() const;
+
+  /// TSV with a header row of sample names.
+  void write_tsv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> gene_ids_;
+  std::vector<std::string> sample_names_;
+  std::vector<std::vector<u64>> columns_;  ///< [sample][gene]
+};
+
+}  // namespace staratlas

@@ -1,0 +1,65 @@
+#include "quant/deseq2.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace staratlas {
+
+std::vector<double> deseq2_size_factors(const CountMatrix& matrix) {
+  const usize num_genes = matrix.num_genes();
+  const usize num_samples = matrix.num_samples();
+  STARATLAS_CHECK(num_samples > 0);
+
+  // Log geometric mean per gene; genes with any zero count are excluded
+  // (their log ref is -inf), exactly as DESeq2 does.
+  std::vector<double> log_ref(num_genes);
+  std::vector<bool> usable(num_genes, true);
+  for (usize g = 0; g < num_genes; ++g) {
+    double log_sum = 0.0;
+    for (usize s = 0; s < num_samples; ++s) {
+      const u64 count = matrix.at(g, s);
+      if (count == 0) {
+        usable[g] = false;
+        break;
+      }
+      log_sum += std::log(static_cast<double>(count));
+    }
+    log_ref[g] = usable[g] ? log_sum / static_cast<double>(num_samples) : 0.0;
+  }
+
+  std::vector<double> factors(num_samples);
+  for (usize s = 0; s < num_samples; ++s) {
+    std::vector<double> log_ratios;
+    log_ratios.reserve(num_genes);
+    for (usize g = 0; g < num_genes; ++g) {
+      if (!usable[g]) continue;
+      log_ratios.push_back(std::log(static_cast<double>(matrix.at(g, s))) -
+                           log_ref[g]);
+    }
+    if (log_ratios.empty()) {
+      throw InvalidArgument(
+          "DESeq2 size factors undefined: no gene has nonzero counts in "
+          "every sample");
+    }
+    factors[s] = std::exp(median(log_ratios));
+  }
+  return factors;
+}
+
+NormalizedCounts deseq2_normalize(const CountMatrix& matrix) {
+  NormalizedCounts result;
+  result.size_factors = deseq2_size_factors(matrix);
+  result.values.resize(matrix.num_samples());
+  for (usize s = 0; s < matrix.num_samples(); ++s) {
+    result.values[s].resize(matrix.num_genes());
+    for (usize g = 0; g < matrix.num_genes(); ++g) {
+      result.values[s][g] =
+          static_cast<double>(matrix.at(g, s)) / result.size_factors[s];
+    }
+  }
+  return result;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,28 @@
+// DESeq2's median-of-ratios count normalization — the pipeline's final
+// stage (Fig 1, step 4). Implements the estimateSizeFactors math:
+//
+//   ref_g   = geometric mean of gene g's counts across samples
+//   ratio_s = median over genes of count_{g,s} / ref_g  (genes with
+//             ref_g > 0 only)
+//   norm_{g,s} = count_{g,s} / ratio_s
+#pragma once
+
+#include <vector>
+
+#include "quant/count_matrix.h"
+
+namespace staratlas {
+
+/// Per-sample size factors. Throws InvalidArgument when no gene has
+/// nonzero counts in every sample (the estimator is undefined then).
+std::vector<double> deseq2_size_factors(const CountMatrix& matrix);
+
+struct NormalizedCounts {
+  std::vector<double> size_factors;            ///< per sample
+  std::vector<std::vector<double>> values;     ///< [sample][gene]
+};
+
+/// Full normalization: size factors + normalized count matrix.
+NormalizedCounts deseq2_normalize(const CountMatrix& matrix);
+
+}  // namespace staratlas

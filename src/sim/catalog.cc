@@ -1,0 +1,91 @@
+#include "sim/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+namespace {
+const char* kTissues[] = {"lung",   "liver", "heart",  "kidney", "brain",
+                          "muscle", "skin",  "spleen", "colon",  "blood"};
+}
+
+std::vector<SraSample> make_catalog(const CatalogSpec& spec) {
+  STARATLAS_CHECK(spec.num_samples > 0);
+  STARATLAS_CHECK(spec.single_cell_fraction >= 0.0 &&
+                  spec.single_cell_fraction <= 1.0);
+  STARATLAS_CHECK(spec.mean_fastq.bytes() > 0);
+  STARATLAS_CHECK(spec.reads_at_mean >= spec.min_reads);
+
+  Rng rng(spec.seed);
+
+  // Exact single-cell count, shuffled positions.
+  const usize num_single_cell = static_cast<usize>(
+      std::llround(spec.single_cell_fraction *
+                   static_cast<double>(spec.num_samples)));
+  std::vector<LibraryType> types(spec.num_samples, LibraryType::kBulk);
+  for (usize i = 0; i < num_single_cell && i < types.size(); ++i) {
+    types[i] = LibraryType::kSingleCell;
+  }
+  rng.shuffle(types);
+
+  // Lognormal sizes with the requested overall MEAN. The bulk median is
+  // deflated so that, after the single-cell multiplier, the catalog-wide
+  // mean still equals spec.mean_fastq (mean = median * e^{s^2/2}).
+  const double sc_fraction = static_cast<double>(num_single_cell) /
+                             static_cast<double>(spec.num_samples);
+  const double mean_inflation =
+      1.0 + sc_fraction * (spec.single_cell_size_multiplier - 1.0);
+  const double median_bytes =
+      static_cast<double>(spec.mean_fastq.bytes()) / mean_inflation /
+      std::exp(spec.size_ln_sigma * spec.size_ln_sigma / 2.0);
+
+  std::vector<SraSample> catalog;
+  catalog.reserve(spec.num_samples);
+  for (usize i = 0; i < spec.num_samples; ++i) {
+    SraSample sample;
+    char acc[32];
+    std::snprintf(acc, sizeof(acc), "SRR24%06llu",
+                  static_cast<unsigned long long>(100'000 + i));
+    sample.accession = acc;
+    sample.type = types[i];
+    sample.tissue = sample.type == LibraryType::kSingleCell
+                        ? "single_cell"
+                        : kTissues[rng.uniform(std::size(kTissues))];
+    double fastq_bytes = rng.lognormal_median(median_bytes, spec.size_ln_sigma);
+    if (sample.type == LibraryType::kSingleCell) {
+      fastq_bytes *= spec.single_cell_size_multiplier;
+    }
+    sample.fastq_bytes = ByteSize(static_cast<u64>(fastq_bytes));
+    // SRA containers run ~2.3x smaller than the FASTQ they decode to.
+    sample.sra_bytes = ByteSize(static_cast<u64>(fastq_bytes / 2.3));
+    const double scale =
+        fastq_bytes / static_cast<double>(spec.mean_fastq.bytes());
+    sample.num_reads = std::max<u64>(
+        spec.min_reads,
+        static_cast<u64>(static_cast<double>(spec.reads_at_mean) * scale));
+    sample.seed = hash64(spec.seed * 1'000'003 + i);
+    catalog.push_back(std::move(sample));
+  }
+  return catalog;
+}
+
+CatalogSummary summarize(const std::vector<SraSample>& catalog) {
+  CatalogSummary summary;
+  summary.num_samples = catalog.size();
+  u64 total_bytes = 0;
+  for (const auto& sample : catalog) {
+    if (sample.type == LibraryType::kSingleCell) ++summary.num_single_cell;
+    total_bytes += sample.fastq_bytes.bytes();
+    summary.total_reads += sample.num_reads;
+  }
+  summary.total_fastq = ByteSize(total_bytes);
+  summary.mean_fastq = ByteSize(
+      catalog.empty() ? 0 : total_bytes / catalog.size());
+  return summary;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,62 @@
+// SRA sample catalog: the queue of accessions the Transcriptomics Atlas
+// pipeline processes. Sizes follow the paper's corpus statistics (mean
+// FASTQ 15.9 GiB at paper scale; ~3.8% single-cell libraries, i.e. 38 of
+// 1000 alignments early-stopped in Fig 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "sim/library_profile.h"
+
+namespace staratlas {
+
+struct SraSample {
+  std::string accession;  ///< "SRR2400xxxx"
+  LibraryType type = LibraryType::kBulk;
+  std::string tissue;
+  ByteSize sra_bytes;    ///< paper-scale modeled .sra object size
+  ByteSize fastq_bytes;  ///< paper-scale modeled FASTQ size (~2.3x sra)
+  u64 num_reads = 0;     ///< synthetic-scale reads actually simulated
+  u64 seed = 0;          ///< read-simulation seed for this sample
+};
+
+struct CatalogSpec {
+  usize num_samples = 1000;
+  /// Fraction of single-cell libraries (paper: 38 / 1000).
+  double single_cell_fraction = 0.038;
+  /// Paper-scale mean FASTQ size across the WHOLE catalog (Fig 3 corpus:
+  /// 15.9 GiB mean). Bulk sizes are scaled down internally so this overall
+  /// mean holds despite the single-cell multiplier.
+  ByteSize mean_fastq = ByteSize::from_gib(15.9);
+  /// Log-space sigma of the sample-size lognormal.
+  double size_ln_sigma = 0.55;
+  /// Single-cell runs are far deeper than bulk (3'-tag libraries sequence
+  /// hundreds of millions of reads); this multiplier on their size is what
+  /// makes 38/1000 alignments account for ~20% of total STAR time (Fig 4).
+  double single_cell_size_multiplier = 7.0;
+  /// Synthetic reads for a mean-sized sample; scales linearly with size.
+  u64 reads_at_mean = 20'000;
+  u64 min_reads = 2'000;
+  u64 seed = 7;
+};
+
+/// Deterministically generates a catalog. The number of single-cell
+/// samples is exact (round(num_samples * fraction)), matching the paper's
+/// "38 out of 1000" phrasing; their positions in the queue are shuffled.
+std::vector<SraSample> make_catalog(const CatalogSpec& spec);
+
+/// Summary statistics used by bench headers.
+struct CatalogSummary {
+  usize num_samples = 0;
+  usize num_single_cell = 0;
+  ByteSize total_fastq;
+  ByteSize mean_fastq;
+  u64 total_reads = 0;
+};
+CatalogSummary summarize(const std::vector<SraSample>& catalog);
+
+}  // namespace staratlas

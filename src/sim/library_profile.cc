@@ -1,0 +1,67 @@
+#include "sim/library_profile.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+const char* library_type_name(LibraryType type) {
+  switch (type) {
+    case LibraryType::kBulk: return "bulk";
+    case LibraryType::kSingleCell: return "single_cell";
+  }
+  return "?";
+}
+
+void LibraryProfile::validate() const {
+  const double total = exonic_fraction + intronic_fraction +
+                       intergenic_fraction + repeat_fraction + junk_fraction;
+  if (std::fabs(total - 1.0) > 1e-9) {
+    throw InvalidArgument("library profile fractions sum to " +
+                          std::to_string(total) + ", expected 1.0");
+  }
+  if (error_rate < 0.0 || error_rate > 0.2) {
+    throw InvalidArgument("implausible error rate");
+  }
+  if (read_length < 30) {
+    throw InvalidArgument("read length too short to align");
+  }
+}
+
+LibraryProfile bulk_rna_profile() {
+  LibraryProfile profile;
+  profile.name = "bulk_polyA";
+  profile.type = LibraryType::kBulk;
+  profile.exonic_fraction = 0.78;
+  profile.intronic_fraction = 0.06;
+  profile.intergenic_fraction = 0.02;
+  profile.repeat_fraction = 0.06;
+  profile.junk_fraction = 0.08;
+  profile.error_rate = 0.003;
+  profile.expression_ln_sigma = 1.0;
+  profile.validate();
+  return profile;
+}
+
+LibraryProfile single_cell_profile() {
+  LibraryProfile profile;
+  profile.name = "single_cell_3prime";
+  profile.type = LibraryType::kSingleCell;
+  profile.exonic_fraction = 0.18;
+  profile.intronic_fraction = 0.02;
+  profile.intergenic_fraction = 0.01;
+  profile.repeat_fraction = 0.04;
+  profile.junk_fraction = 0.75;
+  profile.error_rate = 0.006;
+  profile.expression_ln_sigma = 1.6;  // shallow, skewed expression
+  profile.validate();
+  return profile;
+}
+
+LibraryProfile profile_for(LibraryType type) {
+  return type == LibraryType::kBulk ? bulk_rna_profile()
+                                    : single_cell_profile();
+}
+
+}  // namespace staratlas

@@ -1,0 +1,52 @@
+// RNA-seq library composition profiles.
+//
+// The paper's early-stopping result rests on one empirical fact: bulk
+// poly-A libraries map well (>80%) while the single-cell libraries in
+// their corpus mapped below 30% ("lack of complete mRNA coverage within
+// the library"). We model a library as a mixture over read origins; the
+// mapping-rate separation then *emerges* from real alignment, rather than
+// being hardcoded.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace staratlas {
+
+enum class LibraryType : u8 { kBulk = 0, kSingleCell = 1 };
+
+const char* library_type_name(LibraryType type);
+
+struct LibraryProfile {
+  std::string name;
+  LibraryType type = LibraryType::kBulk;
+
+  // Mixture over read origins; fractions must sum to 1.
+  double exonic_fraction = 0.0;      ///< from spliced transcripts
+  double intronic_fraction = 0.0;    ///< from unspliced gene spans
+  double intergenic_fraction = 0.0;  ///< from random genomic positions
+  double repeat_fraction = 0.0;      ///< from satellite repeat arrays
+  double junk_fraction = 0.0;        ///< adapter/poly-A/foreign — unmappable
+
+  double error_rate = 0.003;  ///< per-base substitution errors
+  u64 read_length = 100;
+  /// Log-space sigma of the per-gene expression lognormal.
+  double expression_ln_sigma = 1.0;
+
+  /// Throws InvalidArgument unless fractions sum to ~1.
+  void validate() const;
+};
+
+/// Bulk poly-A RNA-seq: maps in the high 80s, mostly exonic.
+LibraryProfile bulk_rna_profile();
+
+/// 3'-tag single-cell library processed as if bulk (the data the paper's
+/// early stopping weeds out): dominated by unmappable template-switch
+/// artifacts, poly-A and ambient junk; maps well below 30%.
+LibraryProfile single_cell_profile();
+
+/// Profile lookup by library type.
+LibraryProfile profile_for(LibraryType type);
+
+}  // namespace staratlas

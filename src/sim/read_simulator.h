@@ -1,0 +1,73 @@
+// Read simulator: samples FASTQ reads from a genome according to a
+// LibraryProfile. Reads are always drawn from the CHROMOSOMES (identical
+// across releases), so the same simulated sample can be aligned against
+// any release of the assembly — exactly the paper's Fig 3 setup.
+#pragma once
+
+#include "common/rng.h"
+#include "genome/annotation.h"
+#include "genome/model.h"
+#include "genome/synthesizer.h"
+#include "io/fastq.h"
+#include "sim/library_profile.h"
+
+namespace staratlas {
+
+/// Paired-end fragment-size model (FR orientation).
+struct FragmentModel {
+  u64 mean_length = 260;
+  u64 sd = 40;
+};
+
+/// A paired-end sample: mate1[i] and mate2[i] are ends of one fragment,
+/// mate2 reported in sequencing orientation (reverse complement of the
+/// fragment's 3' end).
+struct ReadPairSet {
+  std::vector<FastqRecord> mate1;
+  std::vector<FastqRecord> mate2;
+  ByteSize fastq_bytes;  ///< both FASTQ files combined
+
+  usize size() const { return mate1.size(); }
+  bool empty() const { return mate1.empty(); }
+};
+
+class ReadSimulator {
+ public:
+  /// `assembly` supplies the chromosomes (any release works — chromosomes
+  /// are shared); `annotation` the genes; `repeats` the satellite arrays.
+  ReadSimulator(const Assembly& assembly, const Annotation& annotation,
+                std::vector<RepeatRegion> repeats);
+
+  /// Simulates `num_reads` reads. Deterministic in `rng`.
+  ReadSet simulate(const LibraryProfile& profile, usize num_reads,
+                   Rng rng) const;
+
+  /// Simulates `num_pairs` FR read pairs. Deterministic in `rng`.
+  ReadPairSet simulate_pairs(const LibraryProfile& profile, usize num_pairs,
+                             const FragmentModel& fragments, Rng rng) const;
+
+ private:
+  /// Extracts a source fragment for a paired read according to the
+  /// profile mixture; empty string means "junk pair".
+  std::string sample_fragment(const LibraryProfile& profile,
+                              const FragmentModel& fragments, Rng& rng,
+                              const std::vector<double>& expression) const;
+  FastqRecord make_exonic(const LibraryProfile& profile, Rng& rng,
+                          const std::vector<double>& expression,
+                          u64 ordinal) const;
+  FastqRecord make_genomic(const LibraryProfile& profile, Rng& rng,
+                           u64 ordinal, bool intronic) const;
+  FastqRecord make_repeat(const LibraryProfile& profile, Rng& rng,
+                          u64 ordinal) const;
+  FastqRecord make_junk(const LibraryProfile& profile, Rng& rng,
+                        u64 ordinal) const;
+  void apply_errors(std::string& seq, double error_rate, Rng& rng) const;
+  std::string quality_string(u64 length, Rng& rng) const;
+
+  const Assembly* assembly_;
+  const Annotation* annotation_;
+  std::vector<RepeatRegion> repeats_;
+  std::vector<GeneId> usable_genes_;  ///< exonic length >= read length + margin
+};
+
+}  // namespace staratlas

@@ -1,0 +1,128 @@
+#include "sra/container.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "index/packed_sequence.h"
+#include "io/binary.h"
+
+namespace staratlas {
+
+namespace {
+constexpr u32 kSraMagic = 0x53524131;  // "SRA1"
+constexpr u32 kSraVersion = 1;
+
+void write_header(BinaryWriter& writer, const SraMetadata& metadata) {
+  writer.write_u32(kSraMagic);
+  writer.write_u32(kSraVersion);
+  writer.write_string(metadata.accession);
+  writer.write_u8(static_cast<u8>(metadata.library_type));
+  writer.write_string(metadata.tissue);
+  writer.write_u64(metadata.num_reads);
+  writer.write_u64(metadata.total_bases);
+}
+
+SraMetadata read_header(BinaryReader& reader) {
+  if (reader.read_u32() != kSraMagic) {
+    throw ParseError("not an SRA container (bad magic)");
+  }
+  const u32 version = reader.read_u32();
+  if (version != kSraVersion) {
+    throw ParseError("unsupported SRA container version " +
+                     std::to_string(version));
+  }
+  SraMetadata metadata;
+  metadata.accession = reader.read_string();
+  metadata.library_type = static_cast<LibraryType>(reader.read_u8());
+  metadata.tissue = reader.read_string();
+  metadata.num_reads = reader.read_u64();
+  metadata.total_bases = reader.read_u64();
+  return metadata;
+}
+}  // namespace
+
+std::vector<u8> rle_encode(const std::string& text) {
+  std::vector<u8> out;
+  usize i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    usize run = 1;
+    while (i + run < text.size() && text[i + run] == c && run < 255) ++run;
+    out.push_back(static_cast<u8>(c));
+    out.push_back(static_cast<u8>(run));
+    i += run;
+  }
+  return out;
+}
+
+std::string rle_decode(const std::vector<u8>& encoded) {
+  if (encoded.size() % 2 != 0) throw ParseError("RLE stream has odd length");
+  std::string out;
+  for (usize i = 0; i < encoded.size(); i += 2) {
+    const char c = static_cast<char>(encoded[i]);
+    const usize run = encoded[i + 1];
+    if (run == 0) throw ParseError("RLE run of zero");
+    out.append(run, c);
+  }
+  return out;
+}
+
+std::vector<u8> sra_encode(const SraMetadata& metadata,
+                           const std::vector<FastqRecord>& reads) {
+  STARATLAS_CHECK(metadata.num_reads == reads.size());
+  std::ostringstream buffer(std::ios::binary);
+  BinaryWriter writer(buffer);
+  write_header(writer, metadata);
+  for (const auto& read : reads) {
+    writer.write_string(read.name);
+    const PackedSequence packed = PackedSequence::pack(read.sequence);
+    writer.write_u64(packed.size());
+    writer.write_bytes(packed.codes());
+    writer.write_pod_vector(packed.n_positions());
+    writer.write_bytes(rle_encode(read.quality));
+  }
+  const std::string str = buffer.str();
+  return std::vector<u8>(str.begin(), str.end());
+}
+
+SraMetadata sra_peek(const std::vector<u8>& container) {
+  std::istringstream in(
+      std::string(container.begin(), container.end()), std::ios::binary);
+  BinaryReader reader(in);
+  return read_header(reader);
+}
+
+std::pair<SraMetadata, std::vector<FastqRecord>> sra_decode(
+    const std::vector<u8>& container) {
+  std::istringstream in(
+      std::string(container.begin(), container.end()), std::ios::binary);
+  BinaryReader reader(in);
+  const SraMetadata metadata = read_header(reader);
+  std::vector<FastqRecord> reads;
+  // Reserve defensively: a corrupted header must not drive allocation.
+  reads.reserve(std::min<u64>(metadata.num_reads, 1u << 20));
+  u64 total_bases = 0;
+  for (u64 r = 0; r < metadata.num_reads; ++r) {
+    FastqRecord read;
+    read.name = reader.read_string();
+    const u64 length = reader.read_u64();
+    std::vector<u8> codes = reader.read_bytes();
+    std::vector<u64> n_positions = reader.read_pod_vector<u64>();
+    read.sequence =
+        PackedSequence::from_raw(length, std::move(codes), std::move(n_positions))
+            .unpack();
+    read.quality = rle_decode(reader.read_bytes());
+    if (read.quality.size() != read.sequence.size()) {
+      throw ParseError("SRA container: quality/sequence length mismatch");
+    }
+    total_bases += length;
+    reads.push_back(std::move(read));
+  }
+  if (total_bases != metadata.total_bases) {
+    throw ParseError("SRA container: total_bases mismatch");
+  }
+  return {metadata, std::move(reads)};
+}
+
+}  // namespace staratlas

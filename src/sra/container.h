@@ -1,0 +1,44 @@
+// The ".sra" container codec: a compact binary run archive holding reads
+// as 2-bit packed sequence plus run-length-encoded qualities. Stands in
+// for NCBI's proprietary SRA format; like the real thing it is ~2-3x
+// smaller than the FASTQ it decodes to, and decoding it is real work
+// (fasterq-dump's role in the pipeline).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "io/fastq.h"
+#include "sim/library_profile.h"
+
+namespace staratlas {
+
+struct SraMetadata {
+  std::string accession;
+  LibraryType library_type = LibraryType::kBulk;
+  std::string tissue;
+  u64 num_reads = 0;
+  u64 total_bases = 0;
+};
+
+/// Encodes reads into the container byte stream.
+std::vector<u8> sra_encode(const SraMetadata& metadata,
+                           const std::vector<FastqRecord>& reads);
+
+/// Reads just the metadata header without decoding the payload.
+SraMetadata sra_peek(const std::vector<u8>& container);
+
+/// Decodes the full container. Round-trips sequences, names and qualities
+/// exactly. Throws ParseError on corrupt input.
+std::pair<SraMetadata, std::vector<FastqRecord>> sra_decode(
+    const std::vector<u8>& container);
+
+/// Run-length encodes a quality string ((char, count) pairs).
+std::vector<u8> rle_encode(const std::string& text);
+/// Inverse of rle_encode.
+std::string rle_decode(const std::vector<u8>& encoded);
+
+}  // namespace staratlas

@@ -1,0 +1,47 @@
+#include "sra/repository.h"
+
+#include "common/error.h"
+#include "sra/container.h"
+
+namespace staratlas {
+
+SraRepository::SraRepository(std::vector<SraSample> catalog,
+                             std::shared_ptr<const ReadSimulator> simulator)
+    : catalog_(std::move(catalog)), simulator_(std::move(simulator)) {
+  STARATLAS_CHECK(simulator_ != nullptr);
+}
+
+const SraSample& SraRepository::sample(const std::string& accession) const {
+  for (const auto& s : catalog_) {
+    if (s.accession == accession) return s;
+  }
+  throw InvalidArgument("unknown accession: " + accession);
+}
+
+const std::vector<u8>& SraRepository::fetch(const std::string& accession) {
+  auto it = store_.find(accession);
+  if (it != store_.end()) return it->second;
+
+  const SraSample& meta = sample(accession);
+  const LibraryProfile profile = profile_for(meta.type);
+  const ReadSet reads =
+      simulator_->simulate(profile, meta.num_reads, Rng(meta.seed));
+
+  SraMetadata header;
+  header.accession = meta.accession;
+  header.library_type = meta.type;
+  header.tissue = meta.tissue;
+  header.num_reads = reads.size();
+  for (const auto& read : reads.reads) header.total_bases += read.sequence.size();
+
+  auto [inserted, ok] =
+      store_.emplace(accession, sra_encode(header, reads.reads));
+  STARATLAS_CHECK(ok);
+  return inserted->second;
+}
+
+ByteSize SraRepository::container_bytes(const std::string& accession) {
+  return ByteSize(fetch(accession).size());
+}
+
+}  // namespace staratlas

@@ -1,0 +1,45 @@
+// In-process stand-in for the NCBI SRA repository: accession -> encoded
+// container. Content is materialized lazily (simulating on first access)
+// so a 1000-sample catalog does not cost 1000 upfront simulations.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "genome/synthesizer.h"
+#include "sim/catalog.h"
+#include "sim/read_simulator.h"
+
+namespace staratlas {
+
+class SraRepository {
+ public:
+  /// The repository simulates reads with `simulator` on first access.
+  SraRepository(std::vector<SraSample> catalog,
+                std::shared_ptr<const ReadSimulator> simulator);
+
+  const std::vector<SraSample>& catalog() const { return catalog_; }
+
+  /// Finds a sample by accession; throws InvalidArgument if absent.
+  const SraSample& sample(const std::string& accession) const;
+
+  /// Returns the encoded container for `accession`, materializing it on
+  /// first access (deterministic in the sample's seed).
+  const std::vector<u8>& fetch(const std::string& accession);
+
+  /// Actual bytes of the materialized container (synthetic scale).
+  ByteSize container_bytes(const std::string& accession);
+
+  usize materialized_count() const { return store_.size(); }
+
+ private:
+  std::vector<SraSample> catalog_;
+  std::shared_ptr<const ReadSimulator> simulator_;
+  std::map<std::string, std::vector<u8>> store_;
+};
+
+}  // namespace staratlas

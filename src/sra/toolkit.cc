@@ -1,0 +1,23 @@
+#include "sra/toolkit.h"
+
+namespace staratlas {
+
+PrefetchResult prefetch(SraRepository& repository,
+                        const std::string& accession) {
+  PrefetchResult result;
+  result.container = repository.fetch(accession);
+  result.bytes_transferred = ByteSize(result.container.size());
+  result.metadata = sra_peek(result.container);
+  return result;
+}
+
+DumpResult fasterq_dump(const std::vector<u8>& container) {
+  DumpResult result;
+  auto [metadata, reads] = sra_decode(container);
+  result.metadata = std::move(metadata);
+  result.reads = make_read_set(std::move(reads));
+  result.fastq_bytes = result.reads.fastq_bytes;
+  return result;
+}
+
+}  // namespace staratlas

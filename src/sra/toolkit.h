@@ -1,0 +1,36 @@
+// sra-tools stand-ins: `prefetch` (repository -> local container) and
+// `fasterq-dump` (container -> FASTQ ReadSet). Both do the real data work;
+// the time each stage takes on cloud hardware is modeled separately by the
+// pipeline's StageTimeModel (src/core), parameterized by the byte/read
+// counts these tools report.
+#pragma once
+
+#include "common/types.h"
+#include "common/units.h"
+#include "io/fastq.h"
+#include "sra/container.h"
+#include "sra/repository.h"
+
+namespace staratlas {
+
+struct PrefetchResult {
+  std::vector<u8> container;  ///< the downloaded .sra bytes
+  ByteSize bytes_transferred;
+  SraMetadata metadata;
+};
+
+/// Simulates `prefetch <accession>`: materializes and "downloads" the
+/// container from the repository.
+PrefetchResult prefetch(SraRepository& repository,
+                        const std::string& accession);
+
+struct DumpResult {
+  ReadSet reads;
+  SraMetadata metadata;
+  ByteSize fastq_bytes;  ///< size of the decoded FASTQ representation
+};
+
+/// Simulates `fasterq-dump`: decodes a container into FASTQ reads.
+DumpResult fasterq_dump(const std::vector<u8>& container);
+
+}  // namespace staratlas

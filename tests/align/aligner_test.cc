@@ -1,0 +1,176 @@
+#include "align/aligner.h"
+
+#include <gtest/gtest.h>
+
+#include "index/packed_sequence.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+TEST(Aligner, PlantedReadMapsUniquelyAtLocus) {
+  const auto& w = world();
+  const Aligner aligner(w.index111, AlignerParams{});
+  const u64 planted = 41'000;
+  const std::string read = w.r111.contig(0).sequence.substr(planted, 100);
+  MappingStats work;
+  const ReadAlignment result = aligner.align(read, work);
+  EXPECT_EQ(result.outcome, ReadOutcome::kUniqueMapped);
+  EXPECT_EQ(result.num_loci, 1u);
+  ASSERT_EQ(result.hits.size(), 1u);
+  EXPECT_FALSE(result.hits[0].reverse);
+  const ContigLocus locus = w.index111.locate(result.hits[0].text_pos);
+  EXPECT_EQ(locus.contig, 0u);
+  EXPECT_EQ(locus.offset, planted);
+  EXPECT_EQ(result.best_score, 100u);
+}
+
+TEST(Aligner, ReverseComplementMapsWithReverseFlag) {
+  const auto& w = world();
+  const Aligner aligner(w.index111, AlignerParams{});
+  const u64 planted = 52'000;
+  const std::string read = reverse_complement(
+      w.r111.contig(0).sequence.substr(planted, 100));
+  MappingStats work;
+  const ReadAlignment result = aligner.align(read, work);
+  EXPECT_EQ(result.outcome, ReadOutcome::kUniqueMapped);
+  ASSERT_FALSE(result.hits.empty());
+  EXPECT_TRUE(result.hits[0].reverse);
+  EXPECT_EQ(w.index111.locate(result.hits[0].text_pos).offset, planted);
+}
+
+TEST(Aligner, JunkReadUnmapped) {
+  const auto& w = world();
+  const Aligner aligner(w.index111, AlignerParams{});
+  MappingStats work;
+  const std::string junk =
+      "CCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGG";
+  const ReadAlignment result = aligner.align(junk, work);
+  EXPECT_EQ(result.outcome, ReadOutcome::kUnmapped);
+  EXPECT_TRUE(result.hits.empty());
+}
+
+TEST(Aligner, EmptyReadUnmapped) {
+  const auto& w = world();
+  const Aligner aligner(w.index111, AlignerParams{});
+  MappingStats work;
+  EXPECT_EQ(aligner.align("", work).outcome, ReadOutcome::kUnmapped);
+}
+
+TEST(Aligner, ScaffoldCopiesCauseMultimappingOn108) {
+  const auto& w = world();
+  const Aligner a108(w.index108, AlignerParams{});
+  const Aligner a111(w.index111, AlignerParams{});
+  // Sample exonic reads; many should be unique on 111 but multi on 108.
+  usize multi_on_108 = 0;
+  usize unique_on_111 = 0;
+  usize n = 0;
+  for (const Gene& gene : w.synthesizer->annotation().genes()) {
+    if (gene.exons[0].length() < 100) continue;
+    const std::string read =
+        w.r111.contig(gene.contig).sequence.substr(gene.exons[0].start, 100);
+    MappingStats work;
+    if (a108.align(read, work).outcome == ReadOutcome::kMultiMapped) {
+      ++multi_on_108;
+    }
+    if (a111.align(read, work).outcome == ReadOutcome::kUniqueMapped) {
+      ++unique_on_111;
+    }
+    if (++n >= 12) break;
+  }
+  ASSERT_GE(n, 5u);
+  EXPECT_GE(multi_on_108, n / 4);
+  EXPECT_GE(unique_on_111, 9 * n / 10);
+}
+
+TEST(Aligner, RepeatReadStillMappedOnBothReleases) {
+  const auto& w = world();
+  const RepeatRegion& region = w.synthesizer->repeat_regions()[0];
+  const std::string read = w.r111.contig(region.contig)
+                               .sequence.substr(region.start + 300, 100);
+  for (const GenomeIndex* index : {&w.index108, &w.index111}) {
+    const Aligner aligner(*index, AlignerParams{});
+    MappingStats work;
+    const ReadAlignment result = aligner.align(read, work);
+    EXPECT_NE(result.outcome, ReadOutcome::kUnmapped);
+    EXPECT_GT(result.num_loci, 1u);
+  }
+}
+
+TEST(Aligner, TooManyLociWhenNmaxTiny) {
+  const auto& w = world();
+  AlignerParams params;
+  params.multimap_nmax = 1;  // anything with 2+ loci becomes too-many
+  const Aligner aligner(w.index108, params);
+  const RepeatRegion& region = w.synthesizer->repeat_regions()[0];
+  const std::string read = w.r111.contig(region.contig)
+                               .sequence.substr(region.start + 200, 100);
+  MappingStats work;
+  const ReadAlignment result = aligner.align(read, work);
+  EXPECT_EQ(result.outcome, ReadOutcome::kTooManyLoci);
+  EXPECT_TRUE(result.hits.empty());  // STAR drops their alignments
+}
+
+TEST(Aligner, MinMatchedFractionGatesMapping) {
+  const auto& w = world();
+  // 40 genome bases + 60 junk: 40% identity < 66% threshold -> unmapped.
+  const std::string read =
+      w.r111.contig(0).sequence.substr(60'000, 40) +
+      std::string("CCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGG")
+          .substr(0, 60);
+  const Aligner aligner(w.index111, AlignerParams{});
+  MappingStats work;
+  const ReadAlignment result = aligner.align(read, work);
+  EXPECT_EQ(result.outcome, ReadOutcome::kUnmapped);
+  EXPECT_GT(result.best_score, 0u);  // it found something, just too little
+}
+
+TEST(Aligner, HitsSortedBestFirstAndCapped) {
+  const auto& w = world();
+  AlignerParams params;
+  const Aligner aligner(w.index108, params);
+  const RepeatRegion& region = w.synthesizer->repeat_regions()[0];
+  const std::string read = w.r111.contig(region.contig)
+                               .sequence.substr(region.start + 500, 100);
+  MappingStats work;
+  const ReadAlignment result = aligner.align(read, work);
+  ASSERT_FALSE(result.hits.empty());
+  EXPECT_LE(result.hits.size(), params.multimap_nmax);
+  for (usize i = 1; i < result.hits.size(); ++i) {
+    EXPECT_GE(result.hits[i - 1].score, result.hits[i].score);
+  }
+}
+
+TEST(Aligner, WorkCountersAccumulate) {
+  const auto& w = world();
+  const Aligner aligner(w.index111, AlignerParams{});
+  MappingStats work;
+  const std::string read = w.r111.contig(0).sequence.substr(70'000, 100);
+  aligner.align(read, work);
+  EXPECT_GT(work.seeds_generated, 0u);
+  EXPECT_GT(work.windows_scored, 0u);
+  EXPECT_GT(work.bases_compared, 0u);
+  EXPECT_EQ(work.processed, 0u);  // outcome accounting is the engine's job
+}
+
+TEST(Aligner, DeterministicAcrossCalls) {
+  const auto& w = world();
+  const Aligner aligner(w.index108, AlignerParams{});
+  const std::string read = w.r111.contig(1).sequence.substr(9'000, 100);
+  MappingStats work1;
+  MappingStats work2;
+  const ReadAlignment r1 = aligner.align(read, work1);
+  const ReadAlignment r2 = aligner.align(read, work2);
+  EXPECT_EQ(r1.outcome, r2.outcome);
+  EXPECT_EQ(r1.best_score, r2.best_score);
+  EXPECT_EQ(r1.num_loci, r2.num_loci);
+  ASSERT_EQ(r1.hits.size(), r2.hits.size());
+  for (usize i = 0; i < r1.hits.size(); ++i) {
+    EXPECT_EQ(r1.hits[i].text_pos, r2.hits[i].text_pos);
+  }
+}
+
+}  // namespace
+}  // namespace staratlas

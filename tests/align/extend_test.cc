@@ -1,0 +1,150 @@
+#include "align/extend.h"
+
+#include <gtest/gtest.h>
+
+#include "align/seed.h"
+#include "index/packed_sequence.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+std::vector<AlignmentHit> align_one(const GenomeIndex& index,
+                                    const std::string& read,
+                                    ExtendStats* stats_out = nullptr) {
+  AlignerParams params;
+  const SeedSearchResult seeds = find_seeds(index, read, params);
+  ExtendStats stats;
+  auto hits = score_windows(index, read, seeds.seeds, false, params, stats);
+  if (stats_out) *stats_out = stats;
+  return hits;
+}
+
+TEST(Extend, ExactReadScoresFullLength) {
+  const auto& w = world();
+  const std::string read = w.r111.contig(0).sequence.substr(12'000, 100);
+  ExtendStats stats;
+  const auto hits = align_one(w.index111, read, &stats);
+  ASSERT_FALSE(hits.empty());
+  u32 best = 0;
+  for (const auto& hit : hits) best = std::max(best, hit.score);
+  EXPECT_EQ(best, 100u);
+  EXPECT_GE(stats.windows_scored, 1u);
+}
+
+TEST(Extend, BestHitAtPlantedLocus) {
+  const auto& w = world();
+  const u64 planted = 33'000;
+  const std::string read = w.r111.contig(0).sequence.substr(planted, 100);
+  const auto hits = align_one(w.index111, read);
+  ASSERT_FALSE(hits.empty());
+  const AlignmentHit* best = &hits[0];
+  for (const auto& hit : hits) {
+    if (hit.score > best->score) best = &hit;
+  }
+  const ContigLocus locus = w.index111.locate(best->text_pos);
+  EXPECT_EQ(locus.contig, 0u);
+  EXPECT_EQ(locus.offset, planted);
+}
+
+TEST(Extend, MismatchesLowerScoreButStillAlign) {
+  const auto& w = world();
+  std::string read = w.r111.contig(0).sequence.substr(45'000, 100);
+  read[10] = read[10] == 'G' ? 'T' : 'G';
+  read[70] = read[70] == 'A' ? 'C' : 'A';
+  const auto hits = align_one(w.index111, read);
+  ASSERT_FALSE(hits.empty());
+  u32 best = 0;
+  for (const auto& hit : hits) best = std::max(best, hit.score);
+  EXPECT_GE(best, 90u);
+  EXPECT_LE(best, 98u);
+}
+
+TEST(Extend, SplicedReadChainsAcrossIntron) {
+  const auto& w = world();
+  // Build a read spanning an exon-exon junction of a real gene.
+  const Annotation& annotation = w.synthesizer->annotation();
+  const Gene* multi_exon = nullptr;
+  for (const Gene& gene : annotation.genes()) {
+    if (gene.exons.size() >= 2 && gene.exons[0].length() >= 50 &&
+        gene.exons[1].length() >= 50) {
+      multi_exon = &gene;
+      break;
+    }
+  }
+  ASSERT_NE(multi_exon, nullptr);
+  const std::string& chrom = w.r111.contig(multi_exon->contig).sequence;
+  const std::string read =
+      chrom.substr(multi_exon->exons[0].end - 50, 50) +
+      chrom.substr(multi_exon->exons[1].start, 50);
+
+  const auto hits = align_one(w.index111, read);
+  ASSERT_FALSE(hits.empty());
+  const AlignmentHit* best = &hits[0];
+  for (const auto& hit : hits) {
+    if (hit.score > best->score) best = &hit;
+  }
+  EXPECT_GE(best->score, 95u);
+  // The alignment must be spliced: two segments with a genomic gap equal
+  // to the intron length.
+  ASSERT_GE(best->segments.size(), 2u);
+  const AlignedSegment& first = best->segments.front();
+  const AlignedSegment& last = best->segments.back();
+  const u64 genomic_span =
+      last.text_start + last.length - first.text_start;
+  EXPECT_GT(genomic_span, 100u) << "alignment should span the intron";
+}
+
+TEST(Extend, SegmentsAscendAndMatchRead) {
+  const auto& w = world();
+  const std::string read = w.r111.contig(1).sequence.substr(7'777, 100);
+  const auto hits = align_one(w.index111, read);
+  ASSERT_FALSE(hits.empty());
+  for (const auto& hit : hits) {
+    for (usize s = 1; s < hit.segments.size(); ++s) {
+      EXPECT_GE(hit.segments[s].read_start,
+                hit.segments[s - 1].read_start + hit.segments[s - 1].length);
+      EXPECT_GE(hit.segments[s].text_start,
+                hit.segments[s - 1].text_start + hit.segments[s - 1].length);
+    }
+    EXPECT_EQ(hit.text_pos, hit.segments.front().text_start);
+  }
+}
+
+TEST(Extend, NoSeedsNoHits) {
+  const auto& w = world();
+  AlignerParams params;
+  ExtendStats stats;
+  const auto hits =
+      score_windows(w.index111, "ACGT", {}, false, params, stats);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(stats.windows_scored, 0u);
+}
+
+TEST(Extend, Release108ProducesMoreWindows) {
+  const auto& w = world();
+  const std::string read = w.r111.contig(0).sequence.substr(22'000, 100);
+  ExtendStats stats108;
+  ExtendStats stats111;
+  align_one(w.index108, read, &stats108);
+  align_one(w.index111, read, &stats111);
+  // The same read hits scaffold near-copies in the 108-style assembly.
+  EXPECT_GE(stats108.windows_scored, stats111.windows_scored);
+}
+
+TEST(Extend, ReverseFlagPropagates) {
+  const auto& w = world();
+  const std::string read = w.r111.contig(0).sequence.substr(18'000, 80);
+  AlignerParams params;
+  const SeedSearchResult seeds = find_seeds(w.index111, read, params);
+  ExtendStats stats;
+  const auto hits =
+      score_windows(w.index111, read, seeds.seeds, true, params, stats);
+  ASSERT_FALSE(hits.empty());
+  for (const auto& hit : hits) EXPECT_TRUE(hit.reverse);
+}
+
+}  // namespace
+}  // namespace staratlas

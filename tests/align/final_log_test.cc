@@ -1,0 +1,63 @@
+#include "align/final_log.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/read_simulator.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+TEST(FinalLog, ContainsStarStyleSections) {
+  const auto& w = world();
+  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
+  const ReadSet reads = w.simulator->simulate(bulk_rna_profile(), 1'000, Rng(3));
+  const AlignmentRun run = engine.run(reads);
+  const std::string log = render_final_log(run, reads.size(), 100.0);
+
+  EXPECT_NE(log.find("Number of input reads |\t1000"), std::string::npos);
+  EXPECT_NE(log.find("UNIQUE READS:"), std::string::npos);
+  EXPECT_NE(log.find("MULTI-MAPPING READS:"), std::string::npos);
+  EXPECT_NE(log.find("UNMAPPED READS:"), std::string::npos);
+  EXPECT_NE(log.find("Uniquely mapped reads number |\t" +
+                     std::to_string(run.stats.unique)),
+            std::string::npos);
+  EXPECT_NE(log.find("Mapping speed"), std::string::npos);
+  EXPECT_EQ(log.find("terminated early"), std::string::npos);
+}
+
+TEST(FinalLog, AbortedRunNoted) {
+  AlignmentRun run;
+  run.aborted = true;
+  run.stats.processed = 100;
+  run.stats.unmapped = 100;
+  run.wall_seconds = 1.0;
+  const std::string log = render_final_log(run, 1'000, 100.0);
+  EXPECT_NE(log.find("terminated early"), std::string::npos);
+}
+
+TEST(FinalLog, PercentagesSum) {
+  AlignmentRun run;
+  run.stats.processed = 200;
+  run.stats.unique = 100;
+  run.stats.multi = 50;
+  run.stats.too_many = 30;
+  run.stats.unmapped = 20;
+  run.wall_seconds = 2.0;
+  const std::string log = render_final_log(run, 200, 100.0);
+  EXPECT_NE(log.find("50.00%"), std::string::npos);  // unique
+  EXPECT_NE(log.find("25.00%"), std::string::npos);  // multi
+  EXPECT_NE(log.find("15.00%"), std::string::npos);  // too many
+  EXPECT_NE(log.find("10.00%"), std::string::npos);  // unmapped
+}
+
+TEST(FinalLog, EmptyRunSafe) {
+  AlignmentRun run;
+  const std::string log = render_final_log(run, 0, 0.0);
+  EXPECT_NE(log.find("Reads processed |\t0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace staratlas

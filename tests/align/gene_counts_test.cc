@@ -1,0 +1,177 @@
+#include "align/gene_counts.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+// A hand-built world with two overlapping genes for ambiguity tests.
+struct CountsFixture {
+  Assembly assembly;
+  Annotation annotation;
+  GenomeIndex index;
+
+  CountsFixture()
+      : assembly(make_assembly()),
+        annotation(make_annotation()),
+        index(GenomeIndex::build(assembly)) {}
+
+  static Assembly make_assembly() {
+    std::string seq(2'000, 'A');
+    Rng rng(15);
+    static const char kBases[] = "ACGT";
+    for (auto& c : seq) c = kBases[rng.uniform(4)];
+    std::vector<Contig> contigs = {{"1", ContigClass::kChromosome, seq}};
+    return Assembly("t", 111, AssemblyType::kToplevel, std::move(contigs));
+  }
+
+  static Annotation make_annotation() {
+    Gene g1;
+    g1.id = "G1";
+    g1.contig = 0;
+    g1.exons = {{100, 400}};
+    Gene g2;
+    g2.id = "G2";
+    g2.contig = 0;
+    g2.exons = {{350, 700}};  // overlaps G1's tail
+    Gene g3;
+    g3.id = "G3";
+    g3.contig = 0;
+    g3.exons = {{1'000, 1'300}};
+    return Annotation({g1, g2, g3});
+  }
+
+  ReadAlignment unique_at(u64 offset, u64 length) const {
+    ReadAlignment alignment;
+    alignment.outcome = ReadOutcome::kUniqueMapped;
+    AlignmentHit hit;
+    hit.text_pos = offset;
+    hit.segments = {{0, offset, length}};
+    hit.score = static_cast<u32>(length);
+    alignment.hits.push_back(hit);
+    alignment.num_loci = 1;
+    return alignment;
+  }
+};
+
+TEST(GeneCounter, UniqueReadInSingleGeneCounted) {
+  const CountsFixture fx;
+  const GeneCounter counter(fx.annotation, fx.index);
+  GeneCountsTable table(3);
+  counter.count(fx.unique_at(150, 100), table);
+  EXPECT_EQ(table.per_gene[0], 1u);
+  EXPECT_EQ(table.per_gene[1], 0u);
+  EXPECT_EQ(table.n_ambiguous, 0u);
+}
+
+TEST(GeneCounter, ReadInOverlapIsAmbiguous) {
+  const CountsFixture fx;
+  const GeneCounter counter(fx.annotation, fx.index);
+  GeneCountsTable table(3);
+  counter.count(fx.unique_at(360, 30), table);  // inside both G1 and G2
+  EXPECT_EQ(table.n_ambiguous, 1u);
+  EXPECT_EQ(table.per_gene[0], 0u);
+  EXPECT_EQ(table.per_gene[1], 0u);
+}
+
+TEST(GeneCounter, IntergenicReadIsNoFeature) {
+  const CountsFixture fx;
+  const GeneCounter counter(fx.annotation, fx.index);
+  GeneCountsTable table(3);
+  counter.count(fx.unique_at(800, 100), table);
+  EXPECT_EQ(table.n_no_feature, 1u);
+}
+
+TEST(GeneCounter, PartialOverlapStillCounts) {
+  const CountsFixture fx;
+  const GeneCounter counter(fx.annotation, fx.index);
+  GeneCountsTable table(3);
+  counter.count(fx.unique_at(950, 100), table);  // 50bp into G3
+  EXPECT_EQ(table.per_gene[2], 1u);
+}
+
+TEST(GeneCounter, MultiMappedGoesToMultimappingBucket) {
+  const CountsFixture fx;
+  const GeneCounter counter(fx.annotation, fx.index);
+  GeneCountsTable table(3);
+  ReadAlignment alignment;
+  alignment.outcome = ReadOutcome::kMultiMapped;
+  counter.count(alignment, table);
+  alignment.outcome = ReadOutcome::kTooManyLoci;
+  counter.count(alignment, table);
+  EXPECT_EQ(table.n_multimapping, 2u);
+}
+
+TEST(GeneCounter, UnmappedGoesToUnmappedBucket) {
+  const CountsFixture fx;
+  const GeneCounter counter(fx.annotation, fx.index);
+  GeneCountsTable table(3);
+  ReadAlignment alignment;
+  alignment.outcome = ReadOutcome::kUnmapped;
+  counter.count(alignment, table);
+  EXPECT_EQ(table.n_unmapped, 1u);
+}
+
+TEST(GeneCounter, SplicedSegmentsQueryEachBlock) {
+  const CountsFixture fx;
+  const GeneCounter counter(fx.annotation, fx.index);
+  GeneCountsTable table(3);
+  ReadAlignment alignment;
+  alignment.outcome = ReadOutcome::kUniqueMapped;
+  AlignmentHit hit;
+  hit.text_pos = 120;
+  hit.segments = {{0, 120, 40}, {40, 1'050, 40}};  // G1 exon + G3 exon
+  alignment.hits.push_back(hit);
+  counter.count(alignment, table);
+  EXPECT_EQ(table.n_ambiguous, 1u);  // touches two genes
+}
+
+TEST(GeneCounter, GenesOverlappingQueries) {
+  const CountsFixture fx;
+  const GeneCounter counter(fx.annotation, fx.index);
+  EXPECT_EQ(counter.genes_overlapping(0, 0, 50).size(), 0u);
+  EXPECT_EQ(counter.genes_overlapping(0, 120, 130).size(), 1u);
+  EXPECT_EQ(counter.genes_overlapping(0, 360, 370).size(), 2u);
+  EXPECT_EQ(counter.genes_overlapping(0, 399, 400).size(), 2u);
+  EXPECT_EQ(counter.genes_overlapping(0, 400, 401).size(), 1u);  // G1 ends
+  EXPECT_TRUE(counter.genes_overlapping(0, 10, 10).empty());     // empty range
+}
+
+TEST(GeneCountsTable, MergeAccumulates) {
+  GeneCountsTable a(2);
+  a.per_gene[0] = 3;
+  a.n_unmapped = 1;
+  GeneCountsTable b(2);
+  b.per_gene[0] = 2;
+  b.per_gene[1] = 5;
+  b.n_ambiguous = 4;
+  a += b;
+  EXPECT_EQ(a.per_gene[0], 5u);
+  EXPECT_EQ(a.per_gene[1], 5u);
+  EXPECT_EQ(a.n_unmapped, 1u);
+  EXPECT_EQ(a.n_ambiguous, 4u);
+  EXPECT_EQ(a.total_counted(), 10u);
+}
+
+TEST(GeneCountsTable, TsvFormat) {
+  const auto& w = world();
+  GeneCountsTable table(w.synthesizer->annotation().num_genes());
+  table.per_gene[0] = 7;
+  table.n_unmapped = 2;
+  std::ostringstream out;
+  table.write_tsv(out, w.synthesizer->annotation());
+  const std::string tsv = out.str();
+  EXPECT_NE(tsv.find("N_unmapped\t2"), std::string::npos);
+  EXPECT_NE(tsv.find("N_multimapping\t0"), std::string::npos);
+  EXPECT_NE(tsv.find(w.synthesizer->annotation().gene(0).id + "\t7"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace staratlas

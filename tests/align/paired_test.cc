@@ -1,0 +1,152 @@
+#include "align/paired.h"
+
+#include <gtest/gtest.h>
+
+#include "index/packed_sequence.h"
+#include "sim/read_simulator.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+TEST(PairedAligner, PlantedFragmentConcordantUnique) {
+  const auto& w = world();
+  const PairedAligner aligner(w.index111, PairedParams{});
+  const u64 frag_start = 61'000;
+  const u64 frag_len = 280;
+  const std::string fragment =
+      w.r111.contig(0).sequence.substr(frag_start, frag_len);
+  const std::string mate1 = fragment.substr(0, 100);
+  const std::string mate2 = reverse_complement(fragment.substr(frag_len - 100));
+
+  MappingStats work;
+  const PairedAlignment result = aligner.align_pair(mate1, mate2, work);
+  EXPECT_EQ(result.outcome, PairOutcome::kConcordantUnique);
+  EXPECT_EQ(result.num_pairs, 1u);
+  EXPECT_EQ(result.best_pair_score, 200u);
+  EXPECT_FALSE(result.hit1.reverse);
+  EXPECT_TRUE(result.hit2.reverse);
+  EXPECT_EQ(w.index111.locate(result.hit1.text_pos).offset, frag_start);
+  EXPECT_EQ(w.index111.locate(result.hit2.text_pos).offset,
+            frag_start + frag_len - 100);
+}
+
+TEST(PairedAligner, SwappedStrandsStillConcordant) {
+  const auto& w = world();
+  const PairedAligner aligner(w.index111, PairedParams{});
+  const std::string fragment = w.r111.contig(1).sequence.substr(12'000, 300);
+  // Fragment sequenced from the other strand: mate1 is the RC end.
+  const std::string mate1 = reverse_complement(fragment.substr(200));
+  const std::string mate2 = fragment.substr(0, 100);
+  MappingStats work;
+  const PairedAlignment result = aligner.align_pair(mate1, mate2, work);
+  EXPECT_EQ(result.outcome, PairOutcome::kConcordantUnique);
+  EXPECT_TRUE(result.hit1.reverse);
+  EXPECT_FALSE(result.hit2.reverse);
+}
+
+TEST(PairedAligner, MatesTooFarApartAreDiscordant) {
+  const auto& w = world();
+  PairedParams params;
+  params.max_fragment_span = 5'000;
+  const PairedAligner aligner(w.index111, params);
+  const std::string& chrom = w.r111.contig(0).sequence;
+  const std::string mate1 = chrom.substr(10'000, 100);
+  const std::string mate2 = reverse_complement(chrom.substr(40'000, 100));
+  MappingStats work;
+  const PairedAlignment result = aligner.align_pair(mate1, mate2, work);
+  EXPECT_EQ(result.outcome, PairOutcome::kDiscordant);
+}
+
+TEST(PairedAligner, SameStrandMatesAreDiscordant) {
+  const auto& w = world();
+  const PairedAligner aligner(w.index111, PairedParams{});
+  const std::string& chrom = w.r111.contig(0).sequence;
+  const std::string mate1 = chrom.substr(20'000, 100);
+  const std::string mate2 = chrom.substr(20'150, 100);  // both forward
+  MappingStats work;
+  const PairedAlignment result = aligner.align_pair(mate1, mate2, work);
+  EXPECT_EQ(result.outcome, PairOutcome::kDiscordant);
+}
+
+TEST(PairedAligner, OneMateJunk) {
+  const auto& w = world();
+  const PairedAligner aligner(w.index111, PairedParams{});
+  const std::string mate1 = w.r111.contig(0).sequence.substr(30'000, 100);
+  const std::string junk =
+      "CCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGG";
+  MappingStats work;
+  EXPECT_EQ(aligner.align_pair(mate1, junk, work).outcome,
+            PairOutcome::kOneMateMapped);
+  EXPECT_EQ(aligner.align_pair(junk, junk, work).outcome,
+            PairOutcome::kUnmapped);
+}
+
+TEST(PairedAligner, SimulatedBulkPairsMostlyConcordant) {
+  const auto& w = world();
+  const ReadPairSet pairs = w.simulator->simulate_pairs(
+      bulk_rna_profile(), 400, FragmentModel{}, Rng(5150));
+  ASSERT_EQ(pairs.size(), 400u);
+  const PairedAligner aligner(w.index111, PairedParams{});
+  PairedStats stats;
+  MappingStats work;
+  for (usize i = 0; i < pairs.size(); ++i) {
+    stats.add(aligner
+                  .align_pair(pairs.mate1[i].sequence, pairs.mate2[i].sequence,
+                              work)
+                  .outcome);
+  }
+  EXPECT_EQ(stats.pairs, 400u);
+  EXPECT_GT(stats.concordant_rate(), 0.75);
+  // Junk pairs exist in the profile, so some unmapped too.
+  EXPECT_GT(stats.unmapped, 0u);
+}
+
+TEST(PairedAligner, SpannedJunctionStaysConcordant) {
+  // A fragment across an intron: mates land on different exons but the
+  // genomic span stays within the cap.
+  const auto& w = world();
+  const Annotation& annotation = w.synthesizer->annotation();
+  const Gene* gene = nullptr;
+  for (const Gene& candidate : annotation.genes()) {
+    if (candidate.exons.size() >= 2 && candidate.exonic_length() >= 300) {
+      gene = &candidate;
+      break;
+    }
+  }
+  ASSERT_NE(gene, nullptr);
+  const std::string transcript = gene->transcript_sequence(w.r111);
+  std::string fragment = transcript.substr(0, 300);
+  if (gene->strand == '-') fragment = reverse_complement(fragment);
+  const std::string mate1 = fragment.substr(0, 100);
+  const std::string mate2 = reverse_complement(fragment.substr(200));
+
+  const PairedAligner aligner(w.index111, PairedParams{});
+  MappingStats work;
+  const PairedAlignment result = aligner.align_pair(mate1, mate2, work);
+  EXPECT_TRUE(result.outcome == PairOutcome::kConcordantUnique ||
+              result.outcome == PairOutcome::kConcordantMulti)
+      << pair_outcome_name(result.outcome);
+}
+
+TEST(PairedStats, Accumulates) {
+  PairedStats stats;
+  stats.add(PairOutcome::kConcordantUnique);
+  stats.add(PairOutcome::kConcordantMulti);
+  stats.add(PairOutcome::kDiscordant);
+  stats.add(PairOutcome::kOneMateMapped);
+  stats.add(PairOutcome::kUnmapped);
+  EXPECT_EQ(stats.pairs, 5u);
+  EXPECT_DOUBLE_EQ(stats.concordant_rate(), 0.4);
+}
+
+TEST(PairOutcome, Names) {
+  EXPECT_STREQ(pair_outcome_name(PairOutcome::kConcordantUnique),
+               "concordant_unique");
+  EXPECT_STREQ(pair_outcome_name(PairOutcome::kUnmapped), "unmapped");
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,63 @@
+#include "align/progress.h"
+
+#include <gtest/gtest.h>
+
+namespace staratlas {
+namespace {
+
+MappingStats chunk(u64 unique, u64 multi, u64 too_many, u64 unmapped) {
+  MappingStats stats;
+  stats.processed = unique + multi + too_many + unmapped;
+  stats.unique = unique;
+  stats.multi = multi;
+  stats.too_many = too_many;
+  stats.unmapped = unmapped;
+  return stats;
+}
+
+TEST(ProgressTracker, AccumulatesChunks) {
+  ProgressTracker tracker(1'000);
+  tracker.add(chunk(80, 10, 2, 8));
+  tracker.add(chunk(70, 20, 0, 10));
+  const ProgressSnapshot snap = tracker.snapshot(12.5);
+  EXPECT_EQ(snap.total_reads, 1'000u);
+  EXPECT_EQ(snap.processed, 200u);
+  EXPECT_EQ(snap.unique, 150u);
+  EXPECT_EQ(snap.multi, 30u);
+  EXPECT_EQ(snap.too_many, 2u);
+  EXPECT_EQ(snap.unmapped, 18u);
+  EXPECT_DOUBLE_EQ(snap.elapsed_seconds, 12.5);
+}
+
+TEST(ProgressSnapshot, Rates) {
+  ProgressTracker tracker(400);
+  tracker.add(chunk(60, 20, 10, 10));
+  const ProgressSnapshot snap = tracker.snapshot();
+  EXPECT_DOUBLE_EQ(snap.fraction_processed(), 0.25);
+  // Mapped rate counts unique+multi only (STAR semantics).
+  EXPECT_DOUBLE_EQ(snap.mapped_rate(), 0.8);
+}
+
+TEST(ProgressSnapshot, EmptySafe) {
+  const ProgressSnapshot snap;
+  EXPECT_DOUBLE_EQ(snap.fraction_processed(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.mapped_rate(), 0.0);
+}
+
+TEST(ProgressLog, RendersRows) {
+  ProgressLog log;
+  ProgressTracker tracker(100);
+  tracker.add(chunk(40, 5, 0, 5));
+  log.append(tracker.snapshot());
+  tracker.add(chunk(40, 5, 0, 5));
+  log.append(tracker.snapshot());
+  ASSERT_EQ(log.entries().size(), 2u);
+  const std::string text = log.render();
+  EXPECT_NE(text.find("Reads processed"), std::string::npos);
+  EXPECT_NE(text.find("50"), std::string::npos);
+  EXPECT_NE(text.find("100"), std::string::npos);
+  EXPECT_NE(text.find("90.0%"), std::string::npos);  // mapped rate
+}
+
+}  // namespace
+}  // namespace staratlas

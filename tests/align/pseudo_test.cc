@@ -1,0 +1,109 @@
+#include "align/pseudo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "index/packed_sequence.h"
+#include "sim/read_simulator.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+const PseudoAligner& pseudo() {
+  static const PseudoAligner* instance = new PseudoAligner(
+      world().r111, world().synthesizer->annotation());
+  return *instance;
+}
+
+TEST(PseudoAligner, ExonicReadCompatibleWithSourceGene) {
+  const auto& w = world();
+  const Annotation& annotation = w.synthesizer->annotation();
+  usize checked = 0;
+  for (usize g = 0; g < annotation.num_genes() && checked < 10; ++g) {
+    const Gene& gene = annotation.gene(static_cast<GeneId>(g));
+    const std::string transcript = gene.transcript_sequence(w.r111);
+    if (transcript.size() < 120) continue;
+    const std::string read = transcript.substr(10, 100);
+    const PseudoResult result = pseudo().classify(read);
+    ASSERT_TRUE(result.mapped) << gene.id;
+    EXPECT_NE(std::find(result.compatible.begin(), result.compatible.end(),
+                        static_cast<GeneId>(g)),
+              result.compatible.end())
+        << gene.id;
+    ++checked;
+  }
+  EXPECT_GE(checked, 5u);
+}
+
+TEST(PseudoAligner, ReverseComplementAlsoMaps) {
+  const auto& w = world();
+  const Gene& gene = w.synthesizer->annotation().gene(0);
+  const std::string transcript = gene.transcript_sequence(w.r111);
+  ASSERT_GE(transcript.size(), 120u);
+  const std::string read =
+      reverse_complement(transcript.substr(0, 100));
+  EXPECT_TRUE(pseudo().classify(read).mapped);
+}
+
+TEST(PseudoAligner, JunkReadUnmapped) {
+  const PseudoResult result = pseudo().classify(
+      "CCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGG");
+  EXPECT_FALSE(result.mapped);
+}
+
+TEST(PseudoAligner, ShortReadUnmapped) {
+  EXPECT_FALSE(pseudo().classify("ACGTACGT").mapped);
+}
+
+TEST(PseudoAligner, ToleratesSequencingErrors) {
+  const auto& w = world();
+  const Gene& gene = w.synthesizer->annotation().gene(1);
+  const std::string transcript = gene.transcript_sequence(w.r111);
+  ASSERT_GE(transcript.size(), 120u);
+  std::string read = transcript.substr(0, 100);
+  read[50] = read[50] == 'A' ? 'C' : 'A';  // one error mid-read
+  EXPECT_TRUE(pseudo().classify(read).mapped);
+}
+
+TEST(PseudoAligner, BulkSampleRatesTrackAligner) {
+  // Pseudo "mapped rate" should be close to the exonic fraction: it only
+  // maps transcriptome reads (intronic/intergenic reads don't count —
+  // that is exactly the semantic difference from a genome aligner).
+  const auto& w = world();
+  const ReadSet reads =
+      w.simulator->simulate(bulk_rna_profile(), 2'000, Rng(64));
+  std::vector<std::string> sequences;
+  for (const auto& read : reads.reads) sequences.push_back(read.sequence);
+  const PseudoStats stats = pseudo().run(sequences);
+  EXPECT_EQ(stats.processed, 2'000u);
+  EXPECT_NEAR(stats.mapped_rate(), bulk_rna_profile().exonic_fraction, 0.06);
+  EXPECT_GT(stats.unique_gene, 0u);
+  u64 counted = 0;
+  for (u64 c : stats.gene_counts) counted += c;
+  EXPECT_EQ(counted, stats.unique_gene);
+}
+
+TEST(PseudoAligner, SingleCellRateLowLikeAligner) {
+  const auto& w = world();
+  const ReadSet reads =
+      w.simulator->simulate(single_cell_profile(), 2'000, Rng(65));
+  std::vector<std::string> sequences;
+  for (const auto& read : reads.reads) sequences.push_back(read.sequence);
+  const PseudoStats stats = pseudo().run(sequences);
+  EXPECT_LT(stats.mapped_rate(), 0.30);
+}
+
+TEST(PseudoAligner, ParamsValidated) {
+  const auto& w = world();
+  PseudoParams bad;
+  bad.k = 5;
+  EXPECT_THROW(
+      PseudoAligner(w.r111, w.synthesizer->annotation(), bad),
+      InternalError);
+}
+
+}  // namespace
+}  // namespace staratlas

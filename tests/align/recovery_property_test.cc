@@ -1,0 +1,92 @@
+// Property sweep: reads planted at known genomic positions must be
+// recovered by the aligner across releases, read lengths and error rates —
+// the end-to-end correctness invariant everything else rests on.
+#include <gtest/gtest.h>
+
+#include "align/aligner.h"
+#include "common/rng.h"
+#include "index/packed_sequence.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+struct RecoveryCase {
+  int release;        // 108 or 111
+  usize read_length;  // planted read length
+  double error_rate;  // per-base substitutions applied
+  double min_recovery;  // required fraction located at the planted locus
+};
+
+class PlantedReadRecovery : public ::testing::TestWithParam<RecoveryCase> {};
+
+TEST_P(PlantedReadRecovery, FindsPlantedLocus) {
+  const RecoveryCase param = GetParam();
+  const auto& w = world();
+  const GenomeIndex& index = param.release == 108 ? w.index108 : w.index111;
+  const Aligner aligner(index, AlignerParams{});
+  Rng rng(static_cast<u64>(param.release) * 1'000 + param.read_length);
+  static const char kBases[] = "ACGT";
+
+  const usize trials = 60;
+  usize recovered = 0;
+  for (usize trial = 0; trial < trials; ++trial) {
+    // Plant within the gene zone of a random chromosome (repeat tails are
+    // legitimately ambiguous).
+    const auto contig = static_cast<ContigId>(
+        rng.uniform(w.spec.num_chromosomes));
+    const std::string& chrom = w.r111.contig(contig).sequence;
+    const u64 zone = w.spec.chromosome_length * 70 / 100;
+    const u64 pos = rng.uniform(zone - param.read_length);
+    std::string read = chrom.substr(pos, param.read_length);
+    for (auto& c : read) {
+      if (rng.chance(param.error_rate)) c = kBases[rng.uniform(4)];
+    }
+    if (rng.chance(0.5)) read = reverse_complement(read);
+
+    MappingStats work;
+    const ReadAlignment result = aligner.align(read, work);
+    if (result.hits.empty()) continue;
+    // Recovered if ANY reported hit is the planted locus.
+    for (const AlignmentHit& hit : result.hits) {
+      const ContigLocus locus = index.locate(hit.text_pos);
+      if (locus.contig == contig &&
+          locus.offset + 5 >= pos && locus.offset <= pos + 5) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(static_cast<double>(recovered),
+            param.min_recovery * static_cast<double>(trials))
+      << "recovered " << recovered << "/" << trials;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlantedReadRecovery,
+    ::testing::Values(
+        // Error-free reads: near-perfect recovery on both releases.
+        RecoveryCase{111, 100, 0.0, 0.98},
+        RecoveryCase{108, 100, 0.0, 0.98},
+        RecoveryCase{111, 50, 0.0, 0.95},
+        RecoveryCase{108, 50, 0.0, 0.95},
+        RecoveryCase{111, 150, 0.0, 0.98},
+        // Realistic sequencing error.
+        RecoveryCase{111, 100, 0.005, 0.95},
+        RecoveryCase{108, 100, 0.005, 0.95},
+        // Heavy error: still mostly recoverable at 100 bp.
+        RecoveryCase{111, 100, 0.02, 0.85},
+        RecoveryCase{108, 100, 0.02, 0.85},
+        // Short + noisy is the hardest corner.
+        RecoveryCase{111, 50, 0.01, 0.80}),
+    [](const ::testing::TestParamInfo<RecoveryCase>& info) {
+      const RecoveryCase& param = info.param;
+      return "r" + std::to_string(param.release) + "_len" +
+             std::to_string(param.read_length) + "_err" +
+             std::to_string(static_cast<int>(param.error_rate * 1'000));
+    });
+
+}  // namespace
+}  // namespace staratlas

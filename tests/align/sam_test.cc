@@ -1,0 +1,189 @@
+#include "align/sam.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "align/aligner.h"
+#include "index/packed_sequence.h"
+#include "io/text.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+AlignmentHit hit_with_segments(std::vector<AlignedSegment> segments) {
+  AlignmentHit hit;
+  hit.segments = std::move(segments);
+  hit.text_pos = hit.segments.front().text_start;
+  return hit;
+}
+
+TEST(Cigar, FullMatch) {
+  const AlignmentHit hit = hit_with_segments({{0, 1'000, 100}});
+  EXPECT_EQ(cigar_string(hit, 100), "100M");
+}
+
+TEST(Cigar, SoftClips) {
+  const AlignmentHit hit = hit_with_segments({{5, 1'000, 90}});
+  EXPECT_EQ(cigar_string(hit, 100), "5S90M5S");
+}
+
+TEST(Cigar, SplicedWithIntron) {
+  // 50M then a 500 bp intron then 50M.
+  const AlignmentHit hit =
+      hit_with_segments({{0, 1'000, 50}, {50, 1'550, 50}});
+  EXPECT_EQ(cigar_string(hit, 100), "50M500N50M");
+}
+
+TEST(Cigar, MixedGapFoldsReadGapIntoM) {
+  // Read gap 4, genome gap 304: 40M 300N 4M 56M.
+  const AlignmentHit hit =
+      hit_with_segments({{0, 1'000, 40}, {44, 1'344, 56}});
+  EXPECT_EQ(cigar_string(hit, 100), "40M300N4M56M");
+}
+
+TEST(StarMapq, Convention) {
+  EXPECT_EQ(star_mapq(1), 255);
+  EXPECT_EQ(star_mapq(2), 3);
+  EXPECT_EQ(star_mapq(3), 1);
+  EXPECT_EQ(star_mapq(4), 1);
+  EXPECT_EQ(star_mapq(5), 0);
+  EXPECT_EQ(star_mapq(40), 0);
+}
+
+TEST(SamWriter, HeaderListsContigs) {
+  const auto& w = world();
+  std::ostringstream out;
+  SamWriter writer(out, w.index111);
+  const std::string header = out.str();
+  EXPECT_NE(header.find("@HD\tVN:1.6"), std::string::npos);
+  EXPECT_NE(header.find("@SQ\tSN:1\tLN:"), std::string::npos);
+  EXPECT_NE(header.find("@PG\tID:staratlas"), std::string::npos);
+  // One @SQ per contig.
+  usize sq_lines = 0;
+  std::istringstream lines(header);
+  std::string line;
+  while (std::getline(lines, line)) {
+    sq_lines += starts_with(line, "@SQ") ? 1 : 0;
+  }
+  EXPECT_EQ(sq_lines, w.index111.contigs().size());
+}
+
+TEST(SamWriter, UniqueForwardRecord) {
+  const auto& w = world();
+  const u64 planted = 37'000;
+  FastqRecord read;
+  read.name = "r1";
+  read.sequence = w.r111.contig(0).sequence.substr(planted, 100);
+  read.quality = std::string(100, 'I');
+
+  const Aligner aligner(w.index111, AlignerParams{});
+  MappingStats work;
+  const ReadAlignment alignment = aligner.align(read.sequence, work);
+  ASSERT_EQ(alignment.outcome, ReadOutcome::kUniqueMapped);
+
+  std::ostringstream out;
+  SamWriter writer(out, w.index111);
+  writer.write_read(read, alignment);
+
+  // Find the record line.
+  std::istringstream lines(out.str());
+  std::string line;
+  std::string record;
+  while (std::getline(lines, line)) {
+    if (starts_with(line, "r1\t")) record = line;
+  }
+  ASSERT_FALSE(record.empty());
+  const auto fields = split_view(record, '\t');
+  ASSERT_GE(fields.size(), 11u);
+  EXPECT_EQ(fields[1], "0");                       // flag
+  EXPECT_EQ(fields[2], "1");                       // contig name
+  EXPECT_EQ(fields[3], std::to_string(planted + 1));  // 1-based pos
+  EXPECT_EQ(fields[4], "255");                     // unique MAPQ
+  EXPECT_EQ(fields[5], "100M");
+  EXPECT_EQ(fields[9], read.sequence);
+  EXPECT_NE(record.find("NH:i:1"), std::string::npos);
+}
+
+TEST(SamWriter, ReverseRecordStoresReverseComplement) {
+  const auto& w = world();
+  const u64 planted = 48'000;
+  const std::string genome_piece = w.r111.contig(0).sequence.substr(planted, 100);
+  FastqRecord read;
+  read.name = "r2";
+  read.sequence = reverse_complement(genome_piece);
+  read.quality = std::string(100, 'F');
+
+  const Aligner aligner(w.index111, AlignerParams{});
+  MappingStats work;
+  const ReadAlignment alignment = aligner.align(read.sequence, work);
+  ASSERT_FALSE(alignment.hits.empty());
+  ASSERT_TRUE(alignment.hits[0].reverse);
+
+  std::ostringstream out;
+  SamWriter writer(out, w.index111);
+  writer.write_read(read, alignment);
+  const std::string sam = out.str();
+  // Flag 16 and the genome-strand sequence.
+  EXPECT_NE(sam.find("r2\t16\t"), std::string::npos);
+  EXPECT_NE(sam.find(genome_piece), std::string::npos);
+}
+
+TEST(SamWriter, UnmappedRecord) {
+  const auto& w = world();
+  FastqRecord read;
+  read.name = "junk";
+  read.sequence = "CCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGGCCGG";
+  read.quality = std::string(read.sequence.size(), 'I');
+  ReadAlignment alignment;  // unmapped
+  std::ostringstream out;
+  SamWriter writer(out, w.index111);
+  writer.write_read(read, alignment);
+  EXPECT_NE(out.str().find("junk\t4\t*\t0\t0\t*"), std::string::npos);
+  EXPECT_EQ(writer.records_written(), 1u);
+}
+
+TEST(SamWriter, MultimapperEmitsSecondaryRecords) {
+  const auto& w = world();
+  // Scan the repeat array for a read that multimaps (most do on the 108
+  // index; the exact offset depends on copy divergence draws).
+  const RepeatRegion& region = w.synthesizer->repeat_regions()[0];
+  const Aligner aligner(w.index108, AlignerParams{});
+  FastqRecord read;
+  read.name = "rep";
+  read.quality = std::string(100, 'I');
+  ReadAlignment alignment;
+  for (u64 offset = 100; offset + 100 < region.end - region.start;
+       offset += 137) {
+    read.sequence = w.r108.contig(region.contig)
+                        .sequence.substr(region.start + offset, 100);
+    MappingStats work;
+    alignment = aligner.align(read.sequence, work);
+    if (alignment.outcome == ReadOutcome::kMultiMapped) break;
+  }
+  ASSERT_EQ(alignment.outcome, ReadOutcome::kMultiMapped);
+
+  std::ostringstream out;
+  SamWriter writer(out, w.index108);
+  writer.write_read(read, alignment);
+  EXPECT_EQ(writer.records_written(), alignment.hits.size());
+  // Exactly one primary (flag without 0x100).
+  std::istringstream lines(out.str());
+  std::string line;
+  usize primary = 0;
+  usize secondary = 0;
+  while (std::getline(lines, line)) {
+    if (!starts_with(line, "rep\t")) continue;
+    const auto fields = split_view(line, '\t');
+    const auto flag = parse_u64(fields[1]);
+    ((flag & 0x100) ? secondary : primary) += 1;
+  }
+  EXPECT_EQ(primary, 1u);
+  EXPECT_EQ(secondary, alignment.hits.size() - 1);
+}
+
+}  // namespace
+}  // namespace staratlas

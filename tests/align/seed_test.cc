@@ -1,0 +1,102 @@
+#include "align/seed.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+TEST(SeedSearch, ExactReadYieldsGridSeeds) {
+  const auto& w = world();
+  const std::string read = w.r111.contig(0).sequence.substr(10'000, 100);
+  AlignerParams params;
+  const SeedSearchResult result = find_seeds(w.index111, read, params);
+  // One full-length MMP from offset 0 plus one per later grid start.
+  ASSERT_GE(result.seeds.size(), 2u);
+  EXPECT_EQ(result.seeds[0].read_offset, 0u);
+  EXPECT_EQ(result.seeds[0].length, 100u);
+  bool has_grid_seed = false;
+  for (const Seed& seed : result.seeds) {
+    if (seed.read_offset == params.seed_search_start_lmax) has_grid_seed = true;
+  }
+  EXPECT_TRUE(has_grid_seed);
+}
+
+TEST(SeedSearch, ErrorSplitsRead) {
+  const auto& w = world();
+  std::string read = w.r111.contig(0).sequence.substr(20'000, 100);
+  // Introduce a mismatch at position 40 (flip the base).
+  read[40] = read[40] == 'A' ? 'C' : 'A';
+  AlignerParams params;
+  const SeedSearchResult result = find_seeds(w.index111, read, params);
+  // First MMP stops at/near the error; a later seed resumes past it.
+  ASSERT_GE(result.seeds.size(), 2u);
+  EXPECT_EQ(result.seeds[0].read_offset, 0u);
+  EXPECT_LE(result.seeds[0].length, 41u);
+  bool covers_tail = false;
+  for (const Seed& seed : result.seeds) {
+    if (seed.read_offset + seed.length >= 95) covers_tail = true;
+  }
+  EXPECT_TRUE(covers_tail);
+}
+
+TEST(SeedSearch, JunkReadYieldsNoSeeds) {
+  const auto& w = world();
+  // Alternating motif absent from a random-ish genome at length >= 18.
+  const std::string read =
+      "CCCCCCGGGGGGCCCCCCGGGGGGCCCCCCGGGGGGCCCCCCGGGGGGCCCC";
+  AlignerParams params;
+  const SeedSearchResult result = find_seeds(w.index111, read, params);
+  EXPECT_TRUE(result.seeds.empty());
+  EXPECT_GT(result.mmp_calls, 1u);  // it kept trying along the read
+}
+
+TEST(SeedSearch, RespectsMaxSeeds) {
+  const auto& w = world();
+  const std::string read = w.r111.contig(0).sequence.substr(30'000, 100);
+  AlignerParams params;
+  params.max_seeds_per_read = 1;
+  const SeedSearchResult result = find_seeds(w.index111, read, params);
+  EXPECT_EQ(result.seeds.size(), 1u);
+}
+
+TEST(SeedSearch, MinLengthFiltersShortMatches) {
+  const auto& w = world();
+  const std::string genome_piece = w.r111.contig(0).sequence.substr(40'000, 100);
+  AlignerParams params;
+  params.seed_min_length = 101;  // longer than the read: nothing qualifies
+  const SeedSearchResult result = find_seeds(w.index111, genome_piece, params);
+  EXPECT_TRUE(result.seeds.empty());
+}
+
+TEST(SeedSearch, SeedIntervalsContainTrueLocus) {
+  const auto& w = world();
+  const u64 planted = 15'000;
+  const std::string read = w.r111.contig(1).sequence.substr(planted, 80);
+  AlignerParams params;
+  const SeedSearchResult result = find_seeds(w.index111, read, params);
+  ASSERT_FALSE(result.seeds.empty());
+  const Seed& seed = result.seeds[0];
+  bool found = false;
+  for (u32 row = seed.interval.lo; row < seed.interval.hi; ++row) {
+    const ContigLocus locus =
+        w.index111.locate(w.index111.sa_position(row));
+    if (locus.contig == 1 && locus.offset == planted) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SeedSearch, WorkCountersPopulated) {
+  const auto& w = world();
+  const std::string read = w.r111.contig(0).sequence.substr(50'000, 100);
+  const SeedSearchResult result = find_seeds(w.index111, read, AlignerParams{});
+  EXPECT_GT(result.mmp_calls, 0u);
+  EXPECT_GT(result.chars_matched, 90u);
+}
+
+}  // namespace
+}  // namespace staratlas

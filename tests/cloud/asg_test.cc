@@ -1,0 +1,125 @@
+#include "cloud/asg.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+struct AsgFixture {
+  SimKernel kernel;
+  CostMeter cost;
+  Ec2Fleet fleet{kernel, cost, nullptr, VirtualDuration::seconds(30)};
+  usize backlog = 0;
+
+  AutoScalingGroup make_asg(AsgPolicy policy) {
+    return AutoScalingGroup(kernel, fleet, instance_type("r6a.4xlarge"),
+                            /*spot=*/false, policy,
+                            [this] { return backlog; });
+  }
+};
+
+TEST(Asg, ScalesOutToBacklog) {
+  AsgFixture fx;
+  AsgPolicy policy;
+  policy.max_size = 10;
+  policy.target_backlog_per_instance = 4.0;
+  AutoScalingGroup asg = fx.make_asg(policy);
+  fx.backlog = 20;  // -> desired ceil(20/4) = 5
+  asg.start();
+  fx.kernel.run_until(VirtualTime(10.0));
+  EXPECT_EQ(asg.desired_capacity(), 5u);
+  EXPECT_EQ(fx.fleet.launched_total(), 5u);
+  asg.stop();
+  fx.fleet.terminate_all();
+}
+
+TEST(Asg, ClampsToMaxSize) {
+  AsgFixture fx;
+  AsgPolicy policy;
+  policy.max_size = 3;
+  AutoScalingGroup asg = fx.make_asg(policy);
+  fx.backlog = 1'000;
+  asg.start();
+  fx.kernel.run_until(VirtualTime(10.0));
+  EXPECT_EQ(asg.desired_capacity(), 3u);
+  EXPECT_EQ(fx.fleet.launched_total(), 3u);
+  asg.stop();
+  fx.fleet.terminate_all();
+}
+
+TEST(Asg, RespectsMinSizeWhenIdle) {
+  AsgFixture fx;
+  AsgPolicy policy;
+  policy.min_size = 2;
+  policy.max_size = 8;
+  AutoScalingGroup asg = fx.make_asg(policy);
+  fx.backlog = 0;
+  asg.start();
+  fx.kernel.run_until(VirtualTime(10.0));
+  EXPECT_EQ(asg.desired_capacity(), 2u);
+  asg.stop();
+  fx.fleet.terminate_all();
+}
+
+TEST(Asg, ReevaluatesPeriodically) {
+  AsgFixture fx;
+  AsgPolicy policy;
+  policy.max_size = 10;
+  policy.target_backlog_per_instance = 2.0;
+  policy.evaluation_period = VirtualDuration::minutes(1);
+  AutoScalingGroup asg = fx.make_asg(policy);
+  fx.backlog = 2;
+  asg.start();
+  fx.kernel.run_until(VirtualTime(10.0));
+  EXPECT_EQ(fx.fleet.launched_total(), 1u);
+  fx.backlog = 10;  // grows later
+  fx.kernel.run_until(VirtualTime(100.0));
+  EXPECT_EQ(asg.desired_capacity(), 5u);
+  EXPECT_EQ(fx.fleet.launched_total(), 5u);
+  asg.stop();
+  fx.fleet.terminate_all();
+}
+
+TEST(Asg, ShouldReleaseWhenOverDesired) {
+  AsgFixture fx;
+  AsgPolicy policy;
+  policy.max_size = 4;
+  AutoScalingGroup asg = fx.make_asg(policy);
+  fx.backlog = 8;  // desired 4
+  asg.start();
+  fx.kernel.run_until(VirtualTime(60.0));
+  EXPECT_FALSE(asg.should_release());
+  fx.backlog = 0;  // work done -> desired drops to 0 at next evaluation
+  fx.kernel.run_until(VirtualTime(200.0));
+  EXPECT_TRUE(asg.should_release());
+  asg.stop();
+  fx.fleet.terminate_all();
+}
+
+TEST(Asg, StopHaltsEvaluation) {
+  AsgFixture fx;
+  AsgPolicy policy;
+  policy.max_size = 10;
+  AutoScalingGroup asg = fx.make_asg(policy);
+  fx.backlog = 4;
+  asg.start();
+  fx.kernel.run_until(VirtualTime(5.0));
+  asg.stop();
+  fx.backlog = 100;
+  fx.kernel.run();  // no further evaluations scheduled
+  EXPECT_LT(fx.fleet.launched_total(), 10u);
+  fx.fleet.terminate_all();
+}
+
+TEST(Asg, InvalidPolicyRejected) {
+  AsgFixture fx;
+  AsgPolicy policy;
+  policy.min_size = 5;
+  policy.max_size = 2;
+  EXPECT_THROW(fx.make_asg(policy), InternalError);
+}
+
+}  // namespace
+}  // namespace staratlas

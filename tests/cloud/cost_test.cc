@@ -1,0 +1,81 @@
+#include "cloud/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+TEST(Cost, InstanceTimeBilledPerSecond) {
+  CostMeter meter;
+  const InstanceType& r6a4x = instance_type("r6a.4xlarge");
+  meter.add_instance_time(r6a4x, 3600.0, /*spot=*/false);
+  EXPECT_NEAR(meter.total_usd(), r6a4x.on_demand_hourly, 1e-9);
+  EXPECT_NEAR(meter.instance_hours(), 1.0, 1e-9);
+}
+
+TEST(Cost, SpotBilledAtSpotRate) {
+  CostMeter meter;
+  const InstanceType& r6a4x = instance_type("r6a.4xlarge");
+  meter.add_instance_time(r6a4x, 1800.0, /*spot=*/true);
+  EXPECT_NEAR(meter.category_usd("ec2_spot"), r6a4x.spot_hourly / 2.0, 1e-9);
+  EXPECT_NEAR(meter.category_usd("ec2_ondemand"), 0.0, 1e-12);
+}
+
+TEST(Cost, CategoriesAccumulate) {
+  CostMeter meter;
+  meter.add("s3_storage", 1.5);
+  meter.add("s3_storage", 0.5);
+  meter.add("sqs_requests", 0.1);
+  EXPECT_NEAR(meter.category_usd("s3_storage"), 2.0, 1e-12);
+  EXPECT_NEAR(meter.total_usd(), 2.1, 1e-12);
+  EXPECT_EQ(meter.breakdown().size(), 2u);
+}
+
+TEST(Cost, UnknownCategoryIsZero) {
+  CostMeter meter;
+  EXPECT_DOUBLE_EQ(meter.category_usd("nothing"), 0.0);
+}
+
+TEST(Cost, NegativeSecondsRejected) {
+  CostMeter meter;
+  EXPECT_THROW(
+      meter.add_instance_time(instance_type("r6a.large"), -1.0, false),
+      InternalError);
+}
+
+TEST(InstanceTypes, CatalogHasPaperInstance) {
+  const InstanceType& type = instance_type("r6a.4xlarge");
+  EXPECT_EQ(type.vcpus, 16u);
+  EXPECT_NEAR(type.memory.gib(), 128.0, 1e-9);
+  EXPECT_GT(type.on_demand_hourly, type.spot_hourly);
+}
+
+TEST(InstanceTypes, UnknownThrows) {
+  EXPECT_THROW(instance_type("x1e.32xlarge"), InvalidArgument);
+}
+
+TEST(InstanceTypes, CatalogPricesMonotoneInSize) {
+  // Within the r6a family, price scales with vCPUs.
+  double last_price = 0.0;
+  u32 last_vcpus = 0;
+  for (const auto& type : instance_catalog()) {
+    if (type.name.rfind("r6a.", 0) != 0) continue;
+    if (type.vcpus > last_vcpus) {
+      EXPECT_GT(type.on_demand_hourly, last_price);
+      last_vcpus = type.vcpus;
+      last_price = type.on_demand_hourly;
+    }
+  }
+  EXPECT_GE(last_vcpus, 32u);
+}
+
+TEST(InstanceTypes, HourlyHelper) {
+  const InstanceType& type = instance_type("m6a.4xlarge");
+  EXPECT_DOUBLE_EQ(type.hourly(false), type.on_demand_hourly);
+  EXPECT_DOUBLE_EQ(type.hourly(true), type.spot_hourly);
+}
+
+}  // namespace
+}  // namespace staratlas

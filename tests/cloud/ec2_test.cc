@@ -1,0 +1,101 @@
+#include "cloud/ec2.h"
+
+#include <gtest/gtest.h>
+
+namespace staratlas {
+namespace {
+
+struct Ec2Fixture {
+  SimKernel kernel;
+  CostMeter cost;
+  SpotMarket spot{Rng(1), VirtualDuration::hours(1)};
+  Ec2Fleet fleet{kernel, cost, &spot, VirtualDuration::seconds(45)};
+};
+
+TEST(Ec2, BootDelayThenReady) {
+  Ec2Fixture fx;
+  double ready_at = -1.0;
+  fx.fleet.set_on_ready(
+      [&](u64) { ready_at = fx.kernel.now().secs(); });
+  const u64 id = fx.fleet.launch(instance_type("r6a.4xlarge"), false);
+  EXPECT_EQ(fx.fleet.instance(id).state, InstanceState::kPending);
+  fx.kernel.run();
+  EXPECT_DOUBLE_EQ(ready_at, 45.0);
+  EXPECT_EQ(fx.fleet.instance(id).state, InstanceState::kRunning);
+  EXPECT_EQ(fx.fleet.running_count(), 1u);
+  fx.fleet.terminate(id);
+}
+
+TEST(Ec2, TerminateBillsLifetime) {
+  Ec2Fixture fx;
+  const InstanceType& type = instance_type("r6a.4xlarge");
+  const u64 id = fx.fleet.launch(type, false);
+  fx.kernel.schedule_after(VirtualDuration::hours(2),
+                           [&] { fx.fleet.terminate(id); });
+  fx.kernel.run();
+  EXPECT_NEAR(fx.cost.total_usd(), 2.0 * type.on_demand_hourly, 1e-6);
+  EXPECT_EQ(fx.fleet.instance(id).state, InstanceState::kTerminated);
+  // Double-terminate must not double-bill.
+  fx.fleet.terminate(id);
+  EXPECT_NEAR(fx.cost.total_usd(), 2.0 * type.on_demand_hourly, 1e-6);
+}
+
+TEST(Ec2, TerminateWhilePendingSuppressesReady) {
+  Ec2Fixture fx;
+  bool ready = false;
+  fx.fleet.set_on_ready([&](u64) { ready = true; });
+  const u64 id = fx.fleet.launch(instance_type("r6a.large"), false);
+  fx.fleet.terminate(id);  // before boot completes
+  fx.kernel.run();
+  EXPECT_FALSE(ready);
+}
+
+TEST(Ec2, SpotGetsReclaimed) {
+  Ec2Fixture fx;
+  u64 interrupted_id = 0;
+  fx.fleet.set_on_interrupted([&](u64 id) { interrupted_id = id; });
+  const u64 id = fx.fleet.launch(instance_type("r6a.4xlarge"), true);
+  fx.kernel.run();  // mean TTI is 1h; the exponential draw eventually fires
+  EXPECT_EQ(interrupted_id, id);
+  EXPECT_EQ(fx.fleet.instance(id).state, InstanceState::kTerminated);
+  EXPECT_EQ(fx.fleet.interruptions(), 1u);
+  EXPECT_GT(fx.cost.category_usd("ec2_spot"), 0.0);
+}
+
+TEST(Ec2, OnDemandNeverReclaimed) {
+  Ec2Fixture fx;
+  bool interrupted = false;
+  fx.fleet.set_on_interrupted([&](u64) { interrupted = true; });
+  const u64 id = fx.fleet.launch(instance_type("r6a.4xlarge"), false);
+  fx.kernel.run_until(VirtualTime(3600.0 * 1000));
+  EXPECT_FALSE(interrupted);
+  EXPECT_EQ(fx.fleet.instance(id).state, InstanceState::kRunning);
+  fx.fleet.terminate(id);
+}
+
+TEST(Ec2, TerminateCancelsReclaimTimer) {
+  Ec2Fixture fx;
+  bool interrupted = false;
+  fx.fleet.set_on_interrupted([&](u64) { interrupted = true; });
+  const u64 id = fx.fleet.launch(instance_type("r6a.4xlarge"), true);
+  fx.fleet.terminate(id);
+  fx.kernel.run();
+  EXPECT_FALSE(interrupted);
+  EXPECT_EQ(fx.fleet.interruptions(), 0u);
+}
+
+TEST(Ec2, TerminateAllSweepsFleet) {
+  Ec2Fixture fx;
+  for (int i = 0; i < 5; ++i) {
+    fx.fleet.launch(instance_type("r6a.large"), false);
+  }
+  fx.kernel.run_until(VirtualTime(100.0));
+  EXPECT_EQ(fx.fleet.running_count(), 5u);
+  fx.fleet.terminate_all();
+  EXPECT_EQ(fx.fleet.running_count(), 0u);
+  EXPECT_EQ(fx.fleet.launched_total(), 5u);
+  EXPECT_GT(fx.cost.total_usd(), 0.0);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,91 @@
+#include "cloud/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace staratlas {
+namespace {
+
+TEST(SimKernel, RunsEventsInTimeOrder) {
+  SimKernel kernel;
+  std::vector<int> order;
+  kernel.schedule_after(VirtualDuration::seconds(30), [&] { order.push_back(3); });
+  kernel.schedule_after(VirtualDuration::seconds(10), [&] { order.push_back(1); });
+  kernel.schedule_after(VirtualDuration::seconds(20), [&] { order.push_back(2); });
+  kernel.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(kernel.now().secs(), 30.0);
+  EXPECT_EQ(kernel.events_processed(), 3u);
+}
+
+TEST(SimKernel, SameTimestampStableOrder) {
+  SimKernel kernel;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    kernel.schedule_after(VirtualDuration::seconds(1), [&order, i] {
+      order.push_back(i);
+    });
+  }
+  kernel.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimKernel, EventsCanScheduleEvents) {
+  SimKernel kernel;
+  double fired_at = -1.0;
+  kernel.schedule_after(VirtualDuration::seconds(5), [&] {
+    kernel.schedule_after(VirtualDuration::seconds(7),
+                          [&] { fired_at = kernel.now().secs(); });
+  });
+  kernel.run();
+  EXPECT_DOUBLE_EQ(fired_at, 12.0);
+}
+
+TEST(SimKernel, CancelPreventsExecution) {
+  SimKernel kernel;
+  bool ran = false;
+  const auto id =
+      kernel.schedule_after(VirtualDuration::seconds(1), [&] { ran = true; });
+  kernel.cancel(id);
+  kernel.run();
+  EXPECT_FALSE(ran);
+  kernel.cancel(id);  // double-cancel is a no-op
+}
+
+TEST(SimKernel, RunUntilStopsAtDeadline) {
+  SimKernel kernel;
+  int count = 0;
+  kernel.schedule_after(VirtualDuration::seconds(1), [&] { ++count; });
+  kernel.schedule_after(VirtualDuration::seconds(10), [&] { ++count; });
+  kernel.run_until(VirtualTime(5.0));
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(kernel.now().secs(), 5.0);
+  EXPECT_EQ(kernel.pending_events(), 1u);
+  kernel.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimKernel, NegativeDelayClampedToNow) {
+  SimKernel kernel;
+  bool ran = false;
+  kernel.schedule_after(VirtualDuration::seconds(-5), [&] { ran = true; });
+  kernel.run();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(kernel.now().secs(), 0.0);
+}
+
+TEST(SimKernel, ClockNeverGoesBackward) {
+  SimKernel kernel;
+  double last = -1.0;
+  for (int i = 10; i > 0; --i) {
+    kernel.schedule_after(VirtualDuration::seconds(i), [&kernel, &last] {
+      EXPECT_GE(kernel.now().secs(), last);
+      last = kernel.now().secs();
+    });
+  }
+  kernel.run();
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,61 @@
+#include "cloud/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+TEST(MetricSeries, RecordsAndSummarizes) {
+  MetricSeries series;
+  EXPECT_TRUE(series.empty());
+  series.add(VirtualTime(0), 2.0);
+  series.add(VirtualTime(10), 4.0);
+  series.add(VirtualTime(20), 3.0);
+  EXPECT_EQ(series.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(series.max(), 4.0);
+  EXPECT_DOUBLE_EQ(series.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(series.final_value(), 3.0);
+}
+
+TEST(MetricSeries, TimeWeightedMean) {
+  MetricSeries series;
+  series.add(VirtualTime(0), 10.0);   // holds for 10s
+  series.add(VirtualTime(10), 0.0);   // holds for 30s
+  series.add(VirtualTime(40), 99.0);  // endpoint, no weight
+  EXPECT_DOUBLE_EQ(series.time_weighted_mean(), (10.0 * 10.0) / 40.0);
+}
+
+TEST(MetricSeries, RejectsTimeTravel) {
+  MetricSeries series;
+  series.add(VirtualTime(10), 1.0);
+  EXPECT_THROW(series.add(VirtualTime(5), 1.0), InternalError);
+}
+
+TEST(MetricsRecorder, SeriesByName) {
+  MetricsRecorder recorder;
+  recorder.record("queue_depth", VirtualTime(0), 5.0);
+  recorder.record("queue_depth", VirtualTime(60), 3.0);
+  recorder.record("cost_usd", VirtualTime(0), 0.1);
+  EXPECT_TRUE(recorder.has("queue_depth"));
+  EXPECT_FALSE(recorder.has("nope"));
+  EXPECT_THROW(recorder.series("nope"), InternalError);
+  EXPECT_EQ(recorder.series("queue_depth").points().size(), 2u);
+  EXPECT_EQ(recorder.names(),
+            (std::vector<std::string>{"cost_usd", "queue_depth"}));
+}
+
+TEST(MetricsRecorder, CsvFormat) {
+  MetricsRecorder recorder;
+  recorder.record("a", VirtualTime(1.5), 2.0);
+  recorder.record("b", VirtualTime(3.0), 4.5);
+  std::ostringstream out;
+  recorder.write_csv(out);
+  EXPECT_EQ(out.str(), "metric,time_seconds,value\na,1.5,2\nb,3,4.5\n");
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,75 @@
+#include "cloud/s3.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+TEST(S3, PutHeadGetRemove) {
+  S3Bucket bucket("atlas-index");
+  EXPECT_EQ(bucket.name(), "atlas-index");
+  bucket.put("star-index-r111", ByteSize::from_gib(29.5));
+  EXPECT_TRUE(bucket.contains("star-index-r111"));
+  ASSERT_TRUE(bucket.head("star-index-r111").has_value());
+  EXPECT_NEAR(bucket.head("star-index-r111")->gib(), 29.5, 1e-9);
+  EXPECT_NEAR(bucket.get("star-index-r111").gib(), 29.5, 1e-9);
+  bucket.remove("star-index-r111");
+  EXPECT_FALSE(bucket.contains("star-index-r111"));
+}
+
+TEST(S3, MissingObjectThrowsOnGet) {
+  S3Bucket bucket("b");
+  EXPECT_THROW(bucket.get("nope"), InvalidArgument);
+  EXPECT_FALSE(bucket.head("nope").has_value());
+}
+
+TEST(S3, OverwriteReplacesSize) {
+  S3Bucket bucket("b");
+  bucket.put("k", ByteSize(100));
+  bucket.put("k", ByteSize(200));
+  EXPECT_EQ(bucket.get("k").bytes(), 200u);
+  EXPECT_EQ(bucket.num_objects(), 1u);
+}
+
+TEST(S3, TotalsAndCounters) {
+  S3Bucket bucket("b");
+  bucket.put("a", ByteSize(100));
+  bucket.put("b", ByteSize(300));
+  bucket.get("a");
+  bucket.get("a");
+  EXPECT_EQ(bucket.total_bytes().bytes(), 400u);
+  EXPECT_EQ(bucket.put_count(), 2u);
+  EXPECT_EQ(bucket.get_count(), 2u);
+}
+
+TEST(S3, TransferTimeMath) {
+  // 1 GiB at 8 Gbps, 100% efficiency = 2^30 / 1e9 seconds.
+  const VirtualDuration t =
+      S3Bucket::transfer_time(ByteSize::from_gib(1.0), 8.0, 1.0);
+  EXPECT_NEAR(t.secs(), 1073741824.0 / 1e9, 1e-6);
+  // Efficiency scales linearly.
+  const VirtualDuration t85 =
+      S3Bucket::transfer_time(ByteSize::from_gib(1.0), 8.0, 0.85);
+  EXPECT_NEAR(t85.secs(), t.secs() / 0.85, 1e-6);
+}
+
+TEST(S3, PaperIndexDownloadTimes) {
+  // 29.5 GiB vs 85 GiB on a 6.25 Gbps NIC: the smaller index should
+  // download ~2.9x faster — the paper's "reduces the initial overhead".
+  const VirtualDuration small =
+      S3Bucket::transfer_time(ByteSize::from_gib(29.5), 6.25);
+  const VirtualDuration large =
+      S3Bucket::transfer_time(ByteSize::from_gib(85.0), 6.25);
+  EXPECT_NEAR(large / small, 85.0 / 29.5, 1e-9);
+}
+
+TEST(S3, TransferRejectsBadArgs) {
+  EXPECT_THROW(S3Bucket::transfer_time(ByteSize(1), 0.0), InternalError);
+  EXPECT_THROW(S3Bucket::transfer_time(ByteSize(1), 1.0, 0.0), InternalError);
+  EXPECT_THROW(S3Bucket::transfer_time(ByteSize(1), 1.0, 1.5), InternalError);
+}
+
+}  // namespace
+}  // namespace staratlas

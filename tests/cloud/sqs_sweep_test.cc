@@ -1,0 +1,84 @@
+// Parameterized SQS semantics sweep: at-least-once delivery and DLQ
+// behavior must hold for any (visibility timeout, max receives) pair.
+#include <gtest/gtest.h>
+
+#include "cloud/sqs.h"
+
+namespace staratlas {
+namespace {
+
+struct SqsCase {
+  double visibility_secs;
+  u32 max_receives;
+};
+
+class SqsSweep : public ::testing::TestWithParam<SqsCase> {};
+
+TEST_P(SqsSweep, MessageDeadLettersAfterExactlyMaxReceives) {
+  const SqsCase param = GetParam();
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::seconds(param.visibility_secs),
+                 param.max_receives);
+  queue.send("poison");
+  u32 deliveries = 0;
+  for (u32 attempt = 0; attempt < param.max_receives + 3; ++attempt) {
+    auto message = queue.receive();
+    if (!message) break;
+    ++deliveries;
+    EXPECT_EQ(message->receive_count, deliveries);
+    kernel.run();  // never ack; expire
+  }
+  EXPECT_EQ(deliveries, param.max_receives);
+  EXPECT_EQ(queue.dead_letter_queue().size(), 1u);
+  EXPECT_EQ(queue.visible_count(), 0u);
+}
+
+TEST_P(SqsSweep, AckedMessagesNeverRedeliver) {
+  const SqsCase param = GetParam();
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::seconds(param.visibility_secs),
+                 param.max_receives);
+  for (int i = 0; i < 10; ++i) queue.send("m" + std::to_string(i));
+  usize acked = 0;
+  while (auto message = queue.receive()) {
+    queue.delete_message(message->receipt_handle);
+    ++acked;
+  }
+  kernel.run();
+  EXPECT_EQ(acked, 10u);
+  EXPECT_EQ(queue.approximate_depth(), 0u);
+  EXPECT_TRUE(queue.dead_letter_queue().empty());
+  EXPECT_EQ(queue.stats().visibility_expired, 0u);
+}
+
+TEST_P(SqsSweep, RedeliveryHappensAtTheTimeout) {
+  const SqsCase param = GetParam();
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::seconds(param.visibility_secs),
+                 param.max_receives);
+  queue.send("x");
+  auto message = queue.receive();
+  ASSERT_TRUE(message.has_value());
+  // Just before the timeout: still in flight.
+  kernel.run_until(VirtualTime(param.visibility_secs * 0.99));
+  EXPECT_EQ(queue.visible_count(), 0u);
+  // At/after the timeout: visible again (unless it dead-letters at 1).
+  kernel.run_until(VirtualTime(param.visibility_secs * 1.01));
+  if (param.max_receives > 1) {
+    EXPECT_EQ(queue.visible_count(), 1u);
+  } else {
+    EXPECT_EQ(queue.dead_letter_queue().size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SqsSweep,
+    ::testing::Values(SqsCase{30.0, 1}, SqsCase{30.0, 3}, SqsCase{600.0, 5},
+                      SqsCase{3'600.0, 2}, SqsCase{14'400.0, 10}),
+    [](const ::testing::TestParamInfo<SqsCase>& info) {
+      return "v" + std::to_string(static_cast<int>(info.param.visibility_secs)) +
+             "_r" + std::to_string(info.param.max_receives);
+    });
+
+}  // namespace
+}  // namespace staratlas

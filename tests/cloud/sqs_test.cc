@@ -1,0 +1,111 @@
+#include "cloud/sqs.h"
+
+#include <gtest/gtest.h>
+
+namespace staratlas {
+namespace {
+
+TEST(Sqs, SendReceiveDelete) {
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::minutes(5));
+  queue.send("SRR1");
+  queue.send("SRR2");
+  EXPECT_EQ(queue.visible_count(), 2u);
+
+  auto message = queue.receive();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->body, "SRR1");  // FIFO-ish ordering
+  EXPECT_EQ(queue.visible_count(), 1u);
+  EXPECT_EQ(queue.in_flight_count(), 1u);
+  EXPECT_EQ(queue.approximate_depth(), 2u);
+
+  queue.delete_message(message->receipt_handle);
+  EXPECT_EQ(queue.in_flight_count(), 0u);
+  EXPECT_EQ(queue.stats().deleted, 1u);
+}
+
+TEST(Sqs, EmptyReceiveReturnsNullopt) {
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::minutes(5));
+  EXPECT_FALSE(queue.receive().has_value());
+}
+
+TEST(Sqs, VisibilityTimeoutRedelivers) {
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::minutes(5));
+  queue.send("SRR1");
+  auto first = queue.receive();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->receive_count, 1u);
+
+  // Let the visibility timeout expire without deleting.
+  kernel.run();
+  EXPECT_EQ(queue.visible_count(), 1u);
+  EXPECT_EQ(queue.stats().visibility_expired, 1u);
+
+  auto second = queue.receive();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->body, "SRR1");
+  EXPECT_EQ(second->receive_count, 2u);
+  queue.delete_message(second->receipt_handle);
+  kernel.run();
+  EXPECT_EQ(queue.approximate_depth(), 0u);
+}
+
+TEST(Sqs, DeleteAfterExpiryIsNoop) {
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::seconds(10));
+  queue.send("x");
+  auto message = queue.receive();
+  kernel.run();  // expires
+  queue.delete_message(message->receipt_handle);
+  EXPECT_EQ(queue.visible_count(), 1u);  // still redelivered
+  EXPECT_EQ(queue.stats().deleted, 0u);
+}
+
+TEST(Sqs, DeadLetterAfterMaxReceives) {
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::seconds(10), /*max_receives=*/3);
+  queue.send("poison");
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto message = queue.receive();
+    ASSERT_TRUE(message.has_value()) << attempt;
+    kernel.run();  // never delete; timeout expires
+  }
+  EXPECT_EQ(queue.visible_count(), 0u);
+  ASSERT_EQ(queue.dead_letter_queue().size(), 1u);
+  EXPECT_EQ(queue.dead_letter_queue()[0], "poison");
+  EXPECT_EQ(queue.stats().dead_lettered, 1u);
+}
+
+TEST(Sqs, ReturnMessageRequeuesImmediately) {
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::hours(1));
+  queue.send("SRR1");
+  auto message = queue.receive();
+  queue.return_message(message->receipt_handle);
+  EXPECT_EQ(queue.visible_count(), 1u);
+  EXPECT_EQ(queue.in_flight_count(), 0u);
+  // Redelivery preserves the receive count.
+  auto again = queue.receive();
+  EXPECT_EQ(again->receive_count, 2u);
+}
+
+TEST(Sqs, StatsCount) {
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::minutes(1));
+  queue.send("a");
+  queue.send("b");
+  auto m1 = queue.receive();
+  queue.delete_message(m1->receipt_handle);
+  auto m2 = queue.receive();
+  queue.delete_message(m2->receipt_handle);
+  const SqsStats& stats = queue.stats();
+  EXPECT_EQ(stats.sent, 2u);
+  EXPECT_EQ(stats.received, 2u);
+  EXPECT_EQ(stats.deleted, 2u);
+  EXPECT_EQ(stats.visibility_expired, 0u);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,43 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace staratlas {
+namespace {
+
+TEST(Error, HierarchyDerivesFromError) {
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw InternalError("x"), Error);
+}
+
+TEST(Error, MessagesArePrefixed) {
+  try {
+    throw ParseError("bad token");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "parse error: bad token");
+  }
+}
+
+TEST(Check, PassingDoesNothing) {
+  STARATLAS_CHECK(1 + 1 == 2);  // must not throw
+}
+
+TEST(Check, FailingThrowsInternalError) {
+  EXPECT_THROW(STARATLAS_CHECK(false), InternalError);
+}
+
+TEST(Check, MessageContainsExpressionAndLocation) {
+  try {
+    STARATLAS_CHECK(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("error_test"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,90 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+TEST(Stats, MeanAndSum) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(sum(xs), 10.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, WeightedMean) {
+  const std::vector<double> xs = {10, 20};
+  const std::vector<double> ws = {1, 3};
+  EXPECT_DOUBLE_EQ(weighted_mean(xs, ws), 17.5);
+}
+
+TEST(Stats, WeightedMeanMismatchedSizesThrows) {
+  const std::vector<double> xs = {1, 2};
+  const std::vector<double> ws = {1};
+  EXPECT_THROW(weighted_mean(xs, ws), InternalError);
+}
+
+TEST(Stats, WeightedMeanZeroWeightThrows) {
+  const std::vector<double> xs = {1.0};
+  const std::vector<double> ws = {0.0};
+  EXPECT_THROW(weighted_mean(xs, ws), InternalError);
+}
+
+TEST(Stats, Stddev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 15.0);
+}
+
+TEST(Stats, PercentileBadPThrows) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile(xs, -1), InternalError);
+  EXPECT_THROW(percentile(xs, 101), InternalError);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{1, 4}), 2.0);
+  EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{}), 0.0);
+}
+
+TEST(RunningStats, MatchesBatch) {
+  RunningStats rs;
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(xs));
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.total(), sum(xs));
+}
+
+TEST(RunningStats, Empty) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace staratlas

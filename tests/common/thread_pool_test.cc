@@ -1,0 +1,85 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace staratlas {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, FuturePropagatesException) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SizeReflectsWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ParallelForBlocks, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_blocks(pool, hits.size(), [&](usize begin, usize end) {
+    for (usize i = begin; i < end; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForBlocks, EmptyRangeNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for_blocks(pool, 0, [&](usize, usize) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForBlocks, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for_blocks(pool, 10,
+                          [](usize begin, usize) {
+                            if (begin == 0) throw std::runtime_error("bad");
+                          }),
+      std::runtime_error);
+}
+
+TEST(ParallelForBlocks, ComputesCorrectSum) {
+  ThreadPool pool(4);
+  std::vector<long> data(10'000);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<long> total{0};
+  parallel_for_blocks(pool, data.size(), [&](usize begin, usize end) {
+    long local = 0;
+    for (usize i = begin; i < end; ++i) local += data[i];
+    total += local;
+  });
+  EXPECT_EQ(total.load(), 10'000L * 9'999 / 2);
+}
+
+}  // namespace
+}  // namespace staratlas

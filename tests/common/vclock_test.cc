@@ -1,0 +1,51 @@
+#include "common/vclock.h"
+
+#include <gtest/gtest.h>
+
+namespace staratlas {
+namespace {
+
+TEST(VirtualDuration, Constructors) {
+  EXPECT_DOUBLE_EQ(VirtualDuration::seconds(90.0).mins(), 1.5);
+  EXPECT_DOUBLE_EQ(VirtualDuration::minutes(90.0).hrs(), 1.5);
+  EXPECT_DOUBLE_EQ(VirtualDuration::hours(2.0).secs(), 7200.0);
+  EXPECT_DOUBLE_EQ(VirtualDuration::zero().secs(), 0.0);
+}
+
+TEST(VirtualDuration, Arithmetic) {
+  const VirtualDuration a = VirtualDuration::minutes(3);
+  const VirtualDuration b = VirtualDuration::seconds(30);
+  EXPECT_DOUBLE_EQ((a + b).secs(), 210.0);
+  EXPECT_DOUBLE_EQ((a - b).secs(), 150.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).mins(), 6.0);
+  EXPECT_DOUBLE_EQ(a / b, 6.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(VirtualDuration, FormattingSubMinute) {
+  EXPECT_EQ(VirtualDuration::seconds(12.345).str(), "12.35s");
+}
+
+TEST(VirtualDuration, FormattingMinutes) {
+  EXPECT_EQ(VirtualDuration::seconds(150).str(), "2m 30.0s");
+}
+
+TEST(VirtualDuration, FormattingHours) {
+  EXPECT_EQ(VirtualDuration::hours(1.5).str(), "1h 30m 0s");
+}
+
+TEST(VirtualDuration, FormattingNegative) {
+  EXPECT_EQ((VirtualDuration::zero() - VirtualDuration::hours(2)).str(),
+            "-2h 0m 0s");
+}
+
+TEST(VirtualTime, Arithmetic) {
+  const VirtualTime t0 = VirtualTime::origin();
+  const VirtualTime t1 = t0 + VirtualDuration::hours(1);
+  EXPECT_DOUBLE_EQ((t1 - t0).hrs(), 1.0);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(t0 + VirtualDuration::zero(), t0);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,182 @@
+#include "core/atlas_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+std::vector<SraSample> small_catalog(usize n = 40, u64 seed = 5) {
+  CatalogSpec spec;
+  spec.num_samples = n;
+  spec.single_cell_fraction = 0.10;
+  spec.seed = seed;
+  return make_catalog(spec);
+}
+
+AtlasConfig base_config() {
+  AtlasConfig config;
+  config.use_release(111);
+  config.asg.max_size = 8;
+  config.seed = 77;
+  return config;
+}
+
+TEST(AtlasSim, CampaignCompletesAllSamples) {
+  const auto catalog = small_catalog();
+  AtlasSimulation sim(catalog, base_config());
+  const AtlasReport report = sim.run();
+  EXPECT_EQ(report.samples_total, catalog.size());
+  EXPECT_EQ(report.samples_completed + report.samples_early_stopped +
+                report.samples_rejected_late + report.samples_dead_lettered,
+            catalog.size());
+  EXPECT_EQ(report.samples_dead_lettered, 0u);
+  EXPECT_GT(report.makespan_hours, 0.0);
+  EXPECT_GT(report.total_cost_usd, 0.0);
+  EXPECT_GT(report.instance_hours, 0.0);
+  EXPECT_GT(report.peak_instances, 0u);
+  EXPECT_GT(report.throughput_samples_per_hour(), 0.0);
+}
+
+TEST(AtlasSim, EarlyStoppingStopsSingleCellSamples) {
+  const auto catalog = small_catalog(60);
+  usize single_cell = 0;
+  for (const auto& sample : catalog) {
+    single_cell += sample.type == LibraryType::kSingleCell ? 1 : 0;
+  }
+  AtlasSimulation sim(catalog, base_config());
+  const AtlasReport report = sim.run();
+  // Nearly every single-cell sample is caught; a borderline draw may slip
+  // past the noisy checkpoint observation, exactly as in production.
+  EXPECT_GE(report.samples_early_stopped + 1, single_cell);
+  EXPECT_LE(report.samples_early_stopped, single_cell);
+  EXPECT_GT(report.align_hours_saved, 0.0);
+}
+
+TEST(AtlasSim, DisablingEarlyStoppingWastesAlignHours) {
+  const auto catalog = small_catalog(60);
+  AtlasConfig with = base_config();
+  AtlasConfig without = base_config();
+  without.early_stop.enabled = false;
+  const AtlasReport report_with = AtlasSimulation(catalog, with).run();
+  const AtlasReport report_without = AtlasSimulation(catalog, without).run();
+  EXPECT_EQ(report_without.samples_early_stopped, 0u);
+  EXPECT_GT(report_without.unnecessary_align_hours, 0.0);
+  EXPECT_LT(report_with.align_hours_spent, report_without.align_hours_spent);
+  EXPECT_LT(report_with.total_cost_usd, report_without.total_cost_usd);
+}
+
+TEST(AtlasSim, Release108CostsMoreThan111) {
+  const auto catalog = small_catalog(30);
+  AtlasConfig r111 = base_config();
+  AtlasConfig r108 = base_config();
+  r108.use_release(108);
+  const AtlasReport rep111 = AtlasSimulation(catalog, r111).run();
+  const AtlasReport rep108 = AtlasSimulation(catalog, r108).run();
+  EXPECT_GT(rep108.align_hours_spent, 5.0 * rep111.align_hours_spent);
+  EXPECT_GT(rep108.total_cost_usd, 2.0 * rep111.total_cost_usd);
+}
+
+TEST(AtlasSim, SpotCheaperDespiteInterruptions) {
+  const auto catalog = small_catalog(40);
+  AtlasConfig ondemand = base_config();
+  AtlasConfig spot = base_config();
+  spot.spot = true;
+  spot.mean_time_to_interruption = VirtualDuration::hours(12);
+  const AtlasReport rep_od = AtlasSimulation(catalog, ondemand).run();
+  const AtlasReport rep_spot = AtlasSimulation(catalog, spot).run();
+  EXPECT_LT(rep_spot.total_cost_usd, rep_od.total_cost_usd);
+  // Everything still completes (redelivery via visibility timeout).
+  EXPECT_EQ(rep_spot.samples_completed + rep_spot.samples_early_stopped +
+                rep_spot.samples_rejected_late,
+            catalog.size() - rep_spot.samples_dead_lettered);
+}
+
+TEST(AtlasSim, FrequentInterruptionsStillConverge) {
+  const auto catalog = small_catalog(20);
+  AtlasConfig config = base_config();
+  config.spot = true;
+  config.mean_time_to_interruption = VirtualDuration::hours(1.5);
+  config.visibility_timeout = VirtualDuration::hours(2);
+  const AtlasReport report = AtlasSimulation(catalog, config).run();
+  EXPECT_GE(report.interruptions, 1u);
+  EXPECT_EQ(report.samples_completed + report.samples_early_stopped +
+                report.samples_rejected_late + report.samples_dead_lettered,
+            catalog.size());
+}
+
+TEST(AtlasSim, IndexMustFitInstanceMemory) {
+  AtlasConfig config = base_config();
+  config.use_release(108);            // 85 GiB index
+  config.instance_type = "r6a.2xlarge";  // 64 GiB RAM
+  EXPECT_THROW(AtlasSimulation(small_catalog(5), config), InvalidArgument);
+}
+
+TEST(AtlasSim, SmallerIndexAllowsSmallerInstance) {
+  AtlasConfig config = base_config();  // 29.5 GiB index
+  config.instance_type = "r6a.2xlarge";
+  AtlasSimulation sim(small_catalog(10), config);
+  const AtlasReport report = sim.run();
+  EXPECT_EQ(report.samples_dead_lettered, 0u);
+  EXPECT_GT(report.samples_completed, 0u);
+}
+
+TEST(AtlasSim, DeterministicAcrossRuns) {
+  const auto catalog = small_catalog(25);
+  const AtlasReport a = AtlasSimulation(catalog, base_config()).run();
+  const AtlasReport b = AtlasSimulation(catalog, base_config()).run();
+  EXPECT_DOUBLE_EQ(a.makespan_hours, b.makespan_hours);
+  EXPECT_DOUBLE_EQ(a.total_cost_usd, b.total_cost_usd);
+  EXPECT_EQ(a.samples_early_stopped, b.samples_early_stopped);
+  EXPECT_EQ(a.instances_launched, b.instances_launched);
+}
+
+TEST(AtlasSim, UseReleaseSetsIndexSize) {
+  AtlasConfig config;
+  config.use_release(108);
+  EXPECT_NEAR(config.index_bytes.gib(), 85.0, 1e-9);
+  config.use_release(111);
+  EXPECT_NEAR(config.index_bytes.gib(), 29.5, 1e-9);
+  EXPECT_THROW(config.use_release(110), InternalError);
+}
+
+TEST(AtlasSim, AsgScalesFleetWithQueue) {
+  const auto catalog = small_catalog(60);
+  AtlasConfig config = base_config();
+  config.asg.max_size = 6;
+  const AtlasReport report = AtlasSimulation(catalog, config).run();
+  EXPECT_LE(report.peak_instances, 6u);
+  EXPECT_GE(report.peak_instances, 2u);
+}
+
+TEST(AtlasSim, EmptyCatalogRejected) {
+  EXPECT_THROW(AtlasSimulation({}, base_config()), InternalError);
+}
+
+TEST(AtlasSim, MetricsRecorded) {
+  const auto catalog = small_catalog(30);
+  const AtlasReport report = AtlasSimulation(catalog, base_config()).run();
+  for (const char* name :
+       {"queue_depth", "instances_running", "cost_usd", "samples_done"}) {
+    ASSERT_TRUE(report.metrics.has(name)) << name;
+    EXPECT_GE(report.metrics.series(name).points().size(), 2u) << name;
+  }
+  // Queue drains; completions and cost are monotone non-decreasing.
+  EXPECT_DOUBLE_EQ(report.metrics.series("queue_depth").final_value(), 0.0);
+  const auto& done = report.metrics.series("samples_done").points();
+  const auto& cost = report.metrics.series("cost_usd").points();
+  for (usize i = 1; i < done.size(); ++i) {
+    EXPECT_GE(done[i].value, done[i - 1].value);
+  }
+  for (usize i = 1; i < cost.size(); ++i) {
+    EXPECT_GE(cost[i].value + 1e-9, cost[i - 1].value);
+  }
+  EXPECT_DOUBLE_EQ(done.back().value, static_cast<double>(catalog.size()));
+  // The sampled cost converges on the billed total.
+  EXPECT_NEAR(cost.back().value, report.total_cost_usd,
+              0.15 * report.total_cost_usd + 0.01);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,96 @@
+#include "core/estimate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+std::vector<SraSample> catalog_of(usize n, double sc = 0.1, u64 seed = 5) {
+  CatalogSpec spec;
+  spec.num_samples = n;
+  spec.single_cell_fraction = sc;
+  spec.seed = seed;
+  return make_catalog(spec);
+}
+
+AtlasConfig config_for(int release) {
+  AtlasConfig config;
+  config.use_release(release);
+  config.asg.max_size = 8;
+  config.seed = 77;
+  return config;
+}
+
+TEST(Estimate, AgreesWithSimulatorOnCost) {
+  const auto catalog = catalog_of(60);
+  const AtlasConfig config = config_for(111);
+  const CampaignEstimate estimate = estimate_campaign(catalog, config);
+  const AtlasReport actual = AtlasSimulation(catalog, config).run();
+  // The closed form ignores queueing/poll idling, so it undershoots a
+  // little; they must agree within 25%.
+  EXPECT_NEAR(estimate.ec2_cost_usd, actual.total_cost_usd,
+              0.25 * actual.total_cost_usd);
+  EXPECT_NEAR(estimate.instance_hours, actual.instance_hours,
+              0.25 * actual.instance_hours);
+}
+
+TEST(Estimate, PredictsEarlyStops) {
+  const auto catalog = catalog_of(100, 0.2);
+  usize single_cell = 0;
+  for (const auto& sample : catalog) {
+    single_cell += sample.type == LibraryType::kSingleCell ? 1 : 0;
+  }
+  const CampaignEstimate estimate =
+      estimate_campaign(catalog, config_for(111));
+  EXPECT_EQ(estimate.expected_early_stops, single_cell);
+  EXPECT_GT(estimate.align_hours_saved, 0.0);
+}
+
+TEST(Estimate, EarlyStopDisabledSavesNothing) {
+  const auto catalog = catalog_of(50, 0.2);
+  AtlasConfig config = config_for(111);
+  config.early_stop.enabled = false;
+  const CampaignEstimate estimate = estimate_campaign(catalog, config);
+  EXPECT_EQ(estimate.expected_early_stops, 0u);
+  EXPECT_DOUBLE_EQ(estimate.align_hours_saved, 0.0);
+}
+
+TEST(Estimate, Release108CostsMore) {
+  const auto catalog = catalog_of(40);
+  AtlasConfig r108 = config_for(108);
+  r108.stages.release_slowdown_108 = 12.0;
+  const CampaignEstimate e108 = estimate_campaign(catalog, r108);
+  const CampaignEstimate e111 = estimate_campaign(catalog, config_for(111));
+  EXPECT_GT(e108.ec2_cost_usd, 5.0 * e111.ec2_cost_usd);
+  EXPECT_GT(e108.makespan_hours, e111.makespan_hours);
+}
+
+TEST(Estimate, SpotCheaperThanOnDemand) {
+  const auto catalog = catalog_of(40);
+  AtlasConfig spot = config_for(111);
+  spot.spot = true;
+  const CampaignEstimate e_spot = estimate_campaign(catalog, spot);
+  const CampaignEstimate e_od = estimate_campaign(catalog, config_for(111));
+  EXPECT_LT(e_spot.ec2_cost_usd, 0.5 * e_od.ec2_cost_usd);
+  // Work hours identical; only the rate changes.
+  EXPECT_DOUBLE_EQ(e_spot.instance_hours, e_od.instance_hours);
+}
+
+TEST(Estimate, MoreInstancesShortenMakespan) {
+  const auto catalog = catalog_of(80);
+  AtlasConfig narrow = config_for(111);
+  narrow.asg.max_size = 2;
+  AtlasConfig wide = config_for(111);
+  wide.asg.max_size = 16;
+  EXPECT_GT(estimate_campaign(catalog, narrow).makespan_hours,
+            2.0 * estimate_campaign(catalog, wide).makespan_hours);
+}
+
+TEST(Estimate, EmptyCatalogRejected) {
+  EXPECT_THROW(estimate_campaign({}, config_for(111)), InternalError);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,70 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/maprate_model.h"
+
+namespace staratlas {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  // Each line has the same structure: 4 lines total (header, rule, 2 rows).
+  usize lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InternalError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), InternalError);
+}
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%.2f h", 1.5), "1.50 h");
+  EXPECT_EQ(strf("$%d", 42), "$42");
+  EXPECT_EQ(strf("%s/%s", "a", "b"), "a/b");
+}
+
+TEST(MapRateModelSmoke, CalibrationOverridesDefaults) {
+  // maprate_model has no dedicated test file; cover it here.
+  MapRateModel model;
+  model.calibrate({0.9, 0.92, 0.88}, {0.2, 0.24});
+  EXPECT_NEAR(model.bulk_mean, 0.9, 1e-9);
+  EXPECT_NEAR(model.single_cell_mean, 0.22, 1e-9);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const double bulk = model.sample_true_rate(LibraryType::kBulk, rng);
+    const double sc = model.sample_true_rate(LibraryType::kSingleCell, rng);
+    EXPECT_GT(bulk, 0.5);
+    EXPECT_LT(sc, 0.5);
+    const double obs = model.checkpoint_observation(bulk, rng);
+    EXPECT_NEAR(obs, bulk, 0.1);
+  }
+}
+
+TEST(MapRateModelSmoke, EmptyCalibrationKeepsDefaults) {
+  MapRateModel model;
+  const double bulk_default = model.bulk_mean;
+  model.calibrate({}, {});
+  EXPECT_DOUBLE_EQ(model.bulk_mean, bulk_default);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,96 @@
+#include "core/rightsizing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+RightSizingQuery query_for(int release) {
+  RightSizingQuery query;
+  query.genome_release = release;
+  query.index_bytes =
+      release == 108 ? ByteSize::from_gib(85.0) : ByteSize::from_gib(29.5);
+  return query;
+}
+
+usize feasible_count(const std::vector<RightSizingOption>& options) {
+  usize n = 0;
+  for (const auto& option : options) n += option.feasible ? 1 : 0;
+  return n;
+}
+
+TEST(RightSizing, SmallIndexUnlocksMoreInstanceTypes) {
+  const auto options108 = evaluate_instances(query_for(108));
+  const auto options111 = evaluate_instances(query_for(111));
+  // The paper's §III.A claim: the smaller index admits smaller instances.
+  EXPECT_GT(feasible_count(options111), feasible_count(options108));
+}
+
+TEST(RightSizing, FeasibilityMatchesMemory) {
+  const auto options = evaluate_instances(query_for(108));
+  const ByteSize needed =
+      StageTimeModel::required_memory(ByteSize::from_gib(85.0));
+  for (const auto& option : options) {
+    EXPECT_EQ(option.feasible, option.type->memory >= needed)
+        << option.type->name;
+    if (!option.feasible) {
+      EXPECT_FALSE(option.infeasible_reason.empty());
+    }
+  }
+}
+
+TEST(RightSizing, FeasibleSortedByCost) {
+  const auto options = evaluate_instances(query_for(111));
+  double last = 0.0;
+  bool in_feasible_prefix = true;
+  for (const auto& option : options) {
+    if (!option.feasible) {
+      in_feasible_prefix = false;
+      continue;
+    }
+    EXPECT_TRUE(in_feasible_prefix) << "feasible after infeasible";
+    EXPECT_GE(option.cost_per_sample_usd, last);
+    last = option.cost_per_sample_usd;
+  }
+}
+
+TEST(RightSizing, BestOptionForSmallIndexIsCheaperThanForLarge) {
+  const auto options108 = evaluate_instances(query_for(108));
+  const auto options111 = evaluate_instances(query_for(111));
+  const RightSizingOption& best108 = best_option(options108);
+  const RightSizingOption& best111 = best_option(options111);
+  // The 85 GiB index forces >= 128 GiB boxes; the 29.5 GiB one doesn't.
+  EXPECT_GE(best108.type->memory.gib(), 128.0);
+  EXPECT_LT(best111.type->memory.gib(), 128.0);
+  EXPECT_LT(best111.cost_per_sample_usd, best108.cost_per_sample_usd);
+}
+
+TEST(RightSizing, SpotPricingLowersCost) {
+  RightSizingQuery od = query_for(111);
+  RightSizingQuery spot = query_for(111);
+  spot.spot = true;
+  const double od_cost = best_option(evaluate_instances(od)).cost_per_sample_usd;
+  const double spot_cost =
+      best_option(evaluate_instances(spot)).cost_per_sample_usd;
+  EXPECT_LT(spot_cost, od_cost * 0.6);
+}
+
+TEST(RightSizing, NoFeasibleOptionThrows) {
+  RightSizingQuery query = query_for(108);
+  query.index_bytes = ByteSize::from_tib(2.0);  // fits nothing
+  EXPECT_THROW(best_option(evaluate_instances(query)), InvalidArgument);
+}
+
+TEST(RightSizing, SampleSecondsPositiveAndConsistent) {
+  for (const auto& option : evaluate_instances(query_for(111))) {
+    if (!option.feasible) continue;
+    EXPECT_GT(option.sample_seconds, 0.0);
+    EXPECT_NEAR(option.samples_per_hour, 3600.0 / option.sample_seconds,
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,98 @@
+#include "core/stage_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+const InstanceType& r6a4x() { return instance_type("r6a.4xlarge"); }
+const InstanceType& r6a8x() { return instance_type("r6a.8xlarge"); }
+
+TEST(StageModel, AlignTimeScalesWithSize) {
+  const StageTimeModel model;
+  const auto small = model.align_time(ByteSize::from_gib(1.0), 111, r6a4x());
+  const auto large = model.align_time(ByteSize::from_gib(10.0), 111, r6a4x());
+  EXPECT_NEAR(large / small, 10.0, 1e-9);
+}
+
+TEST(StageModel, AlignAnchorMatchesPaperFig4Average) {
+  // 155.8 h / 1000 alignments at mean 15.9 GiB -> ~9.35 min per sample on
+  // the r6a.4xlarge reference.
+  const StageTimeModel model;
+  const auto mean_sample =
+      model.align_time(ByteSize::from_gib(15.9), 111, r6a4x());
+  EXPECT_NEAR(mean_sample.mins(), 9.35, 0.5);
+}
+
+TEST(StageModel, Release108SlowdownApplied) {
+  StageTimeModel model;
+  model.release_slowdown_108 = 12.0;
+  const auto fast = model.align_time(ByteSize::from_gib(4.0), 111, r6a4x());
+  const auto slow = model.align_time(ByteSize::from_gib(4.0), 108, r6a4x());
+  EXPECT_NEAR(slow / fast, 12.0, 1e-9);
+}
+
+TEST(StageModel, UnknownReleaseRejected) {
+  const StageTimeModel model;
+  EXPECT_THROW(model.align_time(ByteSize::from_gib(1.0), 110, r6a4x()),
+               InternalError);
+}
+
+TEST(StageModel, MoreVcpusFaster) {
+  const StageTimeModel model;
+  const auto on16 = model.align_time(ByteSize::from_gib(8.0), 111, r6a4x());
+  const auto on32 = model.align_time(ByteSize::from_gib(8.0), 111, r6a8x());
+  EXPECT_LT(on32, on16);
+  // Sublinear: doubling cores gives < 2x speedup.
+  EXPECT_GT(on32 * 2.0, on16);
+}
+
+TEST(StageModel, PrefetchCappedBySourceBandwidth) {
+  const StageTimeModel model;
+  // r6a.8xlarge has a 12.5 Gbps NIC but NCBI caps at 1.5 Gbps: both
+  // instance types should download equally fast.
+  const auto t4x = model.prefetch_time(ByteSize::from_gib(6.9), r6a4x());
+  const auto t8x = model.prefetch_time(ByteSize::from_gib(6.9), r6a8x());
+  EXPECT_NEAR(t4x.secs(), t8x.secs(), 1e-9);
+  EXPECT_GT(t4x.secs(), 30.0);  // 6.9 GiB at 1.5 Gbps ~ 46 s
+}
+
+TEST(StageModel, SmallNicLimitsPrefetch) {
+  const StageTimeModel model;
+  const auto tiny = model.prefetch_time(ByteSize::from_gib(6.9),
+                                        instance_type("r6a.large"));
+  const auto big = model.prefetch_time(ByteSize::from_gib(6.9), r6a4x());
+  EXPECT_GT(tiny.secs(), big.secs());
+}
+
+TEST(StageModel, IndexInitFasterForSmallIndex) {
+  const StageTimeModel model;
+  const auto init111 = model.index_init_time(ByteSize::from_gib(29.5), r6a4x());
+  const auto init108 = model.index_init_time(ByteSize::from_gib(85.0), r6a4x());
+  EXPECT_NEAR(init108 / init111, 85.0 / 29.5, 1e-9);
+  // The paper's point: boot-time overhead drops materially.
+  EXPECT_GT(init108.mins() - init111.mins(), 1.0);
+}
+
+TEST(StageModel, RequiredMemoryIncludesHeadroom) {
+  const ByteSize need = StageTimeModel::required_memory(ByteSize::from_gib(29.5));
+  EXPECT_GT(need.gib(), 29.5);
+  EXPECT_LT(need.gib(), 50.0);
+  // 111-index fits a 64 GiB box; the 108 index needs the 128 GiB box.
+  EXPECT_LT(need, instance_type("r6a.2xlarge").memory);
+  const ByteSize need108 = StageTimeModel::required_memory(ByteSize::from_gib(85.0));
+  EXPECT_GT(need108, instance_type("r6a.2xlarge").memory);
+  EXPECT_LT(need108, instance_type("r6a.4xlarge").memory);
+}
+
+TEST(StageModel, DumpScalesWithOutput) {
+  const StageTimeModel model;
+  const auto small = model.dump_time(ByteSize::from_gib(2.0), r6a4x());
+  const auto large = model.dump_time(ByteSize::from_gib(20.0), r6a4x());
+  EXPECT_NEAR(large / small, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace staratlas

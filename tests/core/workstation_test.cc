@@ -1,0 +1,94 @@
+#include "core/workstation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+struct WorkstationFixture {
+  std::unique_ptr<SraRepository> repository;
+  std::vector<std::string> accessions;
+
+  explicit WorkstationFixture(double sc_fraction = 0.25) {
+    const auto& w = world();
+    CatalogSpec spec;
+    spec.num_samples = 8;
+    spec.single_cell_fraction = sc_fraction;
+    spec.reads_at_mean = 1'000;
+    spec.min_reads = 800;
+    spec.seed = 66;
+    auto simulator = std::make_shared<ReadSimulator>(
+        w.r111, w.synthesizer->annotation(), w.synthesizer->repeat_regions());
+    repository =
+        std::make_unique<SraRepository>(make_catalog(spec), simulator);
+    for (const auto& sample : repository->catalog()) {
+      accessions.push_back(sample.accession);
+    }
+  }
+};
+
+TEST(Workstation, BatchProcessesAllAccessions) {
+  const auto& w = world();
+  WorkstationFixture fx;
+  PipelineConfig config;
+  config.engine.progress_check_interval = 100;
+  const WorkstationReport report = run_workstation_batch(
+      w.index111, w.synthesizer->annotation(), *fx.repository, fx.accessions,
+      config);
+  EXPECT_EQ(report.samples.size(), fx.accessions.size());
+  EXPECT_EQ(report.accepted + report.early_stopped + report.rejected,
+            fx.accessions.size());
+  EXPECT_GT(report.accepted, 0u);
+  EXPECT_GT(report.early_stopped, 0u);  // 2 of 8 are single-cell
+  EXPECT_GT(report.align_wall_seconds, 0.0);
+}
+
+TEST(Workstation, CountMatrixHoldsAcceptedSamplesOnly) {
+  const auto& w = world();
+  WorkstationFixture fx;
+  PipelineConfig config;
+  config.engine.progress_check_interval = 100;
+  const WorkstationReport report = run_workstation_batch(
+      w.index111, w.synthesizer->annotation(), *fx.repository, fx.accessions,
+      config);
+  EXPECT_EQ(report.counts.num_samples(), report.accepted);
+  EXPECT_EQ(report.counts.num_genes(),
+            w.synthesizer->annotation().num_genes());
+  // Accepted bulk samples have substantial counted reads.
+  for (const double size : report.counts.library_sizes()) {
+    EXPECT_GT(size, 100.0);
+  }
+}
+
+TEST(Workstation, SizeFactorsComputedForAcceptedBatch) {
+  const auto& w = world();
+  WorkstationFixture fx;
+  PipelineConfig config;
+  config.engine.progress_check_interval = 100;
+  const WorkstationReport report = run_workstation_batch(
+      w.index111, w.synthesizer->annotation(), *fx.repository, fx.accessions,
+      config);
+  ASSERT_EQ(report.size_factors.size(), report.accepted);
+  for (const double factor : report.size_factors) {
+    EXPECT_GT(factor, 0.1);
+    EXPECT_LT(factor, 10.0);
+  }
+}
+
+TEST(Workstation, EmptyBatch) {
+  const auto& w = world();
+  WorkstationFixture fx;
+  const WorkstationReport report =
+      run_workstation_batch(w.index111, w.synthesizer->annotation(),
+                            *fx.repository, {}, PipelineConfig{});
+  EXPECT_TRUE(report.samples.empty());
+  EXPECT_TRUE(report.size_factors.empty());
+}
+
+}  // namespace
+}  // namespace staratlas

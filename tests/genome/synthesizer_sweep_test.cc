@@ -1,0 +1,89 @@
+// Parameterized invariants of the genome synthesizer across scales: the
+// release size ratio, annotation validity and chromosome sharing must
+// hold whatever GenomeSpec a user picks.
+#include <gtest/gtest.h>
+
+#include "genome/synthesizer.h"
+
+namespace staratlas {
+namespace {
+
+struct ScaleCase {
+  usize chromosomes;
+  u64 length;
+  usize genes;
+  u64 seed;
+};
+
+class SynthesizerScaleSweep : public ::testing::TestWithParam<ScaleCase> {
+ protected:
+  GenomeSpec spec() const {
+    GenomeSpec spec;
+    spec.num_chromosomes = GetParam().chromosomes;
+    spec.chromosome_length = GetParam().length;
+    spec.genes_per_chromosome = GetParam().genes;
+    spec.seed = GetParam().seed;
+    return spec;
+  }
+};
+
+TEST_P(SynthesizerScaleSweep, ReleaseSizeRatioInPaperBand) {
+  const GenomeSynthesizer synthesizer(spec());
+  const Assembly r108 = synthesizer.make_release108();
+  const Assembly r111 = synthesizer.make_release111();
+  const double ratio = static_cast<double>(r108.fasta_size().bytes()) /
+                       static_cast<double>(r111.fasta_size().bytes());
+  // Paper: 85 / 29.5 = 2.88x. The ratio must be scale-invariant.
+  EXPECT_GT(ratio, 2.2) << "at scale " << GetParam().length;
+  EXPECT_LT(ratio, 3.6) << "at scale " << GetParam().length;
+}
+
+TEST_P(SynthesizerScaleSweep, ChromosomesIdenticalAcrossReleases) {
+  const GenomeSynthesizer synthesizer(spec());
+  const Assembly r108 = synthesizer.make_release108();
+  const Assembly r111 = synthesizer.make_release111();
+  for (usize c = 0; c < GetParam().chromosomes; ++c) {
+    ASSERT_EQ(r108.contig(static_cast<ContigId>(c)).sequence,
+              r111.contig(static_cast<ContigId>(c)).sequence);
+  }
+}
+
+TEST_P(SynthesizerScaleSweep, AnnotationStructurallyValid) {
+  const GenomeSynthesizer synthesizer(spec());
+  const GenomeSpec s = spec();
+  EXPECT_GT(synthesizer.annotation().num_genes(), 0u);
+  for (const Gene& gene : synthesizer.annotation().genes()) {
+    EXPECT_LT(gene.contig, s.num_chromosomes);
+    EXPECT_LE(gene.end(), s.chromosome_length);
+    u64 previous_end = 0;
+    for (const Exon& exon : gene.exons) {
+      EXPECT_GE(exon.start, previous_end);
+      EXPECT_LT(exon.start, exon.end);
+      previous_end = exon.end;
+    }
+  }
+}
+
+TEST_P(SynthesizerScaleSweep, RepeatRegionsNeverOverlapGenes) {
+  const GenomeSynthesizer synthesizer(spec());
+  for (const RepeatRegion& region : synthesizer.repeat_regions()) {
+    for (const Gene& gene : synthesizer.annotation().genes()) {
+      if (gene.contig != region.contig) continue;
+      EXPECT_TRUE(gene.end() <= region.start || gene.start() >= region.end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scales, SynthesizerScaleSweep,
+    ::testing::Values(ScaleCase{1, 60'000, 5, 1}, ScaleCase{2, 100'000, 8, 2},
+                      ScaleCase{3, 150'000, 12, 3},
+                      ScaleCase{2, 300'000, 25, 4},
+                      ScaleCase{4, 80'000, 6, 5}),
+    [](const ::testing::TestParamInfo<ScaleCase>& info) {
+      return "c" + std::to_string(info.param.chromosomes) + "_len" +
+             std::to_string(info.param.length / 1'000) + "k";
+    });
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,166 @@
+#include "genome/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+TEST(Synthesizer, DeterministicForSameSeed) {
+  GenomeSpec spec;
+  spec.num_chromosomes = 1;
+  spec.chromosome_length = 50'000;
+  spec.genes_per_chromosome = 5;
+  spec.seed = 77;
+  const GenomeSynthesizer a(spec);
+  const GenomeSynthesizer b(spec);
+  const Assembly ra = a.make_release108();
+  const Assembly rb = b.make_release108();
+  ASSERT_EQ(ra.num_contigs(), rb.num_contigs());
+  for (usize i = 0; i < ra.num_contigs(); ++i) {
+    EXPECT_EQ(ra.contig(static_cast<ContigId>(i)).sequence,
+              rb.contig(static_cast<ContigId>(i)).sequence);
+  }
+  EXPECT_EQ(a.annotation().num_genes(), b.annotation().num_genes());
+}
+
+TEST(Synthesizer, ChromosomesSharedAcrossReleases) {
+  const auto& w = world();
+  const usize num_chroms = w.spec.num_chromosomes;
+  ASSERT_EQ(w.r108.count_of(ContigClass::kChromosome), num_chroms);
+  ASSERT_EQ(w.r111.count_of(ContigClass::kChromosome), num_chroms);
+  for (usize c = 0; c < num_chroms; ++c) {
+    EXPECT_EQ(w.r108.contig(static_cast<ContigId>(c)).sequence,
+              w.r111.contig(static_cast<ContigId>(c)).sequence)
+        << "chromosome " << c << " differs between releases";
+  }
+}
+
+TEST(Synthesizer, ChromosomesComeFirst) {
+  const auto& w = world();
+  for (usize c = 0; c < w.spec.num_chromosomes; ++c) {
+    EXPECT_EQ(w.r108.contig(static_cast<ContigId>(c)).cls,
+              ContigClass::kChromosome);
+  }
+  for (usize c = w.spec.num_chromosomes; c < w.r108.num_contigs(); ++c) {
+    EXPECT_NE(w.r108.contig(static_cast<ContigId>(c)).cls,
+              ContigClass::kChromosome);
+  }
+}
+
+TEST(Synthesizer, Release108MuchBiggerLikePaperRatio) {
+  const auto& w = world();
+  const double ratio = static_cast<double>(w.r108.fasta_size().bytes()) /
+                       static_cast<double>(w.r111.fasta_size().bytes());
+  // Paper: 85 GiB vs 29.5 GiB = 2.88x. Allow a band.
+  EXPECT_GT(ratio, 2.2);
+  EXPECT_LT(ratio, 3.8);
+}
+
+TEST(Synthesizer, Release108HasFarMoreScaffoldSequence) {
+  const auto& w = world();
+  const u64 bytes108 = w.r108.length_of(ContigClass::kUnlocalizedScaffold) +
+                       w.r108.length_of(ContigClass::kUnplacedScaffold);
+  const u64 bytes111 = w.r111.length_of(ContigClass::kUnlocalizedScaffold) +
+                       w.r111.length_of(ContigClass::kUnplacedScaffold);
+  EXPECT_GT(bytes108, 10 * bytes111);
+  const usize count108 = w.r108.count_of(ContigClass::kUnlocalizedScaffold);
+  const usize count111 = w.r111.count_of(ContigClass::kUnlocalizedScaffold);
+  EXPECT_GT(count108, 3 * count111);
+}
+
+TEST(Synthesizer, GenesLieWithinChromosomeGeneZone) {
+  const auto& w = world();
+  const u64 zone_end = w.spec.chromosome_length * 78 / 100;
+  for (const Gene& gene : w.synthesizer->annotation().genes()) {
+    EXPECT_LT(gene.contig, w.spec.num_chromosomes);
+    EXPECT_LE(gene.end(), zone_end);
+    for (const Exon& exon : gene.exons) {
+      EXPECT_LT(exon.start, exon.end);
+      EXPECT_GE(exon.length(), w.spec.min_exon_length);
+      EXPECT_LE(exon.length(), w.spec.max_exon_length);
+    }
+  }
+}
+
+TEST(Synthesizer, RepeatRegionsInGeneFreeTail) {
+  const auto& w = world();
+  ASSERT_EQ(w.synthesizer->repeat_regions().size(), w.spec.num_chromosomes);
+  const u64 zone_end = w.spec.chromosome_length * 78 / 100;
+  for (const RepeatRegion& region : w.synthesizer->repeat_regions()) {
+    EXPECT_GE(region.start, zone_end);
+    EXPECT_LT(region.end, w.spec.chromosome_length);
+    const u64 expected_len =
+        w.spec.repeat_motif_length * w.spec.repeat_array_copies;
+    EXPECT_EQ(region.end - region.start, expected_len);
+  }
+}
+
+TEST(Synthesizer, RepeatArrayCopiesNearIdentical) {
+  const auto& w = world();
+  const RepeatRegion& region = w.synthesizer->repeat_regions()[0];
+  const std::string& seq = w.r111.contig(region.contig).sequence;
+  const u64 motif = w.spec.repeat_motif_length;
+  // Compare copy 0 vs copy 1: divergence should be ~2 * copy_divergence.
+  usize mismatches = 0;
+  for (u64 i = 0; i < motif; ++i) {
+    if (seq[region.start + i] != seq[region.start + motif + i]) ++mismatches;
+  }
+  EXPECT_LT(static_cast<double>(mismatches) / static_cast<double>(motif),
+            6.0 * w.spec.repeat_copy_divergence + 0.02);
+}
+
+TEST(Synthesizer, GcContentApproximatelyRequested) {
+  const auto& w = world();
+  const std::string& seq = w.r111.contig(0).sequence;
+  usize gc = 0;
+  for (char c : seq) gc += (c == 'G' || c == 'C') ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(gc) / static_cast<double>(seq.size()),
+              w.spec.gc_content, 0.02);
+}
+
+TEST(Synthesizer, UnlocalizedScaffoldsShareChromosomeSequence) {
+  const auto& w = world();
+  // A genic unlocalized scaffold should be findable as a near-copy: check
+  // that at least one scaffold has >90% identity with some chromosome
+  // window (probe by exact 20-mers).
+  usize matched_scaffolds = 0;
+  for (const Contig& contig : w.r108.contigs()) {
+    if (contig.cls != ContigClass::kUnlocalizedScaffold) continue;
+    const std::string probe = contig.sequence.substr(100, 20);
+    bool found = false;
+    for (usize c = 0; c < w.spec.num_chromosomes && !found; ++c) {
+      found = w.r108.contig(static_cast<ContigId>(c))
+                  .sequence.find(probe) != std::string::npos;
+    }
+    matched_scaffolds += found ? 1 : 0;
+  }
+  EXPECT_GT(matched_scaffolds, 0u);
+}
+
+TEST(ReleaseSpecs, PresetsHaveExpectedShape) {
+  const ReleaseSpec r108 = release108_style();
+  const ReleaseSpec r111 = release111_style();
+  EXPECT_EQ(r108.release, 108);
+  EXPECT_EQ(r111.release, 111);
+  EXPECT_GT(r108.unlocalized_bytes_fraction,
+            10 * r111.unlocalized_bytes_fraction);
+  EXPECT_GT(r108.repeat_scaffold_fraction, 0.0);
+  EXPECT_EQ(r111.repeat_scaffold_fraction, 0.0);
+}
+
+TEST(Synthesizer, InvalidSpecRejected) {
+  GenomeSpec spec;
+  spec.num_chromosomes = 0;
+  EXPECT_THROW(GenomeSynthesizer{spec}, InternalError);
+  GenomeSpec spec2;
+  spec2.chromosome_length = 100;  // too short
+  EXPECT_THROW(GenomeSynthesizer{spec2}, InternalError);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,40 @@
+#include "index/footprint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+TEST(ScaleModel, IdentityByDefault) {
+  const ScaleModel model;
+  EXPECT_EQ(model.map(ByteSize(1000)).bytes(), 1000u);
+  EXPECT_DOUBLE_EQ(model.factor(), 1.0);
+}
+
+TEST(ScaleModel, CalibrationMapsAnchorExactly) {
+  const ScaleModel model = ScaleModel::calibrate(ByteSize::from_mib(2.6),
+                                                 ByteSize::from_gib(29.5));
+  EXPECT_NEAR(model.map(ByteSize::from_mib(2.6)).gib(), 29.5, 0.01);
+}
+
+TEST(ScaleModel, LinearInInput) {
+  const ScaleModel model =
+      ScaleModel::calibrate(ByteSize(100), ByteSize(1000));
+  EXPECT_EQ(model.map(ByteSize(250)).bytes(), 2500u);
+}
+
+TEST(ScaleModel, TimeCalibration) {
+  const ScaleModel model = ScaleModel::calibrate_time(0.5, 9.35 / 60.0);
+  EXPECT_NEAR(model.map_hours(1.0), 2.0 * 9.35 / 60.0, 1e-9);
+}
+
+TEST(ScaleModel, ZeroAnchorRejected) {
+  EXPECT_THROW(ScaleModel::calibrate(ByteSize(0), ByteSize(10)),
+               InternalError);
+  EXPECT_THROW(ScaleModel::calibrate_time(0.0, 1.0), InternalError);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,98 @@
+#include "index/packed_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace staratlas {
+namespace {
+
+TEST(PackedSequence, RoundTripsAcgt) {
+  const std::string seq = "ACGTACGTGGCC";
+  const PackedSequence packed = PackedSequence::pack(seq);
+  EXPECT_EQ(packed.size(), seq.size());
+  EXPECT_EQ(packed.unpack(), seq);
+}
+
+TEST(PackedSequence, RoundTripsWithNs) {
+  const std::string seq = "ACGTNNACGTN";
+  const PackedSequence packed = PackedSequence::pack(seq);
+  EXPECT_EQ(packed.unpack(), seq);
+  EXPECT_EQ(packed.n_positions().size(), 3u);
+}
+
+TEST(PackedSequence, AtMatchesUnpack) {
+  const std::string seq = "ACGTNAC";
+  const PackedSequence packed = PackedSequence::pack(seq);
+  for (usize i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(packed.at(i), seq[i]) << i;
+  }
+}
+
+TEST(PackedSequence, AtOutOfRangeThrows) {
+  const PackedSequence packed = PackedSequence::pack("AC");
+  EXPECT_THROW(packed.at(2), InternalError);
+}
+
+TEST(PackedSequence, EmptySequence) {
+  const PackedSequence packed = PackedSequence::pack("");
+  EXPECT_TRUE(packed.empty());
+  EXPECT_EQ(packed.unpack(), "");
+}
+
+TEST(PackedSequence, RejectsInvalidResidues) {
+  EXPECT_THROW(PackedSequence::pack("ACXT"), InvalidArgument);
+  EXPECT_THROW(PackedSequence::pack("acgt"), InvalidArgument);  // lowercase
+}
+
+TEST(PackedSequence, PackedBytesRoughlyQuarter) {
+  const std::string seq(4000, 'G');
+  const PackedSequence packed = PackedSequence::pack(seq);
+  EXPECT_LE(packed.packed_bytes().bytes(), 1100u);
+}
+
+TEST(PackedSequence, RandomRoundTrip) {
+  Rng rng(5);
+  static const char kBases[] = "ACGTN";
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string seq(1 + rng.uniform(300), 'A');
+    for (auto& c : seq) c = kBases[rng.uniform(5)];
+    EXPECT_EQ(PackedSequence::pack(seq).unpack(), seq);
+  }
+}
+
+TEST(PackedSequence, FromRawValidates) {
+  EXPECT_THROW(PackedSequence::from_raw(10, {1}, {}), InternalError);
+}
+
+TEST(BaseCode, RoundTrips) {
+  EXPECT_EQ(code_base(base_code('A')), 'A');
+  EXPECT_EQ(code_base(base_code('C')), 'C');
+  EXPECT_EQ(code_base(base_code('G')), 'G');
+  EXPECT_EQ(code_base(base_code('T')), 'T');
+  EXPECT_EQ(base_code('N'), 0xff);
+  EXPECT_EQ(base_code('x'), 0xff);
+}
+
+TEST(ReverseComplement, Basic) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(reverse_complement("AAAC"), "GTTT");
+  EXPECT_EQ(reverse_complement("ANC"), "GNT");
+  EXPECT_EQ(reverse_complement(""), "");
+}
+
+TEST(ReverseComplement, Involution) {
+  Rng rng(6);
+  static const char kBases[] = "ACGTN";
+  std::string seq(200, 'A');
+  for (auto& c : seq) c = kBases[rng.uniform(5)];
+  EXPECT_EQ(reverse_complement(reverse_complement(seq)), seq);
+}
+
+TEST(ReverseComplement, RejectsInvalid) {
+  EXPECT_THROW(reverse_complement("AC-T"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,102 @@
+#include "index/shared_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+GenomeIndex small_index(u64 seed) {
+  GenomeSpec spec;
+  spec.num_chromosomes = 1;
+  spec.chromosome_length = 20'000;
+  spec.genes_per_chromosome = 2;
+  spec.seed = seed;
+  const GenomeSynthesizer synthesizer(spec);
+  return GenomeIndex::build(synthesizer.make_release111());
+}
+
+TEST(SharedIndexCache, LoadsOncePerKey) {
+  SharedIndexCache cache(ByteSize::from_gib(1.0));
+  int loads = 0;
+  auto loader = [&loads] {
+    ++loads;
+    return small_index(1);
+  };
+  auto a = cache.acquire("r111", loader);
+  auto b = cache.acquire("r111", loader);
+  EXPECT_EQ(loads, 1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.loads(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_TRUE(cache.resident("r111"));
+}
+
+TEST(SharedIndexCache, DistinctKeysDistinctIndices) {
+  SharedIndexCache cache(ByteSize::from_gib(1.0));
+  auto a = cache.acquire("r108", [] { return small_index(1); });
+  auto b = cache.acquire("r111", [] { return small_index(2); });
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_GT(cache.resident_bytes().bytes(), 0u);
+}
+
+TEST(SharedIndexCache, EvictsLruWhenOverCapacity) {
+  // Capacity fits roughly one small index.
+  const ByteSize one = small_index(1).stats().total();
+  SharedIndexCache cache(one * 1.5);
+  {
+    auto a = cache.acquire("a", [] { return small_index(1); });
+  }  // released
+  auto b = cache.acquire("b", [] { return small_index(2); });
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.resident("a"));
+  EXPECT_TRUE(cache.resident("b"));
+}
+
+TEST(SharedIndexCache, NeverEvictsEntriesInUse) {
+  const ByteSize one = small_index(1).stats().total();
+  SharedIndexCache cache(one * 1.5);
+  auto held = cache.acquire("held", [] { return small_index(1); });
+  auto other = cache.acquire("other", [] { return small_index(2); });
+  // Both are referenced: nothing evictable even though over budget.
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_TRUE(cache.resident("held"));
+  EXPECT_TRUE(cache.resident("other"));
+  EXPECT_GT(cache.resident_bytes(), one * 1.5);
+}
+
+TEST(SharedIndexCache, ConcurrentWorkersShareOneLoad) {
+  SharedIndexCache cache(ByteSize::from_gib(1.0));
+  std::atomic<int> loads{0};
+  auto loader = [&loads] {
+    ++loads;
+    return small_index(7);
+  };
+  std::vector<std::thread> workers;
+  std::atomic<const GenomeIndex*> first{nullptr};
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&] {
+      auto index = cache.acquire("shared", loader);
+      const GenomeIndex* expected = nullptr;
+      first.compare_exchange_strong(expected, index.get());
+      EXPECT_EQ(index.get(), first.load());
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(loads.load(), 1);
+}
+
+TEST(SharedIndexCache, ZeroCapacityRejected) {
+  EXPECT_THROW(SharedIndexCache(ByteSize(0)), InternalError);
+}
+
+}  // namespace
+}  // namespace staratlas

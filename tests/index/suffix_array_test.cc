@@ -1,0 +1,111 @@
+#include "index/suffix_array.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace staratlas {
+namespace {
+
+TEST(SuffixArray, EmptyString) {
+  EXPECT_TRUE(build_suffix_array("").empty());
+}
+
+TEST(SuffixArray, SingleChar) {
+  const auto sa = build_suffix_array("x");
+  ASSERT_EQ(sa.size(), 1u);
+  EXPECT_EQ(sa[0], 0u);
+}
+
+TEST(SuffixArray, Banana) {
+  // banana: suffixes sorted = a(5), ana(3), anana(1), banana(0), na(4), nana(2)
+  const auto sa = build_suffix_array("banana");
+  EXPECT_EQ(sa, (std::vector<u32>{5, 3, 1, 0, 4, 2}));
+}
+
+TEST(SuffixArray, Mississippi) {
+  const auto sa = build_suffix_array("mississippi");
+  EXPECT_TRUE(is_valid_suffix_array("mississippi", sa));
+}
+
+TEST(SuffixArray, AllSameCharacter) {
+  const std::string text(500, 'A');
+  const auto sa = build_suffix_array(text);
+  ASSERT_TRUE(is_valid_suffix_array(text, sa));
+  // Shortest suffix sorts first for a uniform string.
+  EXPECT_EQ(sa[0], 499u);
+  EXPECT_EQ(sa[499], 0u);
+}
+
+TEST(SuffixArray, TandemRepeats) {
+  std::string text;
+  for (int i = 0; i < 50; ++i) text += "ACGTACG";
+  const auto sa = build_suffix_array(text);
+  EXPECT_TRUE(is_valid_suffix_array(text, sa));
+}
+
+TEST(SuffixArray, MatchesDoublingOnDnaAlphabet) {
+  Rng rng(42);
+  static const char kBases[] = "ACGT";
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string text(200 + rng.uniform(800), 'A');
+    for (auto& c : text) c = kBases[rng.uniform(4)];
+    const auto fast = build_suffix_array(text);
+    const auto reference = build_suffix_array_doubling(text);
+    EXPECT_EQ(fast, reference) << "trial " << trial;
+  }
+}
+
+// Parameterized sweep: random texts over alphabets of different sizes,
+// including separator bytes like the genome index uses.
+struct SaCase {
+  usize length;
+  usize alphabet;
+  u64 seed;
+};
+
+class SuffixArrayProperty : public ::testing::TestWithParam<SaCase> {};
+
+TEST_P(SuffixArrayProperty, SaisAgreesWithReferenceAndIsValid) {
+  const SaCase param = GetParam();
+  Rng rng(param.seed);
+  std::string text(param.length, '\0');
+  for (auto& c : text) {
+    c = static_cast<char>('#' + rng.uniform(param.alphabet));
+  }
+  const auto fast = build_suffix_array(text);
+  EXPECT_TRUE(is_valid_suffix_array(text, fast));
+  EXPECT_EQ(fast, build_suffix_array_doubling(text));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SuffixArrayProperty,
+    ::testing::Values(SaCase{1, 1, 1}, SaCase{2, 1, 2}, SaCase{16, 2, 3},
+                      SaCase{64, 2, 4}, SaCase{256, 3, 5}, SaCase{512, 4, 6},
+                      SaCase{1024, 5, 7}, SaCase{2048, 4, 8},
+                      SaCase{4096, 26, 9}, SaCase{1000, 2, 10},
+                      SaCase{333, 7, 11}, SaCase{50, 1, 12}));
+
+TEST(SuffixArray, ValidatorCatchesBadArrays) {
+  const std::string text = "banana";
+  std::vector<u32> sa = {5, 3, 1, 0, 4, 2};
+  EXPECT_TRUE(is_valid_suffix_array(text, sa));
+  std::swap(sa[0], sa[1]);
+  EXPECT_FALSE(is_valid_suffix_array(text, sa));
+  EXPECT_FALSE(is_valid_suffix_array(text, {0, 1, 2}));       // wrong size
+  EXPECT_FALSE(is_valid_suffix_array(text, {5, 5, 1, 0, 4, 2}));  // dup
+}
+
+TEST(SuffixArray, LargeRandomDnaIsValid) {
+  Rng rng(99);
+  static const char kBases[] = "ACGT";
+  std::string text(100'000, 'A');
+  for (auto& c : text) c = kBases[rng.uniform(4)];
+  const auto sa = build_suffix_array(text);
+  EXPECT_TRUE(is_valid_suffix_array(text, sa));
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,74 @@
+#include "io/binary.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+TEST(Binary, RoundTripsScalarsStringsVectors) {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  BinaryWriter writer(buffer);
+  writer.write_u8(0xAB);
+  writer.write_u32(0xDEADBEEF);
+  writer.write_u64(~0ULL);
+  writer.write_f64(-2.5);
+  writer.write_string("hello");
+  writer.write_bytes({1, 2, 3});
+  writer.write_pod_vector(std::vector<u32>{7, 8, 9});
+
+  BinaryReader reader(buffer);
+  EXPECT_EQ(reader.read_u8(), 0xAB);
+  EXPECT_EQ(reader.read_u32(), 0xDEADBEEF);
+  EXPECT_EQ(reader.read_u64(), ~0ULL);
+  EXPECT_DOUBLE_EQ(reader.read_f64(), -2.5);
+  EXPECT_EQ(reader.read_string(), "hello");
+  EXPECT_EQ(reader.read_bytes(), (std::vector<u8>{1, 2, 3}));
+  EXPECT_EQ(reader.read_pod_vector<u32>(), (std::vector<u32>{7, 8, 9}));
+}
+
+TEST(Binary, EmptyContainersRoundTrip) {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  BinaryWriter writer(buffer);
+  writer.write_string("");
+  writer.write_pod_vector(std::vector<u64>{});
+  BinaryReader reader(buffer);
+  EXPECT_EQ(reader.read_string(), "");
+  EXPECT_TRUE(reader.read_pod_vector<u64>().empty());
+}
+
+TEST(Binary, BytesWrittenTracksOutput) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out);
+  writer.write_u32(1);
+  writer.write_string("abc");
+  EXPECT_EQ(writer.bytes_written(), 4u + 8u + 3u);
+}
+
+TEST(Binary, TruncatedReadThrows) {
+  std::istringstream in(std::string("\x01\x02", 2), std::ios::binary);
+  BinaryReader reader(in);
+  EXPECT_THROW(reader.read_u64(), IoError);
+}
+
+TEST(Binary, ImplausibleLengthPrefixThrows) {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  BinaryWriter writer(buffer);
+  writer.write_u64(1ULL << 50);  // absurd length prefix
+  BinaryReader reader(buffer);
+  EXPECT_THROW(reader.read_string(), ParseError);
+}
+
+TEST(Binary, TruncatedStringPayloadThrows) {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  BinaryWriter writer(buffer);
+  writer.write_u64(100);  // claims 100 bytes, provides none
+  BinaryReader reader(buffer);
+  EXPECT_THROW(reader.read_string(), IoError);
+}
+
+}  // namespace
+}  // namespace staratlas

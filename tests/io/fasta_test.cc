@@ -1,0 +1,107 @@
+#include "io/fasta.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+TEST(Fasta, ParsesMultiRecord) {
+  std::istringstream in(">chr1 first chromosome\nACGT\nACGT\n>chr2\nTTTT\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "chr1");
+  EXPECT_EQ(records[0].description, "first chromosome");
+  EXPECT_EQ(records[0].sequence, "ACGTACGT");
+  EXPECT_EQ(records[1].name, "chr2");
+  EXPECT_EQ(records[1].description, "");
+  EXPECT_EQ(records[1].sequence, "TTTT");
+}
+
+TEST(Fasta, UppercasesAndMapsAmbiguity) {
+  std::istringstream in(">c\nacgtRYswN\n");
+  const auto records = read_fasta(in);
+  EXPECT_EQ(records[0].sequence, "ACGTNNNNN");
+}
+
+TEST(Fasta, RejectsDataBeforeHeader) {
+  std::istringstream in("ACGT\n>c\nAC\n");
+  EXPECT_THROW(read_fasta(in), ParseError);
+}
+
+TEST(Fasta, RejectsInvalidResidue) {
+  std::istringstream in(">c\nAC-GT\n");
+  EXPECT_THROW(read_fasta(in), ParseError);
+}
+
+TEST(Fasta, RejectsEmptyName) {
+  std::istringstream in("> description only\nACGT\n");
+  EXPECT_THROW(read_fasta(in), ParseError);
+}
+
+TEST(Fasta, HandlesCrlf) {
+  std::istringstream in(">c desc\r\nACGT\r\n");
+  const auto records = read_fasta(in);
+  EXPECT_EQ(records[0].sequence, "ACGT");
+  EXPECT_EQ(records[0].description, "desc");
+}
+
+TEST(Fasta, EmptyStreamGivesNoRecords) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_fasta(in).empty());
+}
+
+TEST(Fasta, RoundTripWithWrapping) {
+  std::vector<FastaRecord> records = {
+      {"chr1", "toplevel", std::string(150, 'A') + std::string(10, 'C')},
+      {"KI270001.1", "unlocalized", "ACGTACGT"}};
+  std::ostringstream out;
+  write_fasta(out, records, 60);
+  std::istringstream in(out.str());
+  const auto parsed = read_fasta(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, records[0].name);
+  EXPECT_EQ(parsed[0].description, records[0].description);
+  EXPECT_EQ(parsed[0].sequence, records[0].sequence);
+  EXPECT_EQ(parsed[1].sequence, records[1].sequence);
+}
+
+TEST(Fasta, WrapWidthRespected) {
+  std::vector<FastaRecord> records = {{"c", "", std::string(100, 'G')}};
+  std::ostringstream out;
+  write_fasta(out, records, 25);
+  std::string line;
+  std::istringstream lines(out.str());
+  std::getline(lines, line);  // header
+  usize data_lines = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_LE(line.size(), 25u);
+    ++data_lines;
+  }
+  EXPECT_EQ(data_lines, 4u);
+}
+
+TEST(Fasta, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/staratlas_fasta_test.fa";
+  std::vector<FastaRecord> records = {{"x", "", "ACGTACGTAC"}};
+  write_fasta_file(path, records);
+  const auto parsed = read_fasta_file(path);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].sequence, "ACGTACGTAC");
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/nope.fa"), IoError);
+}
+
+TEST(NormalizeSequence, MapsUracil) {
+  std::string seq = "ACGU";
+  normalize_sequence(seq);
+  EXPECT_EQ(seq, "ACGN");
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,99 @@
+#include "io/fastq.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+TEST(Fastq, ParsesRecords) {
+  std::istringstream in("@r1\nACGT\n+\nIIII\n@r2 extra\nTT\n+r2\nII\n");
+  const auto records = read_fastq(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "r1");
+  EXPECT_EQ(records[0].sequence, "ACGT");
+  EXPECT_EQ(records[0].quality, "IIII");
+  EXPECT_EQ(records[1].name, "r2 extra");
+}
+
+TEST(Fastq, ReaderStreamsAndCounts) {
+  std::istringstream in("@a\nAC\n+\nII\n@b\nGG\n+\nII\n");
+  FastqReader reader(in);
+  EXPECT_EQ(reader.records_read(), 0u);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_EQ(reader.records_read(), 1u);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.records_read(), 2u);
+}
+
+TEST(Fastq, SkipsBlankLinesBetweenRecords) {
+  std::istringstream in("@a\nAC\n+\nII\n\n\n@b\nGG\n+\nII\n");
+  EXPECT_EQ(read_fastq(in).size(), 2u);
+}
+
+TEST(Fastq, RejectsMissingAt) {
+  std::istringstream in("r1\nACGT\n+\nIIII\n");
+  EXPECT_THROW(read_fastq(in), ParseError);
+}
+
+TEST(Fastq, RejectsTruncatedRecord) {
+  std::istringstream in("@r1\nACGT\n+\n");
+  EXPECT_THROW(read_fastq(in), ParseError);
+}
+
+TEST(Fastq, RejectsMissingPlus) {
+  std::istringstream in("@r1\nACGT\nIIII\nIIII\n");
+  EXPECT_THROW(read_fastq(in), ParseError);
+}
+
+TEST(Fastq, RejectsLengthMismatch) {
+  std::istringstream in("@r1\nACGT\n+\nII\n");
+  EXPECT_THROW(read_fastq(in), ParseError);
+}
+
+TEST(Fastq, RejectsEmptyName) {
+  std::istringstream in("@\nACGT\n+\nIIII\n");
+  EXPECT_THROW(read_fastq(in), ParseError);
+}
+
+TEST(Fastq, RoundTrip) {
+  std::vector<FastqRecord> records = {{"read.1.exon", "ACGTN", "IIII#"},
+                                      {"read.2.junk", "TTTT", "!!!!"}};
+  std::ostringstream out;
+  write_fastq(out, records);
+  std::istringstream in(out.str());
+  const auto parsed = read_fastq(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].sequence, records[0].sequence);
+  EXPECT_EQ(parsed[1].quality, records[1].quality);
+}
+
+TEST(Fastq, SerializedSizeMatchesWriter) {
+  std::vector<FastqRecord> records = {{"abc", "ACGT", "IIII"},
+                                      {"x", "GG", "II"}};
+  std::ostringstream out;
+  write_fastq(out, records);
+  EXPECT_EQ(fastq_serialized_size(records).bytes(), out.str().size());
+}
+
+TEST(Fastq, MakeReadSetComputesBytes) {
+  std::vector<FastqRecord> records = {{"a", "ACGT", "IIII"}};
+  const ReadSet set = make_read_set(records);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.fastq_bytes.bytes(), fastq_serialized_size(records).bytes());
+  EXPECT_FALSE(set.empty());
+}
+
+TEST(Fastq, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/staratlas_fastq_test.fq";
+  std::vector<FastqRecord> records = {{"a", "ACGT", "IIII"}};
+  write_fastq_file(path, records);
+  EXPECT_EQ(read_fastq_file(path).size(), 1u);
+}
+
+}  // namespace
+}  // namespace staratlas

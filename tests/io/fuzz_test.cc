@@ -1,0 +1,147 @@
+// Robustness fuzzing: parsers and binary decoders must never crash on
+// corrupted input — every failure surfaces as a staratlas::Error.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "align/aligner.h"
+#include "index/genome_index.h"
+#include "io/fasta.h"
+#include "io/fastq.h"
+#include "io/gtf.h"
+#include "sra/container.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+// Flip, insert, delete and truncate bytes of a valid payload.
+std::string corrupt(std::string payload, Rng& rng) {
+  const usize edits = 1 + rng.uniform(8);
+  for (usize e = 0; e < edits && !payload.empty(); ++e) {
+    switch (rng.uniform(4)) {
+      case 0:  // flip
+        payload[rng.uniform(payload.size())] =
+            static_cast<char>(rng.uniform(256));
+        break;
+      case 1:  // insert
+        payload.insert(payload.begin() + static_cast<i64>(rng.uniform(payload.size())),
+                       static_cast<char>(rng.uniform(256)));
+        break;
+      case 2:  // delete
+        payload.erase(payload.begin() + static_cast<i64>(rng.uniform(payload.size())));
+        break;
+      default:  // truncate
+        payload.resize(rng.uniform(payload.size()) + 1);
+        break;
+    }
+  }
+  return payload;
+}
+
+TEST(Fuzz, FastqParserNeverCrashes) {
+  Rng rng(101);
+  const std::string valid = "@r1\nACGT\n+\nIIII\n@r2\nGGCC\n+\nIIII\n";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::istringstream in(corrupt(valid, rng));
+    try {
+      const auto records = read_fastq(in);
+      for (const auto& rec : records) {
+        EXPECT_EQ(rec.sequence.size(), rec.quality.size());
+      }
+    } catch (const Error&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST(Fuzz, FastaParserNeverCrashes) {
+  Rng rng(103);
+  const std::string valid = ">chr1 toplevel\nACGTACGT\n>chr2\nTTTT\n";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::istringstream in(corrupt(valid, rng));
+    try {
+      read_fasta(in);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Fuzz, GtfParserNeverCrashes) {
+  Rng rng(107);
+  const std::string valid =
+      "1\te\tgene\t1\t100\t.\t+\t.\tgene_id \"G\";\n"
+      "1\te\texon\t1\t50\t.\t+\t.\tgene_id \"G\";\n";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::istringstream in(corrupt(valid, rng));
+    try {
+      read_gtf(in);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Fuzz, SraDecoderNeverCrashes) {
+  const auto& w = world();
+  const ReadSet reads = w.simulator->simulate(bulk_rna_profile(), 30, Rng(5));
+  SraMetadata metadata;
+  metadata.accession = "SRR1";
+  metadata.num_reads = reads.size();
+  for (const auto& read : reads.reads) {
+    metadata.total_bases += read.sequence.size();
+  }
+  const auto container = sra_encode(metadata, reads.reads);
+  const std::string base(container.begin(), container.end());
+
+  Rng rng(109);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string bad = corrupt(base, rng);
+    try {
+      sra_decode(std::vector<u8>(bad.begin(), bad.end()));
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Fuzz, IndexLoaderNeverCrashes) {
+  const auto& w = world();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  w.index111.save(buffer);
+  const std::string base = buffer.str();
+  Rng rng(113);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::istringstream in(corrupt(base, rng), std::ios::binary);
+    try {
+      GenomeIndex::load(in);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Fuzz, AlignerHandlesArbitraryReadBytes) {
+  // Reads straight off a sequencer can contain anything our FASTQ layer
+  // normalizes; the aligner itself must tolerate any ACGTN string and
+  // lengths from 0 to far beyond genome scale.
+  const auto& w = world();
+  const Aligner aligner(w.index111, AlignerParams{});
+  Rng rng(127);
+  static const char kAlphabet[] = "ACGTN";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string read(rng.uniform(300), 'A');
+    for (auto& c : read) c = kAlphabet[rng.uniform(5)];
+    MappingStats work;
+    const ReadAlignment result = aligner.align(read, work);
+    if (result.outcome != ReadOutcome::kUnmapped &&
+        result.outcome != ReadOutcome::kTooManyLoci) {
+      ASSERT_FALSE(result.hits.empty());
+      EXPECT_LE(result.hits.front().score, read.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,97 @@
+#include "io/gtf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+constexpr const char* kSample =
+    "# comment line\n"
+    "1\tens\tgene\t100\t500\t.\t+\t.\tgene_id \"G1\";\n"
+    "1\tens\ttranscript\t100\t500\t.\t+\t.\tgene_id \"G1\"; transcript_id \"G1.t1\";\n"
+    "1\tens\texon\t100\t200\t.\t+\t.\tgene_id \"G1\"; transcript_id \"G1.t1\";\n"
+    "1\tens\tCDS\t120\t180\t.\t+\t.\tgene_id \"G1\"; transcript_id \"G1.t1\";\n"
+    "2\tens\texon\t50\t80\t.\t-\t.\tgene_id \"G2\";\n";
+
+TEST(Gtf, ParsesFeaturesSkippingUnknownTypes) {
+  std::istringstream in(kSample);
+  const auto features = read_gtf(in);
+  ASSERT_EQ(features.size(), 4u);  // CDS skipped, comment skipped
+  EXPECT_EQ(features[0].type, FeatureType::kGene);
+  EXPECT_EQ(features[1].type, FeatureType::kTranscript);
+  EXPECT_EQ(features[1].transcript_id, "G1.t1");
+  EXPECT_EQ(features[2].type, FeatureType::kExon);
+  EXPECT_EQ(features[2].start, 100u);
+  EXPECT_EQ(features[2].end, 200u);
+  EXPECT_EQ(features[3].strand, '-');
+  EXPECT_EQ(features[3].gene_id, "G2");
+}
+
+TEST(Gtf, RejectsTooFewFields) {
+  std::istringstream in("1\tens\texon\t1\t2\n");
+  EXPECT_THROW(read_gtf(in), ParseError);
+}
+
+TEST(Gtf, RejectsBadCoordinates) {
+  std::istringstream in("1\te\texon\t0\t10\t.\t+\t.\tgene_id \"G\";\n");
+  EXPECT_THROW(read_gtf(in), ParseError);
+  std::istringstream in2("1\te\texon\t10\t5\t.\t+\t.\tgene_id \"G\";\n");
+  EXPECT_THROW(read_gtf(in2), ParseError);
+}
+
+TEST(Gtf, RejectsBadStrand) {
+  std::istringstream in("1\te\texon\t1\t10\t.\t*\t.\tgene_id \"G\";\n");
+  EXPECT_THROW(read_gtf(in), ParseError);
+}
+
+TEST(Gtf, RejectsMissingGeneId) {
+  std::istringstream in("1\te\texon\t1\t10\t.\t+\t.\tfoo \"bar\";\n");
+  EXPECT_THROW(read_gtf(in), ParseError);
+}
+
+TEST(Gtf, AttributeKeyMustBeWholeToken) {
+  // "mygene_id" must not satisfy a "gene_id" lookup.
+  std::istringstream in(
+      "1\te\texon\t1\t10\t.\t+\t.\tmygene_id \"X\"; gene_id \"Y\";\n");
+  const auto features = read_gtf(in);
+  ASSERT_EQ(features.size(), 1u);
+  EXPECT_EQ(features[0].gene_id, "Y");
+}
+
+TEST(Gtf, RoundTrip) {
+  std::vector<GtfFeature> features;
+  GtfFeature f;
+  f.contig = "1";
+  f.type = FeatureType::kExon;
+  f.start = 42;
+  f.end = 99;
+  f.strand = '-';
+  f.gene_id = "SYNG00000001";
+  f.transcript_id = "SYNG00000001.t1";
+  features.push_back(f);
+
+  std::ostringstream out;
+  write_gtf(out, features);
+  std::istringstream in(out.str());
+  const auto parsed = read_gtf(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].contig, "1");
+  EXPECT_EQ(parsed[0].start, 42u);
+  EXPECT_EQ(parsed[0].end, 99u);
+  EXPECT_EQ(parsed[0].strand, '-');
+  EXPECT_EQ(parsed[0].gene_id, f.gene_id);
+  EXPECT_EQ(parsed[0].transcript_id, f.transcript_id);
+}
+
+TEST(Gtf, FeatureTypeNames) {
+  EXPECT_STREQ(feature_type_name(FeatureType::kGene), "gene");
+  EXPECT_STREQ(feature_type_name(FeatureType::kTranscript), "transcript");
+  EXPECT_STREQ(feature_type_name(FeatureType::kExon), "exon");
+}
+
+}  // namespace
+}  // namespace staratlas

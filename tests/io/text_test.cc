@@ -1,0 +1,60 @@
+#include "io/text.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+TEST(SplitView, BasicAndEmptyFields) {
+  const auto fields = split_view("a\tb\t\tc", '\t');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "c");
+}
+
+TEST(SplitView, NoDelimiter) {
+  const auto fields = split_view("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(SplitView, EmptyString) {
+  const auto fields = split_view("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(TrimView, StripsWhitespace) {
+  EXPECT_EQ(trim_view("  hi \t\n"), "hi");
+  EXPECT_EQ(trim_view("hi"), "hi");
+  EXPECT_EQ(trim_view("   "), "");
+  EXPECT_EQ(trim_view(""), "");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("gene_id \"X\"", "gene_id"));
+  EXPECT_FALSE(starts_with("gene", "gene_id"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(ParseU64, ValidAndInvalid) {
+  EXPECT_EQ(parse_u64("0"), 0ULL);
+  EXPECT_EQ(parse_u64("18446744073709551615"), ~0ULL);
+  EXPECT_THROW(parse_u64(""), ParseError);
+  EXPECT_THROW(parse_u64("12x"), ParseError);
+  EXPECT_THROW(parse_u64("-3"), ParseError);
+}
+
+TEST(ParseF64, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(parse_f64("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_f64("-1e3"), -1000.0);
+  EXPECT_THROW(parse_f64("abc"), ParseError);
+  EXPECT_THROW(parse_f64("1.5extra"), ParseError);
+}
+
+}  // namespace
+}  // namespace staratlas

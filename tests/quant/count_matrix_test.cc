@@ -1,0 +1,66 @@
+#include "quant/count_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+CountMatrix make_matrix() {
+  CountMatrix matrix({"G1", "G2", "G3"});
+  GeneCountsTable s1(3);
+  s1.per_gene = {10, 0, 5};
+  GeneCountsTable s2(3);
+  s2.per_gene = {20, 2, 10};
+  matrix.add_sample("SRR1", s1);
+  matrix.add_sample("SRR2", s2);
+  return matrix;
+}
+
+TEST(CountMatrix, ShapeAndAccess) {
+  const CountMatrix matrix = make_matrix();
+  EXPECT_EQ(matrix.num_genes(), 3u);
+  EXPECT_EQ(matrix.num_samples(), 2u);
+  EXPECT_EQ(matrix.at(0, 0), 10u);
+  EXPECT_EQ(matrix.at(1, 1), 2u);
+  EXPECT_EQ(matrix.at(2, 1), 10u);
+}
+
+TEST(CountMatrix, OutOfRangeThrows) {
+  const CountMatrix matrix = make_matrix();
+  EXPECT_THROW(matrix.at(3, 0), InternalError);
+  EXPECT_THROW(matrix.at(0, 2), InternalError);
+}
+
+TEST(CountMatrix, MismatchedSampleRejected) {
+  CountMatrix matrix({"G1", "G2"});
+  GeneCountsTable bad(3);
+  EXPECT_THROW(matrix.add_sample("S", bad), InternalError);
+}
+
+TEST(CountMatrix, RowsAndColumns) {
+  const CountMatrix matrix = make_matrix();
+  EXPECT_EQ(matrix.gene_row(0), (std::vector<double>{10, 20}));
+  EXPECT_EQ(matrix.sample_column(1), (std::vector<double>{20, 2, 10}));
+}
+
+TEST(CountMatrix, LibrarySizes) {
+  const CountMatrix matrix = make_matrix();
+  EXPECT_EQ(matrix.library_sizes(), (std::vector<double>{15, 32}));
+}
+
+TEST(CountMatrix, TsvFormat) {
+  const CountMatrix matrix = make_matrix();
+  std::ostringstream out;
+  matrix.write_tsv(out);
+  const std::string tsv = out.str();
+  EXPECT_NE(tsv.find("gene_id\tSRR1\tSRR2"), std::string::npos);
+  EXPECT_NE(tsv.find("G1\t10\t20"), std::string::npos);
+  EXPECT_NE(tsv.find("G3\t5\t10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace staratlas

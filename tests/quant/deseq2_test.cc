@@ -1,0 +1,116 @@
+#include "quant/deseq2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace staratlas {
+namespace {
+
+CountMatrix matrix_from(const std::vector<std::vector<u64>>& columns,
+                        usize num_genes) {
+  std::vector<std::string> gene_ids;
+  for (usize g = 0; g < num_genes; ++g) {
+    gene_ids.push_back("G" + std::to_string(g));
+  }
+  CountMatrix matrix(gene_ids);
+  for (usize s = 0; s < columns.size(); ++s) {
+    GeneCountsTable table(num_genes);
+    table.per_gene = columns[s];
+    matrix.add_sample("S" + std::to_string(s), table);
+  }
+  return matrix;
+}
+
+TEST(Deseq2, PureScalingRecoversScaleFactors) {
+  // Sample 2 is exactly 2x sample 1: size factors must be in ratio 2,
+  // and median-of-ratios normalizes them to geometric symmetry.
+  const CountMatrix matrix =
+      matrix_from({{10, 20, 30, 40}, {20, 40, 60, 80}}, 4);
+  const auto factors = deseq2_size_factors(matrix);
+  ASSERT_EQ(factors.size(), 2u);
+  EXPECT_NEAR(factors[1] / factors[0], 2.0, 1e-9);
+  // Geometric mean of factors is 1 for a pure scaling design.
+  EXPECT_NEAR(std::sqrt(factors[0] * factors[1]), 1.0, 1e-9);
+}
+
+TEST(Deseq2, HandComputedExample) {
+  // Two genes, two samples: counts [[2,8],[4,4]].
+  // refs: G0 = sqrt(2*8)=4, G1 = sqrt(4*4)=4.
+  // sample0 ratios: 2/4=0.5, 4/4=1 -> median = sqrt(0.5*1)=0.7071
+  // sample1 ratios: 8/4=2, 4/4=1 -> median = sqrt(2)=1.4142
+  const CountMatrix matrix = matrix_from({{2, 4}, {8, 4}}, 2);
+  const auto factors = deseq2_size_factors(matrix);
+  EXPECT_NEAR(factors[0], std::sqrt(0.5), 1e-9);
+  EXPECT_NEAR(factors[1], std::sqrt(2.0), 1e-9);
+}
+
+TEST(Deseq2, GenesWithZerosExcludedFromReference) {
+  // G1 has a zero in sample 0: it must not influence the factors.
+  const CountMatrix with_zero =
+      matrix_from({{10, 0, 30}, {20, 999, 60}}, 3);
+  const CountMatrix without =
+      matrix_from({{10, 30}, {20, 60}}, 2);
+  const auto f1 = deseq2_size_factors(with_zero);
+  const auto f2 = deseq2_size_factors(without);
+  EXPECT_NEAR(f1[0], f2[0], 1e-9);
+  EXPECT_NEAR(f1[1], f2[1], 1e-9);
+}
+
+TEST(Deseq2, ThrowsWhenNoCommonGenes) {
+  // Every gene has a zero somewhere.
+  const CountMatrix matrix = matrix_from({{0, 5}, {5, 0}}, 2);
+  EXPECT_THROW(deseq2_size_factors(matrix), InvalidArgument);
+}
+
+TEST(Deseq2, NormalizeDividesBySizeFactors) {
+  const CountMatrix matrix =
+      matrix_from({{10, 20, 30, 40}, {20, 40, 60, 80}}, 4);
+  const NormalizedCounts normalized = deseq2_normalize(matrix);
+  // After normalization both samples should agree gene by gene.
+  for (usize g = 0; g < 4; ++g) {
+    EXPECT_NEAR(normalized.values[0][g], normalized.values[1][g], 1e-9);
+  }
+}
+
+TEST(Deseq2, InvariantUnderSampleScaling) {
+  // Property: multiplying one sample's counts by k multiplies only its
+  // size factor by k (up to the shared geometric normalization).
+  Rng rng(77);
+  std::vector<u64> base(20);
+  for (auto& count : base) count = 5 + rng.uniform(500);
+  std::vector<u64> scaled(20);
+  for (usize g = 0; g < 20; ++g) scaled[g] = base[g] * 3;
+  const CountMatrix matrix = matrix_from({base, base, scaled}, 20);
+  const auto factors = deseq2_size_factors(matrix);
+  EXPECT_NEAR(factors[2] / factors[0], 3.0, 1e-9);
+  EXPECT_NEAR(factors[1] / factors[0], 1.0, 1e-9);
+}
+
+TEST(Deseq2, RobustToDifferentialExpressionOutliers) {
+  // Median-of-ratios (unlike total-count normalization) shrugs off a few
+  // hugely expressed genes. Build two identical samples, then blow up two
+  // genes in sample 1: size factors should stay ~equal.
+  Rng rng(78);
+  std::vector<u64> a(50);
+  for (auto& count : a) count = 10 + rng.uniform(200);
+  std::vector<u64> b = a;
+  b[0] *= 100;
+  b[1] *= 50;
+  const CountMatrix matrix = matrix_from({a, b}, 50);
+  const auto factors = deseq2_size_factors(matrix);
+  EXPECT_NEAR(factors[1] / factors[0], 1.0, 0.05);
+}
+
+TEST(Deseq2, SingleSampleFactorIsOne) {
+  const CountMatrix matrix = matrix_from({{5, 10, 20}}, 3);
+  const auto factors = deseq2_size_factors(matrix);
+  ASSERT_EQ(factors.size(), 1u);
+  EXPECT_NEAR(factors[0], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace staratlas

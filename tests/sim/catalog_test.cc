@@ -1,0 +1,121 @@
+#include "sim/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace staratlas {
+namespace {
+
+TEST(Catalog, ExactSingleCellCount) {
+  CatalogSpec spec;
+  spec.num_samples = 1'000;
+  spec.single_cell_fraction = 0.038;
+  const auto catalog = make_catalog(spec);
+  ASSERT_EQ(catalog.size(), 1'000u);
+  usize single_cell = 0;
+  for (const auto& sample : catalog) {
+    single_cell += sample.type == LibraryType::kSingleCell ? 1 : 0;
+  }
+  // The paper's "38 out of 1000", exactly.
+  EXPECT_EQ(single_cell, 38u);
+}
+
+TEST(Catalog, MeanSizeNearRequested) {
+  CatalogSpec spec;
+  spec.num_samples = 2'000;
+  const auto catalog = make_catalog(spec);
+  const CatalogSummary summary = summarize(catalog);
+  EXPECT_NEAR(summary.mean_fastq.gib(), spec.mean_fastq.gib(),
+              spec.mean_fastq.gib() * 0.08);
+}
+
+TEST(Catalog, DeterministicInSeed) {
+  CatalogSpec spec;
+  spec.num_samples = 50;
+  const auto a = make_catalog(spec);
+  const auto b = make_catalog(spec);
+  for (usize i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].accession, b[i].accession);
+    EXPECT_EQ(a[i].fastq_bytes.bytes(), b[i].fastq_bytes.bytes());
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(Catalog, AccessionsUniqueAndWellFormed) {
+  CatalogSpec spec;
+  spec.num_samples = 200;
+  const auto catalog = make_catalog(spec);
+  std::set<std::string> accessions;
+  for (const auto& sample : catalog) {
+    EXPECT_EQ(sample.accession.substr(0, 3), "SRR");
+    accessions.insert(sample.accession);
+  }
+  EXPECT_EQ(accessions.size(), catalog.size());
+}
+
+TEST(Catalog, SraSmallerThanFastq) {
+  CatalogSpec spec;
+  spec.num_samples = 100;
+  for (const auto& sample : make_catalog(spec)) {
+    EXPECT_LT(sample.sra_bytes, sample.fastq_bytes);
+    EXPECT_GE(sample.num_reads, spec.min_reads);
+  }
+}
+
+TEST(Catalog, ReadsScaleWithSize) {
+  CatalogSpec spec;
+  spec.num_samples = 300;
+  const auto catalog = make_catalog(spec);
+  // Largest sample should carry more synthetic reads than the smallest.
+  const SraSample* smallest = &catalog[0];
+  const SraSample* largest = &catalog[0];
+  for (const auto& sample : catalog) {
+    if (sample.fastq_bytes < smallest->fastq_bytes) smallest = &sample;
+    if (largest->fastq_bytes < sample.fastq_bytes) largest = &sample;
+  }
+  EXPECT_GT(largest->num_reads, smallest->num_reads);
+}
+
+TEST(Catalog, SingleCellSamplesTagged) {
+  CatalogSpec spec;
+  spec.num_samples = 500;
+  for (const auto& sample : make_catalog(spec)) {
+    if (sample.type == LibraryType::kSingleCell) {
+      EXPECT_EQ(sample.tissue, "single_cell");
+    } else {
+      EXPECT_NE(sample.tissue, "single_cell");
+    }
+  }
+}
+
+TEST(Catalog, SummaryTotals) {
+  CatalogSpec spec;
+  spec.num_samples = 10;
+  const auto catalog = make_catalog(spec);
+  const CatalogSummary summary = summarize(catalog);
+  EXPECT_EQ(summary.num_samples, 10u);
+  u64 bytes = 0;
+  u64 reads = 0;
+  for (const auto& sample : catalog) {
+    bytes += sample.fastq_bytes.bytes();
+    reads += sample.num_reads;
+  }
+  EXPECT_EQ(summary.total_fastq.bytes(), bytes);
+  EXPECT_EQ(summary.total_reads, reads);
+}
+
+TEST(Catalog, PaperScaleCorpusIsTensOfTerabytes) {
+  // §II: "at least 7216 files and 17TB of SRA data". Check our generator
+  // extrapolates to that scale.
+  CatalogSpec spec;
+  spec.num_samples = 7'216;
+  const auto catalog = make_catalog(spec);
+  u64 sra_bytes = 0;
+  for (const auto& sample : catalog) sra_bytes += sample.sra_bytes.bytes();
+  EXPECT_GT(ByteSize(sra_bytes).tib(), 17.0);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,56 @@
+#include "sim/library_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+TEST(LibraryProfile, PresetsAreValid) {
+  bulk_rna_profile().validate();
+  single_cell_profile().validate();
+}
+
+TEST(LibraryProfile, BulkIsMostlyMappableSingleCellIsNot) {
+  const LibraryProfile bulk = bulk_rna_profile();
+  const LibraryProfile sc = single_cell_profile();
+  const double bulk_mappable =
+      bulk.exonic_fraction + bulk.intronic_fraction + bulk.intergenic_fraction;
+  const double sc_mappable =
+      sc.exonic_fraction + sc.intronic_fraction + sc.intergenic_fraction;
+  EXPECT_GT(bulk_mappable, 0.8);
+  EXPECT_LT(sc_mappable, 0.30);  // the paper's early-stop threshold
+}
+
+TEST(LibraryProfile, ValidateRejectsBadSum) {
+  LibraryProfile profile = bulk_rna_profile();
+  profile.junk_fraction += 0.1;
+  EXPECT_THROW(profile.validate(), InvalidArgument);
+}
+
+TEST(LibraryProfile, ValidateRejectsCrazyErrorRate) {
+  LibraryProfile profile = bulk_rna_profile();
+  profile.error_rate = 0.5;
+  EXPECT_THROW(profile.validate(), InvalidArgument);
+}
+
+TEST(LibraryProfile, ValidateRejectsTinyReads) {
+  LibraryProfile profile = bulk_rna_profile();
+  profile.read_length = 10;
+  EXPECT_THROW(profile.validate(), InvalidArgument);
+}
+
+TEST(LibraryProfile, ProfileForDispatch) {
+  EXPECT_EQ(profile_for(LibraryType::kBulk).type, LibraryType::kBulk);
+  EXPECT_EQ(profile_for(LibraryType::kSingleCell).type,
+            LibraryType::kSingleCell);
+}
+
+TEST(LibraryType, Names) {
+  EXPECT_STREQ(library_type_name(LibraryType::kBulk), "bulk");
+  EXPECT_STREQ(library_type_name(LibraryType::kSingleCell), "single_cell");
+}
+
+}  // namespace
+}  // namespace staratlas

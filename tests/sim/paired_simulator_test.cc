@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "index/packed_sequence.h"
+#include "sim/read_simulator.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+TEST(PairedSimulator, ProducesMatchedMates) {
+  const auto& w = world();
+  const ReadPairSet pairs = w.simulator->simulate_pairs(
+      bulk_rna_profile(), 200, FragmentModel{}, Rng(1));
+  ASSERT_EQ(pairs.mate1.size(), 200u);
+  ASSERT_EQ(pairs.mate2.size(), 200u);
+  for (usize i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(pairs.mate1[i].sequence.size(), 100u);
+    EXPECT_EQ(pairs.mate2[i].sequence.size(), 100u);
+    EXPECT_EQ(pairs.mate1[i].quality.size(), 100u);
+  }
+  EXPECT_GT(pairs.fastq_bytes.bytes(), 200u * 2 * 100);
+}
+
+TEST(PairedSimulator, DeterministicInSeed) {
+  const auto& w = world();
+  const ReadPairSet a = w.simulator->simulate_pairs(
+      bulk_rna_profile(), 50, FragmentModel{}, Rng(9));
+  const ReadPairSet b = w.simulator->simulate_pairs(
+      bulk_rna_profile(), 50, FragmentModel{}, Rng(9));
+  for (usize i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.mate1[i].sequence, b.mate1[i].sequence);
+    EXPECT_EQ(a.mate2[i].sequence, b.mate2[i].sequence);
+  }
+}
+
+TEST(PairedSimulator, ErrorFreeGenomicMatesAreFragmentEnds) {
+  const auto& w = world();
+  LibraryProfile profile = bulk_rna_profile();
+  profile.exonic_fraction = 0.0;
+  profile.intronic_fraction = 0.0;
+  profile.intergenic_fraction = 1.0;
+  profile.repeat_fraction = 0.0;
+  profile.junk_fraction = 0.0;
+  profile.error_rate = 0.0;
+  const ReadPairSet pairs =
+      w.simulator->simulate_pairs(profile, 20, FragmentModel{}, Rng(4));
+  // Each mate (or its RC) must occur in a chromosome, and mate2's RC must
+  // lie downstream of mate1 (or symmetrically for the flipped strand).
+  usize verified = 0;
+  for (usize i = 0; i < pairs.size(); ++i) {
+    const std::string& m1 = pairs.mate1[i].sequence;
+    const std::string m2rc = reverse_complement(pairs.mate2[i].sequence);
+    for (usize c = 0; c < w.spec.num_chromosomes; ++c) {
+      const std::string& chrom = w.r111.contig(static_cast<ContigId>(c)).sequence;
+      const auto p1 = chrom.find(m1);
+      const auto p2 = chrom.find(m2rc);
+      if (p1 != std::string::npos && p2 != std::string::npos) {
+        EXPECT_GE(p2 + 100, p1);  // mate2 end downstream of mate1 start
+        EXPECT_LE(p2 - p1, 600u);
+        ++verified;
+        break;
+      }
+      // Flipped-strand fragments: mate1 is RC, mate2 forward.
+      const auto q1 = chrom.find(reverse_complement(m1));
+      const auto q2 = chrom.find(pairs.mate2[i].sequence);
+      if (q1 != std::string::npos && q2 != std::string::npos) {
+        EXPECT_GE(q1 + 100, q2);
+        EXPECT_LE(q1 - q2, 600u);
+        ++verified;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(verified, pairs.size());
+}
+
+TEST(PairedSimulator, SingleCellPairsMostlyJunk) {
+  const auto& w = world();
+  const ReadPairSet pairs = w.simulator->simulate_pairs(
+      single_cell_profile(), 300, FragmentModel{}, Rng(11));
+  usize junk = 0;
+  for (const auto& read : pairs.mate1) {
+    junk += read.name.find("junk") != std::string::npos ? 1 : 0;
+  }
+  EXPECT_GT(junk, 180u);  // ~75% junk fraction
+}
+
+TEST(PairedSimulator, FragmentModelRespected) {
+  const auto& w = world();
+  LibraryProfile profile = bulk_rna_profile();
+  profile.exonic_fraction = 0.0;
+  profile.intronic_fraction = 0.0;
+  profile.intergenic_fraction = 1.0;
+  profile.repeat_fraction = 0.0;
+  profile.junk_fraction = 0.0;
+  profile.error_rate = 0.0;
+  FragmentModel fragments;
+  fragments.mean_length = 400;
+  fragments.sd = 1;  // tight
+  const ReadPairSet pairs =
+      w.simulator->simulate_pairs(profile, 10, fragments, Rng(12));
+  for (usize i = 0; i < pairs.size(); ++i) {
+    const std::string& m1 = pairs.mate1[i].sequence;
+    const std::string m2rc = reverse_complement(pairs.mate2[i].sequence);
+    for (usize c = 0; c < w.spec.num_chromosomes; ++c) {
+      const std::string& chrom = w.r111.contig(static_cast<ContigId>(c)).sequence;
+      const auto p1 = chrom.find(m1);
+      const auto p2 = chrom.find(m2rc);
+      if (p1 != std::string::npos && p2 != std::string::npos) {
+        EXPECT_NEAR(static_cast<double>(p2 + 100 - p1), 400.0, 6.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace staratlas

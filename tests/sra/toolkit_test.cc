@@ -1,0 +1,86 @@
+#include "sra/toolkit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+std::unique_ptr<SraRepository> make_repository(usize num_samples = 6) {
+  const auto& w = world();
+  CatalogSpec spec;
+  spec.num_samples = num_samples;
+  spec.reads_at_mean = 400;
+  spec.min_reads = 100;
+  spec.single_cell_fraction = 0.34;  // ensure a couple of single-cell
+  auto simulator = std::make_shared<ReadSimulator>(
+      w.r111, w.synthesizer->annotation(), w.synthesizer->repeat_regions());
+  return std::make_unique<SraRepository>(make_catalog(spec), simulator);
+}
+
+TEST(Repository, LazyMaterialization) {
+  auto repo = make_repository();
+  EXPECT_EQ(repo->materialized_count(), 0u);
+  const std::string accession = repo->catalog()[0].accession;
+  repo->fetch(accession);
+  EXPECT_EQ(repo->materialized_count(), 1u);
+  repo->fetch(accession);  // cached
+  EXPECT_EQ(repo->materialized_count(), 1u);
+}
+
+TEST(Repository, UnknownAccessionThrows) {
+  auto repo = make_repository();
+  EXPECT_THROW(repo->fetch("SRR99999999"), InvalidArgument);
+  EXPECT_THROW(repo->sample("SRR99999999"), InvalidArgument);
+}
+
+TEST(Repository, ContainerMatchesCatalogMetadata) {
+  auto repo = make_repository();
+  const SraSample& sample = repo->catalog()[1];
+  const auto& container = repo->fetch(sample.accession);
+  const SraMetadata metadata = sra_peek(container);
+  EXPECT_EQ(metadata.accession, sample.accession);
+  EXPECT_EQ(metadata.library_type, sample.type);
+  EXPECT_EQ(metadata.num_reads, sample.num_reads);
+}
+
+TEST(Toolkit, PrefetchReturnsContainer) {
+  auto repo = make_repository();
+  const std::string accession = repo->catalog()[2].accession;
+  const PrefetchResult result = prefetch(*repo, accession);
+  EXPECT_EQ(result.bytes_transferred.bytes(), result.container.size());
+  EXPECT_EQ(result.metadata.accession, accession);
+  EXPECT_GT(result.container.size(), 0u);
+}
+
+TEST(Toolkit, DumpRoundTripsSimulation) {
+  const auto& w = world();
+  auto repo = make_repository();
+  const SraSample& sample = repo->catalog()[0];
+  const PrefetchResult fetched = prefetch(*repo, sample.accession);
+  const DumpResult dumped = fasterq_dump(fetched.container);
+  EXPECT_EQ(dumped.reads.size(), sample.num_reads);
+  // The decoded reads must equal a direct simulation with the same seed.
+  const ReadSet direct = w.simulator->simulate(
+      profile_for(sample.type), sample.num_reads, Rng(sample.seed));
+  ASSERT_EQ(dumped.reads.size(), direct.size());
+  for (usize i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(dumped.reads.reads[i].sequence, direct.reads[i].sequence);
+  }
+  EXPECT_EQ(dumped.fastq_bytes.bytes(), direct.fastq_bytes.bytes());
+}
+
+TEST(Toolkit, DumpReportsFastqBiggerThanSra) {
+  auto repo = make_repository();
+  const std::string accession = repo->catalog()[3].accession;
+  const PrefetchResult fetched = prefetch(*repo, accession);
+  const DumpResult dumped = fasterq_dump(fetched.container);
+  EXPECT_GT(dumped.fastq_bytes.bytes(), fetched.bytes_transferred.bytes());
+}
+
+}  // namespace
+}  // namespace staratlas

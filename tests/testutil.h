@@ -1,0 +1,45 @@
+// Shared fixtures for staratlas tests: a small deterministic genome world
+// (synthesizer + releases + index + simulator) built once per process.
+#pragma once
+
+#include <memory>
+
+#include "genome/synthesizer.h"
+#include "index/genome_index.h"
+#include "sim/read_simulator.h"
+
+namespace staratlas::testing {
+
+struct TestWorld {
+  GenomeSpec spec;
+  std::unique_ptr<GenomeSynthesizer> synthesizer;
+  Assembly r108;
+  Assembly r111;
+  GenomeIndex index108;
+  GenomeIndex index111;
+  std::unique_ptr<ReadSimulator> simulator;
+};
+
+/// A compact world (2 chromosomes x 120 kb) shared by alignment tests.
+/// Built lazily once; cheap to reference afterwards.
+inline const TestWorld& world() {
+  static const TestWorld* instance = [] {
+    auto* w = new TestWorld();
+    w->spec.num_chromosomes = 2;
+    w->spec.chromosome_length = 120'000;
+    w->spec.genes_per_chromosome = 12;
+    w->spec.seed = 1234;
+    w->synthesizer = std::make_unique<GenomeSynthesizer>(w->spec);
+    w->r108 = w->synthesizer->make_release108();
+    w->r111 = w->synthesizer->make_release111();
+    w->index108 = GenomeIndex::build(w->r108);
+    w->index111 = GenomeIndex::build(w->r111);
+    w->simulator = std::make_unique<ReadSimulator>(
+        w->r111, w->synthesizer->annotation(),
+        w->synthesizer->repeat_regions());
+    return w;
+  }();
+  return *instance;
+}
+
+}  // namespace staratlas::testing
