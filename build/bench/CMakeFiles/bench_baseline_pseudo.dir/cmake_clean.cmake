@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_pseudo.dir/bench_baseline_pseudo.cpp.o"
+  "CMakeFiles/bench_baseline_pseudo.dir/bench_baseline_pseudo.cpp.o.d"
+  "bench_baseline_pseudo"
+  "bench_baseline_pseudo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_pseudo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_load.dir/bench_index_load.cpp.o"
+  "CMakeFiles/bench_index_load.dir/bench_index_load.cpp.o.d"
+  "bench_index_load"
+  "bench_index_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

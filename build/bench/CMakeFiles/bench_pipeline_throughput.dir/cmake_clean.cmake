@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_throughput.dir/bench_pipeline_throughput.cpp.o"
+  "CMakeFiles/bench_pipeline_throughput.dir/bench_pipeline_throughput.cpp.o.d"
+  "bench_pipeline_throughput"
+  "bench_pipeline_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_rightsizing.cpp" "bench/CMakeFiles/bench_rightsizing.dir/bench_rightsizing.cpp.o" "gcc" "bench/CMakeFiles/bench_rightsizing.dir/bench_rightsizing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/staratlas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/staratlas_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sra/CMakeFiles/staratlas_sra.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/staratlas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/staratlas_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/staratlas_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/staratlas_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/staratlas_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/staratlas_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/staratlas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rightsizing.dir/bench_rightsizing.cpp.o"
+  "CMakeFiles/bench_rightsizing.dir/bench_rightsizing.cpp.o.d"
+  "bench_rightsizing"
+  "bench_rightsizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rightsizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

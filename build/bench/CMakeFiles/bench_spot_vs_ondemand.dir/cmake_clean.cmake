@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spot_vs_ondemand.dir/bench_spot_vs_ondemand.cpp.o"
+  "CMakeFiles/bench_spot_vs_ondemand.dir/bench_spot_vs_ondemand.cpp.o.d"
+  "bench_spot_vs_ondemand"
+  "bench_spot_vs_ondemand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spot_vs_ondemand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

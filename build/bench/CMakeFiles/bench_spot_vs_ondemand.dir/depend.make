@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_spot_vs_ondemand.
+# This may be replaced when dependencies are built.

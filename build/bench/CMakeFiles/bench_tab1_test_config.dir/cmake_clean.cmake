@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_test_config.dir/bench_tab1_test_config.cpp.o"
+  "CMakeFiles/bench_tab1_test_config.dir/bench_tab1_test_config.cpp.o.d"
+  "bench_tab1_test_config"
+  "bench_tab1_test_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_test_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_release_comparison.dir/genome_release_comparison.cpp.o"
+  "CMakeFiles/genome_release_comparison.dir/genome_release_comparison.cpp.o.d"
+  "genome_release_comparison"
+  "genome_release_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_release_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

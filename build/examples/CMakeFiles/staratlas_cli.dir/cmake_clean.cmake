@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staratlas_cli.dir/staratlas_cli.cpp.o"
+  "CMakeFiles/staratlas_cli.dir/staratlas_cli.cpp.o.d"
+  "staratlas_cli"
+  "staratlas_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staratlas_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

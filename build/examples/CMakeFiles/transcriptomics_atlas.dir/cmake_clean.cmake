@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transcriptomics_atlas.dir/transcriptomics_atlas.cpp.o"
+  "CMakeFiles/transcriptomics_atlas.dir/transcriptomics_atlas.cpp.o.d"
+  "transcriptomics_atlas"
+  "transcriptomics_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transcriptomics_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

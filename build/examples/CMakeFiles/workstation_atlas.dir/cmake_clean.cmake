@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workstation_atlas.dir/workstation_atlas.cpp.o"
+  "CMakeFiles/workstation_atlas.dir/workstation_atlas.cpp.o.d"
+  "workstation_atlas"
+  "workstation_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workstation_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/aligner.cc" "src/align/CMakeFiles/staratlas_align.dir/aligner.cc.o" "gcc" "src/align/CMakeFiles/staratlas_align.dir/aligner.cc.o.d"
+  "/root/repo/src/align/engine.cc" "src/align/CMakeFiles/staratlas_align.dir/engine.cc.o" "gcc" "src/align/CMakeFiles/staratlas_align.dir/engine.cc.o.d"
+  "/root/repo/src/align/extend.cc" "src/align/CMakeFiles/staratlas_align.dir/extend.cc.o" "gcc" "src/align/CMakeFiles/staratlas_align.dir/extend.cc.o.d"
+  "/root/repo/src/align/final_log.cc" "src/align/CMakeFiles/staratlas_align.dir/final_log.cc.o" "gcc" "src/align/CMakeFiles/staratlas_align.dir/final_log.cc.o.d"
+  "/root/repo/src/align/gene_counts.cc" "src/align/CMakeFiles/staratlas_align.dir/gene_counts.cc.o" "gcc" "src/align/CMakeFiles/staratlas_align.dir/gene_counts.cc.o.d"
+  "/root/repo/src/align/junctions.cc" "src/align/CMakeFiles/staratlas_align.dir/junctions.cc.o" "gcc" "src/align/CMakeFiles/staratlas_align.dir/junctions.cc.o.d"
+  "/root/repo/src/align/paired.cc" "src/align/CMakeFiles/staratlas_align.dir/paired.cc.o" "gcc" "src/align/CMakeFiles/staratlas_align.dir/paired.cc.o.d"
+  "/root/repo/src/align/progress.cc" "src/align/CMakeFiles/staratlas_align.dir/progress.cc.o" "gcc" "src/align/CMakeFiles/staratlas_align.dir/progress.cc.o.d"
+  "/root/repo/src/align/pseudo.cc" "src/align/CMakeFiles/staratlas_align.dir/pseudo.cc.o" "gcc" "src/align/CMakeFiles/staratlas_align.dir/pseudo.cc.o.d"
+  "/root/repo/src/align/record.cc" "src/align/CMakeFiles/staratlas_align.dir/record.cc.o" "gcc" "src/align/CMakeFiles/staratlas_align.dir/record.cc.o.d"
+  "/root/repo/src/align/sam.cc" "src/align/CMakeFiles/staratlas_align.dir/sam.cc.o" "gcc" "src/align/CMakeFiles/staratlas_align.dir/sam.cc.o.d"
+  "/root/repo/src/align/seed.cc" "src/align/CMakeFiles/staratlas_align.dir/seed.cc.o" "gcc" "src/align/CMakeFiles/staratlas_align.dir/seed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/staratlas_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/staratlas_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/staratlas_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/staratlas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

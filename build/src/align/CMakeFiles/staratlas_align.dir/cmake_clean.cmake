@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staratlas_align.dir/aligner.cc.o"
+  "CMakeFiles/staratlas_align.dir/aligner.cc.o.d"
+  "CMakeFiles/staratlas_align.dir/engine.cc.o"
+  "CMakeFiles/staratlas_align.dir/engine.cc.o.d"
+  "CMakeFiles/staratlas_align.dir/extend.cc.o"
+  "CMakeFiles/staratlas_align.dir/extend.cc.o.d"
+  "CMakeFiles/staratlas_align.dir/final_log.cc.o"
+  "CMakeFiles/staratlas_align.dir/final_log.cc.o.d"
+  "CMakeFiles/staratlas_align.dir/gene_counts.cc.o"
+  "CMakeFiles/staratlas_align.dir/gene_counts.cc.o.d"
+  "CMakeFiles/staratlas_align.dir/junctions.cc.o"
+  "CMakeFiles/staratlas_align.dir/junctions.cc.o.d"
+  "CMakeFiles/staratlas_align.dir/paired.cc.o"
+  "CMakeFiles/staratlas_align.dir/paired.cc.o.d"
+  "CMakeFiles/staratlas_align.dir/progress.cc.o"
+  "CMakeFiles/staratlas_align.dir/progress.cc.o.d"
+  "CMakeFiles/staratlas_align.dir/pseudo.cc.o"
+  "CMakeFiles/staratlas_align.dir/pseudo.cc.o.d"
+  "CMakeFiles/staratlas_align.dir/record.cc.o"
+  "CMakeFiles/staratlas_align.dir/record.cc.o.d"
+  "CMakeFiles/staratlas_align.dir/sam.cc.o"
+  "CMakeFiles/staratlas_align.dir/sam.cc.o.d"
+  "CMakeFiles/staratlas_align.dir/seed.cc.o"
+  "CMakeFiles/staratlas_align.dir/seed.cc.o.d"
+  "libstaratlas_align.a"
+  "libstaratlas_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staratlas_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

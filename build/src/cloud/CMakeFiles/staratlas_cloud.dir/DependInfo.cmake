@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/asg.cc" "src/cloud/CMakeFiles/staratlas_cloud.dir/asg.cc.o" "gcc" "src/cloud/CMakeFiles/staratlas_cloud.dir/asg.cc.o.d"
+  "/root/repo/src/cloud/cost.cc" "src/cloud/CMakeFiles/staratlas_cloud.dir/cost.cc.o" "gcc" "src/cloud/CMakeFiles/staratlas_cloud.dir/cost.cc.o.d"
+  "/root/repo/src/cloud/ec2.cc" "src/cloud/CMakeFiles/staratlas_cloud.dir/ec2.cc.o" "gcc" "src/cloud/CMakeFiles/staratlas_cloud.dir/ec2.cc.o.d"
+  "/root/repo/src/cloud/event_sim.cc" "src/cloud/CMakeFiles/staratlas_cloud.dir/event_sim.cc.o" "gcc" "src/cloud/CMakeFiles/staratlas_cloud.dir/event_sim.cc.o.d"
+  "/root/repo/src/cloud/instance_types.cc" "src/cloud/CMakeFiles/staratlas_cloud.dir/instance_types.cc.o" "gcc" "src/cloud/CMakeFiles/staratlas_cloud.dir/instance_types.cc.o.d"
+  "/root/repo/src/cloud/metrics.cc" "src/cloud/CMakeFiles/staratlas_cloud.dir/metrics.cc.o" "gcc" "src/cloud/CMakeFiles/staratlas_cloud.dir/metrics.cc.o.d"
+  "/root/repo/src/cloud/s3.cc" "src/cloud/CMakeFiles/staratlas_cloud.dir/s3.cc.o" "gcc" "src/cloud/CMakeFiles/staratlas_cloud.dir/s3.cc.o.d"
+  "/root/repo/src/cloud/spot.cc" "src/cloud/CMakeFiles/staratlas_cloud.dir/spot.cc.o" "gcc" "src/cloud/CMakeFiles/staratlas_cloud.dir/spot.cc.o.d"
+  "/root/repo/src/cloud/sqs.cc" "src/cloud/CMakeFiles/staratlas_cloud.dir/sqs.cc.o" "gcc" "src/cloud/CMakeFiles/staratlas_cloud.dir/sqs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/staratlas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staratlas_cloud.dir/asg.cc.o"
+  "CMakeFiles/staratlas_cloud.dir/asg.cc.o.d"
+  "CMakeFiles/staratlas_cloud.dir/cost.cc.o"
+  "CMakeFiles/staratlas_cloud.dir/cost.cc.o.d"
+  "CMakeFiles/staratlas_cloud.dir/ec2.cc.o"
+  "CMakeFiles/staratlas_cloud.dir/ec2.cc.o.d"
+  "CMakeFiles/staratlas_cloud.dir/event_sim.cc.o"
+  "CMakeFiles/staratlas_cloud.dir/event_sim.cc.o.d"
+  "CMakeFiles/staratlas_cloud.dir/instance_types.cc.o"
+  "CMakeFiles/staratlas_cloud.dir/instance_types.cc.o.d"
+  "CMakeFiles/staratlas_cloud.dir/metrics.cc.o"
+  "CMakeFiles/staratlas_cloud.dir/metrics.cc.o.d"
+  "CMakeFiles/staratlas_cloud.dir/s3.cc.o"
+  "CMakeFiles/staratlas_cloud.dir/s3.cc.o.d"
+  "CMakeFiles/staratlas_cloud.dir/spot.cc.o"
+  "CMakeFiles/staratlas_cloud.dir/spot.cc.o.d"
+  "CMakeFiles/staratlas_cloud.dir/sqs.cc.o"
+  "CMakeFiles/staratlas_cloud.dir/sqs.cc.o.d"
+  "libstaratlas_cloud.a"
+  "libstaratlas_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staratlas_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staratlas_common.dir/log.cc.o"
+  "CMakeFiles/staratlas_common.dir/log.cc.o.d"
+  "CMakeFiles/staratlas_common.dir/rng.cc.o"
+  "CMakeFiles/staratlas_common.dir/rng.cc.o.d"
+  "CMakeFiles/staratlas_common.dir/stats.cc.o"
+  "CMakeFiles/staratlas_common.dir/stats.cc.o.d"
+  "CMakeFiles/staratlas_common.dir/thread_pool.cc.o"
+  "CMakeFiles/staratlas_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/staratlas_common.dir/units.cc.o"
+  "CMakeFiles/staratlas_common.dir/units.cc.o.d"
+  "CMakeFiles/staratlas_common.dir/vclock.cc.o"
+  "CMakeFiles/staratlas_common.dir/vclock.cc.o.d"
+  "libstaratlas_common.a"
+  "libstaratlas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staratlas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atlas_sim.cc" "src/core/CMakeFiles/staratlas_core.dir/atlas_sim.cc.o" "gcc" "src/core/CMakeFiles/staratlas_core.dir/atlas_sim.cc.o.d"
+  "/root/repo/src/core/early_stopping.cc" "src/core/CMakeFiles/staratlas_core.dir/early_stopping.cc.o" "gcc" "src/core/CMakeFiles/staratlas_core.dir/early_stopping.cc.o.d"
+  "/root/repo/src/core/estimate.cc" "src/core/CMakeFiles/staratlas_core.dir/estimate.cc.o" "gcc" "src/core/CMakeFiles/staratlas_core.dir/estimate.cc.o.d"
+  "/root/repo/src/core/maprate_model.cc" "src/core/CMakeFiles/staratlas_core.dir/maprate_model.cc.o" "gcc" "src/core/CMakeFiles/staratlas_core.dir/maprate_model.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/staratlas_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/staratlas_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/staratlas_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/staratlas_core.dir/report.cc.o.d"
+  "/root/repo/src/core/rightsizing.cc" "src/core/CMakeFiles/staratlas_core.dir/rightsizing.cc.o" "gcc" "src/core/CMakeFiles/staratlas_core.dir/rightsizing.cc.o.d"
+  "/root/repo/src/core/stage_model.cc" "src/core/CMakeFiles/staratlas_core.dir/stage_model.cc.o" "gcc" "src/core/CMakeFiles/staratlas_core.dir/stage_model.cc.o.d"
+  "/root/repo/src/core/workstation.cc" "src/core/CMakeFiles/staratlas_core.dir/workstation.cc.o" "gcc" "src/core/CMakeFiles/staratlas_core.dir/workstation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/staratlas_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/staratlas_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/sra/CMakeFiles/staratlas_sra.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/staratlas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/staratlas_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/staratlas_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/staratlas_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/staratlas_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/staratlas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staratlas_core.dir/atlas_sim.cc.o"
+  "CMakeFiles/staratlas_core.dir/atlas_sim.cc.o.d"
+  "CMakeFiles/staratlas_core.dir/early_stopping.cc.o"
+  "CMakeFiles/staratlas_core.dir/early_stopping.cc.o.d"
+  "CMakeFiles/staratlas_core.dir/estimate.cc.o"
+  "CMakeFiles/staratlas_core.dir/estimate.cc.o.d"
+  "CMakeFiles/staratlas_core.dir/maprate_model.cc.o"
+  "CMakeFiles/staratlas_core.dir/maprate_model.cc.o.d"
+  "CMakeFiles/staratlas_core.dir/pipeline.cc.o"
+  "CMakeFiles/staratlas_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/staratlas_core.dir/report.cc.o"
+  "CMakeFiles/staratlas_core.dir/report.cc.o.d"
+  "CMakeFiles/staratlas_core.dir/rightsizing.cc.o"
+  "CMakeFiles/staratlas_core.dir/rightsizing.cc.o.d"
+  "CMakeFiles/staratlas_core.dir/stage_model.cc.o"
+  "CMakeFiles/staratlas_core.dir/stage_model.cc.o.d"
+  "CMakeFiles/staratlas_core.dir/workstation.cc.o"
+  "CMakeFiles/staratlas_core.dir/workstation.cc.o.d"
+  "libstaratlas_core.a"
+  "libstaratlas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staratlas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genome/annotation.cc" "src/genome/CMakeFiles/staratlas_genome.dir/annotation.cc.o" "gcc" "src/genome/CMakeFiles/staratlas_genome.dir/annotation.cc.o.d"
+  "/root/repo/src/genome/model.cc" "src/genome/CMakeFiles/staratlas_genome.dir/model.cc.o" "gcc" "src/genome/CMakeFiles/staratlas_genome.dir/model.cc.o.d"
+  "/root/repo/src/genome/synthesizer.cc" "src/genome/CMakeFiles/staratlas_genome.dir/synthesizer.cc.o" "gcc" "src/genome/CMakeFiles/staratlas_genome.dir/synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/staratlas_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/staratlas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

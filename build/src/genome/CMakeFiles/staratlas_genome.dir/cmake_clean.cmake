@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staratlas_genome.dir/annotation.cc.o"
+  "CMakeFiles/staratlas_genome.dir/annotation.cc.o.d"
+  "CMakeFiles/staratlas_genome.dir/model.cc.o"
+  "CMakeFiles/staratlas_genome.dir/model.cc.o.d"
+  "CMakeFiles/staratlas_genome.dir/synthesizer.cc.o"
+  "CMakeFiles/staratlas_genome.dir/synthesizer.cc.o.d"
+  "libstaratlas_genome.a"
+  "libstaratlas_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staratlas_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstaratlas_genome.a"
+)

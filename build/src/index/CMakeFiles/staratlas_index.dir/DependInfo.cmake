@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/footprint.cc" "src/index/CMakeFiles/staratlas_index.dir/footprint.cc.o" "gcc" "src/index/CMakeFiles/staratlas_index.dir/footprint.cc.o.d"
+  "/root/repo/src/index/genome_index.cc" "src/index/CMakeFiles/staratlas_index.dir/genome_index.cc.o" "gcc" "src/index/CMakeFiles/staratlas_index.dir/genome_index.cc.o.d"
+  "/root/repo/src/index/packed_sequence.cc" "src/index/CMakeFiles/staratlas_index.dir/packed_sequence.cc.o" "gcc" "src/index/CMakeFiles/staratlas_index.dir/packed_sequence.cc.o.d"
+  "/root/repo/src/index/shared_cache.cc" "src/index/CMakeFiles/staratlas_index.dir/shared_cache.cc.o" "gcc" "src/index/CMakeFiles/staratlas_index.dir/shared_cache.cc.o.d"
+  "/root/repo/src/index/suffix_array.cc" "src/index/CMakeFiles/staratlas_index.dir/suffix_array.cc.o" "gcc" "src/index/CMakeFiles/staratlas_index.dir/suffix_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genome/CMakeFiles/staratlas_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/staratlas_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/staratlas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

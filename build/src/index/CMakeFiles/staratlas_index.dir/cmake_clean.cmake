@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staratlas_index.dir/footprint.cc.o"
+  "CMakeFiles/staratlas_index.dir/footprint.cc.o.d"
+  "CMakeFiles/staratlas_index.dir/genome_index.cc.o"
+  "CMakeFiles/staratlas_index.dir/genome_index.cc.o.d"
+  "CMakeFiles/staratlas_index.dir/packed_sequence.cc.o"
+  "CMakeFiles/staratlas_index.dir/packed_sequence.cc.o.d"
+  "CMakeFiles/staratlas_index.dir/shared_cache.cc.o"
+  "CMakeFiles/staratlas_index.dir/shared_cache.cc.o.d"
+  "CMakeFiles/staratlas_index.dir/suffix_array.cc.o"
+  "CMakeFiles/staratlas_index.dir/suffix_array.cc.o.d"
+  "libstaratlas_index.a"
+  "libstaratlas_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staratlas_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/fasta.cc" "src/io/CMakeFiles/staratlas_io.dir/fasta.cc.o" "gcc" "src/io/CMakeFiles/staratlas_io.dir/fasta.cc.o.d"
+  "/root/repo/src/io/fastq.cc" "src/io/CMakeFiles/staratlas_io.dir/fastq.cc.o" "gcc" "src/io/CMakeFiles/staratlas_io.dir/fastq.cc.o.d"
+  "/root/repo/src/io/gtf.cc" "src/io/CMakeFiles/staratlas_io.dir/gtf.cc.o" "gcc" "src/io/CMakeFiles/staratlas_io.dir/gtf.cc.o.d"
+  "/root/repo/src/io/text.cc" "src/io/CMakeFiles/staratlas_io.dir/text.cc.o" "gcc" "src/io/CMakeFiles/staratlas_io.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/staratlas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staratlas_io.dir/fasta.cc.o"
+  "CMakeFiles/staratlas_io.dir/fasta.cc.o.d"
+  "CMakeFiles/staratlas_io.dir/fastq.cc.o"
+  "CMakeFiles/staratlas_io.dir/fastq.cc.o.d"
+  "CMakeFiles/staratlas_io.dir/gtf.cc.o"
+  "CMakeFiles/staratlas_io.dir/gtf.cc.o.d"
+  "CMakeFiles/staratlas_io.dir/text.cc.o"
+  "CMakeFiles/staratlas_io.dir/text.cc.o.d"
+  "libstaratlas_io.a"
+  "libstaratlas_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staratlas_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/count_matrix.cc" "src/quant/CMakeFiles/staratlas_quant.dir/count_matrix.cc.o" "gcc" "src/quant/CMakeFiles/staratlas_quant.dir/count_matrix.cc.o.d"
+  "/root/repo/src/quant/deseq2.cc" "src/quant/CMakeFiles/staratlas_quant.dir/deseq2.cc.o" "gcc" "src/quant/CMakeFiles/staratlas_quant.dir/deseq2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/staratlas_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/staratlas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/staratlas_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/staratlas_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/staratlas_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

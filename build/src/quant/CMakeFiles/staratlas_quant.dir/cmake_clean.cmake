@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staratlas_quant.dir/count_matrix.cc.o"
+  "CMakeFiles/staratlas_quant.dir/count_matrix.cc.o.d"
+  "CMakeFiles/staratlas_quant.dir/deseq2.cc.o"
+  "CMakeFiles/staratlas_quant.dir/deseq2.cc.o.d"
+  "libstaratlas_quant.a"
+  "libstaratlas_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staratlas_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/catalog.cc" "src/sim/CMakeFiles/staratlas_sim.dir/catalog.cc.o" "gcc" "src/sim/CMakeFiles/staratlas_sim.dir/catalog.cc.o.d"
+  "/root/repo/src/sim/library_profile.cc" "src/sim/CMakeFiles/staratlas_sim.dir/library_profile.cc.o" "gcc" "src/sim/CMakeFiles/staratlas_sim.dir/library_profile.cc.o.d"
+  "/root/repo/src/sim/read_simulator.cc" "src/sim/CMakeFiles/staratlas_sim.dir/read_simulator.cc.o" "gcc" "src/sim/CMakeFiles/staratlas_sim.dir/read_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genome/CMakeFiles/staratlas_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/staratlas_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/staratlas_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/staratlas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staratlas_sim.dir/catalog.cc.o"
+  "CMakeFiles/staratlas_sim.dir/catalog.cc.o.d"
+  "CMakeFiles/staratlas_sim.dir/library_profile.cc.o"
+  "CMakeFiles/staratlas_sim.dir/library_profile.cc.o.d"
+  "CMakeFiles/staratlas_sim.dir/read_simulator.cc.o"
+  "CMakeFiles/staratlas_sim.dir/read_simulator.cc.o.d"
+  "libstaratlas_sim.a"
+  "libstaratlas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staratlas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sra/container.cc" "src/sra/CMakeFiles/staratlas_sra.dir/container.cc.o" "gcc" "src/sra/CMakeFiles/staratlas_sra.dir/container.cc.o.d"
+  "/root/repo/src/sra/repository.cc" "src/sra/CMakeFiles/staratlas_sra.dir/repository.cc.o" "gcc" "src/sra/CMakeFiles/staratlas_sra.dir/repository.cc.o.d"
+  "/root/repo/src/sra/toolkit.cc" "src/sra/CMakeFiles/staratlas_sra.dir/toolkit.cc.o" "gcc" "src/sra/CMakeFiles/staratlas_sra.dir/toolkit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/staratlas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/staratlas_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/staratlas_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/staratlas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/staratlas_genome.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staratlas_sra.dir/container.cc.o"
+  "CMakeFiles/staratlas_sra.dir/container.cc.o.d"
+  "CMakeFiles/staratlas_sra.dir/repository.cc.o"
+  "CMakeFiles/staratlas_sra.dir/repository.cc.o.d"
+  "CMakeFiles/staratlas_sra.dir/toolkit.cc.o"
+  "CMakeFiles/staratlas_sra.dir/toolkit.cc.o.d"
+  "libstaratlas_sra.a"
+  "libstaratlas_sra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staratlas_sra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align/aligner_test.cc" "tests/CMakeFiles/staratlas_tests.dir/align/aligner_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/align/aligner_test.cc.o.d"
+  "/root/repo/tests/align/engine_test.cc" "tests/CMakeFiles/staratlas_tests.dir/align/engine_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/align/engine_test.cc.o.d"
+  "/root/repo/tests/align/extend_test.cc" "tests/CMakeFiles/staratlas_tests.dir/align/extend_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/align/extend_test.cc.o.d"
+  "/root/repo/tests/align/final_log_test.cc" "tests/CMakeFiles/staratlas_tests.dir/align/final_log_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/align/final_log_test.cc.o.d"
+  "/root/repo/tests/align/gene_counts_test.cc" "tests/CMakeFiles/staratlas_tests.dir/align/gene_counts_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/align/gene_counts_test.cc.o.d"
+  "/root/repo/tests/align/junctions_test.cc" "tests/CMakeFiles/staratlas_tests.dir/align/junctions_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/align/junctions_test.cc.o.d"
+  "/root/repo/tests/align/paired_test.cc" "tests/CMakeFiles/staratlas_tests.dir/align/paired_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/align/paired_test.cc.o.d"
+  "/root/repo/tests/align/progress_test.cc" "tests/CMakeFiles/staratlas_tests.dir/align/progress_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/align/progress_test.cc.o.d"
+  "/root/repo/tests/align/pseudo_test.cc" "tests/CMakeFiles/staratlas_tests.dir/align/pseudo_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/align/pseudo_test.cc.o.d"
+  "/root/repo/tests/align/recovery_property_test.cc" "tests/CMakeFiles/staratlas_tests.dir/align/recovery_property_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/align/recovery_property_test.cc.o.d"
+  "/root/repo/tests/align/sam_test.cc" "tests/CMakeFiles/staratlas_tests.dir/align/sam_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/align/sam_test.cc.o.d"
+  "/root/repo/tests/align/seed_test.cc" "tests/CMakeFiles/staratlas_tests.dir/align/seed_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/align/seed_test.cc.o.d"
+  "/root/repo/tests/cloud/asg_test.cc" "tests/CMakeFiles/staratlas_tests.dir/cloud/asg_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/cloud/asg_test.cc.o.d"
+  "/root/repo/tests/cloud/cost_test.cc" "tests/CMakeFiles/staratlas_tests.dir/cloud/cost_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/cloud/cost_test.cc.o.d"
+  "/root/repo/tests/cloud/ec2_test.cc" "tests/CMakeFiles/staratlas_tests.dir/cloud/ec2_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/cloud/ec2_test.cc.o.d"
+  "/root/repo/tests/cloud/event_sim_test.cc" "tests/CMakeFiles/staratlas_tests.dir/cloud/event_sim_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/cloud/event_sim_test.cc.o.d"
+  "/root/repo/tests/cloud/metrics_test.cc" "tests/CMakeFiles/staratlas_tests.dir/cloud/metrics_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/cloud/metrics_test.cc.o.d"
+  "/root/repo/tests/cloud/s3_test.cc" "tests/CMakeFiles/staratlas_tests.dir/cloud/s3_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/cloud/s3_test.cc.o.d"
+  "/root/repo/tests/cloud/sqs_sweep_test.cc" "tests/CMakeFiles/staratlas_tests.dir/cloud/sqs_sweep_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/cloud/sqs_sweep_test.cc.o.d"
+  "/root/repo/tests/cloud/sqs_test.cc" "tests/CMakeFiles/staratlas_tests.dir/cloud/sqs_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/cloud/sqs_test.cc.o.d"
+  "/root/repo/tests/common/error_test.cc" "tests/CMakeFiles/staratlas_tests.dir/common/error_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/common/error_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/staratlas_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/staratlas_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/thread_pool_test.cc" "tests/CMakeFiles/staratlas_tests.dir/common/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/common/thread_pool_test.cc.o.d"
+  "/root/repo/tests/common/units_test.cc" "tests/CMakeFiles/staratlas_tests.dir/common/units_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/common/units_test.cc.o.d"
+  "/root/repo/tests/common/vclock_test.cc" "tests/CMakeFiles/staratlas_tests.dir/common/vclock_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/common/vclock_test.cc.o.d"
+  "/root/repo/tests/core/atlas_sim_test.cc" "tests/CMakeFiles/staratlas_tests.dir/core/atlas_sim_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/core/atlas_sim_test.cc.o.d"
+  "/root/repo/tests/core/early_stopping_test.cc" "tests/CMakeFiles/staratlas_tests.dir/core/early_stopping_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/core/early_stopping_test.cc.o.d"
+  "/root/repo/tests/core/estimate_test.cc" "tests/CMakeFiles/staratlas_tests.dir/core/estimate_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/core/estimate_test.cc.o.d"
+  "/root/repo/tests/core/pipeline_test.cc" "tests/CMakeFiles/staratlas_tests.dir/core/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/core/pipeline_test.cc.o.d"
+  "/root/repo/tests/core/report_test.cc" "tests/CMakeFiles/staratlas_tests.dir/core/report_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/core/report_test.cc.o.d"
+  "/root/repo/tests/core/rightsizing_test.cc" "tests/CMakeFiles/staratlas_tests.dir/core/rightsizing_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/core/rightsizing_test.cc.o.d"
+  "/root/repo/tests/core/stage_model_test.cc" "tests/CMakeFiles/staratlas_tests.dir/core/stage_model_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/core/stage_model_test.cc.o.d"
+  "/root/repo/tests/core/workstation_test.cc" "tests/CMakeFiles/staratlas_tests.dir/core/workstation_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/core/workstation_test.cc.o.d"
+  "/root/repo/tests/genome/annotation_test.cc" "tests/CMakeFiles/staratlas_tests.dir/genome/annotation_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/genome/annotation_test.cc.o.d"
+  "/root/repo/tests/genome/model_test.cc" "tests/CMakeFiles/staratlas_tests.dir/genome/model_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/genome/model_test.cc.o.d"
+  "/root/repo/tests/genome/synthesizer_sweep_test.cc" "tests/CMakeFiles/staratlas_tests.dir/genome/synthesizer_sweep_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/genome/synthesizer_sweep_test.cc.o.d"
+  "/root/repo/tests/genome/synthesizer_test.cc" "tests/CMakeFiles/staratlas_tests.dir/genome/synthesizer_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/genome/synthesizer_test.cc.o.d"
+  "/root/repo/tests/index/footprint_test.cc" "tests/CMakeFiles/staratlas_tests.dir/index/footprint_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/index/footprint_test.cc.o.d"
+  "/root/repo/tests/index/genome_index_test.cc" "tests/CMakeFiles/staratlas_tests.dir/index/genome_index_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/index/genome_index_test.cc.o.d"
+  "/root/repo/tests/index/packed_sequence_test.cc" "tests/CMakeFiles/staratlas_tests.dir/index/packed_sequence_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/index/packed_sequence_test.cc.o.d"
+  "/root/repo/tests/index/shared_cache_test.cc" "tests/CMakeFiles/staratlas_tests.dir/index/shared_cache_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/index/shared_cache_test.cc.o.d"
+  "/root/repo/tests/index/suffix_array_test.cc" "tests/CMakeFiles/staratlas_tests.dir/index/suffix_array_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/index/suffix_array_test.cc.o.d"
+  "/root/repo/tests/io/binary_test.cc" "tests/CMakeFiles/staratlas_tests.dir/io/binary_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/io/binary_test.cc.o.d"
+  "/root/repo/tests/io/fasta_test.cc" "tests/CMakeFiles/staratlas_tests.dir/io/fasta_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/io/fasta_test.cc.o.d"
+  "/root/repo/tests/io/fastq_test.cc" "tests/CMakeFiles/staratlas_tests.dir/io/fastq_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/io/fastq_test.cc.o.d"
+  "/root/repo/tests/io/fuzz_test.cc" "tests/CMakeFiles/staratlas_tests.dir/io/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/io/fuzz_test.cc.o.d"
+  "/root/repo/tests/io/gtf_test.cc" "tests/CMakeFiles/staratlas_tests.dir/io/gtf_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/io/gtf_test.cc.o.d"
+  "/root/repo/tests/io/text_test.cc" "tests/CMakeFiles/staratlas_tests.dir/io/text_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/io/text_test.cc.o.d"
+  "/root/repo/tests/quant/count_matrix_test.cc" "tests/CMakeFiles/staratlas_tests.dir/quant/count_matrix_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/quant/count_matrix_test.cc.o.d"
+  "/root/repo/tests/quant/deseq2_test.cc" "tests/CMakeFiles/staratlas_tests.dir/quant/deseq2_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/quant/deseq2_test.cc.o.d"
+  "/root/repo/tests/sim/catalog_test.cc" "tests/CMakeFiles/staratlas_tests.dir/sim/catalog_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/sim/catalog_test.cc.o.d"
+  "/root/repo/tests/sim/library_profile_test.cc" "tests/CMakeFiles/staratlas_tests.dir/sim/library_profile_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/sim/library_profile_test.cc.o.d"
+  "/root/repo/tests/sim/paired_simulator_test.cc" "tests/CMakeFiles/staratlas_tests.dir/sim/paired_simulator_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/sim/paired_simulator_test.cc.o.d"
+  "/root/repo/tests/sim/read_simulator_test.cc" "tests/CMakeFiles/staratlas_tests.dir/sim/read_simulator_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/sim/read_simulator_test.cc.o.d"
+  "/root/repo/tests/sra/container_test.cc" "tests/CMakeFiles/staratlas_tests.dir/sra/container_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/sra/container_test.cc.o.d"
+  "/root/repo/tests/sra/toolkit_test.cc" "tests/CMakeFiles/staratlas_tests.dir/sra/toolkit_test.cc.o" "gcc" "tests/CMakeFiles/staratlas_tests.dir/sra/toolkit_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/staratlas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/staratlas_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sra/CMakeFiles/staratlas_sra.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/staratlas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/staratlas_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/staratlas_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/staratlas_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/staratlas_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/staratlas_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/staratlas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
