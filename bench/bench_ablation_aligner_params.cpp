@@ -75,8 +75,8 @@ int main() {
     EngineConfig config;
     config.num_threads = 4;
     config.params = row.params;
-    const AlignmentEngine e108(w.index108, &w.synthesizer->annotation(), config);
-    const AlignmentEngine e111(w.index111, &w.synthesizer->annotation(), config);
+    AlignmentEngine e108(w.index108, &w.synthesizer->annotation(), config);
+    AlignmentEngine e111(w.index111, &w.synthesizer->annotation(), config);
     const AlignmentRun run108 = e108.run(reads);
     const AlignmentRun run111 = e111.run(reads);
     table.add_row(

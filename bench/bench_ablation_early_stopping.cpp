@@ -34,7 +34,7 @@ int main() {
     EngineConfig config;
     config.num_threads = 1;  // deterministic snapshot positions
     config.progress_check_interval = reads.size() / 20;  // every 5%
-    const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+    AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
                                  config);
     auto& curve = single_cell ? sc_curve : bulk_curve;
     engine.run(reads, [&](const ProgressSnapshot& snap) {

@@ -33,7 +33,7 @@ int main() {
   // Full aligner (release-111 index, 1 thread for a fair per-core number).
   EngineConfig config;
   config.num_threads = 1;
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
                                config);
   const AlignmentRun star_bulk = engine.run(bulk);
   const AlignmentRun star_sc = engine.run(sc);

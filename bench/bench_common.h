@@ -74,7 +74,7 @@ inline AlignmentRun align_reads(const GenomeIndex& index, const ReadSet& reads,
                                 usize threads = 4) {
   EngineConfig config;
   config.num_threads = threads;
-  const AlignmentEngine engine(
+  AlignmentEngine engine(
       index, &bench_world().synthesizer->annotation(), config);
   return engine.run(reads);
 }

@@ -47,7 +47,7 @@ int main() {
     EngineConfig config;
     config.num_threads = 4;
     config.progress_check_interval = reads.size() / 20;
-    const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+    AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
                                  config);
     const AlignmentRun run =
         engine.run(reads, [&](const ProgressSnapshot& snap) {

@@ -1,0 +1,128 @@
+// Minimal JSON emission + flat parsing for the bench harness, so every
+// bench can write machine-readable BENCH_*.json result files (the perf
+// trajectory future PRs are measured against) without external deps.
+//
+// Writer: insertion-ordered objects of numbers/strings/bools/nested
+// objects. Reader: just enough to pull "key": number pairs back out of a
+// previously emitted file for baseline comparison — not a general parser.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace staratlas::bench {
+
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, double value) {
+    char buf[64];
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::abs(value) < 1e15) {
+      std::snprintf(buf, sizeof buf, "%.0f", value);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.6g", value);
+    }
+    return add_raw(key, buf);
+  }
+  JsonObject& add(const std::string& key, u64 value) {
+    return add_raw(key, std::to_string(value));
+  }
+  JsonObject& add(const std::string& key, int value) {
+    return add_raw(key, std::to_string(value));
+  }
+  JsonObject& add(const std::string& key, bool value) {
+    return add_raw(key, value ? "true" : "false");
+  }
+  JsonObject& add(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    return add_raw(key, quoted);
+  }
+  JsonObject& add(const std::string& key, const char* value) {
+    return add(key, std::string(value));
+  }
+  JsonObject& add(const std::string& key, const JsonObject& child) {
+    return add_raw(key, child.str());
+  }
+
+  std::string str() const {
+    std::ostringstream out;
+    out << "{";
+    for (usize i = 0; i < fields_.size(); ++i) {
+      if (i) out << ", ";
+      out << '"' << fields_[i].first << "\": " << fields_[i].second;
+    }
+    out << "}";
+    return out.str();
+  }
+
+  /// Pretty form with one top-level field per line (nested objects stay
+  /// on their field's line) — stable for diffs of committed results.
+  std::string pretty() const {
+    std::ostringstream out;
+    out << "{\n";
+    for (usize i = 0; i < fields_.size(); ++i) {
+      out << "  \"" << fields_[i].first << "\": " << fields_[i].second;
+      out << (i + 1 < fields_.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
+    return out.str();
+  }
+
+  void write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write " + path);
+    out << pretty();
+  }
+
+ private:
+  JsonObject& add_raw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Flat numeric view of a JSON file: every "key": <number> pair in the
+/// text, keyed by its unqualified name. Later duplicates win; nesting is
+/// ignored. Sufficient for baseline files this header itself emitted.
+inline std::map<std::string, double> read_json_numbers(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::map<std::string, double> numbers;
+  usize pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const usize key_end = text.find('"', pos + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(pos + 1, key_end - pos - 1);
+    usize after = key_end + 1;
+    while (after < text.size() && (text[after] == ' ' || text[after] == ':')) {
+      ++after;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + after, &end);
+    if (end != text.c_str() + after) numbers[key] = value;
+    pos = key_end + 1;
+  }
+  return numbers;
+}
+
+}  // namespace staratlas::bench

@@ -23,7 +23,7 @@ void run_sample(const GenomeIndex& index, const Annotation& annotation,
   EngineConfig config;
   config.num_threads = 2;
   config.progress_check_interval = reads.size() / 50;
-  const AlignmentEngine engine(index, &annotation, config);
+  AlignmentEngine engine(index, &annotation, config);
 
   EarlyStopPolicy policy;  // paper defaults: stop at 10% if <30% mapped
   EarlyStopController controller(policy);

@@ -39,7 +39,7 @@ int main() {
     const GenomeIndex index = GenomeIndex::build(*assembly);
     EngineConfig config;
     config.num_threads = 2;
-    const AlignmentEngine engine(index, &synthesizer.annotation(), config);
+    AlignmentEngine engine(index, &synthesizer.annotation(), config);
     const AlignmentRun run = engine.run(sample);
     secs[idx] = run.wall_seconds;
     rates[idx] = run.stats.mapped_rate();

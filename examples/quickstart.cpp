@@ -50,7 +50,7 @@ int main() {
   // 4. Align with GeneCounts.
   EngineConfig config;
   config.num_threads = 2;
-  const AlignmentEngine engine(index, &synthesizer.annotation(), config);
+  AlignmentEngine engine(index, &synthesizer.annotation(), config);
   const AlignmentRun run = engine.run(reads);
 
   std::cout << "aligned " << run.stats.processed << " reads in "

@@ -193,7 +193,7 @@ int cmd_align(const Args& args) {
   config.num_threads = args.get_u64("threads", 2);
   config.quant_gene_counts = quant;
   config.collect_junctions = true;
-  const AlignmentEngine engine(index, quant ? &annotation : nullptr, config);
+  AlignmentEngine engine(index, quant ? &annotation : nullptr, config);
 
   EarlyStopController controller(EarlyStopPolicy{});
   const AlignmentRun run = args.has("early-stop")

@@ -7,56 +7,61 @@
 
 namespace staratlas {
 
-ReadAlignment Aligner::align(std::string_view read, MappingStats& work) const {
-  ReadAlignment result;
-  if (read.empty()) return result;
+void Aligner::align(std::string_view read, AlignWorkspace& ws,
+                    MappingStats& work, ReadAlignment& result) const {
+  result.reset();
+  if (read.empty()) return;
 
   ExtendStats extend_stats;
-  std::vector<AlignmentHit> hits;
+  ws.hits.clear();
 
   // Forward orientation.
-  {
-    const SeedSearchResult seeds = find_seeds(*index_, read, params_);
-    work.seeds_generated += seeds.seeds.size();
-    work.bases_compared += seeds.chars_matched;
-    auto forward_hits = score_windows(*index_, read, seeds.seeds,
-                                      /*reverse=*/false, params_, extend_stats);
-    hits.insert(hits.end(), std::make_move_iterator(forward_hits.begin()),
-                std::make_move_iterator(forward_hits.end()));
-  }
+  find_seeds(*index_, read, params_, ws.seeds);
+  work.seeds_generated += ws.seeds.seeds.size();
+  work.bases_compared += ws.seeds.chars_matched;
+  score_windows(*index_, read, ws.seeds.seeds, /*reverse=*/false, params_,
+                extend_stats, ws.extend, ws.hits);
+
   // Reverse complement.
-  {
-    const std::string rc = reverse_complement(read);
-    const SeedSearchResult seeds = find_seeds(*index_, rc, params_);
-    work.seeds_generated += seeds.seeds.size();
-    work.bases_compared += seeds.chars_matched;
-    auto reverse_hits = score_windows(*index_, rc, seeds.seeds,
-                                      /*reverse=*/true, params_, extend_stats);
-    hits.insert(hits.end(), std::make_move_iterator(reverse_hits.begin()),
-                std::make_move_iterator(reverse_hits.end()));
-  }
+  reverse_complement(read, ws.rc);
+  find_seeds(*index_, ws.rc, params_, ws.seeds);
+  work.seeds_generated += ws.seeds.seeds.size();
+  work.bases_compared += ws.seeds.chars_matched;
+  score_windows(*index_, ws.rc, ws.seeds.seeds, /*reverse=*/true, params_,
+                extend_stats, ws.extend, ws.hits);
+
   work.windows_scored += extend_stats.windows_scored;
   work.bases_compared += extend_stats.bases_compared;
   result.repetitive_capped = extend_stats.capped;
 
-  if (hits.empty()) {
+  if (ws.hits.empty()) {
     result.outcome = ReadOutcome::kUnmapped;
-    return result;
+    return;
   }
 
-  std::sort(hits.begin(), hits.end(),
-            [](const AlignmentHit& a, const AlignmentHit& b) {
+  // Sort a permutation rather than the hits themselves: hits carry inline
+  // segment storage, so moving them during the sort would memcpy ~100
+  // bytes per swap — ruinous on repeat-heavy reads with thousands of
+  // candidates. Only the (at most nmax) kept hits are moved at the end.
+  const u32 num_hits = static_cast<u32>(ws.hits.size());
+  ws.hit_order.resize(num_hits);
+  for (u32 i = 0; i < num_hits; ++i) ws.hit_order[i] = i;
+  std::sort(ws.hit_order.begin(), ws.hit_order.end(),
+            [&hits = ws.hits](u32 ia, u32 ib) {
+              const AlignmentHit& a = hits[ia];
+              const AlignmentHit& b = hits[ib];
               if (a.score != b.score) return a.score > b.score;
-              return a.text_pos < b.text_pos;  // deterministic tie-break
+              if (a.text_pos != b.text_pos) return a.text_pos < b.text_pos;
+              return ia < ib;  // total order: fully deterministic
             });
-  const u32 best_score = hits.front().score;
+  const u32 best_score = ws.hits[ws.hit_order.front()].score;
   result.best_score = best_score;
 
   const u32 min_score = static_cast<u32>(
       params_.min_matched_fraction * static_cast<double>(read.size()));
   if (best_score < min_score) {
     result.outcome = ReadOutcome::kUnmapped;
-    return result;
+    return;
   }
 
   // Loci within the multimap score range of the best count as alignments.
@@ -64,20 +69,27 @@ ReadAlignment Aligner::align(std::string_view read, MappingStats& work) const {
                               ? best_score - params_.multimap_score_range
                               : 0;
   u32 num_loci = 0;
-  for (const auto& hit : hits) {
+  for (const auto& hit : ws.hits) {
     if (hit.score >= floor_score) ++num_loci;
   }
   result.num_loci = num_loci;
 
   if (num_loci > params_.multimap_nmax) {
     result.outcome = ReadOutcome::kTooManyLoci;
-    return result;  // STAR drops the alignments of too-many-loci reads
+    return;  // STAR drops the alignments of too-many-loci reads
   }
   result.outcome = num_loci == 1 ? ReadOutcome::kUniqueMapped
                                  : ReadOutcome::kMultiMapped;
-  const usize keep = std::min<usize>(num_loci, hits.size());
-  result.hits.assign(std::make_move_iterator(hits.begin()),
-                     std::make_move_iterator(hits.begin() + static_cast<i64>(keep)));
+  const usize keep = std::min<usize>(num_loci, ws.hits.size());
+  for (usize i = 0; i < keep; ++i) {
+    result.hits.push_back(std::move(ws.hits[ws.hit_order[i]]));
+  }
+}
+
+ReadAlignment Aligner::align(std::string_view read, MappingStats& work) const {
+  AlignWorkspace ws;
+  ReadAlignment result;
+  align(read, ws, work, result);
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "align/extend.h"
 #include "align/params.h"
 #include "align/record.h"
+#include "align/workspace.h"
 #include "index/genome_index.h"
 
 namespace staratlas {
@@ -20,9 +21,17 @@ class Aligner {
   const AlignerParams& params() const { return params_; }
   const GenomeIndex& index() const { return *index_; }
 
-  /// Aligns one read. Work counters (seeds/windows/bases) are accumulated
-  /// into `work`; the outcome counter is NOT updated here (the engine owns
-  /// outcome accounting).
+  /// Aligns one read using `ws` for all scratch storage and writing into
+  /// `result` (reset first; its hit capacity is reused). Work counters
+  /// (seeds/windows/bases) are accumulated into `work`; the outcome
+  /// counter is NOT updated here (the engine owns outcome accounting).
+  /// This is the hot-path interface: with a warmed workspace and result it
+  /// performs zero heap allocations per read. `result` must not alias a
+  /// workspace member.
+  void align(std::string_view read, AlignWorkspace& ws, MappingStats& work,
+             ReadAlignment& result) const;
+
+  /// Convenience form with a throwaway workspace (allocates; tests/tools).
   ReadAlignment align(std::string_view read, MappingStats& work) const;
 
  private:

@@ -2,8 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/error.h"
@@ -18,26 +18,34 @@ AlignmentEngine::AlignmentEngine(const GenomeIndex& index,
   STARATLAS_CHECK(config_.chunk_size >= 1);
   if (config_.quant_gene_counts) {
     STARATLAS_CHECK(annotation_ != nullptr);
+    counter_ = std::make_unique<GeneCounter>(*annotation_, *index_);
+  }
+}
+
+void AlignmentEngine::ensure_workers() {
+  if (config_.num_threads > 1 && !pool_) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+  while (workspaces_.size() < config_.num_threads) {
+    workspaces_.push_back(std::make_unique<AlignWorkspace>());
   }
 }
 
 AlignmentRun AlignmentEngine::run(const ReadSet& reads,
-                                  const ProgressCallback& callback) const {
+                                  const ProgressCallback& callback) {
   const auto wall_start = std::chrono::steady_clock::now();
   AlignmentRun run;
   run.outcomes.assign(reads.size(), ReadOutcome::kUnmapped);
   if (reads.empty()) return run;
+
+  ensure_workers();
 
   const u64 check_interval = config_.progress_check_interval
                                  ? config_.progress_check_interval
                                  : std::max<u64>(1, reads.size() / 50);
 
   const Aligner aligner(*index_, config_.params);
-  GeneCounter const* counter = nullptr;
-  GeneCounter counter_storage = config_.quant_gene_counts
-                                    ? GeneCounter(*annotation_, *index_)
-                                    : GeneCounter(Annotation{}, *index_);
-  if (config_.quant_gene_counts) counter = &counter_storage;
+  const GeneCounter* counter = counter_.get();
 
   JunctionCollector merged_junctions(*index_, config_.junction_min_intron);
   ProgressTracker tracker(reads.size());
@@ -45,9 +53,13 @@ AlignmentRun AlignmentEngine::run(const ReadSet& reads,
       (reads.size() + config_.chunk_size - 1) / config_.chunk_size;
 
   std::atomic<usize> next_chunk{0};
+  std::atomic<usize> next_worker_slot{0};
   std::atomic<bool> abort_flag{false};
   std::mutex merge_mu;
-  u64 next_check = check_interval;
+  // Next checkpoint boundary. Workers pre-check it lock-free after every
+  // chunk; merge_mu is only taken when a boundary has actually been
+  // crossed, instead of on every chunk as before.
+  std::atomic<u64> next_check{check_interval};
 
   auto elapsed_secs = [&] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -56,9 +68,10 @@ AlignmentRun AlignmentEngine::run(const ReadSet& reads,
   };
 
   auto worker = [&] {
+    AlignWorkspace& ws =
+        *workspaces_[next_worker_slot.fetch_add(1) % workspaces_.size()];
     MappingStats local_stats;
-    GeneCountsTable local_counts(
-        config_.quant_gene_counts ? annotation_->num_genes() : 0);
+    GeneCountsTable local_counts(counter ? annotation_->num_genes() : 0);
     JunctionCollector local_junctions(*index_, config_.junction_min_intron);
     for (;;) {
       if (abort_flag.load(std::memory_order_relaxed)) break;
@@ -69,25 +82,28 @@ AlignmentRun AlignmentEngine::run(const ReadSet& reads,
 
       MappingStats chunk_stats;
       for (usize r = begin; r < end; ++r) {
-        const ReadAlignment alignment =
-            aligner.align(reads.reads[r].sequence, chunk_stats);
-        chunk_stats.add_outcome(alignment.outcome);
-        run.outcomes[r] = alignment.outcome;
-        if (counter) counter->count(alignment, local_counts);
-        if (config_.collect_junctions) local_junctions.add(alignment);
+        aligner.align(reads.reads[r].sequence, ws, chunk_stats, ws.result);
+        chunk_stats.add_outcome(ws.result.outcome);
+        run.outcomes[r] = ws.result.outcome;
+        if (counter) counter->count(ws.result, local_counts);
+        if (config_.collect_junctions) local_junctions.add(ws.result);
       }
       local_stats += chunk_stats;
       tracker.add(chunk_stats);
 
-      // Progress checkpoint: serialized, crossing-triggered.
-      if (callback) {
+      // Progress checkpoint: lock-free boundary pre-check, serialized
+      // snapshot + callback only on actual crossings.
+      if (callback &&
+          tracker.processed() >= next_check.load(std::memory_order_relaxed)) {
         std::lock_guard lock(merge_mu);
         const ProgressSnapshot snap = tracker.snapshot(elapsed_secs());
-        if (snap.processed >= next_check && !abort_flag.load()) {
+        if (snap.processed >= next_check.load(std::memory_order_relaxed) &&
+            !abort_flag.load()) {
           // Advance past every boundary this snapshot crossed so a single
           // large chunk produces one log row, not several duplicates.
-          next_check =
-              (snap.processed / check_interval + 1) * check_interval;
+          next_check.store(
+              (snap.processed / check_interval + 1) * check_interval,
+              std::memory_order_relaxed);
           run.progress_log.append(snap);
           if (callback(snap) == EngineCommand::kAbort) {
             abort_flag.store(true, std::memory_order_relaxed);
@@ -104,12 +120,15 @@ AlignmentRun AlignmentEngine::run(const ReadSet& reads,
   if (config_.num_threads == 1) {
     worker();
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(config_.num_threads);
+    // Fan the persistent pool's workers over the chunk queue: one long
+    // task per worker, so a run costs task dispatch, not thread spawn.
+    std::vector<std::future<void>> futures;
+    futures.reserve(config_.num_threads);
     for (usize t = 0; t < config_.num_threads; ++t) {
-      threads.emplace_back(worker);
+      futures.push_back(pool_->submit(worker));
     }
-    for (auto& t : threads) t.join();
+    for (auto& f : futures) f.wait();  // all workers park before unwinding
+    for (auto& f : futures) f.get();   // then rethrow the first failure
   }
 
   run.aborted = abort_flag.load();

@@ -1,9 +1,17 @@
 // AlignmentEngine: multi-threaded alignment of a whole ReadSet with
 // progress callbacks and cooperative abort — the hook the paper's
 // early-stopping optimization attaches to.
+//
+// The engine is built for reuse across samples: its worker thread pool and
+// per-worker AlignWorkspaces are created on the first run() and kept for
+// the engine's lifetime, so a 1000-sample campaign pays thread spawn and
+// scratch allocation once, not per sample (the compute analog of STAR's
+// --genomeLoad LoadAndKeep).
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "align/aligner.h"
 #include "align/gene_counts.h"
@@ -11,6 +19,8 @@
 #include "align/params.h"
 #include "align/progress.h"
 #include "align/record.h"
+#include "align/workspace.h"
+#include "common/thread_pool.h"
 #include "genome/annotation.h"
 #include "index/genome_index.h"
 #include "io/fastq.h"
@@ -59,14 +69,25 @@ class AlignmentEngine {
   const EngineConfig& config() const { return config_; }
 
   /// Aligns the read set. Deterministic in its statistics regardless of
-  /// thread count; abort timing has chunk granularity.
-  AlignmentRun run(const ReadSet& reads,
-                   const ProgressCallback& callback = {}) const;
+  /// thread count; abort timing has chunk granularity. Not reentrant: one
+  /// run() at a time per engine (the worker pool and workspaces are
+  /// engine-owned and reused run to run).
+  AlignmentRun run(const ReadSet& reads, const ProgressCallback& callback = {});
 
  private:
+  /// Creates the worker pool and per-worker workspaces on first use.
+  void ensure_workers();
+
   const GenomeIndex* index_;
   const Annotation* annotation_;
   EngineConfig config_;
+  /// Exon-interval tables are built once and shared by every run.
+  std::unique_ptr<GeneCounter> counter_;
+  /// Lazily created on the first multi-threaded run; reused thereafter.
+  std::unique_ptr<ThreadPool> pool_;
+  /// One workspace per worker slot (num_threads of them), reused run to
+  /// run so steady-state alignment stops allocating.
+  std::vector<std::unique_ptr<AlignWorkspace>> workspaces_;
 };
 
 }  // namespace staratlas

@@ -1,6 +1,8 @@
 #include "align/extend.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -8,18 +10,51 @@ namespace staratlas {
 
 namespace {
 
-struct SeedLocus {
-  u64 read_offset;
-  u64 length;
-  GenomePos text_start;
-  ContigId contig;
-
-  i64 diagonal() const {
-    return static_cast<i64>(text_start) - static_cast<i64>(read_offset);
+/// Length of the match run in a[0..limit) vs b[0..limit) scanning forward,
+/// word-at-a-time. The first differing byte index is found with
+/// countr_zero on the XOR of 8-byte windows.
+u64 match_run_fwd(const char* a, const char* b, u64 limit) {
+  u64 i = 0;
+  while (i + sizeof(u64) <= limit) {
+    u64 aw;
+    u64 bw;
+    std::memcpy(&aw, a + i, sizeof(u64));
+    std::memcpy(&bw, b + i, sizeof(u64));
+    const u64 x = aw ^ bw;
+    if (x != 0) return i + static_cast<u64>(std::countr_zero(x)) / 8;
+    i += sizeof(u64);
   }
-  u64 read_end() const { return read_offset + length; }
-  GenomePos text_end() const { return text_start + length; }
-};
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+/// Length of the match run comparing a[-1], a[-2], ... against b[-1],
+/// b[-2], ... (scanning backwards, up to `limit` bases). The highest
+/// differing byte of an 8-byte window is the first mismatch in scan order,
+/// found with countl_zero.
+u64 match_run_bwd(const char* a, const char* b, u64 limit) {
+  u64 i = 0;
+  while (i + sizeof(u64) <= limit) {
+    u64 aw;
+    u64 bw;
+    std::memcpy(&aw, a - i - sizeof(u64), sizeof(u64));
+    std::memcpy(&bw, b - i - sizeof(u64), sizeof(u64));
+    const u64 x = aw ^ bw;
+    if (x != 0) return i + static_cast<u64>(std::countl_zero(x)) / 8;
+    i += sizeof(u64);
+  }
+  while (i < limit && a[-static_cast<i64>(i) - 1] == b[-static_cast<i64>(i) - 1]) {
+    ++i;
+  }
+  return i;
+}
+
+// The X-drop extensions below process whole match runs instead of single
+// bases. This is exact, not approximate: with +1/-2 scoring the score rises
+// monotonically inside a run, so the x-drop break can only trigger at a
+// mismatch and the best-prefix update only improves at a run's end. Each
+// base of a run still counts one unit of bases_compared, so the virtual
+// cost model sees identical work.
 
 /// X-drop extension to the left of (read_pos, text_pos), exclusive.
 /// Returns (matched_bases, extended_length) of the best extension.
@@ -32,24 +67,30 @@ std::pair<u64, u64> extend_left(std::string_view read, std::string_view text,
   u64 best_matched = 0;
   u64 len = 0;
   u64 best_len = 0;
-  while (read_pos > 0 && text_pos > 0) {
-    --read_pos;
-    --text_pos;
-    ++len;
-    ++bases_compared;
-    if (read[read_pos] == text[text_pos]) {
-      score += 1;
-      ++matched;
-    } else {
-      score -= 2;
-    }
+  // Count into a local: a store through the reference each iteration could
+  // alias the text and would force re-loading it.
+  u64 compared = 0;
+  const u64 limit = std::min<u64>(read_pos, text_pos);
+  const char* const q = read.data() + read_pos;
+  const char* const t = text.data() + text_pos;
+  while (len < limit) {
+    const u64 run = match_run_bwd(q - len, t - len, limit - len);
+    score += static_cast<int>(run);
+    matched += run;
+    len += run;
+    compared += run;
     if (score > best_score) {
       best_score = score;
       best_matched = matched;
       best_len = len;
     }
+    if (len >= limit) break;
+    ++compared;  // the mismatching base
+    score -= 2;
+    ++len;
     if (score <= best_score - xdrop) break;
   }
+  bases_compared += compared;
   return {best_matched, best_len};
 }
 
@@ -63,76 +104,94 @@ std::pair<u64, u64> extend_right(std::string_view read, std::string_view text,
   u64 best_matched = 0;
   u64 len = 0;
   u64 best_len = 0;
-  while (read_pos < read.size() && text_pos < text.size()) {
-    ++bases_compared;
-    if (read[read_pos] == text[text_pos]) {
-      score += 1;
-      ++matched;
-    } else {
-      score -= 2;
-    }
-    ++read_pos;
-    ++text_pos;
-    ++len;
+  u64 compared = 0;
+  const u64 limit =
+      std::min<u64>(read.size() - read_pos, text.size() - text_pos);
+  const char* const q = read.data() + read_pos;
+  const char* const t = text.data() + text_pos;
+  while (len < limit) {
+    const u64 run = match_run_fwd(q + len, t + len, limit - len);
+    score += static_cast<int>(run);
+    matched += run;
+    len += run;
+    compared += run;
     if (score > best_score) {
       best_score = score;
       best_matched = matched;
       best_len = len;
     }
+    if (len >= limit) break;
+    ++compared;  // the mismatching base
+    score -= 2;
+    ++len;
     if (score <= best_score - xdrop) break;
   }
+  bases_compared += compared;
   return {best_matched, best_len};
 }
 
 /// Chains the window's loci (sorted by read_offset) with the classic
 /// O(L^2) DP, maximizing total seed-matched bases under colinearity and
-/// the intron cap. Returns indices of the best chain in ascending order.
-std::vector<usize> chain_window(const std::vector<SeedLocus>& loci,
-                                const AlignerParams& params,
-                                u64& bases_compared) {
+/// the intron cap. Writes the best chain's indices, ascending, into
+/// ws.chain; the DP bands live in ws and are reused across windows.
+void chain_window(const std::vector<SeedLocus>& loci,
+                  const AlignerParams& params, ExtendWorkspace& ws,
+                  u64& bases_compared) {
   const usize n = loci.size();
-  std::vector<u64> dp(n);
-  std::vector<i64> prev(n, -1);
+  ws.chain_score.assign(n, 0);
+  ws.chain_prev.assign(n, -1);
+  // The O(L^2) pair loop below dominates repeat-heavy reads. Work on raw
+  // pointers and local accumulators: stores through the workspace members
+  // (or the counter reference) may alias the arrays being read, which
+  // forces the compiler to reload them every iteration. (A branchless
+  // predicated variant was measured ~15-20% slower on repeat-heavy reads:
+  // the early-out tests are well predicted, so predication only adds work.)
+  const SeedLocus* const lp = loci.data();
+  u64* const score = ws.chain_score.data();
+  i64* const prev = ws.chain_prev.data();
+  const u64 max_intron = params.max_intron;
+  u64 compared = 0;
   usize best = 0;
   for (usize i = 0; i < n; ++i) {
-    dp[i] = loci[i].length;
+    const SeedLocus& b = lp[i];
+    u64 best_i = b.length;
+    i64 prev_i = -1;
     for (usize j = 0; j < i; ++j) {
-      ++bases_compared;  // chaining work is real work
-      const SeedLocus& a = loci[j];
-      const SeedLocus& b = loci[i];
+      ++compared;  // chaining work is real work
+      const SeedLocus& a = lp[j];
       if (a.read_end() > b.read_offset) continue;       // read overlap
       if (a.text_end() > b.text_start) continue;        // genome overlap
       const u64 read_gap = b.read_offset - a.read_end();
       const u64 text_gap = b.text_start - a.text_end();
       if (text_gap < read_gap) continue;                // insertion: skip
-      if (text_gap - read_gap > params.max_intron) continue;
-      if (dp[j] + b.length > dp[i]) {
-        dp[i] = dp[j] + b.length;
-        prev[i] = static_cast<i64>(j);
+      if (text_gap - read_gap > max_intron) continue;
+      if (score[j] + b.length > best_i) {
+        best_i = score[j] + b.length;
+        prev_i = static_cast<i64>(j);
       }
     }
-    if (dp[i] > dp[best]) best = i;
+    score[i] = best_i;
+    prev[i] = prev_i;
+    if (best_i > score[best]) best = i;
   }
-  std::vector<usize> chain;
+  bases_compared += compared;
+  ws.chain.clear();
   for (i64 at = static_cast<i64>(best); at >= 0; at = prev[at]) {
-    chain.push_back(static_cast<usize>(at));
+    ws.chain.push_back(static_cast<usize>(at));
   }
-  std::reverse(chain.begin(), chain.end());
-  return chain;
+  std::reverse(ws.chain.begin(), ws.chain.end());
 }
 
 }  // namespace
 
-std::vector<AlignmentHit> score_windows(const GenomeIndex& index,
-                                        std::string_view read,
-                                        const std::vector<Seed>& seeds,
-                                        bool reverse,
-                                        const AlignerParams& params,
-                                        ExtendStats& stats) {
+void score_windows(const GenomeIndex& index, std::string_view read,
+                   const std::vector<Seed>& seeds, bool reverse,
+                   const AlignerParams& params, ExtendStats& stats,
+                   ExtendWorkspace& ws, std::vector<AlignmentHit>& hits) {
   const std::string_view text = index.text();
 
   // 1. Enumerate loci (capped per seed for hyper-repetitive seeds).
-  std::vector<SeedLocus> loci;
+  ws.loci.clear();
   for (const Seed& seed : seeds) {
     u32 count = seed.interval.count();
     if (count > params.anchor_max_loci) {
@@ -142,58 +201,60 @@ std::vector<AlignmentHit> score_windows(const GenomeIndex& index,
     for (u32 k = 0; k < count; ++k) {
       const GenomePos pos = index.sa_position(seed.interval.lo + k);
       if (pos < seed.read_offset) continue;  // read would start before text 0
-      loci.push_back(
+      ws.loci.push_back(
           {seed.read_offset, seed.length, pos, index.locate(pos).contig});
       ++stats.loci_enumerated;
     }
   }
-  if (loci.empty()) return {};
+  if (ws.loci.empty()) return;
 
   // 2. Cluster by (contig, diagonal): alignments can never span contigs
   //    (STAR's windows are likewise per-contig bins), and within a contig
   //    a diagonal gap above the intron cap starts a new genomic window.
-  std::sort(loci.begin(), loci.end(), [](const SeedLocus& a, const SeedLocus& b) {
-    if (a.contig != b.contig) return a.contig < b.contig;
-    return a.diagonal() < b.diagonal();
-  });
+  std::sort(ws.loci.begin(), ws.loci.end(),
+            [](const SeedLocus& a, const SeedLocus& b) {
+              if (a.contig != b.contig) return a.contig < b.contig;
+              return a.diagonal() < b.diagonal();
+            });
 
-  std::vector<AlignmentHit> hits;
   usize window_begin = 0;
-  for (usize i = 1; i <= loci.size(); ++i) {
+  for (usize i = 1; i <= ws.loci.size(); ++i) {
     const bool boundary =
-        i == loci.size() || loci[i].contig != loci[i - 1].contig ||
-        loci[i].diagonal() - loci[i - 1].diagonal() >
+        i == ws.loci.size() || ws.loci[i].contig != ws.loci[i - 1].contig ||
+        ws.loci[i].diagonal() - ws.loci[i - 1].diagonal() >
             static_cast<i64>(params.max_intron);
     if (!boundary) continue;
 
     // Window is loci[window_begin, i).
-    std::vector<SeedLocus> window(loci.begin() + static_cast<i64>(window_begin),
-                                  loci.begin() + static_cast<i64>(i));
+    ws.window.assign(ws.loci.begin() + static_cast<i64>(window_begin),
+                     ws.loci.begin() + static_cast<i64>(i));
     window_begin = i;
     ++stats.windows_scored;
 
     // Bound the chaining DP on pathological windows (tandem repeats).
-    if (window.size() > params.window_loci_cap) {
-      window.resize(params.window_loci_cap);
+    if (ws.window.size() > params.window_loci_cap) {
+      ws.window.resize(params.window_loci_cap);
     }
-    std::sort(window.begin(), window.end(),
+    std::sort(ws.window.begin(), ws.window.end(),
               [](const SeedLocus& a, const SeedLocus& b) {
                 if (a.read_offset != b.read_offset) {
                   return a.read_offset < b.read_offset;
                 }
                 return a.text_start < b.text_start;
               });
-    const std::vector<usize> chain =
-        chain_window(window, params, stats.bases_compared);
-    if (chain.empty()) continue;
+    chain_window(ws.window, params, ws, stats.bases_compared);
+    if (ws.chain.empty()) continue;
+    const std::vector<usize>& chain = ws.chain;
+    const std::vector<SeedLocus>& window = ws.window;
 
     // 3. Score: chained seed bases + interior gap matches + end extensions.
     u64 matched = 0;
-    std::vector<AlignedSegment> segments;
+    ws.segments.clear();
     for (usize c = 0; c < chain.size(); ++c) {
       const SeedLocus& locus = window[chain[c]];
       matched += locus.length;
-      segments.push_back({locus.read_offset, locus.text_start, locus.length});
+      ws.segments.push_back(
+          {locus.read_offset, locus.text_start, locus.length});
       if (c == 0) continue;
       const SeedLocus& prior = window[chain[c - 1]];
       const u64 read_gap = locus.read_offset - prior.read_end();
@@ -202,10 +263,12 @@ std::vector<AlignmentHit> score_windows(const GenomeIndex& index,
       // Compare gap bases on the downstream diagonal (attributing the gap
       // to the downstream exon; adequate at our error rates).
       const GenomePos gap_text = locus.text_start - read_gap;
+      u64 gap_matched = 0;
       for (u64 g = 0; g < read_gap; ++g) {
-        ++stats.bases_compared;
-        if (read[prior.read_end() + g] == text[gap_text + g]) ++matched;
+        if (read[prior.read_end() + g] == text[gap_text + g]) ++gap_matched;
       }
+      stats.bases_compared += read_gap;
+      matched += gap_matched;
       (void)text_gap;
     }
 
@@ -217,9 +280,9 @@ std::vector<AlignmentHit> score_windows(const GenomeIndex& index,
                       params.xdrop, stats.bases_compared);
       matched += ext_matched;
       if (ext_len > 0) {
-        segments.front().read_start -= ext_len;
-        segments.front().text_start -= ext_len;
-        segments.front().length += ext_len;
+        ws.segments.front().read_start -= ext_len;
+        ws.segments.front().text_start -= ext_len;
+        ws.segments.front().length += ext_len;
       }
     }
     // Right extension from the last chained seed.
@@ -229,32 +292,44 @@ std::vector<AlignmentHit> score_windows(const GenomeIndex& index,
           extend_right(read, text, last.read_end(), last.text_end(),
                        params.xdrop, stats.bases_compared);
       matched += ext_matched;
-      if (ext_len > 0) segments.back().length += ext_len;
+      if (ext_len > 0) ws.segments.back().length += ext_len;
     }
 
+    const u32 score = static_cast<u32>(std::min<u64>(matched, read.size()));
+    if (score == 0) continue;
+
     // Merge segments that are contiguous in both read and text (gap filled
-    // on the same diagonal).
-    std::vector<AlignedSegment> merged;
-    for (const auto& segment : segments) {
-      if (!merged.empty()) {
-        AlignedSegment& tail = merged.back();
-        const u64 read_gap = segment.read_start - (tail.read_start + tail.length);
-        const u64 text_gap = segment.text_start - (tail.text_start + tail.length);
+    // on the same diagonal) directly into the hit's inline storage.
+    AlignmentHit& hit = hits.emplace_back();
+    hit.reverse = reverse;
+    hit.score = score;
+    for (const auto& segment : ws.segments) {
+      if (!hit.segments.empty()) {
+        AlignedSegment& tail = hit.segments.back();
+        const u64 read_gap =
+            segment.read_start - (tail.read_start + tail.length);
+        const u64 text_gap =
+            segment.text_start - (tail.text_start + tail.length);
         if (read_gap == text_gap) {
           tail.length = segment.read_start + segment.length - tail.read_start;
           continue;
         }
       }
-      merged.push_back(segment);
+      hit.segments.push_back(segment);
     }
-
-    AlignmentHit hit;
-    hit.text_pos = merged.front().text_start;
-    hit.reverse = reverse;
-    hit.score = static_cast<u32>(std::min<u64>(matched, read.size()));
-    hit.segments = std::move(merged);
-    if (hit.score > 0) hits.push_back(std::move(hit));
+    hit.text_pos = hit.segments.front().text_start;
   }
+}
+
+std::vector<AlignmentHit> score_windows(const GenomeIndex& index,
+                                        std::string_view read,
+                                        const std::vector<Seed>& seeds,
+                                        bool reverse,
+                                        const AlignerParams& params,
+                                        ExtendStats& stats) {
+  ExtendWorkspace ws;
+  std::vector<AlignmentHit> hits;
+  score_windows(index, read, seeds, reverse, params, stats, ws, hits);
   return hits;
 }
 

@@ -27,8 +27,44 @@ struct ExtendStats {
   bool capped = false;  ///< some seed exceeded anchor_max_loci
 };
 
+/// One genomic occurrence of a seed, the unit the window clustering and
+/// chaining DP operate on.
+struct SeedLocus {
+  u64 read_offset = 0;
+  u64 length = 0;
+  GenomePos text_start = 0;
+  ContigId contig = 0;
+
+  i64 diagonal() const {
+    return static_cast<i64>(text_start) - static_cast<i64>(read_offset);
+  }
+  u64 read_end() const { return read_offset + length; }
+  GenomePos text_end() const { return text_start + length; }
+};
+
+/// Scratch buffers for score_windows: locus enumeration, per-window slices,
+/// the chaining DP bands, and segment assembly. Owned by AlignWorkspace and
+/// reused read after read, so the steady state allocates nothing.
+struct ExtendWorkspace {
+  std::vector<SeedLocus> loci;
+  std::vector<SeedLocus> window;
+  std::vector<u64> chain_score;   ///< DP: best chain score ending at i
+  std::vector<i64> chain_prev;    ///< DP: predecessor of i (-1 = none)
+  std::vector<usize> chain;       ///< backtracked best chain, ascending
+  std::vector<AlignedSegment> segments;  ///< pre-merge segment assembly
+};
+
 /// Scores all candidate windows implied by `seeds` for `read` (already
-/// orientation-resolved). Returns one hit per window with score > 0.
+/// orientation-resolved), appending one hit per window with score > 0 to
+/// `hits`. Hot-path interface: all scratch comes from `ws`, so warmed
+/// buffers make this allocation-free except when a hit spills its inline
+/// segment storage.
+void score_windows(const GenomeIndex& index, std::string_view read,
+                   const std::vector<Seed>& seeds, bool reverse,
+                   const AlignerParams& params, ExtendStats& stats,
+                   ExtendWorkspace& ws, std::vector<AlignmentHit>& hits);
+
+/// Convenience form returning a fresh hit vector (allocates; tests/tools).
 std::vector<AlignmentHit> score_windows(const GenomeIndex& index,
                                         std::string_view read,
                                         const std::vector<Seed>& seeds,

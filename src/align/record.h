@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/small_vec.h"
 #include "common/types.h"
 
 namespace staratlas {
@@ -24,12 +25,17 @@ struct AlignedSegment {
   u64 length = 0;
 };
 
+/// Segment storage for one hit. Inline capacity 4 covers unspliced reads
+/// (1 segment) and typical spliced reads (one segment per exon crossed);
+/// pathological reads spill to the heap transparently.
+using SegmentList = SmallVec<AlignedSegment, 4>;
+
 /// One candidate placement of a read.
 struct AlignmentHit {
   GenomePos text_pos = 0;  ///< leftmost text coordinate of the alignment
   bool reverse = false;    ///< read aligned as its reverse complement
   u32 score = 0;           ///< matched bases
-  std::vector<AlignedSegment> segments;  ///< ascending, possibly spliced
+  SegmentList segments;    ///< ascending, possibly spliced
 };
 
 /// Full alignment result for one read.
@@ -39,6 +45,16 @@ struct ReadAlignment {
   u32 num_loci = 0;  ///< loci scoring within multimap_score_range of best
   bool repetitive_capped = false;  ///< some seed exceeded anchor_max_loci
   std::vector<AlignmentHit> hits;  ///< best-first, at most multimap_nmax
+
+  /// Clears per-read fields while keeping `hits` capacity — the engine's
+  /// workers reuse one result slot per read to stay allocation-free.
+  void reset() {
+    outcome = ReadOutcome::kUnmapped;
+    best_score = 0;
+    num_loci = 0;
+    repetitive_capped = false;
+    hits.clear();
+  }
 };
 
 /// Aggregate statistics; also carries the honest work counters the virtual

@@ -4,30 +4,29 @@
 
 namespace staratlas {
 
-SeedSearchResult find_seeds(const GenomeIndex& index, std::string_view read,
-                            const AlignerParams& params) {
-  SeedSearchResult result;
+void find_seeds(const GenomeIndex& index, std::string_view read,
+                const AlignerParams& params, SeedSearchResult& result) {
+  result.clear(read.size());
 
   // STAR starts an MMP walk at every seedSearchStartLmax boundary; each
   // walk then restarts just past the prefix it matched. Seeds are deduped
   // by read offset (later walks re-cover earlier territory).
-  std::vector<u64> seeded_offsets;
+  MmpResult mmp;
   const u64 lmax = std::max<usize>(1, params.seed_search_start_lmax);
   for (u64 grid = 0; grid < read.size(); grid += lmax) {
     u64 offset = grid;
     const u64 walk_end = read.size();
     while (offset < walk_end &&
            result.seeds.size() < params.max_seeds_per_read) {
-      if (std::find(seeded_offsets.begin(), seeded_offsets.end(), offset) !=
-          seeded_offsets.end()) {
+      if (result.offset_seeded[offset]) {
         break;  // this walk merged into a previous one
       }
-      const MmpResult mmp = index.mmp(read.substr(offset));
+      index.mmp(read.substr(offset), mmp);
       ++result.mmp_calls;
       result.chars_matched += mmp.length;
       if (mmp.length >= params.seed_min_length) {
         result.seeds.push_back({offset, mmp.length, mmp.interval});
-        seeded_offsets.push_back(offset);
+        result.offset_seeded[offset] = 1;
         offset += mmp.length;
       } else {
         // Too short to anchor anything: a sequencing error or foreign
@@ -37,6 +36,12 @@ SeedSearchResult find_seeds(const GenomeIndex& index, std::string_view read,
     }
     if (result.seeds.size() >= params.max_seeds_per_read) break;
   }
+}
+
+SeedSearchResult find_seeds(const GenomeIndex& index, std::string_view read,
+                            const AlignerParams& params) {
+  SeedSearchResult result;
+  find_seeds(index, read, params, result);
   return result;
 }
 

@@ -23,11 +23,30 @@ struct Seed {
 
 struct SeedSearchResult {
   std::vector<Seed> seeds;
-  u64 mmp_calls = 0;       ///< MMP invocations performed (work accounting)
-  u64 chars_matched = 0;   ///< total matched characters across MMPs
+  u64 mmp_calls = 0;      ///< MMP invocations performed (work accounting)
+  u64 chars_matched = 0;  ///< total matched characters across MMPs
+  /// Scratch: one byte per read offset, set where a seed was recorded.
+  /// Replaces the old O(seeds) linear dedupe scan with an O(1) probe and
+  /// is reused (capacity and all) across reads by the alignment workspace.
+  std::vector<u8> offset_seeded;
+
+  /// Empties the result for a fresh read of `read_length` bases without
+  /// releasing any capacity.
+  void clear(usize read_length) {
+    seeds.clear();
+    mmp_calls = 0;
+    chars_matched = 0;
+    offset_seeded.assign(read_length, 0);
+  }
 };
 
-/// Runs the MMP walk over `read` against `index`.
+/// Runs the MMP walk over `read` against `index`, writing into `result`
+/// (cleared first; buffers are reused). This is the hot-path interface —
+/// steady-state it performs no heap allocations.
+void find_seeds(const GenomeIndex& index, std::string_view read,
+                const AlignerParams& params, SeedSearchResult& result);
+
+/// Convenience form that returns a fresh result (allocates; tests/tools).
 SeedSearchResult find_seeds(const GenomeIndex& index, std::string_view read,
                             const AlignerParams& params);
 

@@ -1,0 +1,33 @@
+// AlignWorkspace: per-thread scratch for the alignment hot path.
+//
+// One workspace owns every buffer Aligner::align needs — the
+// reverse-complement string, the seed list and its offset-dedupe mask, the
+// extension/chaining bands, the candidate-hit vector, and a reusable
+// per-read result slot. After a few warm-up reads the buffers reach their
+// workload's high-water marks and steady-state alignment performs zero
+// heap allocations (asserted by tests/align/workspace_alloc_test.cc).
+//
+// Not thread-safe: one workspace per thread. The AlignmentEngine keeps one
+// per worker and reuses them across runs, which is the compute analog of
+// STAR's --genomeLoad LoadAndKeep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "align/extend.h"
+#include "align/record.h"
+#include "align/seed.h"
+
+namespace staratlas {
+
+struct AlignWorkspace {
+  std::string rc;           ///< reverse-complement buffer
+  SeedSearchResult seeds;   ///< seed walk output; reused per orientation
+  ExtendWorkspace extend;   ///< loci, windows, DP bands, segment assembly
+  std::vector<AlignmentHit> hits;  ///< candidate hits, both orientations
+  std::vector<u32> hit_order;      ///< sort permutation over `hits`
+  ReadAlignment result;     ///< per-read result slot for engine loops
+};
+
+}  // namespace staratlas

@@ -1,0 +1,56 @@
+#include "common/alloc_counter.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace staratlas::alloc_counter {
+namespace {
+thread_local u64 tl_allocations = 0;
+thread_local u64 tl_allocated_bytes = 0;
+}  // namespace
+
+u64 thread_allocations() { return tl_allocations; }
+u64 thread_allocated_bytes() { return tl_allocated_bytes; }
+
+namespace detail {
+void* counted_new(std::size_t size) {
+  ++tl_allocations;
+  tl_allocated_bytes += size;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace detail
+
+}  // namespace staratlas::alloc_counter
+
+// Global replacements. Deliberately minimal: every form funnels through
+// counted_new/free, and sized/aligned deletes ignore their hints (malloc
+// alignment suffices for the types this codebase allocates).
+void* operator new(std::size_t size) {
+  return staratlas::alloc_counter::detail::counted_new(size);
+}
+void* operator new[](std::size_t size) {
+  return staratlas::alloc_counter::detail::counted_new(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return staratlas::alloc_counter::detail::counted_new(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return staratlas::alloc_counter::detail::counted_new(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

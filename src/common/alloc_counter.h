@@ -1,0 +1,23 @@
+// Thread-local heap-allocation counter backing the hot-path zero-allocation
+// guarantees (tests/align/workspace_alloc_test.cc, bench/bench_hotpath.cpp).
+//
+// The companion .cc replaces the global operator new/delete with counting
+// versions. Because staratlas_common is a static library, the replacement
+// is linked into a binary only when that binary references a symbol from
+// alloc_counter.cc — i.e. calls one of the functions below. Binaries that
+// never ask for allocation counts keep the stock allocator.
+#pragma once
+
+#include "common/types.h"
+
+namespace staratlas::alloc_counter {
+
+/// Number of heap allocations (operator new calls) made by the calling
+/// thread since it started. Monotonic; diff two readings around a region
+/// to count its allocations.
+u64 thread_allocations();
+
+/// Total bytes requested by the calling thread's allocations. Monotonic.
+u64 thread_allocated_bytes();
+
+}  // namespace staratlas::alloc_counter

@@ -1,0 +1,159 @@
+// SmallVec<T, N>: a vector with N elements of inline storage that spills
+// to the heap only when it grows past N.
+//
+// Exists for the alignment hot path: AlignmentHit::segments holds 1-3
+// entries for almost every read, so storing them inline makes hits
+// trivially recyclable — clearing and refilling a hit vector touches no
+// heap memory until a read exceeds the inline capacity.
+//
+// Supports the subset of std::vector's interface the codebase uses; T
+// must be trivially copyable (segments and the like are PODs), which
+// keeps grow/copy a memcpy.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/types.h"
+
+namespace staratlas {
+
+template <typename T, usize N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be positive");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is restricted to trivially copyable element types");
+
+ public:
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+  SmallVec(const SmallVec& other) { assign(other.begin(), other.end()); }
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  SmallVec& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  ~SmallVec() { release(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  usize size() const { return size_; }
+  usize capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  /// True while the elements live in the inline buffer (no heap in play).
+  bool is_inline() const { return data_ == inline_data(); }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](usize i) { return data_[i]; }
+  const T& operator[](usize i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(usize wanted) {
+    if (wanted > capacity_) grow_to(wanted);
+  }
+
+  void resize(usize n) {
+    reserve(n);
+    for (usize i = size_; i < n; ++i) data_[i] = T{};
+    size_ = n;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow_to(capacity_ * 2);
+    data_[size_++] = value;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow_to(capacity_ * 2);
+    data_[size_] = T{std::forward<Args>(args)...};
+    return data_[size_++];
+  }
+
+  void pop_back() { --size_; }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  T* inline_data() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* inline_data() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void grow_to(usize wanted) {
+    const usize new_cap = std::max<usize>(wanted, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    std::memcpy(static_cast<void*>(fresh), data_, size_ * sizeof(T));
+    if (!is_inline()) ::operator delete(data_);
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void release() {
+    if (!is_inline()) ::operator delete(data_);
+    data_ = inline_data();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  /// Takes `other`'s contents; spilled buffers transfer ownership, inline
+  /// contents are copied (they are cheap by construction).
+  void steal(SmallVec& other) {
+    if (other.is_inline()) {
+      std::memcpy(static_cast<void*>(inline_data()), other.data_,
+                  other.size_ * sizeof(T));
+      data_ = inline_data();
+      capacity_ = N;
+      size_ = other.size_;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+    }
+    other.size_ = 0;
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  usize capacity_ = N;
+  usize size_ = 0;
+};
+
+}  // namespace staratlas

@@ -14,7 +14,8 @@ PipelineRunner::PipelineRunner(const GenomeIndex& index,
     : index_(&index),
       annotation_(&annotation),
       repository_(&repository),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      engine_(index, &annotation, config_.engine) {
   config_.early_stop.validate();
   // The engine must check progress at least as often as the early-stop
   // checkpoint needs, or the decision would come late.
@@ -42,10 +43,10 @@ SampleResult PipelineRunner::process(const std::string& accession) {
   result.fastq_bytes = dumped.fastq_bytes;
   result.total_reads = dumped.reads.size();
 
-  // Stage 3: STAR alignment with GeneCounts and early stopping.
-  AlignmentEngine engine(*index_, annotation_, config_.engine);
+  // Stage 3: STAR alignment with GeneCounts and early stopping. The
+  // engine (and its worker pool + workspaces) persists across accessions.
   EarlyStopController controller(config_.early_stop);
-  const AlignmentRun run = engine.run(dumped.reads, controller.callback());
+  const AlignmentRun run = engine_.run(dumped.reads, controller.callback());
   result.align_wall_seconds = run.wall_seconds;
   result.stats = run.stats;
   result.gene_counts = run.gene_counts;

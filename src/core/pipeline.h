@@ -35,6 +35,9 @@ struct SampleResult {
 };
 
 /// Runs the four pipeline stages for every accession handed to process().
+/// The alignment engine (worker pool, workspaces, gene-count tables) is
+/// built once and reused for every accession, so a multi-sample campaign
+/// pays engine setup a single time.
 class PipelineRunner {
  public:
   PipelineRunner(const GenomeIndex& index, const Annotation& annotation,
@@ -48,6 +51,7 @@ class PipelineRunner {
   const Annotation* annotation_;
   SraRepository* repository_;
   PipelineConfig config_;
+  AlignmentEngine engine_;  ///< reused across accessions (LoadAndKeep analog)
 };
 
 }  // namespace staratlas

@@ -1,7 +1,9 @@
 #include "index/genome_index.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 
 #include "common/error.h"
@@ -58,13 +60,13 @@ GenomeIndex GenomeIndex::build(const Assembly& assembly,
       params.prefix_lut_k ? params.prefix_lut_k : auto_lut_k(index.text_.size());
   STARATLAS_CHECK(index.lut_k_ >= 2 && index.lut_k_ <= 14);
   index.build_lut();
+  index.build_mini_luts();
   return index;
 }
 
 void GenomeIndex::build_lut() {
   const u64 cells = u64{1} << (2 * lut_k_);
-  lut_lo_.assign(cells, 0);
-  lut_hi_.assign(cells, 0);
+  lut_.assign(cells, {0, 0});
 
   // Walk the suffix array once; suffixes beginning with the same pure-ACGT
   // k-mer form one contiguous block, and block codes appear in increasing
@@ -86,10 +88,32 @@ void GenomeIndex::build_lut() {
     if (!valid) continue;
     if (code != current_code) {
       current_code = code;
-      lut_lo_[code] = static_cast<u32>(row);
-      lut_hi_[code] = static_cast<u32>(row);
+      lut_[code][0] = static_cast<u32>(row);
     }
-    lut_hi_[code] = static_cast<u32>(row) + 1;
+    lut_[code][1] = static_cast<u32>(row) + 1;
+  }
+}
+
+void GenomeIndex::build_mini_luts() {
+  for (u32 k = 1; k <= 4; ++k) {
+    mini_lut_[k - 1].assign(u64{1} << (2 * k), {0, 0});
+  }
+  // One SA pass; each row contributes to every prefix length its leading
+  // pure-ACGT run covers. Unlike the main LUT, a block here includes
+  // suffixes with a separator or N *after* the prefix — exactly the set
+  // incremental narrowing from the full range would produce.
+  for (usize row = 0; row < sa_.size(); ++row) {
+    const u64 pos = sa_[row];
+    u64 code = 0;
+    for (u32 k = 1; k <= 4; ++k) {
+      if (pos + k > text_.size()) break;
+      const u8 b = base_code(text_[pos + k - 1]);
+      if (b == 0xff) break;
+      code = (code << 2) | b;
+      auto& cell = mini_lut_[k - 1][code];
+      if (cell[0] == cell[1]) cell[0] = static_cast<u32>(row);
+      cell[1] = static_cast<u32>(row) + 1;
+    }
   }
 }
 
@@ -159,6 +183,11 @@ SaInterval GenomeIndex::extend_interval(SaInterval interval, usize depth,
 
 MmpResult GenomeIndex::mmp(std::string_view query) const {
   MmpResult result;
+  mmp(query, result);
+  return result;
+}
+
+void GenomeIndex::mmp(std::string_view query, MmpResult& result) const {
   SaInterval interval{0, static_cast<u32>(sa_.size())};
   usize depth = 0;
 
@@ -175,17 +204,71 @@ MmpResult GenomeIndex::mmp(std::string_view query) const {
       code = (code << 2) | b;
     }
     if (valid) {
-      const SaInterval hit{lut_lo_[code], lut_hi_[code]};
+      const SaInterval hit{lut_[code][0], lut_[code][1]};
       if (!hit.empty()) {
         interval = hit;
         depth = lut_k_;
       }
       // If the k-mer is absent the MMP is shorter than k; fall through to
-      // the incremental search from the full range.
+      // the cascade below.
+    }
+  }
+
+  // Main LUT could not jump (short query, absent k-mer, or an early N):
+  // jump with the longest cascade LUT whose block is nonempty. This pins
+  // the walk to a short-prefix SA block instead of binary-searching down
+  // from the full range — the case every failing seed walk and every
+  // read-tail restart hits.
+  if (depth == 0 && !query.empty()) {
+    u64 code = 0;
+    u32 pure = 0;
+    const u32 kmax = static_cast<u32>(std::min<usize>(4, query.size()));
+    for (u32 j = 0; j < kmax; ++j) {
+      const u8 b = base_code(query[j]);
+      if (b == 0xff) break;
+      code = (code << 2) | b;
+      ++pure;
+    }
+    for (u32 k = pure; k >= 1; --k) {
+      const auto& cell = mini_lut_[k - 1][code >> (2 * (pure - k))];
+      const SaInterval hit{cell[0], cell[1]};
+      if (!hit.empty()) {
+        interval = hit;
+        depth = k;
+        break;
+      }
     }
   }
 
   while (depth < query.size()) {
+    if (interval.count() == 1) {
+      // Single candidate suffix: extending by binary search would just
+      // re-confirm this row, so compare against the text directly. This
+      // is the common case for unique reads once the LUT (or a few
+      // narrowing steps) pins the interval, and it turns O(log n) SA
+      // probes per character into one text byte. Compare a word at a
+      // time: the matched stretch is most of the read for unique reads.
+      const u64 pos = sa_[interval.lo];
+      const u64 limit = std::min<u64>(query.size(), text_.size() - pos);
+      const char* t = text_.data() + pos;
+      const char* q = query.data();
+      while (depth + sizeof(u64) <= limit) {
+        u64 tw;
+        u64 qw;
+        std::memcpy(&tw, t + depth, sizeof(u64));
+        std::memcpy(&qw, q + depth, sizeof(u64));
+        if (tw != qw) {
+          // First differing byte within the word (little-endian).
+          depth += static_cast<u64>(std::countr_zero(tw ^ qw)) / 8;
+          result.length = depth;
+          result.interval = depth > 0 ? interval : SaInterval{};
+          return;
+        }
+        depth += sizeof(u64);
+      }
+      while (depth < limit && t[depth] == q[depth]) ++depth;
+      break;
+    }
     const SaInterval narrowed = extend_interval(interval, depth, query[depth]);
     if (narrowed.empty()) break;
     interval = narrowed;
@@ -193,14 +276,13 @@ MmpResult GenomeIndex::mmp(std::string_view query) const {
   }
   result.length = depth;
   result.interval = depth > 0 ? interval : SaInterval{};
-  return result;
 }
 
 IndexStats GenomeIndex::stats() const {
   IndexStats stats;
   stats.text_bytes = ByteSize(text_.size());
   stats.suffix_array_bytes = ByteSize(sa_.size() * sizeof(u32));
-  stats.lut_bytes = ByteSize((lut_lo_.size() + lut_hi_.size()) * sizeof(u32));
+  stats.lut_bytes = ByteSize(lut_.size() * sizeof(lut_[0]));
   stats.genome_length = text_.size() - (contigs_.size() - 1);
   stats.num_contigs = contigs_.size();
   stats.prefix_lut_k = lut_k_;
@@ -224,8 +306,13 @@ void GenomeIndex::save(std::ostream& out) const {
   writer.write_string(text_);
   writer.write_pod_vector(sa_);
   writer.write_u32(lut_k_);
-  writer.write_pod_vector(lut_lo_);
-  writer.write_pod_vector(lut_hi_);
+  // On-disk layout predates the interleaved in-memory LUT: split back
+  // into the lo array then the hi array so version 2 stays readable.
+  std::vector<u32> bound(lut_.size());
+  for (usize i = 0; i < lut_.size(); ++i) bound[i] = lut_[i][0];
+  writer.write_pod_vector(bound);
+  for (usize i = 0; i < lut_.size(); ++i) bound[i] = lut_[i][1];
+  writer.write_pod_vector(bound);
 }
 
 GenomeIndex GenomeIndex::load(std::istream& in) {
@@ -255,11 +342,17 @@ GenomeIndex GenomeIndex::load(std::istream& in) {
   index.text_ = reader.read_string();
   index.sa_ = reader.read_pod_vector<u32>();
   index.lut_k_ = reader.read_u32();
-  index.lut_lo_ = reader.read_pod_vector<u32>();
-  index.lut_hi_ = reader.read_pod_vector<u32>();
+  const std::vector<u32> lo = reader.read_pod_vector<u32>();
+  const std::vector<u32> hi = reader.read_pod_vector<u32>();
+  if (lo.size() != hi.size()) {
+    throw ParseError("index corrupt: LUT bound size mismatch");
+  }
+  index.lut_.resize(lo.size());
+  for (usize i = 0; i < lo.size(); ++i) index.lut_[i] = {lo[i], hi[i]};
   if (index.sa_.size() != index.text_.size()) {
     throw ParseError("index corrupt: SA/text size mismatch");
   }
+  index.build_mini_luts();
   return index;
 }
 

@@ -7,6 +7,7 @@
 // Maximal Mappable Prefix searches.
 #pragma once
 
+#include <array>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -89,6 +90,11 @@ class GenomeIndex {
   /// Longest prefix of `query` present in the genome, with occurrences.
   MmpResult mmp(std::string_view query) const;
 
+  /// Hot-path form of mmp(): writes into a caller-provided result so the
+  /// seed-walk loop reuses one MmpResult for every restart. Performs no
+  /// heap allocation.
+  void mmp(std::string_view query, MmpResult& out) const;
+
   /// Narrows `interval` (matching `depth` query chars) to suffixes whose
   /// next character equals `c`. Exposed for the aligner's seed logic.
   SaInterval extend_interval(SaInterval interval, usize depth, char c) const;
@@ -103,6 +109,7 @@ class GenomeIndex {
 
  private:
   void build_lut();
+  void build_mini_luts();
   char text_at(u64 pos) const {
     return pos < text_.size() ? text_[pos] : '\0';
   }
@@ -114,8 +121,17 @@ class GenomeIndex {
   std::string text_;       ///< contigs joined by '#'
   std::vector<u32> sa_;
   u32 lut_k_ = 0;
-  std::vector<u32> lut_lo_;
-  std::vector<u32> lut_hi_;
+  /// Prefix LUT, one [lo, hi) SA-row pair per k-mer code. Interleaved so a
+  /// lookup touches one cache line, not one per bound — MMP calls are the
+  /// aligner's hottest operation and each one starts with this load. The
+  /// serialized format stays split (lo array, hi array) for compatibility.
+  std::vector<std::array<u32, 2>> lut_;
+  /// Cascade LUTs for prefix lengths 1..4 (mini_lut_[k-1] has 4^k cells).
+  /// When the main LUT cannot jump — query shorter than k, leading k-mer
+  /// absent, or an early N — these pin the walk to a short-prefix SA block
+  /// instead of binary-searching down from the full range. 340 cells
+  /// total, so they stay cache-resident. Rebuilt on load, never stored.
+  std::array<std::vector<std::array<u32, 2>>, 4> mini_lut_;
 };
 
 }  // namespace staratlas

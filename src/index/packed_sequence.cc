@@ -1,20 +1,11 @@
 #include "index/packed_sequence.h"
 
 #include <algorithm>
+#include <array>
 
 #include "common/error.h"
 
 namespace staratlas {
-
-u8 base_code(char base) {
-  switch (base) {
-    case 'A': return 0;
-    case 'C': return 1;
-    case 'G': return 2;
-    case 'T': return 3;
-    default: return 0xff;
-  }
-}
 
 char code_base(u8 code) {
   static constexpr char kBases[] = "ACGT";
@@ -23,21 +14,30 @@ char code_base(u8 code) {
 }
 
 std::string reverse_complement(std::string_view seq) {
-  std::string out(seq.size(), 'N');
+  std::string out;
+  reverse_complement(seq, out);
+  return out;
+}
+
+void reverse_complement(std::string_view seq, std::string& out) {
+  // Table-driven complement (zero byte = invalid residue): one load per
+  // base instead of a branch ladder, which matters because the aligner
+  // reverse-complements every read.
+  static constexpr std::array<char, 256> kComplement = [] {
+    std::array<char, 256> table{};
+    table['A'] = 'T';
+    table['C'] = 'G';
+    table['G'] = 'C';
+    table['T'] = 'A';
+    table['N'] = 'N';
+    return table;
+  }();
+  out.resize(seq.size());
   for (usize i = 0; i < seq.size(); ++i) {
-    char c;
-    switch (seq[seq.size() - 1 - i]) {
-      case 'A': c = 'T'; break;
-      case 'C': c = 'G'; break;
-      case 'G': c = 'C'; break;
-      case 'T': c = 'A'; break;
-      case 'N': c = 'N'; break;
-      default:
-        throw InvalidArgument("reverse_complement: invalid residue");
-    }
+    const char c = kComplement[static_cast<u8>(seq[seq.size() - 1 - i])];
+    if (c == 0) throw InvalidArgument("reverse_complement: invalid residue");
     out[i] = c;
   }
-  return out;
 }
 
 PackedSequence PackedSequence::pack(std::string_view seq) {

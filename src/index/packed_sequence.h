@@ -5,6 +5,7 @@
 // compressed on-disk/in-object-store representation).
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -44,11 +45,29 @@ class PackedSequence {
   std::vector<u64> n_positions_;  ///< sorted positions stored as 'A' in codes_
 };
 
-/// 2-bit code for A/C/G/T (0..3); 0xff for anything else.
-u8 base_code(char base);
+namespace detail {
+inline constexpr std::array<u8, 256> kBaseCodes = [] {
+  std::array<u8, 256> table{};
+  table.fill(0xff);
+  table['A'] = 0;
+  table['C'] = 1;
+  table['G'] = 2;
+  table['T'] = 3;
+  return table;
+}();
+}  // namespace detail
+
+/// 2-bit code for A/C/G/T (0..3); 0xff for anything else. Inline: the MMP
+/// prefix-LUT lookup calls this per leading base of every seed walk.
+inline u8 base_code(char base) {
+  return detail::kBaseCodes[static_cast<u8>(base)];
+}
 /// Inverse of base_code for 0..3.
 char code_base(u8 code);
 /// Reverse complement of an ACGTN string (N maps to N).
 std::string reverse_complement(std::string_view seq);
+/// Hot-path form: writes into `out` (resized, capacity reused), so a
+/// per-thread buffer makes repeated calls allocation-free.
+void reverse_complement(std::string_view seq, std::string& out);
 
 }  // namespace staratlas

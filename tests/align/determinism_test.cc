@@ -1,0 +1,130 @@
+// Guards the workspace-reuse and pooled-engine changes against stale-state
+// bugs: AlignmentRun outcomes, gene counts, and junctions must be
+// bit-identical across thread counts and across repeated runs on a reused
+// engine (whose workspaces and pool persist between runs).
+#include <gtest/gtest.h>
+
+#include "align/engine.h"
+#include "sim/library_profile.h"
+#include "sim/read_simulator.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+ReadSet determinism_reads() {
+  const auto& w = world();
+  // A mixed profile so unique, multi, and unmapped outcomes all occur.
+  return w.simulator->simulate(bulk_rna_profile(), 600, Rng(4242));
+}
+
+EngineConfig determinism_config(usize num_threads) {
+  EngineConfig config;
+  config.num_threads = num_threads;
+  config.chunk_size = 32;  // plenty of chunks even at 8 threads
+  config.collect_junctions = true;
+  return config;
+}
+
+void expect_identical(const AlignmentRun& a, const AlignmentRun& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (usize i = 0; i < a.outcomes.size(); ++i) {
+    ASSERT_EQ(a.outcomes[i], b.outcomes[i]) << "read " << i;
+  }
+  EXPECT_EQ(a.stats.processed, b.stats.processed);
+  EXPECT_EQ(a.stats.unique, b.stats.unique);
+  EXPECT_EQ(a.stats.multi, b.stats.multi);
+  EXPECT_EQ(a.stats.too_many, b.stats.too_many);
+  EXPECT_EQ(a.stats.unmapped, b.stats.unmapped);
+  EXPECT_EQ(a.stats.seeds_generated, b.stats.seeds_generated);
+  EXPECT_EQ(a.stats.windows_scored, b.stats.windows_scored);
+  EXPECT_EQ(a.stats.bases_compared, b.stats.bases_compared);
+
+  ASSERT_EQ(a.gene_counts.per_gene.size(), b.gene_counts.per_gene.size());
+  for (usize g = 0; g < a.gene_counts.per_gene.size(); ++g) {
+    ASSERT_EQ(a.gene_counts.per_gene[g], b.gene_counts.per_gene[g])
+        << "gene " << g;
+  }
+  EXPECT_EQ(a.gene_counts.n_unmapped, b.gene_counts.n_unmapped);
+  EXPECT_EQ(a.gene_counts.n_multimapping, b.gene_counts.n_multimapping);
+  EXPECT_EQ(a.gene_counts.n_no_feature, b.gene_counts.n_no_feature);
+  EXPECT_EQ(a.gene_counts.n_ambiguous, b.gene_counts.n_ambiguous);
+
+  ASSERT_EQ(a.junctions.size(), b.junctions.size());
+  for (usize j = 0; j < a.junctions.size(); ++j) {
+    EXPECT_EQ(a.junctions[j].contig, b.junctions[j].contig) << "junction " << j;
+    EXPECT_EQ(a.junctions[j].intron_start, b.junctions[j].intron_start)
+        << "junction " << j;
+    EXPECT_EQ(a.junctions[j].intron_end, b.junctions[j].intron_end)
+        << "junction " << j;
+    EXPECT_EQ(a.junctions[j].unique_reads, b.junctions[j].unique_reads)
+        << "junction " << j;
+    EXPECT_EQ(a.junctions[j].multi_reads, b.junctions[j].multi_reads)
+        << "junction " << j;
+    EXPECT_EQ(a.junctions[j].max_overhang, b.junctions[j].max_overhang)
+        << "junction " << j;
+  }
+}
+
+TEST(Determinism, IdenticalAcrossThreadCounts) {
+  const auto& w = world();
+  const ReadSet reads = determinism_reads();
+
+  AlignmentEngine e1(w.index111, &w.synthesizer->annotation(),
+                     determinism_config(1));
+  const AlignmentRun run1 = e1.run(reads);
+
+  for (const usize threads : {usize{4}, usize{8}}) {
+    AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+                           determinism_config(threads));
+    const AlignmentRun run = engine.run(reads);
+    expect_identical(run1, run, "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(Determinism, IdenticalAcrossRepeatedRunsOnReusedEngine) {
+  const auto& w = world();
+  const ReadSet reads = determinism_reads();
+
+  // The same engine object runs the same sample three times; its pool and
+  // per-worker workspaces persist, so any stale workspace state (seeds,
+  // hit buffers, result slot) from run N would corrupt run N+1.
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+                         determinism_config(4));
+  const AlignmentRun first = engine.run(reads);
+  for (int rep = 0; rep < 2; ++rep) {
+    const AlignmentRun again = engine.run(reads);
+    expect_identical(first, again, "repeat=" + std::to_string(rep));
+  }
+}
+
+TEST(Determinism, ReusedEngineIsCleanAcrossDifferentSamples) {
+  const auto& w = world();
+  const ReadSet sample_a = w.simulator->simulate(bulk_rna_profile(), 400,
+                                                 Rng(7));
+  const ReadSet sample_b = w.simulator->simulate(bulk_rna_profile(), 250,
+                                                 Rng(8));
+
+  // Interleave two different samples on one engine; each must produce the
+  // same result as a fresh engine would.
+  AlignmentEngine reused(w.index111, &w.synthesizer->annotation(),
+                         determinism_config(4));
+  const AlignmentRun a_warm = reused.run(sample_a);
+  const AlignmentRun b_warm = reused.run(sample_b);
+  const AlignmentRun a_again = reused.run(sample_a);
+
+  AlignmentEngine fresh_a(w.index111, &w.synthesizer->annotation(),
+                          determinism_config(4));
+  AlignmentEngine fresh_b(w.index111, &w.synthesizer->annotation(),
+                          determinism_config(4));
+  expect_identical(fresh_a.run(sample_a), a_warm, "sample_a vs fresh");
+  expect_identical(fresh_b.run(sample_b), b_warm, "sample_b vs fresh");
+  expect_identical(a_warm, a_again, "sample_a warm vs again");
+}
+
+}  // namespace
+}  // namespace staratlas

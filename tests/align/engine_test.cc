@@ -18,7 +18,7 @@ ReadSet bulk_reads(usize n, u64 seed = 3) {
 
 TEST(Engine, StatsSumToProcessed) {
   const auto& w = world();
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
   const AlignmentRun run = engine.run(bulk_reads(2'000));
   EXPECT_EQ(run.stats.processed, 2'000u);
   EXPECT_EQ(run.stats.unique + run.stats.multi + run.stats.too_many +
@@ -30,7 +30,7 @@ TEST(Engine, StatsSumToProcessed) {
 
 TEST(Engine, OutcomesArrayMatchesStats) {
   const auto& w = world();
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
   const ReadSet reads = bulk_reads(1'000);
   const AlignmentRun run = engine.run(reads);
   ASSERT_EQ(run.outcomes.size(), reads.size());
@@ -48,7 +48,7 @@ TEST(Engine, DeterministicStatsAcrossThreadCounts) {
   for (usize threads : {1u, 2u, 4u}) {
     EngineConfig config;
     config.num_threads = threads;
-    const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+    AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
                                  config);
     const AlignmentRun run = engine.run(reads);
     if (threads == 1) {
@@ -64,7 +64,7 @@ TEST(Engine, DeterministicStatsAcrossThreadCounts) {
 
 TEST(Engine, GeneCountsTotalsConsistent) {
   const auto& w = world();
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
   const AlignmentRun run = engine.run(bulk_reads(2'000));
   const GeneCountsTable& counts = run.gene_counts;
   EXPECT_EQ(counts.per_gene.size(), w.synthesizer->annotation().num_genes());
@@ -81,7 +81,7 @@ TEST(Engine, QuantDisabledSkipsCounts) {
   const auto& w = world();
   EngineConfig config;
   config.quant_gene_counts = false;
-  const AlignmentEngine engine(w.index111, nullptr, config);
+  AlignmentEngine engine(w.index111, nullptr, config);
   const AlignmentRun run = engine.run(bulk_reads(500));
   EXPECT_TRUE(run.gene_counts.per_gene.empty());
   EXPECT_GT(run.stats.processed, 0u);
@@ -98,7 +98,7 @@ TEST(Engine, CallbackInvokedAtIntervals) {
   const auto& w = world();
   EngineConfig config;
   config.progress_check_interval = 200;
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
                                config);
   usize calls = 0;
   u64 last_processed = 0;
@@ -120,7 +120,7 @@ TEST(Engine, AbortStopsPromptly) {
   EngineConfig config;
   config.progress_check_interval = 100;
   config.chunk_size = 50;
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
                                config);
   const AlignmentRun run =
       engine.run(bulk_reads(4'000), [&](const ProgressSnapshot& snap) {
@@ -138,7 +138,7 @@ TEST(Engine, AbortWithThreadsStillStops) {
   config.progress_check_interval = 100;
   config.chunk_size = 50;
   config.num_threads = 4;
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
                                config);
   const AlignmentRun run =
       engine.run(bulk_reads(4'000), [&](const ProgressSnapshot&) {
@@ -150,7 +150,7 @@ TEST(Engine, AbortWithThreadsStillStops) {
 
 TEST(Engine, EmptyReadSet) {
   const auto& w = world();
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
   const AlignmentRun run = engine.run(ReadSet{});
   EXPECT_EQ(run.stats.processed, 0u);
   EXPECT_FALSE(run.aborted);
@@ -160,7 +160,7 @@ TEST(Engine, ProgressLogRecordsRun) {
   const auto& w = world();
   EngineConfig config;
   config.progress_check_interval = 250;
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
                                config);
   const AlignmentRun run = engine.run(
       bulk_reads(1'000), [](const ProgressSnapshot&) {
@@ -173,14 +173,14 @@ TEST(Engine, ProgressLogRecordsRun) {
 
 TEST(Engine, BulkMappingRateHigh) {
   const auto& w = world();
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
   const AlignmentRun run = engine.run(bulk_reads(3'000));
   EXPECT_GT(run.stats.mapped_rate(), 0.80);
 }
 
 TEST(Engine, SingleCellMappingRateBelowThreshold) {
   const auto& w = world();
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
   const ReadSet reads =
       w.simulator->simulate(single_cell_profile(), 3'000, Rng(8));
   const AlignmentRun run = engine.run(reads);
@@ -192,8 +192,8 @@ TEST(Engine, MappingRateNearlyEqualAcrossReleases) {
   // The paper's <1% mean mapping-rate difference between releases.
   const auto& w = world();
   const ReadSet reads = bulk_reads(3'000, 21);
-  const AlignmentEngine e108(w.index108, &w.synthesizer->annotation(), {});
-  const AlignmentEngine e111(w.index111, &w.synthesizer->annotation(), {});
+  AlignmentEngine e108(w.index108, &w.synthesizer->annotation(), {});
+  AlignmentEngine e111(w.index111, &w.synthesizer->annotation(), {});
   const double r108 = e108.run(reads).stats.mapped_rate();
   const double r111 = e111.run(reads).stats.mapped_rate();
   EXPECT_NEAR(r108, r111, 0.01);

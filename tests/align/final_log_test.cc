@@ -12,7 +12,7 @@ using staratlas::testing::world;
 
 TEST(FinalLog, ContainsStarStyleSections) {
   const auto& w = world();
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
   const ReadSet reads = w.simulator->simulate(bulk_rna_profile(), 1'000, Rng(3));
   const AlignmentRun run = engine.run(reads);
   const std::string log = render_final_log(run, reads.size(), 100.0);

@@ -18,7 +18,7 @@ ReadAlignment alignment_with(std::vector<AlignedSegment> segments,
   ReadAlignment alignment;
   alignment.outcome = outcome;
   AlignmentHit hit;
-  hit.segments = std::move(segments);
+  hit.segments.assign(segments.begin(), segments.end());
   hit.text_pos = hit.segments.front().text_start;
   alignment.hits.push_back(hit);
   return alignment;
@@ -103,7 +103,7 @@ TEST(JunctionCollector, EngineCollectsRealJunctions) {
   EngineConfig config;
   config.collect_junctions = true;
   config.num_threads = 2;
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
                                config);
   const ReadSet reads =
       w.simulator->simulate(bulk_rna_profile(), 4'000, Rng(71));
@@ -144,7 +144,7 @@ TEST(JunctionCollector, EngineCollectsRealJunctions) {
 
 TEST(JunctionCollector, DisabledByDefault) {
   const auto& w = world();
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(), {});
   const ReadSet reads = w.simulator->simulate(bulk_rna_profile(), 500, Rng(72));
   const AlignmentRun run = engine.run(reads);
   EXPECT_TRUE(run.junctions.empty());

@@ -16,7 +16,7 @@ using staratlas::testing::world;
 
 AlignmentHit hit_with_segments(std::vector<AlignedSegment> segments) {
   AlignmentHit hit;
-  hit.segments = std::move(segments);
+  hit.segments.assign(segments.begin(), segments.end());
   hit.text_pos = hit.segments.front().text_start;
   return hit;
 }

@@ -1,0 +1,122 @@
+// The tentpole guarantee of the hot-path workspace refactor: steady-state
+// Aligner::align with a warmed AlignWorkspace performs zero heap
+// allocations per read. Referencing alloc_counter links the counting
+// operator-new replacement into this test binary, so the counter sees
+// every allocation the aligner would make.
+#include <gtest/gtest.h>
+
+#include "align/aligner.h"
+#include "align/workspace.h"
+#include "common/alloc_counter.h"
+#include "sim/library_profile.h"
+#include "sim/read_simulator.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+TEST(WorkspaceAlloc, SteadyStateAlignIsAllocationFree) {
+  const auto& w = world();
+  const Aligner aligner(w.index111, AlignerParams{});
+  const ReadSet reads = w.simulator->simulate(bulk_rna_profile(), 200, Rng(77));
+
+  AlignWorkspace ws;
+  MappingStats work;
+  // Warm-up pass: buffers grow to the workload's high-water marks.
+  for (const auto& read : reads.reads) {
+    aligner.align(read.sequence, ws, work, ws.result);
+  }
+
+  // Steady state: re-aligning the same workload must not touch the heap.
+  const u64 before = alloc_counter::thread_allocations();
+  for (const auto& read : reads.reads) {
+    aligner.align(read.sequence, ws, work, ws.result);
+  }
+  const u64 allocations = alloc_counter::thread_allocations() - before;
+  EXPECT_EQ(allocations, 0u)
+      << "steady-state align allocated " << allocations << " times over "
+      << reads.size() << " reads";
+}
+
+TEST(WorkspaceAlloc, WarmedWorkspaceMatchesFreshResults) {
+  const auto& w = world();
+  const Aligner aligner(w.index111, AlignerParams{});
+  const ReadSet reads = w.simulator->simulate(bulk_rna_profile(), 120, Rng(78));
+
+  AlignWorkspace reused;
+  MappingStats reused_work;
+  // Warm on the whole set, then re-align and compare against fresh-state
+  // alignment — reuse must never change results.
+  for (const auto& read : reads.reads) {
+    aligner.align(read.sequence, reused, reused_work, reused.result);
+  }
+  for (const auto& read : reads.reads) {
+    MappingStats fresh_work;
+    const ReadAlignment fresh = aligner.align(read.sequence, fresh_work);
+    MappingStats warm_work;
+    aligner.align(read.sequence, reused, warm_work, reused.result);
+    const ReadAlignment& warm = reused.result;
+
+    ASSERT_EQ(fresh.outcome, warm.outcome);
+    ASSERT_EQ(fresh.best_score, warm.best_score);
+    ASSERT_EQ(fresh.num_loci, warm.num_loci);
+    ASSERT_EQ(fresh.hits.size(), warm.hits.size());
+    for (usize i = 0; i < fresh.hits.size(); ++i) {
+      EXPECT_EQ(fresh.hits[i].text_pos, warm.hits[i].text_pos);
+      EXPECT_EQ(fresh.hits[i].reverse, warm.hits[i].reverse);
+      EXPECT_EQ(fresh.hits[i].score, warm.hits[i].score);
+      ASSERT_EQ(fresh.hits[i].segments.size(), warm.hits[i].segments.size());
+      for (usize s = 0; s < fresh.hits[i].segments.size(); ++s) {
+        EXPECT_EQ(fresh.hits[i].segments[s].read_start,
+                  warm.hits[i].segments[s].read_start);
+        EXPECT_EQ(fresh.hits[i].segments[s].text_start,
+                  warm.hits[i].segments[s].text_start);
+        EXPECT_EQ(fresh.hits[i].segments[s].length,
+                  warm.hits[i].segments[s].length);
+      }
+    }
+    EXPECT_EQ(fresh_work.seeds_generated, warm_work.seeds_generated);
+    EXPECT_EQ(fresh_work.windows_scored, warm_work.windows_scored);
+    EXPECT_EQ(fresh_work.bases_compared, warm_work.bases_compared);
+  }
+}
+
+TEST(WorkspaceAlloc, SmallVecSpillAndRecovery) {
+  // SmallVec sanity: inline until capacity, spills past it, survives
+  // copy/move/clear cycles — the operations hit recycling relies on.
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.is_inline());
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  v.push_back(4);  // spills
+  EXPECT_FALSE(v.is_inline());
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+
+  SmallVec<int, 4> copy = v;
+  ASSERT_EQ(copy.size(), 5u);
+  EXPECT_EQ(copy.back(), 4);
+
+  SmallVec<int, 4> moved = std::move(v);
+  ASSERT_EQ(moved.size(), 5u);
+  EXPECT_EQ(moved.front(), 0);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+
+  moved.clear();
+  EXPECT_TRUE(moved.empty());
+  moved.push_back(9);
+  EXPECT_EQ(moved.front(), 9);
+
+  SmallVec<int, 4> inline_move;
+  inline_move.push_back(1);
+  inline_move.push_back(2);
+  SmallVec<int, 4> stolen = std::move(inline_move);
+  ASSERT_EQ(stolen.size(), 2u);
+  EXPECT_TRUE(stolen.is_inline());
+  EXPECT_EQ(stolen[1], 2);
+}
+
+}  // namespace
+}  // namespace staratlas

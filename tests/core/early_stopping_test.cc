@@ -95,7 +95,7 @@ TEST(EarlyStopController, AbortsSingleCellAlignment) {
       w.simulator->simulate(single_cell_profile(), 3'000, Rng(61));
   EngineConfig config;
   config.progress_check_interval = 150;  // 5% granularity
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
                                config);
   EarlyStopController controller(EarlyStopPolicy{});
   const AlignmentRun run = engine.run(reads, controller.callback());
@@ -112,7 +112,7 @@ TEST(EarlyStopController, LetsBulkAlignmentFinish) {
       w.simulator->simulate(bulk_rna_profile(), 2'000, Rng(62));
   EngineConfig config;
   config.progress_check_interval = 100;
-  const AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
                                config);
   EarlyStopController controller(EarlyStopPolicy{});
   const AlignmentRun run = engine.run(reads, controller.callback());
