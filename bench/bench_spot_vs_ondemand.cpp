@@ -2,8 +2,13 @@
 //
 // Sweeps spot-market hostility (mean time to interruption) and compares
 // against on-demand: cost savings, interruption count, makespan penalty,
-// and whether every sample still completes (at-least-once delivery via
-// the SQS visibility timeout).
+// the true interruption tax (partial per-stage hours thrown away when an
+// instance is reclaimed — workers are stateless, so redelivered samples
+// restart from scratch), and whether every sample still completes
+// (at-least-once delivery via interruption-notice message return, the
+// visibility heartbeat, and the timeout backstop). A final chaos section
+// turns on the deterministic FaultInjector so the transfer retry/requeue
+// paths run under interruptions at the same time.
 
 #include <iostream>
 
@@ -20,7 +25,8 @@ int main() {
   spec.seed = 61;
   const auto catalog = make_catalog(spec);
 
-  auto run_config = [&](bool spot, double mtti_hours) {
+  auto run_config = [&](bool spot, double mtti_hours,
+                        double transfer_failure_rate = 0.0) {
     AtlasConfig config;
     config.use_release(111);
     config.spot = spot;
@@ -28,6 +34,11 @@ int main() {
     config.asg.max_size = 16;
     config.visibility_timeout = VirtualDuration::hours(12);
     config.seed = 2025;
+    if (transfer_failure_rate > 0.0) {
+      config.faults.enabled = true;
+      config.faults.transfer_failure_rate = transfer_failure_rate;
+      config.faults.seed = 777;
+    }
     return AtlasSimulation(catalog, config).run();
   };
 
@@ -36,24 +47,21 @@ int main() {
 
   const AtlasReport ondemand = run_config(false, 1e6);
   Table table({"mode", "mean TTI", "makespan", "EC2 cost", "$/sample",
-               "interrupts", "redelivered", "dead-lettered"});
-  table.add_row({"on-demand", "-", strf("%.1f h", ondemand.makespan_hours),
-                 strf("$%.0f", ondemand.total_cost_usd),
-                 strf("$%.2f", ondemand.cost_per_sample_usd()), "0", "-",
-                 strf("%zu", ondemand.samples_dead_lettered)});
-
-  for (const double mtti : {48.0, 12.0, 4.0, 1.5}) {
-    const AtlasReport report = run_config(true, mtti);
+               "interrupts", "wasted h", "requeues", "dead-lettered"});
+  auto add_row = [&table](const std::string& mode, const std::string& tti,
+                          const AtlasReport& report) {
     table.add_row(
-        {"spot", strf("%.1f h", mtti), strf("%.1f h", report.makespan_hours),
+        {mode, tti, strf("%.1f h", report.makespan_hours),
          strf("$%.0f", report.total_cost_usd),
          strf("$%.2f", report.cost_per_sample_usd()),
          strf("%llu", static_cast<unsigned long long>(report.interruptions)),
-         strf("%zu", report.samples_total - report.samples_completed -
-                         report.samples_early_stopped -
-                         report.samples_rejected_late -
-                         report.samples_dead_lettered),
+         strf("%.1f", report.wasted_hours_interrupted),
+         strf("%zu", report.requeues_interrupted + report.requeues_transfer),
          strf("%zu", report.samples_dead_lettered)});
+  };
+  add_row("on-demand", "-", ondemand);
+  for (const double mtti : {48.0, 12.0, 4.0, 1.5}) {
+    add_row("spot", strf("%.1f h", mtti), run_config(true, mtti));
   }
   table.print(std::cout);
 
@@ -63,5 +71,50 @@ int main() {
                                                  ondemand.total_cost_usd))
             << " cheaper in a calm market (catalog spot discount ~62%), "
                "shrinking as interruptions force rework.\n";
+
+  // Interruption tax breakdown for the hostile market: which stage the
+  // reclaims landed in (align dominates — it is where the hours are).
+  const AtlasReport hostile = run_config(true, 1.5);
+  std::cout << "\nhostile market (mean TTI 1.5 h) interruption tax: "
+            << strf("%.1f wasted h across %zu requeues",
+                    hostile.wasted_hours_interrupted,
+                    hostile.requeues_interrupted)
+            << "\n  per stage:";
+  for (usize s = 0; s < kNumSampleStages; ++s) {
+    const auto stage = static_cast<SampleStage>(s);
+    std::cout << strf(" %s %.2fh", stage_name(stage),
+                      hostile.wasted_hours_for(stage));
+  }
+  std::cout << "\n  heartbeats sent: "
+            << strf("%llu",
+                    static_cast<unsigned long long>(hostile.heartbeats_sent))
+            << ", init hours as actually run: "
+            << strf("%.1f (%.1f wasted mid-init)", hostile.init_hours,
+                    hostile.wasted_init_hours)
+            << "\n";
+
+  // CHAOS: interruptions + injected transfer faults together. The run is
+  // deterministic (seeded failure process) and must still complete every
+  // accession with zero lost work.
+  const AtlasReport chaos = run_config(true, 4.0, /*failure_rate=*/0.15);
+  const usize chaos_done = chaos.samples_completed +
+                           chaos.samples_early_stopped +
+                           chaos.samples_rejected_late;
+  std::cout << "\nchaos (spot, mean TTI 4 h, 15% transfer-failure rate, "
+               "bounded retry-with-backoff):\n"
+            << strf("  %zu/%zu samples terminal, %zu dead-lettered; "
+                    "%llu faults injected, %llu retried in place, "
+                    "%zu requeued after exhaustion\n",
+                    chaos_done, chaos.samples_total,
+                    chaos.samples_dead_lettered,
+                    static_cast<unsigned long long>(
+                        chaos.transfer_faults_injected),
+                    static_cast<unsigned long long>(chaos.transfer_retries),
+                    chaos.requeues_transfer)
+            << strf("  wasted: %.1f h interruption, %.1f h transfer "
+                    "retries/backoff; cost $%.0f (vs $%.0f fault-free)\n",
+                    chaos.wasted_hours_interrupted,
+                    chaos.wasted_hours_transfer, chaos.total_cost_usd,
+                    run_config(true, 4.0).total_cost_usd);
   return 0;
 }

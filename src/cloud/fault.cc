@@ -1,0 +1,53 @@
+#include "cloud/fault.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+void FaultConfig::validate() const {
+  STARATLAS_CHECK(transfer_failure_rate >= 0.0 && transfer_failure_rate < 1.0);
+  STARATLAS_CHECK(max_transfer_attempts >= 1);
+  STARATLAS_CHECK(transfer_backoff_base >= VirtualDuration::zero());
+  STARATLAS_CHECK(transfer_backoff_multiplier >= 1.0);
+}
+
+FaultInjector::FaultInjector(FaultConfig config) : config_(config) {
+  config_.validate();
+}
+
+std::optional<double> FaultInjector::sample_transfer_failure(
+    const std::string& op) {
+  if (!enabled()) return std::nullopt;
+  auto it = op_rngs_.find(op);
+  if (it == op_rngs_.end()) {
+    it = op_rngs_.emplace(op, Rng(config_.seed).fork(op)).first;
+  }
+  Rng& rng = it->second;
+  // Both values are drawn on every call so the per-op stream position
+  // depends only on the attempt count, not on past outcomes.
+  const double failure_draw = rng.uniform01();
+  const double fraction = rng.uniform01();
+  if (failure_draw >= config_.transfer_failure_rate) return std::nullopt;
+  ++injected_total_;
+  ++injected_by_op_[op];
+  return fraction;
+}
+
+VirtualDuration FaultInjector::backoff(u32 failed_attempts) const {
+  STARATLAS_CHECK(failed_attempts >= 1);
+  double delay = config_.transfer_backoff_base.secs();
+  for (u32 i = 1; i < failed_attempts; ++i) {
+    delay *= config_.transfer_backoff_multiplier;
+  }
+  return std::min(VirtualDuration::seconds(delay),
+                  config_.transfer_backoff_cap);
+}
+
+u64 FaultInjector::injected(const std::string& op) const {
+  auto it = injected_by_op_.find(op);
+  return it == injected_by_op_.end() ? 0 : it->second;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,66 @@
+// Deterministic fault injection for the cloud simulator: a seeded
+// per-operation failure process used to exercise the retry/requeue paths
+// (transfer failures during prefetch and S3 uploads) without giving up
+// reproducibility. Each operation label gets its own forked RNG stream,
+// so adding a new injection point never perturbs existing draws.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/vclock.h"
+
+namespace staratlas {
+
+struct FaultConfig {
+  /// Master switch; a disabled injector never draws randomness, so runs
+  /// with faults off are bit-identical to runs without an injector.
+  bool enabled = false;
+  /// Per-attempt probability that a transfer (prefetch, S3 put/get) fails.
+  double transfer_failure_rate = 0.0;
+  /// Total tries of a transfer before the worker gives up and requeues
+  /// the sample (bounded retries).
+  u32 max_transfer_attempts = 4;
+  /// First retry delay; attempt k waits base * multiplier^k, capped.
+  VirtualDuration transfer_backoff_base = VirtualDuration::seconds(30);
+  double transfer_backoff_multiplier = 2.0;
+  VirtualDuration transfer_backoff_cap = VirtualDuration::minutes(30);
+  u64 seed = 0xFA177;
+
+  void validate() const;
+};
+
+class FaultInjector {
+ public:
+  /// Default-constructed injector is disabled (injects nothing).
+  FaultInjector() = default;
+  explicit FaultInjector(FaultConfig config);
+
+  bool enabled() const {
+    return config_.enabled && config_.transfer_failure_rate > 0.0;
+  }
+
+  /// One failure draw for a transfer attempt of operation `op`. Returns
+  /// nullopt on success; on failure, the fraction of the attempt that
+  /// completed before the fault hit, in [0, 1).
+  std::optional<double> sample_transfer_failure(const std::string& op);
+
+  /// Backoff before retrying after `failed_attempts` failures (>= 1).
+  VirtualDuration backoff(u32 failed_attempts) const;
+
+  u32 max_attempts() const { return config_.max_transfer_attempts; }
+  u64 injected_total() const { return injected_total_; }
+  /// Failures injected for one operation label (0 when never drawn).
+  u64 injected(const std::string& op) const;
+
+ private:
+  FaultConfig config_{};
+  std::map<std::string, Rng> op_rngs_;
+  std::map<std::string, u64> injected_by_op_;
+  u64 injected_total_ = 0;
+};
+
+}  // namespace staratlas

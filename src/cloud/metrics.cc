@@ -15,7 +15,8 @@ void MetricSeries::add(VirtualTime time, double value) {
 }
 
 double MetricSeries::max() const {
-  double best = 0.0;
+  if (points_.empty()) return 0.0;
+  double best = points_.front().value;
   for (const auto& point : points_) best = std::max(best, point.value);
   return best;
 }

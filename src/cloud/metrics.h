@@ -25,6 +25,8 @@ class MetricSeries {
 
   const std::vector<MetricPoint>& points() const { return points_; }
   bool empty() const { return points_.empty(); }
+  /// Largest recorded value (seeded from the first point, so all-negative
+  /// series report their true maximum). Defined as 0 when empty.
   double max() const;
   double mean() const;
   /// Last recorded value (0 when empty).

@@ -54,11 +54,22 @@ void SqsQueue::return_message(u64 receipt_handle) {
   in_flight_.erase(it);
 }
 
+bool SqsQueue::extend_visibility(u64 receipt_handle, VirtualDuration timeout) {
+  auto it = in_flight_.find(receipt_handle);
+  if (it == in_flight_.end()) return false;
+  kernel_->cancel(it->second.timer);
+  it->second.timer = kernel_->schedule_after(
+      timeout, [this, receipt_handle] { expire(receipt_handle); });
+  ++stats_.visibility_extended;
+  return true;
+}
+
 void SqsQueue::expire(u64 receipt_handle) {
   auto it = in_flight_.find(receipt_handle);
   if (it == in_flight_.end()) return;
   ++stats_.visibility_expired;
-  if (it->second.receive_count >= max_receives_) {
+  const bool dead = it->second.receive_count >= max_receives_;
+  if (dead) {
     dlq_.push_back(std::move(it->second.body));
     ++stats_.dead_lettered;
   } else {
@@ -66,6 +77,8 @@ void SqsQueue::expire(u64 receipt_handle) {
                           it->second.receive_count);
   }
   in_flight_.erase(it);
+  // After the queue is consistent: the callback may inspect it freely.
+  if (dead && on_dead_letter_) on_dead_letter_(dlq_.back());
 }
 
 }  // namespace staratlas

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -25,6 +26,7 @@ struct SqsStats {
   u64 received = 0;
   u64 deleted = 0;
   u64 visibility_expired = 0;  ///< redeliveries due to timeout
+  u64 visibility_extended = 0;  ///< ChangeMessageVisibility heartbeats
   u64 dead_lettered = 0;
 };
 
@@ -48,6 +50,19 @@ class SqsQueue {
   /// workers on spot interruption instead of waiting out the timeout).
   void return_message(u64 receipt_handle);
 
+  /// ChangeMessageVisibility analog: restarts the in-flight message's
+  /// visibility timer so long-running work does not spuriously expire and
+  /// double-process. Returns false (no-op) when the receipt is unknown —
+  /// the message already expired, was deleted, or was returned.
+  bool extend_visibility(u64 receipt_handle, VirtualDuration timeout);
+
+  /// Invoked with the message body the moment a message is moved to the
+  /// dead-letter queue, so consumers can track terminal state per item
+  /// instead of inferring it from dlq size (which double-counts stale
+  /// duplicates of already-completed work).
+  using DeadLetterFn = std::function<void(const std::string& body)>;
+  void set_on_dead_letter(DeadLetterFn fn) { on_dead_letter_ = std::move(fn); }
+
   usize visible_count() const { return visible_.size(); }
   usize in_flight_count() const { return in_flight_.size(); }
   /// ApproximateNumberOfMessages: visible + in flight.
@@ -66,6 +81,7 @@ class SqsQueue {
   SimKernel* kernel_;
   VirtualDuration visibility_timeout_;
   u32 max_receives_;
+  DeadLetterFn on_dead_letter_;
   u64 next_receipt_ = 1;
   std::deque<std::pair<std::string, u32>> visible_;  ///< (body, receive_count)
   std::unordered_map<u64, InFlight> in_flight_;

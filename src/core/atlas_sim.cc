@@ -13,6 +13,11 @@ void AtlasConfig::use_release(int release) {
                                : ByteSize::from_gib(29.5);
 }
 
+VirtualDuration AtlasConfig::effective_heartbeat_interval() const {
+  return heartbeat_interval > VirtualDuration::zero() ? heartbeat_interval
+                                                      : visibility_timeout * 0.5;
+}
+
 AtlasSimulation::AtlasSimulation(std::vector<SraSample> catalog,
                                  AtlasConfig config)
     : catalog_(std::move(catalog)),
@@ -20,10 +25,11 @@ AtlasSimulation::AtlasSimulation(std::vector<SraSample> catalog,
       type_(&instance_type(config_.instance_type)),
       spot_market_(Rng(config_.seed).fork("spot"),
                    config_.mean_time_to_interruption),
-      fleet_(kernel_, cost_, &spot_market_),
-      queue_(kernel_, config_.visibility_timeout),
+      fleet_(kernel_, cost_, &spot_market_, config_.boot_delay),
+      queue_(kernel_, config_.visibility_timeout, config_.max_receives),
       asg_(kernel_, fleet_, *type_, config_.spot, config_.asg,
            [this] { return queue_.approximate_depth(); }),
+      faults_(config_.faults),
       noise_rng_(Rng(config_.seed).fork("noise")) {
   STARATLAS_CHECK(!catalog_.empty());
   config_.early_stop.validate();
@@ -59,23 +65,16 @@ AtlasReport AtlasSimulation::run() {
   report_.samples_total = catalog_.size();
 
   fleet_.set_on_ready([this](u64 id) { worker_ready(id); });
-  fleet_.set_on_interrupted([this](u64 instance_id) {
-    // Spot gives a 2-minute interruption notice: the worker returns its
-    // in-flight message so another instance can pick it up immediately
-    // (the visibility timeout remains the backstop for hard crashes).
-    auto it = active_receipt_.find(instance_id);
-    if (it != active_receipt_.end()) {
-      queue_.return_message(it->second);
-      active_receipt_.erase(it);
-    }
-  });
+  fleet_.set_on_interrupted([this](u64 id) { on_interrupted(id); });
+  queue_.set_on_dead_letter(
+      [this](const std::string& body) { on_dead_letter(body); });
 
   for (const auto& sample : catalog_) queue_.send(sample.accession);
   asg_.start();
   sample_metrics();
   kernel_.run();
 
-  report_.samples_dead_lettered = queue_.dead_letter_queue().size();
+  report_.samples_dead_lettered = dead_lettered_samples_;
   report_.makespan_hours = kernel_.now().secs() / 3600.0;
   report_.total_cost_usd = cost_.total_usd();
   report_.ec2_cost_usd =
@@ -83,6 +82,8 @@ AtlasReport AtlasSimulation::run() {
   report_.instance_hours = cost_.instance_hours();
   report_.interruptions = fleet_.interruptions();
   report_.instances_launched = fleet_.launched_total();
+  report_.transfer_faults_injected = faults_.injected_total();
+  report_.queue_stats = queue_.stats();
   return report_;
 }
 
@@ -106,12 +107,23 @@ void AtlasSimulation::worker_ready(u64 instance_id) {
   report_.peak_instances =
       std::max(report_.peak_instances, fleet_.running_count());
   // Boot-time initialization: download the index from S3 and load it into
-  // shared memory (Fig 2's "initialization phase").
+  // shared memory (Fig 2's "initialization phase"). Hours are billed when
+  // (and as far as) the init actually runs, not up front — a reclaim
+  // mid-initialization bills the elapsed part only.
   index_bucket_.get("star-index-r" + std::to_string(config_.genome_release));
   const VirtualDuration init =
       config_.stages.index_init_time(config_.index_bytes, *type_);
-  report_.init_hours += init.hrs();
-  kernel_.schedule_after(init, [this, instance_id] { poll(instance_id); });
+  init_started_[instance_id] = kernel_.now();
+  kernel_.schedule_after(init, [this, instance_id] { init_done(instance_id); });
+}
+
+void AtlasSimulation::init_done(u64 instance_id) {
+  if (finished_) return;
+  auto it = init_started_.find(instance_id);
+  if (it == init_started_.end()) return;  // reclaimed mid-init (billed there)
+  report_.init_hours += (kernel_.now() - it->second).hrs();
+  init_started_.erase(it);
+  poll(instance_id);
 }
 
 void AtlasSimulation::poll(u64 instance_id) {
@@ -148,88 +160,264 @@ void AtlasSimulation::process(u64 instance_id, SqsMessage message) {
   }
   const SraSample& sample = *runtime.sample;
 
-  const VirtualDuration prefetch =
-      config_.stages.prefetch_time(sample.sra_bytes, *type_);
-  const VirtualDuration dump =
-      config_.stages.dump_time(sample.fastq_bytes, *type_);
-  const VirtualDuration align_full = config_.stages.align_time(
-      sample.fastq_bytes, config_.genome_release, *type_);
-
   // Early-stopping decision from the Log.progress.out-equivalent telemetry
-  // at the checkpoint fraction.
+  // at the checkpoint fraction. (Drawn at receive time so the noise stream
+  // depends only on the processing order, as it always has; redelivered
+  // samples restart from scratch and re-observe.)
   const double observed = config_.maprate.checkpoint_observation(
       runtime.true_rate, noise_rng_);
-  const bool stop_early =
-      early_stop_decision(config_.early_stop, observed);
-  const VirtualDuration align_actual =
-      stop_early ? align_full * config_.early_stop.checkpoint_fraction
-                 : align_full;
-  const VirtualDuration post =
-      stop_early ? VirtualDuration::zero() : config_.stages.postprocess_time();
+  const bool stop_early = early_stop_decision(config_.early_stop, observed);
 
-  const VirtualDuration total = prefetch + dump + align_actual + post;
-  const u64 receipt = message.receipt_handle;
-  const std::string accession = message.body;
-  active_receipt_[instance_id] = receipt;
+  ActiveWork work;
+  work.receipt = message.receipt_handle;
+  work.accession = message.body;
+  work.plan = config_.stages.plan_sample(
+      sample.sra_bytes, sample.fastq_bytes, config_.genome_release, *type_,
+      config_.early_stop.checkpoint_fraction, stop_early);
+  work.sample_started = kernel_.now();
+  work.stage_started = kernel_.now();
+  auto [active_it, inserted] = active_.emplace(instance_id, std::move(work));
+  STARATLAS_CHECK(inserted);
 
-  kernel_.schedule_after(total, [this, instance_id, receipt, accession,
-                                 prefetch, dump, align_actual, align_full,
-                                 stop_early] {
-    if (finished_) return;
-    if (!instance_alive(instance_id)) {
-      // Spot-reclaimed mid-sample: the interruption handler already
-      // returned the message (or the visibility timeout will).
-      return;
-    }
-    active_receipt_.erase(instance_id);
-    SampleRuntime& rt = samples_.at(accession);
-    if (rt.done) {
-      // Another worker finished a redelivered copy first.
-      queue_.delete_message(receipt);
-      poll(instance_id);
-      return;
-    }
-    rt.done = true;
+  if (config_.heartbeat_enabled) {
+    const u64 receipt = active_it->second.receipt;
+    active_it->second.heartbeat_timer = kernel_.schedule_after(
+        config_.effective_heartbeat_interval(),
+        [this, instance_id, receipt] { heartbeat(instance_id, receipt); });
+  }
+  start_stage(instance_id);
+}
 
-    report_.prefetch_hours += prefetch.hrs();
-    report_.dump_hours += dump.hrs();
-    report_.align_hours_spent += align_actual.hrs();
+void AtlasSimulation::start_stage(u64 instance_id) {
+  auto it = active_.find(instance_id);
+  STARATLAS_CHECK(it != active_.end());
+  ActiveWork& work = it->second;
+  while (work.stage < kNumSampleStages) {
+    const SampleStage stage = static_cast<SampleStage>(work.stage);
+    const VirtualDuration duration = work.plan.duration(stage);
+    work.stage_started = kernel_.now();
 
-    if (stop_early) {
-      ++report_.samples_early_stopped;
-      report_.align_hours_saved += (align_full - align_actual).hrs();
-      results_bucket_.put("rejected/" + accession, ByteSize(4096));
-    } else {
-      const bool accepted =
-          rt.true_rate >= config_.early_stop.min_mapped_rate;
-      if (accepted) {
-        ++report_.samples_completed;
-      } else {
-        // Without early stopping (or on a near-threshold miss) the full
-        // alignment ran and the sample is rejected afterwards — the
-        // paper's "unnecessary compute" (Fig 4, yellow).
-        ++report_.samples_rejected_late;
-        report_.unnecessary_align_hours += align_full.hrs();
+    if (is_transfer_stage(stage) && faults_.enabled()) {
+      if (auto fraction = faults_.sample_transfer_failure(stage_name(stage))) {
+        ++work.failed_attempts;
+        const VirtualDuration burned = duration * *fraction;
+        const u64 receipt = work.receipt;
+        if (work.failed_attempts >= faults_.max_attempts()) {
+          // Out of retries: burn the partial attempt, then hand the
+          // sample back to the queue for another worker.
+          report_.wasted_hours_stage[work.stage] += burned.hrs();
+          report_.wasted_hours_transfer += burned.hrs();
+          work.stage_started = kernel_.now() + burned;  // pre-charged window
+          kernel_.schedule_after(burned, [this, instance_id, receipt] {
+            if (finished_ || active_work(instance_id, receipt) == nullptr) {
+              return;
+            }
+            requeue_after_transfer_failure(instance_id);
+          });
+          return;
+        }
+        const VirtualDuration backoff = faults_.backoff(work.failed_attempts);
+        ++report_.transfer_retries;
+        report_.wasted_hours_stage[work.stage] += (burned + backoff).hrs();
+        report_.wasted_hours_transfer += (burned + backoff).hrs();
+        // The whole retry window is charged as transfer waste up front;
+        // advancing stage_started past it keeps a reclaim inside the
+        // window from double-counting the same hours as interruption loss.
+        work.stage_started = kernel_.now() + burned + backoff;
+        kernel_.schedule_after(
+            burned + backoff, [this, instance_id, receipt] {
+              if (finished_ || active_work(instance_id, receipt) == nullptr) {
+                return;
+              }
+              start_stage(instance_id);  // next attempt of the same stage
+            });
+        return;
       }
-      results_bucket_.put(
-          (accepted ? "counts/" : "rejected/") + accession,
-          ByteSize::from_mib(2.0));
     }
-    queue_.delete_message(receipt);
-    ++terminal_samples_;
 
-    if (all_terminal()) {
-      fleet_.terminate(instance_id);
-      maybe_finish();
+    if (duration > VirtualDuration::zero()) {
+      const u64 receipt = work.receipt;
+      kernel_.schedule_after(duration, [this, instance_id, receipt] {
+        stage_done(instance_id, receipt);
+      });
       return;
     }
+    // Zero-length stage (skipped align remainder / postprocess on early
+    // stop, upload bookkeeping): advance inline, no kernel event.
+    work.completed_hours[work.stage] = 0.0;
+    ++work.stage;
+    work.failed_attempts = 0;
+  }
+  complete_sample(instance_id);
+}
+
+void AtlasSimulation::stage_done(u64 instance_id, u64 receipt) {
+  if (finished_) return;
+  ActiveWork* work = active_work(instance_id, receipt);
+  if (work == nullptr) return;  // reclaimed or requeued since scheduling
+  work->completed_hours[work->stage] =
+      (kernel_.now() - work->stage_started).hrs();
+  ++work->stage;
+  work->failed_attempts = 0;
+  // Stage-boundary heartbeat: prove liveness after every stage in
+  // addition to the periodic timer (ChangeMessageVisibility is cheap).
+  if (config_.heartbeat_enabled &&
+      queue_.extend_visibility(receipt, config_.visibility_timeout)) {
+    ++report_.heartbeats_sent;
+  }
+  start_stage(instance_id);
+}
+
+void AtlasSimulation::complete_sample(u64 instance_id) {
+  auto it = active_.find(instance_id);
+  STARATLAS_CHECK(it != active_.end());
+  const ActiveWork work = std::move(it->second);
+  active_.erase(it);
+  if (work.heartbeat_timer != 0) kernel_.cancel(work.heartbeat_timer);
+
+  const StagePlan& plan = work.plan;
+  SampleRuntime& rt = samples_.at(work.accession);
+  if (rt.done) {
+    // Another worker finished a redelivered copy first.
+    queue_.delete_message(work.receipt);
     poll(instance_id);
-  });
+    return;
+  }
+  rt.done = true;
+  if (rt.dead_lettered) {
+    // A stale duplicate of this accession dead-lettered while this copy
+    // was still running; the completion is real (results uploaded), so
+    // the accession is not lost after all.
+    rt.dead_lettered = false;
+    --dead_lettered_samples_;
+  }
+
+  report_.prefetch_hours += plan.duration(SampleStage::kPrefetch).hrs();
+  report_.dump_hours += plan.duration(SampleStage::kDump).hrs();
+  report_.align_hours_spent += plan.align_actual().hrs();
+
+  if (plan.stop_early) {
+    ++report_.samples_early_stopped;
+    report_.align_hours_saved +=
+        (plan.align_full - plan.align_actual()).hrs();
+    results_bucket_.put("rejected/" + work.accession, ByteSize(4096));
+  } else {
+    const bool accepted =
+        rt.true_rate >= config_.early_stop.min_mapped_rate;
+    if (accepted) {
+      ++report_.samples_completed;
+    } else {
+      // Without early stopping (or on a near-threshold miss) the full
+      // alignment ran and the sample is rejected afterwards — the
+      // paper's "unnecessary compute" (Fig 4, yellow).
+      ++report_.samples_rejected_late;
+      report_.unnecessary_align_hours += plan.align_full.hrs();
+    }
+    results_bucket_.put(
+        (accepted ? "counts/" : "rejected/") + work.accession,
+        ByteSize::from_mib(2.0));
+  }
+  queue_.delete_message(work.receipt);
+  ++terminal_samples_;
+
+  if (all_terminal()) {
+    fleet_.terminate(instance_id);
+    maybe_finish();
+    return;
+  }
+  poll(instance_id);
+}
+
+void AtlasSimulation::requeue_after_transfer_failure(u64 instance_id) {
+  auto it = active_.find(instance_id);
+  STARATLAS_CHECK(it != active_.end());
+  const ActiveWork work = std::move(it->second);
+  active_.erase(it);
+  if (work.heartbeat_timer != 0) kernel_.cancel(work.heartbeat_timer);
+
+  // Whatever this instance had already finished for the sample will be
+  // redone from scratch by whoever receives the redelivery.
+  for (usize s = 0; s < kNumSampleStages; ++s) {
+    report_.wasted_hours_stage[s] += work.completed_hours[s];
+    report_.wasted_hours_transfer += work.completed_hours[s];
+  }
+  ++report_.requeues_transfer;
+  queue_.return_message(work.receipt);
+  poll(instance_id);
+}
+
+void AtlasSimulation::on_interrupted(u64 instance_id) {
+  // Spot gives a 2-minute interruption notice: the worker returns its
+  // in-flight message so another instance can pick it up immediately
+  // (the visibility timeout remains the backstop for hard crashes).
+  auto init_it = init_started_.find(instance_id);
+  if (init_it != init_started_.end()) {
+    const double hrs = (kernel_.now() - init_it->second).hrs();
+    report_.init_hours += hrs;
+    report_.wasted_init_hours += hrs;
+    init_started_.erase(init_it);
+  }
+
+  auto it = active_.find(instance_id);
+  if (it == active_.end()) return;
+  const ActiveWork work = std::move(it->second);
+  active_.erase(it);
+  if (work.heartbeat_timer != 0) kernel_.cancel(work.heartbeat_timer);
+
+  // Workers are stateless (paper §II): the redelivered sample restarts
+  // from scratch, so everything burned here is the interruption tax.
+  double wasted = 0.0;
+  for (usize s = 0; s < kNumSampleStages; ++s) {
+    report_.wasted_hours_stage[s] += work.completed_hours[s];
+    wasted += work.completed_hours[s];
+  }
+  if (work.stage < kNumSampleStages) {
+    // Partial progress into the in-flight stage. Clamped: during a retry
+    // window stage_started sits in the future (the window is pre-charged
+    // as transfer waste).
+    const double partial =
+        std::max(0.0, (kernel_.now() - work.stage_started).hrs());
+    report_.wasted_hours_stage[work.stage] += partial;
+    wasted += partial;
+  }
+  report_.wasted_hours_interrupted += wasted;
+  ++report_.requeues_interrupted;
+  queue_.return_message(work.receipt);
+}
+
+void AtlasSimulation::on_dead_letter(const std::string& accession) {
+  SampleRuntime& rt = samples_.at(accession);
+  // A stale duplicate of already-terminal work carries no new loss — the
+  // old accounting (terminal + dlq.size()) double-counted exactly this
+  // case and could end the simulation with samples still pending.
+  if (rt.terminal()) return;
+  rt.dead_lettered = true;
+  ++dead_lettered_samples_;
+  if (all_terminal()) maybe_finish();
+}
+
+void AtlasSimulation::heartbeat(u64 instance_id, u64 receipt) {
+  if (finished_) return;
+  ActiveWork* work = active_work(instance_id, receipt);
+  if (work == nullptr) return;
+  if (queue_.extend_visibility(receipt, config_.visibility_timeout)) {
+    ++report_.heartbeats_sent;
+  }
+  work->heartbeat_timer = kernel_.schedule_after(
+      config_.effective_heartbeat_interval(),
+      [this, instance_id, receipt] { heartbeat(instance_id, receipt); });
+}
+
+AtlasSimulation::ActiveWork* AtlasSimulation::active_work(u64 instance_id,
+                                                          u64 receipt) {
+  auto it = active_.find(instance_id);
+  if (it == active_.end() || it->second.receipt != receipt) return nullptr;
+  if (!instance_alive(instance_id)) return nullptr;
+  return &it->second;
 }
 
 bool AtlasSimulation::all_terminal() const {
-  return terminal_samples_ + queue_.dead_letter_queue().size() >=
-         catalog_.size();
+  return terminal_samples_ + dead_lettered_samples_ >= catalog_.size();
 }
 
 void AtlasSimulation::maybe_finish() {
@@ -237,6 +425,12 @@ void AtlasSimulation::maybe_finish() {
   finished_ = true;
   asg_.stop();
   fleet_.terminate_all();
+  // Instances still in boot-time initialization ran it this far; bill the
+  // elapsed part (end-of-run rampdown, not interruption waste).
+  for (const auto& [id, started] : init_started_) {
+    report_.init_hours += (kernel_.now() - started).hrs();
+  }
+  init_started_.clear();
 }
 
 }  // namespace staratlas

@@ -8,8 +8,20 @@
 // measured per-GiB STAR cost and this repo's measured release-108
 // slowdown); each sample's mapping rate comes from MapRateModel
 // (calibrated from real alignment runs).
+//
+// Execution is a per-stage state machine (prefetch -> dump -> align to the
+// early-stop checkpoint -> align rest -> postprocess -> upload): each stage
+// completion is its own kernel event, so a spot interruption lands inside a
+// specific stage and the partial hours burned on the reclaimed instance are
+// accounted as wasted work (workers are stateless, matching the paper — a
+// redelivered sample restarts from scratch). A periodic visibility
+// heartbeat (the ChangeMessageVisibility analog) keeps long alignments from
+// spuriously expiring against the queue's visibility timeout, and a
+// deterministic FaultInjector can perturb the transfer stages (prefetch,
+// S3 upload) to exercise bounded retry-with-backoff and requeue paths.
 #pragma once
 
+#include <array>
 #include <map>
 #include <string>
 #include <vector>
@@ -18,6 +30,7 @@
 #include "cloud/cost.h"
 #include "cloud/ec2.h"
 #include "cloud/event_sim.h"
+#include "cloud/fault.h"
 #include "cloud/metrics.h"
 #include "cloud/s3.h"
 #include "cloud/sqs.h"
@@ -42,7 +55,20 @@ struct AtlasConfig {
   StageTimeModel stages{};
   MapRateModel maprate{};
   VirtualDuration visibility_timeout = VirtualDuration::hours(8);
+  /// SQS redrive policy: deliveries before a message dead-letters.
+  u32 max_receives = 5;
+  /// Periodic ChangeMessageVisibility heartbeat while a sample is being
+  /// processed. Zero means "auto": half the visibility timeout.
+  VirtualDuration heartbeat_interval = VirtualDuration::zero();
+  bool heartbeat_enabled = true;
+  /// Deterministic fault injection (transfer failures). Disabled by
+  /// default: a disabled injector draws no randomness, so fault-free runs
+  /// are unchanged.
+  FaultConfig faults{};
   VirtualDuration mean_time_to_interruption = VirtualDuration::hours(24);
+  /// EC2 pending->running boot delay (plumbed to both the fleet model and
+  /// the closed-form estimator so they agree by construction).
+  VirtualDuration boot_delay = VirtualDuration::seconds(45);
   VirtualDuration poll_idle_backoff = VirtualDuration::seconds(20);
   /// Metrics sampling period (queue depth, fleet, cost, completions).
   VirtualDuration metrics_interval = VirtualDuration::minutes(5);
@@ -50,6 +76,9 @@ struct AtlasConfig {
 
   /// Convenience: set release + matching paper-scale index size.
   void use_release(int release);
+
+  /// Effective heartbeat period (resolves the zero = auto default).
+  VirtualDuration effective_heartbeat_interval() const;
 };
 
 struct AtlasReport {
@@ -57,24 +86,50 @@ struct AtlasReport {
   usize samples_completed = 0;      ///< full alignment, accepted
   usize samples_early_stopped = 0;  ///< aborted at the checkpoint
   usize samples_rejected_late = 0;  ///< completed but below threshold
-  usize samples_dead_lettered = 0;
+  usize samples_dead_lettered = 0;  ///< accessions lost to the DLQ
   double makespan_hours = 0.0;
   double align_hours_spent = 0.0;
   double align_hours_saved = 0.0;       ///< by early stopping
   double unnecessary_align_hours = 0.0; ///< spent on ultimately rejected samples
   double prefetch_hours = 0.0;
   double dump_hours = 0.0;
-  double init_hours = 0.0;  ///< index download + shm load across boots
+  double init_hours = 0.0;  ///< index download + shm load, as actually run
   double total_cost_usd = 0.0;
   double ec2_cost_usd = 0.0;
   double instance_hours = 0.0;
   u64 interruptions = 0;
   usize peak_instances = 0;
   usize instances_launched = 0;
+
+  // --- fault-tolerance accounting (the true interruption tax) ---
+  /// Partial per-sample hours burned on spot-reclaimed instances; the
+  /// redelivered sample restarts from scratch, so this work is lost.
+  double wasted_hours_interrupted = 0.0;
+  /// Sample hours discarded by transfer-retry exhaustion (burned attempt
+  /// fractions, backoff idle time, and prior completed stages redone
+  /// after the requeue).
+  double wasted_hours_transfer = 0.0;
+  /// Per-stage breakdown; sums to wasted_hours_interrupted +
+  /// wasted_hours_transfer. Indexed by SampleStage.
+  std::array<double, kNumSampleStages> wasted_hours_stage{};
+  /// Partial boot-time index initialization lost to reclaims (also
+  /// included in init_hours — it did run, it just bought nothing).
+  double wasted_init_hours = 0.0;
+  usize requeues_interrupted = 0;  ///< messages returned on spot notice
+  usize requeues_transfer = 0;     ///< requeues after retry exhaustion
+  u64 transfer_faults_injected = 0;
+  u64 transfer_retries = 0;        ///< retried (non-exhausting) failures
+  u64 heartbeats_sent = 0;         ///< visibility extensions issued
+  /// Final queue counters (sent/received/expired/extended/dead-lettered).
+  SqsStats queue_stats;
+
   /// Time series sampled during the run: "queue_depth",
   /// "instances_running", "cost_usd", "samples_done".
   MetricsRecorder metrics;
 
+  double wasted_hours_for(SampleStage stage) const {
+    return wasted_hours_stage[static_cast<usize>(stage)];
+  }
   double throughput_samples_per_hour() const {
     return makespan_hours > 0.0
                ? static_cast<double>(samples_completed + samples_early_stopped +
@@ -100,13 +155,46 @@ class AtlasSimulation {
   struct SampleRuntime {
     const SraSample* sample = nullptr;
     double true_rate = 0.0;
-    bool done = false;  ///< guards against duplicate (redelivered) work
+    bool done = false;          ///< completed somewhere (first wins)
+    bool dead_lettered = false; ///< lost to the DLQ before completing
+    bool terminal() const { return done || dead_lettered; }
+  };
+
+  /// One sample being processed on one instance: the stage machine's
+  /// per-instance state. Destroyed on completion, interruption, or
+  /// transfer-exhaustion requeue.
+  struct ActiveWork {
+    u64 receipt = 0;
+    std::string accession;
+    StagePlan plan;
+    usize stage = 0;           ///< index into plan.durations
+    u32 failed_attempts = 0;   ///< of the current (transfer) stage
+    VirtualTime sample_started;
+    VirtualTime stage_started;
+    /// Hours of each successfully completed stage (for waste breakdown).
+    std::array<double, kNumSampleStages> completed_hours{};
+    SimKernel::EventId heartbeat_timer = 0;
   };
 
   void sample_metrics();
   void worker_ready(u64 instance_id);
+  void init_done(u64 instance_id);
   void poll(u64 instance_id);
   void process(u64 instance_id, SqsMessage message);
+  /// Enters work.stage: zero-length stages advance inline; transfer
+  /// stages consult the fault injector; real stages schedule stage_done.
+  void start_stage(u64 instance_id);
+  void stage_done(u64 instance_id, u64 receipt);
+  void complete_sample(u64 instance_id);
+  /// Gives the in-flight sample back to the queue after transfer-retry
+  /// exhaustion; the instance returns to polling.
+  void requeue_after_transfer_failure(u64 instance_id);
+  void on_interrupted(u64 instance_id);
+  void on_dead_letter(const std::string& accession);
+  void heartbeat(u64 instance_id, u64 receipt);
+  /// Valid active entry for this receipt on a live instance, else null
+  /// (the work completed, was requeued, or the instance was reclaimed).
+  ActiveWork* active_work(u64 instance_id, u64 receipt);
   bool all_terminal() const;
   void maybe_finish();
   bool instance_alive(u64 instance_id) const;
@@ -123,15 +211,20 @@ class AtlasSimulation {
   S3Bucket index_bucket_{"atlas-index"};
   S3Bucket results_bucket_{"atlas-results"};
   AutoScalingGroup asg_;
+  FaultInjector faults_;
 
   std::map<std::string, SampleRuntime> samples_;
-  /// Receipt handle of the message each busy instance is working on, so a
-  /// spot interruption (2-minute notice) can return it to the queue
-  /// immediately instead of waiting out the visibility timeout.
-  std::map<u64, u64> active_receipt_;
+  /// The stage machine state of each busy instance (also how a spot
+  /// interruption finds the in-flight receipt to return immediately).
+  std::map<u64, ActiveWork> active_;
+  /// Boot-time initialization start per instance, so init hours are
+  /// accounted as far as they actually ran (a reclaim mid-init bills the
+  /// elapsed part only).
+  std::map<u64, VirtualTime> init_started_;
   Rng noise_rng_{0};
   AtlasReport report_;
-  usize terminal_samples_ = 0;
+  usize terminal_samples_ = 0;       ///< accessions completed
+  usize dead_lettered_samples_ = 0;  ///< accessions lost (not duplicates)
   bool finished_ = false;
 };
 

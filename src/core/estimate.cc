@@ -41,8 +41,8 @@ CampaignEstimate estimate_campaign(const std::vector<SraSample>& catalog,
                   catalog.size())));
   const double init_hours =
       stages.index_init_time(config.index_bytes, type).hrs();
-  estimate.makespan_hours =
-      estimate.total_work_hours / fleet + init_hours + 45.0 / 3600.0;
+  estimate.makespan_hours = estimate.total_work_hours / fleet + init_hours +
+                            config.boot_delay.hrs();
   estimate.instance_hours =
       estimate.total_work_hours + fleet * init_hours;
   estimate.ec2_cost_usd = estimate.instance_hours * type.hourly(config.spot);

@@ -12,11 +12,56 @@
 //    of sra-tools on EBS-backed instances.
 #pragma once
 
+#include <array>
+
 #include "cloud/instance_types.h"
 #include "common/units.h"
 #include "common/vclock.h"
 
 namespace staratlas {
+
+/// The per-sample execution stages as the atlas simulator runs them. The
+/// alignment stage is split at the early-stopping checkpoint so an
+/// interruption (and the wasted-work accounting) can distinguish "died
+/// before the decision" from "died burning post-checkpoint compute".
+enum class SampleStage : u8 {
+  kPrefetch = 0,      ///< download .sra (network transfer, retryable)
+  kDump,              ///< fasterq-dump .sra -> FASTQ
+  kAlignCheckpoint,   ///< STAR up to the early-stop checkpoint fraction
+  kAlignRest,         ///< remainder of the alignment (skipped on stop)
+  kPostprocess,       ///< count normalization + bookkeeping
+  kUpload,            ///< S3 result upload (transfer, retryable)
+};
+inline constexpr usize kNumSampleStages = 6;
+
+/// Short stable label ("prefetch", "dump", ...) for reports and the
+/// fault injector's per-operation streams.
+const char* stage_name(SampleStage stage);
+
+/// True for stages that are network transfers (prefetch / S3 upload) —
+/// the operations the FaultInjector perturbs and workers retry.
+constexpr bool is_transfer_stage(SampleStage stage) {
+  return stage == SampleStage::kPrefetch || stage == SampleStage::kUpload;
+}
+
+/// One sample's planned per-stage durations. The durations always sum to
+/// exactly the single-block service time the simulator used before the
+/// stage machine existed (prefetch + dump + actual align + postprocess),
+/// so fault-free campaigns are unchanged by construction.
+struct StagePlan {
+  std::array<VirtualDuration, kNumSampleStages> durations{};
+  bool stop_early = false;
+  VirtualDuration align_full;  ///< full alignment (for saved-hours math)
+
+  VirtualDuration duration(SampleStage stage) const {
+    return durations[static_cast<usize>(stage)];
+  }
+  VirtualDuration align_actual() const {
+    return duration(SampleStage::kAlignCheckpoint) +
+           duration(SampleStage::kAlignRest);
+  }
+  VirtualDuration total() const;
+};
 
 struct StageTimeModel {
   /// STAR seconds per FASTQ GiB on a release-111 index at 16 vCPU.
@@ -50,6 +95,15 @@ struct StageTimeModel {
   /// Boot-time index initialization: S3 download + shared-memory load.
   VirtualDuration index_init_time(ByteSize index_bytes,
                                   const InstanceType& type) const;
+
+  /// Per-stage plan for one sample. Alignment is split at
+  /// `checkpoint_fraction`; with `stop_early` the post-checkpoint
+  /// remainder and the postprocess stage are zero-length. The upload
+  /// stage is zero-length (its bookkeeping lives in postprocess_secs);
+  /// it exists as a stage so upload faults have a place to land.
+  StagePlan plan_sample(ByteSize sra_bytes, ByteSize fastq_bytes,
+                        int genome_release, const InstanceType& type,
+                        double checkpoint_fraction, bool stop_early) const;
 
   /// Peak memory needed to run the aligner with a given index resident in
   /// shared memory (index + working set headroom).

@@ -1,6 +1,14 @@
 #include "sra/toolkit.h"
 
+#include "common/error.h"
+
 namespace staratlas {
+
+double PrefetchRetryPolicy::backoff_secs(u32 failed_attempts) const {
+  double delay = backoff_base_secs;
+  for (u32 i = 1; i < failed_attempts; ++i) delay *= backoff_multiplier;
+  return delay;
+}
 
 PrefetchResult prefetch(SraRepository& repository,
                         const std::string& accession) {
@@ -9,6 +17,25 @@ PrefetchResult prefetch(SraRepository& repository,
   result.bytes_transferred = ByteSize(result.container.size());
   result.metadata = sra_peek(result.container);
   return result;
+}
+
+PrefetchOutcome prefetch_with_retry(
+    SraRepository& repository, const std::string& accession,
+    const std::function<bool(u32 attempt)>& fail_attempt,
+    const PrefetchRetryPolicy& policy) {
+  STARATLAS_CHECK(policy.max_attempts >= 1);
+  PrefetchOutcome outcome;
+  for (u32 attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    if (!fail_attempt || !fail_attempt(attempt)) {
+      outcome.result = prefetch(repository, accession);
+      outcome.attempts = attempt;
+      return outcome;
+    }
+    if (attempt == policy.max_attempts) break;
+    outcome.backoff_secs += policy.backoff_secs(attempt);
+  }
+  throw IoError("prefetch " + accession + " failed after " +
+                std::to_string(policy.max_attempts) + " attempts");
 }
 
 DumpResult fasterq_dump(const std::vector<u8>& container) {

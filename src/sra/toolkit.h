@@ -5,6 +5,8 @@
 // counts these tools report.
 #pragma once
 
+#include <functional>
+
 #include "common/types.h"
 #include "common/units.h"
 #include "io/fastq.h"
@@ -23,6 +25,33 @@ struct PrefetchResult {
 /// container from the repository.
 PrefetchResult prefetch(SraRepository& repository,
                         const std::string& accession);
+
+/// Bounded exponential backoff for flaky downloads (sra-tools' prefetch
+/// retries transient NCBI failures the same way).
+struct PrefetchRetryPolicy {
+  u32 max_attempts = 4;
+  double backoff_base_secs = 1.0;
+  double backoff_multiplier = 2.0;
+
+  /// Delay before the retry after `failed_attempts` (>= 1) failures.
+  double backoff_secs(u32 failed_attempts) const;
+};
+
+struct PrefetchOutcome {
+  PrefetchResult result;
+  u32 attempts = 1;          ///< tries used, including the successful one
+  double backoff_secs = 0.0; ///< total backoff the caller owes (simulated)
+};
+
+/// `prefetch` with bounded retry-with-backoff. `fail_attempt(attempt)`
+/// (1-based) reports whether that try hits a transient transfer fault —
+/// bind a FaultInjector, a flaky-network stub, or a test lambda; pass
+/// nullptr for the never-failing default. Throws IoError when all
+/// attempts fail.
+PrefetchOutcome prefetch_with_retry(
+    SraRepository& repository, const std::string& accession,
+    const std::function<bool(u32 attempt)>& fail_attempt,
+    const PrefetchRetryPolicy& policy = {});
 
 struct DumpResult {
   ReadSet reads;

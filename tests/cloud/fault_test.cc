@@ -1,0 +1,113 @@
+#include "cloud/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+FaultConfig enabled_config(double rate = 0.3, u64 seed = 42) {
+  FaultConfig config;
+  config.enabled = true;
+  config.transfer_failure_rate = rate;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Fault, DefaultInjectorIsDisabled) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.sample_transfer_failure("prefetch").has_value());
+  }
+  EXPECT_EQ(injector.injected_total(), 0u);
+  EXPECT_EQ(injector.injected("prefetch"), 0u);
+}
+
+TEST(Fault, EnabledFlagAloneInjectsNothing) {
+  FaultConfig config;
+  config.enabled = true;  // rate still 0
+  FaultInjector injector(config);
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.sample_transfer_failure("upload").has_value());
+}
+
+TEST(Fault, DeterministicAcrossInstances) {
+  FaultInjector a(enabled_config());
+  FaultInjector b(enabled_config());
+  for (int i = 0; i < 200; ++i) {
+    const auto fa = a.sample_transfer_failure("prefetch");
+    const auto fb = b.sample_transfer_failure("prefetch");
+    ASSERT_EQ(fa.has_value(), fb.has_value()) << i;
+    if (fa) {
+      EXPECT_DOUBLE_EQ(*fa, *fb) << i;
+    }
+  }
+  EXPECT_EQ(a.injected_total(), b.injected_total());
+  EXPECT_GT(a.injected_total(), 0u);
+}
+
+TEST(Fault, PerOpStreamsAreIndependent) {
+  // Interleaving draws on another op must not perturb an op's stream.
+  FaultInjector interleaved(enabled_config());
+  FaultInjector solo(enabled_config());
+  std::vector<std::optional<double>> from_interleaved, from_solo;
+  for (int i = 0; i < 100; ++i) {
+    (void)interleaved.sample_transfer_failure("prefetch");
+    from_interleaved.push_back(interleaved.sample_transfer_failure("upload"));
+    from_solo.push_back(solo.sample_transfer_failure("upload"));
+  }
+  EXPECT_EQ(from_interleaved, from_solo);
+}
+
+TEST(Fault, FailureRateRoughlyHonored) {
+  FaultInjector injector(enabled_config(0.3));
+  const int draws = 2000;
+  int failures = 0;
+  for (int i = 0; i < draws; ++i) {
+    failures += injector.sample_transfer_failure("op").has_value() ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / draws, 0.3, 0.05);
+  EXPECT_EQ(injector.injected("op"), static_cast<u64>(failures));
+  EXPECT_EQ(injector.injected_total(), static_cast<u64>(failures));
+}
+
+TEST(Fault, FailureFractionInUnitInterval) {
+  FaultInjector injector(enabled_config(0.9));
+  for (int i = 0; i < 200; ++i) {
+    if (const auto fraction = injector.sample_transfer_failure("op")) {
+      EXPECT_GE(*fraction, 0.0);
+      EXPECT_LT(*fraction, 1.0);
+    }
+  }
+}
+
+TEST(Fault, BackoffGrowsGeometricallyAndCaps) {
+  FaultConfig config = enabled_config();
+  config.transfer_backoff_base = VirtualDuration::seconds(30);
+  config.transfer_backoff_multiplier = 2.0;
+  config.transfer_backoff_cap = VirtualDuration::minutes(2);
+  FaultInjector injector(config);
+  EXPECT_DOUBLE_EQ(injector.backoff(1).secs(), 30.0);
+  EXPECT_DOUBLE_EQ(injector.backoff(2).secs(), 60.0);
+  EXPECT_DOUBLE_EQ(injector.backoff(3).secs(), 120.0);
+  EXPECT_DOUBLE_EQ(injector.backoff(4).secs(), 120.0);  // capped
+  EXPECT_DOUBLE_EQ(injector.backoff(10).secs(), 120.0);
+}
+
+TEST(Fault, ValidateRejectsBadConfig) {
+  FaultConfig certain = enabled_config(1.0);  // would retry forever
+  EXPECT_THROW(FaultInjector{certain}, InternalError);
+  FaultConfig no_attempts = enabled_config();
+  no_attempts.max_transfer_attempts = 0;
+  EXPECT_THROW(FaultInjector{no_attempts}, InternalError);
+  FaultConfig shrinking = enabled_config();
+  shrinking.transfer_backoff_multiplier = 0.5;
+  EXPECT_THROW(FaultInjector{shrinking}, InternalError);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -29,6 +29,21 @@ TEST(MetricSeries, TimeWeightedMean) {
   EXPECT_DOUBLE_EQ(series.time_weighted_mean(), (10.0 * 10.0) / 40.0);
 }
 
+TEST(MetricSeries, MaxOfAllNegativeSeries) {
+  // max() seeds from the first point, so a series that never goes
+  // positive reports its true (negative) maximum instead of 0.
+  MetricSeries series;
+  series.add(VirtualTime(0), -5.0);
+  series.add(VirtualTime(10), -1.5);
+  series.add(VirtualTime(20), -9.0);
+  EXPECT_DOUBLE_EQ(series.max(), -1.5);
+}
+
+TEST(MetricSeries, MaxOfEmptySeriesIsZero) {
+  MetricSeries series;
+  EXPECT_DOUBLE_EQ(series.max(), 0.0);
+}
+
 TEST(MetricSeries, RejectsTimeTravel) {
   MetricSeries series;
   series.add(VirtualTime(10), 1.0);

@@ -91,6 +91,60 @@ TEST(Sqs, ReturnMessageRequeuesImmediately) {
   EXPECT_EQ(again->receive_count, 2u);
 }
 
+TEST(Sqs, ExtendVisibilityPostponesExpiry) {
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::minutes(5));
+  queue.send("SRR1");
+  auto message = queue.receive();
+  ASSERT_TRUE(message.has_value());
+
+  // Heartbeat just before the deadline restarts the timer from now.
+  kernel.run_until(VirtualTime(4 * 60));
+  EXPECT_TRUE(queue.extend_visibility(message->receipt_handle,
+                                      VirtualDuration::minutes(5)));
+  // The original deadline passes with the message still in flight.
+  kernel.run_until(VirtualTime(6 * 60));
+  EXPECT_EQ(queue.in_flight_count(), 1u);
+  EXPECT_EQ(queue.stats().visibility_expired, 0u);
+  EXPECT_EQ(queue.stats().visibility_extended, 1u);
+
+  queue.delete_message(message->receipt_handle);
+  kernel.run();
+  EXPECT_EQ(queue.approximate_depth(), 0u);
+  EXPECT_EQ(queue.stats().visibility_expired, 0u);
+}
+
+TEST(Sqs, ExtendVisibilityUnknownReceiptIsNoop) {
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::seconds(10));
+  queue.send("x");
+  auto message = queue.receive();
+  kernel.run();  // expires; the receipt is gone
+  EXPECT_FALSE(queue.extend_visibility(message->receipt_handle,
+                                       VirtualDuration::minutes(1)));
+  EXPECT_FALSE(queue.extend_visibility(9999, VirtualDuration::minutes(1)));
+  EXPECT_EQ(queue.stats().visibility_extended, 0u);
+}
+
+TEST(Sqs, DeadLetterCallbackSeesConsistentQueue) {
+  SimKernel kernel;
+  SqsQueue queue(kernel, VirtualDuration::seconds(10), /*max_receives=*/1);
+  std::vector<std::string> dead;
+  queue.set_on_dead_letter([&](const std::string& body) {
+    dead.push_back(body);
+    // The in-flight entry is erased before the callback runs, so a
+    // re-entrant consumer sees the queue in its post-expiry state.
+    EXPECT_EQ(queue.in_flight_count(), 0u);
+    EXPECT_EQ(queue.dead_letter_queue().size(), 1u);
+  });
+  queue.send("poison");
+  ASSERT_TRUE(queue.receive().has_value());
+  kernel.run();  // expiry goes straight to the DLQ at max_receives=1
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], "poison");
+  EXPECT_EQ(queue.stats().dead_lettered, 1u);
+}
+
 TEST(Sqs, StatsCount) {
   SimKernel kernel;
   SqsQueue queue(kernel, VirtualDuration::minutes(1));

@@ -178,5 +178,182 @@ TEST(AtlasSim, MetricsRecorded) {
               0.15 * report.total_cost_usd + 0.01);
 }
 
+double total_stage_waste(const AtlasReport& report) {
+  double total = 0.0;
+  for (usize s = 0; s < kNumSampleStages; ++s) {
+    total += report.wasted_hours_stage[s];
+  }
+  return total;
+}
+
+usize samples_terminal(const AtlasReport& report) {
+  return report.samples_completed + report.samples_early_stopped +
+         report.samples_rejected_late + report.samples_dead_lettered;
+}
+
+TEST(AtlasSim, FaultFreeRunReportsNoWaste) {
+  const auto catalog = small_catalog(30);
+  const AtlasReport report = AtlasSimulation(catalog, base_config()).run();
+  EXPECT_DOUBLE_EQ(report.wasted_hours_interrupted, 0.0);
+  EXPECT_DOUBLE_EQ(report.wasted_hours_transfer, 0.0);
+  EXPECT_DOUBLE_EQ(report.wasted_init_hours, 0.0);
+  EXPECT_DOUBLE_EQ(total_stage_waste(report), 0.0);
+  EXPECT_EQ(report.requeues_interrupted, 0u);
+  EXPECT_EQ(report.requeues_transfer, 0u);
+  EXPECT_EQ(report.transfer_faults_injected, 0u);
+  EXPECT_EQ(report.queue_stats.visibility_expired, 0u);
+  EXPECT_EQ(report.queue_stats.dead_lettered, 0u);
+}
+
+TEST(AtlasSim, HeartbeatKeepsLongStagesAlive) {
+  // The visibility timeout is far shorter than a single alignment stage;
+  // only the periodic ChangeMessageVisibility heartbeat keeps in-flight
+  // messages from expiring and double-processing.
+  const auto catalog = small_catalog(20);
+  AtlasConfig config = base_config();
+  config.visibility_timeout = VirtualDuration::minutes(4);
+  const AtlasReport report = AtlasSimulation(catalog, config).run();
+  EXPECT_GT(report.heartbeats_sent, 0u);
+  EXPECT_EQ(report.queue_stats.visibility_expired, 0u);
+  EXPECT_EQ(report.samples_dead_lettered, 0u);
+  EXPECT_EQ(samples_terminal(report), catalog.size());
+  // Exactly one receive and one delete per accession: no duplicates.
+  EXPECT_EQ(report.queue_stats.received, catalog.size());
+  EXPECT_EQ(report.queue_stats.deleted, catalog.size());
+}
+
+TEST(AtlasSim, VisibilityExpiryRedeliversAndFirstCompleterWins) {
+  // Heartbeat off + tight timeout: messages expire mid-alignment and get
+  // redelivered while the original worker is still going. The first
+  // completer wins; later duplicates are deleted on receipt or completion.
+  const auto catalog = small_catalog(20);
+  AtlasConfig config = base_config();
+  config.heartbeat_enabled = false;
+  config.visibility_timeout = VirtualDuration::minutes(4);
+  config.max_receives = 100;  // the timeout backstop, not the DLQ, recovers
+  const AtlasReport report = AtlasSimulation(catalog, config).run();
+  EXPECT_EQ(report.heartbeats_sent, 0u);
+  EXPECT_GT(report.queue_stats.visibility_expired, 0u);
+  EXPECT_GT(report.queue_stats.received,
+            static_cast<u64>(catalog.size()));  // redeliveries happened
+  EXPECT_EQ(report.samples_dead_lettered, 0u);
+  EXPECT_EQ(samples_terminal(report), catalog.size());
+}
+
+TEST(AtlasSim, DuplicateOfCompletedDeadLetterNotCountedAsLost) {
+  // A stale duplicate can ride the redelivery loop into the DLQ after its
+  // accession already completed elsewhere. The queue counts a dead-letter
+  // event, but the report must not count the accession as lost (the old
+  // accounting compared terminal samples against dlq size and double
+  // counted exactly this case).
+  const auto catalog = small_catalog(20);
+  AtlasConfig config = base_config();
+  config.heartbeat_enabled = false;
+  config.visibility_timeout = VirtualDuration::minutes(4);
+  config.max_receives = 2;
+  const AtlasReport report = AtlasSimulation(catalog, config).run();
+  EXPECT_GT(report.queue_stats.dead_lettered, 0u);
+  EXPECT_EQ(samples_terminal(report), catalog.size());
+  EXPECT_GE(report.queue_stats.dead_lettered, report.samples_dead_lettered);
+}
+
+TEST(AtlasSim, InterruptionWasteAccountedPerStage) {
+  const auto catalog = small_catalog(40);
+  AtlasConfig config = base_config();
+  config.spot = true;
+  config.mean_time_to_interruption = VirtualDuration::hours(1.0);
+  const AtlasReport report = AtlasSimulation(catalog, config).run();
+  ASSERT_GT(report.interruptions, 0u);
+  EXPECT_GT(report.requeues_interrupted, 0u);
+  EXPECT_GT(report.wasted_hours_interrupted, 0.0);
+  // The per-stage breakdown exactly partitions the wasted total.
+  EXPECT_NEAR(total_stage_waste(report),
+              report.wasted_hours_interrupted + report.wasted_hours_transfer,
+              1e-9);
+  // With this many reclaims the tax lands across several stages, and
+  // alignment (where the hours are) is among them.
+  EXPECT_GT(report.wasted_hours_for(SampleStage::kAlignCheckpoint) +
+                report.wasted_hours_for(SampleStage::kAlignRest),
+            0.0);
+  usize stages_hit = 0;
+  for (usize s = 0; s < kNumSampleStages; ++s) {
+    stages_hit += report.wasted_hours_stage[s] > 0.0 ? 1 : 0;
+  }
+  EXPECT_GE(stages_hit, 2u);
+  EXPECT_EQ(samples_terminal(report), catalog.size());
+}
+
+TEST(AtlasSim, InterruptionDuringInitBillsOnlyElapsed) {
+  // Reclaims land inside boot-time index initialization: the elapsed part
+  // is billed (it ran) and flagged as wasted; nothing is pre-billed at
+  // schedule time for instances that never finish initializing.
+  const auto catalog = small_catalog(12);
+  AtlasConfig config = base_config();
+  config.spot = true;
+  config.asg.max_size = 4;
+  config.mean_time_to_interruption = VirtualDuration::minutes(5);
+  config.max_receives = 200;
+  const AtlasReport report = AtlasSimulation(catalog, config).run();
+  ASSERT_GT(report.interruptions, 0u);
+  EXPECT_GT(report.wasted_init_hours, 0.0);
+  // Wasted init is part of init_hours (it did run), so it cannot exceed it.
+  EXPECT_LE(report.wasted_init_hours, report.init_hours + 1e-12);
+  EXPECT_EQ(samples_terminal(report), catalog.size());
+}
+
+TEST(AtlasSim, TransferFaultsRetryAndRequeueDeterministically) {
+  const auto catalog = small_catalog(30);
+  AtlasConfig config = base_config();
+  config.faults.enabled = true;
+  config.faults.transfer_failure_rate = 0.35;
+  config.faults.max_transfer_attempts = 2;
+  config.faults.seed = 99;
+  const AtlasReport report = AtlasSimulation(catalog, config).run();
+  EXPECT_GT(report.transfer_faults_injected, 0u);
+  EXPECT_GT(report.transfer_retries, 0u);
+  EXPECT_GT(report.wasted_hours_transfer, 0.0);
+  EXPECT_NEAR(total_stage_waste(report),
+              report.wasted_hours_interrupted + report.wasted_hours_transfer,
+              1e-9);
+  EXPECT_EQ(report.samples_dead_lettered, 0u);
+  EXPECT_EQ(samples_terminal(report), catalog.size());
+
+  const AtlasReport again = AtlasSimulation(catalog, config).run();
+  EXPECT_DOUBLE_EQ(again.makespan_hours, report.makespan_hours);
+  EXPECT_DOUBLE_EQ(again.total_cost_usd, report.total_cost_usd);
+  EXPECT_EQ(again.transfer_faults_injected, report.transfer_faults_injected);
+  EXPECT_EQ(again.requeues_transfer, report.requeues_transfer);
+}
+
+TEST(AtlasSim, ChaosRunLosesNoAccessions) {
+  // Interruptions and injected transfer faults together, fixed seeds: the
+  // campaign must still terminate with every accession accounted for and
+  // none lost to the DLQ.
+  const auto catalog = small_catalog(40, /*seed=*/9);
+  AtlasConfig config = base_config();
+  config.spot = true;
+  config.mean_time_to_interruption = VirtualDuration::hours(2.0);
+  config.faults.enabled = true;
+  config.faults.transfer_failure_rate = 0.2;
+  config.faults.seed = 4242;
+  const AtlasReport report = AtlasSimulation(catalog, config).run();
+  EXPECT_GT(report.interruptions, 0u);
+  EXPECT_GT(report.transfer_faults_injected, 0u);
+  EXPECT_EQ(report.samples_dead_lettered, 0u);
+  EXPECT_EQ(report.samples_completed + report.samples_early_stopped +
+                report.samples_rejected_late,
+            catalog.size());
+  EXPECT_NEAR(total_stage_waste(report),
+              report.wasted_hours_interrupted + report.wasted_hours_transfer,
+              1e-9);
+}
+
+TEST(AtlasSim, FaultConfigValidatedAtConstruction) {
+  AtlasConfig config = base_config();
+  config.faults.enabled = true;
+  config.faults.transfer_failure_rate = 1.0;  // would retry forever
+  EXPECT_THROW(AtlasSimulation(small_catalog(5), config), InternalError);
+}
+
 }  // namespace
 }  // namespace staratlas

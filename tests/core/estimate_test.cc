@@ -88,6 +88,24 @@ TEST(Estimate, MoreInstancesShortenMakespan) {
             2.0 * estimate_campaign(catalog, wide).makespan_hours);
 }
 
+TEST(Estimate, BootDelayPlumbedFromConfig) {
+  // The closed form must use the configured boot delay, not a hardcoded
+  // 45 s: stretching the delay by an hour moves the makespan by exactly
+  // that hour (boot happens once per instance, off the critical path of
+  // per-sample work).
+  const auto catalog = catalog_of(40);
+  AtlasConfig fast_boot = config_for(111);
+  AtlasConfig slow_boot = config_for(111);
+  slow_boot.boot_delay =
+      fast_boot.boot_delay + VirtualDuration::hours(1);
+  const CampaignEstimate fast = estimate_campaign(catalog, fast_boot);
+  const CampaignEstimate slow = estimate_campaign(catalog, slow_boot);
+  EXPECT_NEAR(slow.makespan_hours - fast.makespan_hours, 1.0, 1e-9);
+  // Boot is unbilled wait, not instance work.
+  EXPECT_DOUBLE_EQ(slow.instance_hours, fast.instance_hours);
+  EXPECT_DOUBLE_EQ(slow.ec2_cost_usd, fast.ec2_cost_usd);
+}
+
 TEST(Estimate, EmptyCatalogRejected) {
   EXPECT_THROW(estimate_campaign({}, config_for(111)), InternalError);
 }

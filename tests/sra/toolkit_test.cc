@@ -74,6 +74,58 @@ TEST(Toolkit, DumpRoundTripsSimulation) {
   EXPECT_EQ(dumped.fastq_bytes.bytes(), direct.fastq_bytes.bytes());
 }
 
+TEST(Toolkit, PrefetchWithRetrySucceedsAfterTransientFailures) {
+  auto repo = make_repository();
+  const std::string accession = repo->catalog()[1].accession;
+  PrefetchRetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.backoff_base_secs = 2.0;
+  policy.backoff_multiplier = 3.0;
+  const PrefetchOutcome outcome = prefetch_with_retry(
+      *repo, accession, [](u32 attempt) { return attempt <= 2; }, policy);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_DOUBLE_EQ(outcome.backoff_secs, 2.0 + 6.0);  // after fails 1 and 2
+  EXPECT_EQ(outcome.result.metadata.accession, accession);
+  EXPECT_GT(outcome.result.container.size(), 0u);
+}
+
+TEST(Toolkit, PrefetchWithRetryNullPredicateNeverFails) {
+  auto repo = make_repository();
+  const std::string accession = repo->catalog()[2].accession;
+  const PrefetchOutcome outcome =
+      prefetch_with_retry(*repo, accession, nullptr);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_DOUBLE_EQ(outcome.backoff_secs, 0.0);
+  EXPECT_EQ(outcome.result.bytes_transferred.bytes(),
+            outcome.result.container.size());
+}
+
+TEST(Toolkit, PrefetchWithRetryThrowsOnExhaustion) {
+  auto repo = make_repository();
+  const std::string accession = repo->catalog()[0].accession;
+  PrefetchRetryPolicy policy;
+  policy.max_attempts = 3;
+  u32 calls = 0;
+  EXPECT_THROW(prefetch_with_retry(
+                   *repo, accession,
+                   [&calls](u32) {
+                     ++calls;
+                     return true;
+                   },
+                   policy),
+               IoError);
+  EXPECT_EQ(calls, 3u);  // bounded: exactly max_attempts tries
+}
+
+TEST(Toolkit, RetryPolicyBackoffGrows) {
+  PrefetchRetryPolicy policy;
+  policy.backoff_base_secs = 1.5;
+  policy.backoff_multiplier = 2.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_secs(1), 1.5);
+  EXPECT_DOUBLE_EQ(policy.backoff_secs(2), 3.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_secs(3), 6.0);
+}
+
 TEST(Toolkit, DumpReportsFastqBiggerThanSra) {
   auto repo = make_repository();
   const std::string accession = repo->catalog()[3].accession;
