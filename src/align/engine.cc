@@ -1,14 +1,32 @@
 #include "align/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <exception>
 #include <future>
 #include <mutex>
+#include <thread>
 #include <vector>
 
+#include "common/alloc_counter.h"
+#include "common/bounded_queue.h"
 #include "common/error.h"
 
 namespace staratlas {
+
+/// One recycled unit of streaming work: a batch arena plus everything a
+/// worker accumulates for it, kept per-slot so the committer can merge
+/// batches in stream order.
+struct AlignmentEngine::StreamSlot {
+  ReadBatch batch;
+  std::vector<ReadOutcome> outcomes;  ///< batch-local, index-aligned
+  MappingStats stats;
+  GeneCountsTable counts;  ///< sized num_genes when quant is on
+  std::unique_ptr<JunctionCollector> junctions;
+  u64 seq = 0;         ///< batch sequence number in stream order
+  u64 first_read = 0;  ///< global index of the batch's first read
+};
 
 AlignmentEngine::AlignmentEngine(const GenomeIndex& index,
                                  const Annotation* annotation,
@@ -22,12 +40,26 @@ AlignmentEngine::AlignmentEngine(const GenomeIndex& index,
   }
 }
 
+AlignmentEngine::~AlignmentEngine() = default;
+
 void AlignmentEngine::ensure_workers() {
   if (config_.num_threads > 1 && !pool_) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
   while (workspaces_.size() < config_.num_threads) {
     workspaces_.push_back(std::make_unique<AlignWorkspace>());
+  }
+}
+
+void AlignmentEngine::ensure_stream_slots(usize count) {
+  while (stream_slots_.size() < count) {
+    auto slot = std::make_unique<StreamSlot>();
+    if (counter_) slot->counts = GeneCountsTable(annotation_->num_genes());
+    if (config_.collect_junctions) {
+      slot->junctions = std::make_unique<JunctionCollector>(
+          *index_, config_.junction_min_intron);
+    }
+    stream_slots_.push_back(std::move(slot));
   }
 }
 
@@ -138,6 +170,214 @@ AlignmentRun AlignmentEngine::run(const ReadSet& reads,
     run.progress_log.append(tracker.snapshot(run.wall_seconds));
   }
   return run;
+}
+
+namespace {
+/// Zeroes a counts table in place, keeping per_gene capacity.
+void reset_counts(GeneCountsTable& counts) {
+  std::fill(counts.per_gene.begin(), counts.per_gene.end(), u64{0});
+  counts.n_unmapped = 0;
+  counts.n_multimapping = 0;
+  counts.n_no_feature = 0;
+  counts.n_ambiguous = 0;
+}
+}  // namespace
+
+AlignmentRun AlignmentEngine::run_stream(const BatchSource& source,
+                                         u64 total_reads_hint,
+                                         const ProgressCallback& callback) {
+  STARATLAS_CHECK(source != nullptr);
+  const auto wall_start = std::chrono::steady_clock::now();
+  AlignmentRun run;
+  run.outcomes.assign(total_reads_hint, ReadOutcome::kUnmapped);
+
+  ensure_workers();
+  const usize nslots = std::max<usize>(
+      2, config_.stream_queue_depth ? config_.stream_queue_depth
+                                    : config_.num_threads + 2);
+  ensure_stream_slots(nslots);
+  if (counter_) run.gene_counts = GeneCountsTable(annotation_->num_genes());
+
+  const u64 check_interval =
+      config_.progress_check_interval
+          ? config_.progress_check_interval
+          : std::max<u64>(1, total_reads_hint / 50);
+
+  const Aligner aligner(*index_, config_.params);
+  JunctionCollector merged_junctions(*index_, config_.junction_min_intron);
+  ProgressTracker tracker(total_reads_hint);
+
+  // Slot recycling ring (backpressure) and the parsed-batch work queue.
+  // Both hold at most nslots entries, so pushes never block; the producer
+  // blocks only in free_q.pop(), i.e. exactly when every slot is in
+  // flight — that wait IS the peak-memory bound.
+  BoundedQueue<StreamSlot*> free_q(nslots);
+  BoundedQueue<StreamSlot*> work_q(nslots);
+  for (usize i = 0; i < nslots; ++i) free_q.push(stream_slots_[i].get());
+
+  std::atomic<usize> next_worker_slot{0};
+  std::atomic<bool> abort_flag{false};
+  std::atomic<u64> consumer_allocs{0};
+
+  // In-order commit state, all guarded by commit_mu. Workers align batches
+  // in any order, then park them in the reorder ring; the ring drains
+  // strictly in sequence, so merges, checkpoints and the abort decision
+  // happen at deterministic read counts whatever the thread count.
+  std::mutex commit_mu;
+  std::vector<StreamSlot*> reorder(nslots, nullptr);
+  u64 commit_next = 0;
+  u64 next_check = check_interval;
+  std::exception_ptr worker_error;
+
+  auto elapsed_secs = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start)
+        .count();
+  };
+
+  auto commit = [&](StreamSlot* done) {
+    std::lock_guard lock(commit_mu);
+    reorder[done->seq % nslots] = done;
+    while (StreamSlot* slot = reorder[commit_next % nslots]) {
+      if (slot->seq != commit_next) break;
+      reorder[commit_next % nslots] = nullptr;
+      ++commit_next;
+      if (!abort_flag.load(std::memory_order_relaxed)) {
+        const usize n = slot->batch.size();
+        if (run.outcomes.size() < slot->first_read + n) {
+          run.outcomes.resize(slot->first_read + n, ReadOutcome::kUnmapped);
+        }
+        std::copy(slot->outcomes.begin(), slot->outcomes.begin() + n,
+                  run.outcomes.begin() + slot->first_read);
+        run.stats += slot->stats;
+        tracker.add(slot->stats);
+        if (counter_) run.gene_counts += slot->counts;
+        if (slot->junctions) merged_junctions += *slot->junctions;
+        ++run.stream_batches;
+        if (callback && tracker.processed() >= next_check) {
+          const ProgressSnapshot snap = tracker.snapshot(elapsed_secs());
+          // Advance past every boundary this commit crossed so one large
+          // batch produces one log row, exactly as run() does.
+          next_check = (snap.processed / check_interval + 1) * check_interval;
+          run.progress_log.append(snap);
+          if (callback(snap) == EngineCommand::kAbort) {
+            abort_flag.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+      free_q.push(slot);  // recycle even past abort: the producer may be
+                          // blocked on a free slot and must wake to exit
+    }
+  };
+
+  std::exception_ptr producer_error;
+  std::thread producer([&] {
+    try {
+      u64 seq = 0;
+      u64 first_read = 0;
+      for (;;) {
+        const auto popped = free_q.pop();
+        if (!popped) break;
+        StreamSlot* slot = *popped;
+        if (abort_flag.load(std::memory_order_relaxed)) break;
+        slot->batch.clear();
+        if (!source(slot->batch) || slot->batch.empty()) break;
+        slot->seq = seq++;
+        slot->first_read = first_read;
+        first_read += slot->batch.size();
+        work_q.push(slot);
+      }
+    } catch (...) {
+      producer_error = std::current_exception();
+      abort_flag.store(true, std::memory_order_relaxed);
+    }
+    work_q.close();
+  });
+
+  auto consumer = [&] {
+    AlignWorkspace& ws =
+        *workspaces_[next_worker_slot.fetch_add(1) % workspaces_.size()];
+    const u64 allocs_before = alloc_counter::thread_allocations();
+    while (const auto popped = work_q.pop()) {
+      StreamSlot* slot = *popped;
+      if (!abort_flag.load(std::memory_order_relaxed)) {
+        try {
+          slot->stats = MappingStats{};
+          slot->outcomes.resize(slot->batch.size());
+          if (counter_) reset_counts(slot->counts);
+          if (slot->junctions) slot->junctions->clear();
+          for (usize r = 0; r < slot->batch.size(); ++r) {
+            aligner.align(slot->batch.sequence(r), ws, slot->stats, ws.result);
+            slot->stats.add_outcome(ws.result.outcome);
+            slot->outcomes[r] = ws.result.outcome;
+            if (counter_) counter_->count(ws.result, slot->counts);
+            if (slot->junctions) slot->junctions->add(ws.result);
+          }
+        } catch (...) {
+          std::lock_guard lock(commit_mu);
+          if (!worker_error) worker_error = std::current_exception();
+          abort_flag.store(true, std::memory_order_relaxed);
+        }
+      }
+      commit(slot);  // always: recycling must not stall behind an abort
+    }
+    consumer_allocs.fetch_add(
+        alloc_counter::thread_allocations() - allocs_before,
+        std::memory_order_relaxed);
+  };
+
+  if (config_.num_threads == 1) {
+    consumer();  // the caller thread aligns; the producer still overlaps
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(config_.num_threads);
+    for (usize t = 0; t < config_.num_threads; ++t) {
+      futures.push_back(pool_->submit(consumer));
+    }
+    for (auto& f : futures) f.wait();
+    for (auto& f : futures) f.get();
+  }
+  producer.join();  // already exited: consumers only finish once it closed
+
+  if (producer_error) std::rethrow_exception(producer_error);
+  if (worker_error) std::rethrow_exception(worker_error);
+
+  run.aborted = abort_flag.load();
+  // A completed stream knows the true total; an aborted one keeps the
+  // hint-sized vector (unprocessed tail stays kUnmapped, like run()).
+  if (!run.aborted && run.outcomes.size() > run.stats.processed) {
+    run.outcomes.resize(run.stats.processed);
+  }
+  run.wall_seconds = elapsed_secs();
+  if (config_.collect_junctions) run.junctions = merged_junctions.junctions();
+  if (!run.progress_log.entries().empty() || !callback) {
+    run.progress_log.append(tracker.snapshot(run.wall_seconds));
+  }
+  run.stream_consumer_allocs =
+      consumer_allocs.load(std::memory_order_relaxed);
+  for (usize i = 0; i < nslots; ++i) {
+    run.stream_peak_arena_bytes +=
+        stream_slots_[i]->batch.capacity_bytes() +
+        stream_slots_[i]->outcomes.capacity() * sizeof(ReadOutcome);
+  }
+  return run;
+}
+
+AlignmentRun AlignmentEngine::run_stream_reads(const ReadSet& reads,
+                                               usize batch_size,
+                                               const ProgressCallback& callback) {
+  STARATLAS_CHECK(batch_size >= 1);
+  usize next = 0;
+  const BatchSource source = [&](ReadBatch& batch) {
+    if (next >= reads.size()) return false;
+    const usize end = std::min(next + batch_size, reads.size());
+    for (; next < end; ++next) {
+      const FastqRecord& rec = reads.reads[next];
+      batch.append(rec.name, rec.sequence, rec.quality);
+    }
+    return true;
+  };
+  return run_stream(source, reads.size(), callback);
 }
 
 }  // namespace staratlas

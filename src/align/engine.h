@@ -24,6 +24,7 @@
 #include "genome/annotation.h"
 #include "index/genome_index.h"
 #include "io/fastq.h"
+#include "io/read_batch.h"
 
 namespace staratlas {
 
@@ -32,6 +33,12 @@ enum class EngineCommand { kContinue, kAbort };
 /// Invoked (serialized) whenever `progress_check_interval` more reads have
 /// completed. Returning kAbort stops the run promptly (chunk granularity).
 using ProgressCallback = std::function<EngineCommand(const ProgressSnapshot&)>;
+
+/// Fills `batch` (already cleared; arena capacity reused) with the next
+/// reads of the stream. Return false once the stream is exhausted (an
+/// empty batch is also treated as end of stream). Called from the
+/// engine's producer thread, never concurrently with itself.
+using BatchSource = std::function<bool(ReadBatch&)>;
 
 struct EngineConfig {
   AlignerParams params;
@@ -44,6 +51,9 @@ struct EngineConfig {
   bool collect_junctions = false;
   /// Minimum genomic gap treated as an intron when collecting junctions.
   u64 junction_min_intron = 21;
+  /// Batch slots in flight for run_stream (the backpressure bound: peak
+  /// ingest memory is this many batch arenas). 0 = num_threads + 2.
+  usize stream_queue_depth = 0;
 };
 
 struct AlignmentRun {
@@ -58,6 +68,17 @@ struct AlignmentRun {
   ProgressLog progress_log;
   bool aborted = false;
   double wall_seconds = 0.0;  ///< measured real time of the run
+
+  // run_stream telemetry (zero after run()).
+  u64 stream_batches = 0;  ///< batches committed (aborted runs: up to abort)
+  /// Heap allocations made on consumer (alignment) threads. With a warmed
+  /// engine, quant/junctions off and no callback this is 0 — the streaming
+  /// consume path is allocation-free at steady state.
+  u64 stream_consumer_allocs = 0;
+  /// Sum of the recycled batch-slot footprints (arena + outcome capacity):
+  /// the streaming path's peak ingest memory, bounded by queue depth, not
+  /// by sample size.
+  u64 stream_peak_arena_bytes = 0;
 };
 
 class AlignmentEngine {
@@ -65,6 +86,7 @@ class AlignmentEngine {
   /// `annotation` may be null when gene counting is disabled.
   AlignmentEngine(const GenomeIndex& index, const Annotation* annotation,
                   EngineConfig config);
+  ~AlignmentEngine();
 
   const EngineConfig& config() const { return config_; }
 
@@ -74,9 +96,35 @@ class AlignmentEngine {
   /// engine-owned and reused run to run).
   AlignmentRun run(const ReadSet& reads, const ProgressCallback& callback = {});
 
+  /// Streaming form: a producer thread pulls batches from `source` while
+  /// the worker pool aligns them, overlapping parse/decode with alignment.
+  /// A bounded ring of `stream_queue_depth` recycled batch slots provides
+  /// backpressure, so peak ingest memory is a few batch arenas regardless
+  /// of sample size. Batches are aligned in parallel but COMMITTED
+  /// (stats/outcome merge, progress checkpoints, abort decisions) strictly
+  /// in stream order, which makes every snapshot — and the processed count
+  /// an early-stop abort lands on — bit-identical across thread counts and
+  /// identical to a single-threaded run() whose chunk_size equals the
+  /// batch size. `total_reads_hint` sizes the outcome vector and the
+  /// default checkpoint interval (pass the known read count when you have
+  /// it; 0 degrades to per-batch checkpoints). Not reentrant, but freely
+  /// interleavable with run() on the same engine.
+  AlignmentRun run_stream(const BatchSource& source, u64 total_reads_hint = 0,
+                          const ProgressCallback& callback = {});
+
+  /// run_stream over an in-memory ReadSet, batching `batch_size` reads at
+  /// a time (tests and benchmarks; the pipeline streams from the SRA
+  /// decoder instead).
+  AlignmentRun run_stream_reads(const ReadSet& reads, usize batch_size,
+                                const ProgressCallback& callback = {});
+
  private:
+  struct StreamSlot;
+
   /// Creates the worker pool and per-worker workspaces on first use.
   void ensure_workers();
+  /// Creates (or grows) the recycled batch-slot ring.
+  void ensure_stream_slots(usize count);
 
   const GenomeIndex* index_;
   const Annotation* annotation_;
@@ -88,6 +136,10 @@ class AlignmentEngine {
   /// One workspace per worker slot (num_threads of them), reused run to
   /// run so steady-state alignment stops allocating.
   std::vector<std::unique_ptr<AlignWorkspace>> workspaces_;
+  /// Recycled streaming batch slots (arena + per-batch accumulators),
+  /// reused across run_stream calls so steady-state ingest stops
+  /// allocating.
+  std::vector<std::unique_ptr<StreamSlot>> stream_slots_;
 };
 
 }  // namespace staratlas

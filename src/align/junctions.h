@@ -51,6 +51,10 @@ class JunctionCollector {
   /// Merges another collector (for per-thread accumulation).
   JunctionCollector& operator+=(const JunctionCollector& other);
 
+  /// Drops all tallied junctions (index and min_intron keep). Lets the
+  /// streaming engine reuse per-slot collectors across batches.
+  void clear() { table_.clear(); }
+
   /// SJ.out.tab-style TSV: contig, 1-based intron start/end, strand=0,
   /// motif=0, annotated=0, unique count, multi count, max overhang.
   void write_tsv(std::ostream& out) const;

@@ -1,12 +1,24 @@
 // Per-read alignment results and aggregate mapping statistics.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "common/small_vec.h"
 #include "common/types.h"
 
 namespace staratlas {
+
+/// Non-owning view of one read, the form the streaming ingest path hands
+/// the aligner: the views point into a ReadBatch arena (io/read_batch.h)
+/// and stay valid until that batch is cleared or recycled. The batch path
+/// and the owning FastqRecord/ReadSet path converge on the same
+/// Aligner::align(std::string_view, ...) hot path.
+struct ReadView {
+  std::string_view name;
+  std::string_view sequence;
+  std::string_view quality;  ///< phred+33, same length as sequence
+};
 
 enum class ReadOutcome : u8 {
   kUniqueMapped = 0,

@@ -1,0 +1,120 @@
+// BoundedQueue: a blocking MPMC queue over a fixed ring, the backpressure
+// primitive of the streaming ingest path.
+//
+// Capacity is fixed at construction and the ring storage never grows, so
+// (a) a producer that outruns its consumers blocks instead of buffering
+// unbounded input in memory, and (b) steady-state push/pop performs no
+// heap allocation beyond what moving T itself does. close() wakes every
+// waiter: pending pops drain the remaining items and then return nullopt;
+// pushes after close are rejected.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace staratlas {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(usize capacity) : slots_(capacity ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  usize capacity() const { return slots_.size(); }
+
+  /// Blocks while full. Returns false (value dropped) if the queue is or
+  /// becomes closed before space frees up.
+  bool push(T value) {
+    std::unique_lock lock(mu_);
+    cv_push_.wait(lock, [&] { return closed_ || size_ < slots_.size(); });
+    if (closed_) return false;
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    ++size_;
+    high_water_ = std::max(high_water_, size_);
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T value) {
+    std::lock_guard lock(mu_);
+    if (closed_ || size_ >= slots_.size()) return false;
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    ++size_;
+    high_water_ = std::max(high_water_, size_);
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once the queue is closed and
+  /// fully drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_pop_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return std::nullopt;
+    return take_front();
+  }
+
+  /// Non-blocking pop; nullopt when empty (whether or not closed).
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (size_ == 0) return std::nullopt;
+    return take_front();
+  }
+
+  /// Ends the stream: pending and future pops drain then return nullopt,
+  /// pushes fail. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_push_.notify_all();
+    cv_pop_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  usize size() const {
+    std::lock_guard lock(mu_);
+    return size_;
+  }
+
+  /// Most items ever queued at once — the backpressure witness the
+  /// peak-memory tests assert on (never exceeds capacity by construction).
+  usize high_water() const {
+    std::lock_guard lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  T take_front() {
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    cv_push_.notify_one();
+    return value;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_push_;
+  std::condition_variable cv_pop_;
+  std::vector<T> slots_;
+  usize head_ = 0;
+  usize size_ = 0;
+  usize high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace staratlas

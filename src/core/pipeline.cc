@@ -33,20 +33,31 @@ SampleResult PipelineRunner::process(const std::string& accession) {
   result.sra_bytes = fetched.bytes_transferred;
   result.library_type = fetched.metadata.library_type;
 
-  // Stage 2: fasterq-dump.
-  const auto dump_start = std::chrono::steady_clock::now();
-  const DumpResult dumped = fasterq_dump(fetched.container);
-  result.dump_wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    dump_start)
-          .count();
-  result.fastq_bytes = dumped.fastq_bytes;
-  result.total_reads = dumped.reads.size();
-
-  // Stage 3: STAR alignment with GeneCounts and early stopping. The
-  // engine (and its worker pool + workspaces) persists across accessions.
+  // Stages 2+3 overlap: the engine's producer thread decodes container
+  // batches (fasterq-dump) while its workers align them, under the
+  // bounded-queue backpressure of run_stream — peak ingest memory is a
+  // few batch arenas, never the whole decoded FASTQ. Batch size equals
+  // the engine chunk size so progress checkpoints (and the early-stop
+  // decision) cross the same read-count boundaries as the batch path.
+  // On an early stop the dump is cut short too, so fastq_bytes reflects
+  // what was actually decoded (the full sample on a completed run).
+  FasterqDumpStream dump(fetched.container);
+  result.total_reads = dump.metadata().num_reads;
+  const usize batch_reads = config_.engine.chunk_size;
+  double dump_seconds = 0.0;
+  const BatchSource source = [&](ReadBatch& batch) {
+    const auto start = std::chrono::steady_clock::now();
+    const usize appended = dump.next_batch(batch, batch_reads);
+    dump_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return appended > 0;
+  };
   EarlyStopController controller(config_.early_stop);
-  const AlignmentRun run = engine_.run(dumped.reads, controller.callback());
+  const AlignmentRun run = engine_.run_stream(
+      source, dump.metadata().num_reads, controller.callback());
+  result.dump_wall_seconds = dump_seconds;
+  result.fastq_bytes = dump.fastq_bytes();
   result.align_wall_seconds = run.wall_seconds;
   result.stats = run.stats;
   result.gene_counts = run.gene_counts;

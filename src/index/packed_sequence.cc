@@ -59,13 +59,18 @@ PackedSequence PackedSequence::pack(std::string_view seq) {
 }
 
 std::string PackedSequence::unpack() const {
-  std::string seq(length_, 'A');
+  std::string seq;
+  unpack_into(seq);
+  return seq;
+}
+
+void PackedSequence::unpack_into(std::string& out) const {
+  out.resize(length_);
   for (u64 i = 0; i < length_; ++i) {
     const u8 byte = codes_[i / 4];
-    seq[i] = code_base((byte >> ((i % 4) * 2)) & 0x3);
+    out[i] = code_base((byte >> ((i % 4) * 2)) & 0x3);
   }
-  for (u64 pos : n_positions_) seq[pos] = 'N';
-  return seq;
+  for (u64 pos : n_positions_) out[pos] = 'N';
 }
 
 char PackedSequence::at(u64 i) const {
@@ -86,6 +91,8 @@ PackedSequence PackedSequence::from_raw(u64 length, std::vector<u8> codes,
                                         std::vector<u64> n_positions) {
   STARATLAS_CHECK(codes.size() == (length + 3) / 4);
   STARATLAS_CHECK(std::is_sorted(n_positions.begin(), n_positions.end()));
+  // A corrupt overlay must not drive unpack() out of bounds.
+  STARATLAS_CHECK(n_positions.empty() || n_positions.back() < length);
   PackedSequence packed;
   packed.length_ = length;
   packed.codes_ = std::move(codes);

@@ -24,6 +24,11 @@ class PackedSequence {
   /// Unpacks back to an ACGTN string.
   std::string unpack() const;
 
+  /// Hot-path form: unpacks into `out` (resized, capacity reused), so the
+  /// streaming SRA decoder's per-record unpack is allocation-free once
+  /// warm.
+  void unpack_into(std::string& out) const;
+
   u64 size() const { return length_; }
   bool empty() const { return length_ == 0; }
 

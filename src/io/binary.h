@@ -77,27 +77,44 @@ class BinaryReader {
     return v;
   }
   std::string read_string() {
-    const u64 n = read_size();
     std::string s;
-    read_chunked(s, n);
+    read_string_into(s);
     return s;
   }
   std::vector<u8> read_bytes() {
-    const u64 n = read_size();
     std::vector<u8> v;
-    read_chunked(v, n);
+    read_bytes_into(v);
     return v;
   }
   template <typename T>
   std::vector<T> read_pod_vector() {
+    std::vector<T> v;
+    read_pod_vector_into(v);
+    return v;
+  }
+
+  // _into forms reuse the destination's capacity — record-at-a-time
+  // decoders (SraStreamDecoder) call these with per-stream scratch so
+  // steady-state decoding stops allocating.
+  void read_string_into(std::string& s) {
+    const u64 n = read_size();
+    s.clear();
+    read_chunked(s, n);
+  }
+  void read_bytes_into(std::vector<u8>& v) {
+    const u64 n = read_size();
+    v.clear();
+    read_chunked(v, n);
+  }
+  template <typename T>
+  void read_pod_vector_into(std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
     const u64 n = read_size();
     if (n > (~u64{0}) / sizeof(T)) {
       throw ParseError("binary vector length overflows");
     }
-    std::vector<T> v;
+    v.clear();
     read_chunked(v, n);
-    return v;
   }
 
  private:

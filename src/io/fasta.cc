@@ -2,6 +2,10 @@
 
 #include <array>
 #include <cctype>
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define STARATLAS_X86_SIMD 1
+#endif
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -33,12 +37,111 @@ const std::array<char, 256> kResidue = build_residue_table();
 }  // namespace
 
 void normalize_sequence(std::string& seq) {
-  for (char& c : seq) {
-    const char mapped = kResidue[static_cast<unsigned char>(c)];
+  normalize_sequence_span(seq.data(), seq.size());
+}
+
+#if defined(STARATLAS_X86_SIMD)
+namespace {
+// Vector kernels for normalize_sequence_span. Clearing bit 0x20
+// uppercases letters; after the mask the compares accept exactly the byte
+// set kResidue accepts (only the case pair {c, c|0x20} collapses onto
+// each letter). Each chunk is validated BEFORE it is overwritten, so on
+// failure the bytes are still pristine for the caller's table rescan,
+// which reports the first bad residue with the same message as the scalar
+// path. Kernels return the index of the first unprocessed byte (the tail,
+// or the start of a chunk containing an invalid residue).
+
+usize normalize_kernel_sse2(char* data, usize len) {
+  const __m128i case_mask = _mm_set1_epi8(static_cast<char>(0xDF));
+  const __m128i n_fill = _mm_set1_epi8('N');
+  auto eq = [](__m128i v, char c) {
+    return _mm_cmpeq_epi8(v, _mm_set1_epi8(c));
+  };
+  usize i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const __m128i up = _mm_and_si128(raw, case_mask);
+    const __m128i acgt =
+        _mm_or_si128(_mm_or_si128(eq(up, 'A'), eq(up, 'C')),
+                     _mm_or_si128(eq(up, 'G'), eq(up, 'T')));
+    __m128i amb = _mm_or_si128(
+        _mm_or_si128(_mm_or_si128(eq(up, 'N'), eq(up, 'R')),
+                     _mm_or_si128(eq(up, 'Y'), eq(up, 'S'))),
+        _mm_or_si128(_mm_or_si128(eq(up, 'W'), eq(up, 'K')),
+                     _mm_or_si128(eq(up, 'M'), eq(up, 'B'))));
+    amb = _mm_or_si128(
+        amb, _mm_or_si128(_mm_or_si128(eq(up, 'D'), eq(up, 'H')),
+                          _mm_or_si128(eq(up, 'V'), eq(up, 'U'))));
+    if (_mm_movemask_epi8(_mm_or_si128(acgt, amb)) != 0xFFFF) break;
+    // acgt -> uppercased residue, valid ambiguity code -> 'N'.
+    const __m128i out = _mm_or_si128(_mm_and_si128(acgt, up),
+                                     _mm_andnot_si128(acgt, n_fill));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(data + i), out);
+  }
+  return i;
+}
+
+// AVX2 kernel: nibble classification through vpshufb instead of 16
+// broadcasted compares (which spill the register file). After up = c&0xDF
+// every accepted byte has high nibble 4 or 5; two 16-entry tables indexed
+// by the low nibble give the normalized output byte for each high nibble
+// (0 = invalid), and masking with the high-nibble compare composes them.
+__attribute__((target("avx2"))) usize normalize_kernel_avx2(char* data,
+                                                            usize len) {
+  // High nibble 4: A->A, B->N, C->C, D->N, G->G, H->N, K->N, M->N, N->N.
+  const __m128i t4 = _mm_setr_epi8(0, 'A', 'N', 'C', 'N', 0, 0, 'G', 'N', 0,
+                                   0, 'N', 0, 'N', 'N', 0);
+  // High nibble 5: R->N, S->N, T->T, U->N, V->N, W->N, Y->N.
+  const __m128i t5 = _mm_setr_epi8(0, 0, 'N', 'N', 'T', 'N', 'N', 'N', 0,
+                                   'N', 0, 0, 0, 0, 0, 0);
+  const __m256i tbl4 = _mm256_broadcastsi128_si256(t4);
+  const __m256i tbl5 = _mm256_broadcastsi128_si256(t5);
+  const __m256i case_mask = _mm256_set1_epi8(static_cast<char>(0xDF));
+  const __m256i lo_mask = _mm256_set1_epi8(0x0F);
+  const __m256i hi4 = _mm256_set1_epi8(0x40);
+  const __m256i hi5 = _mm256_set1_epi8(0x50);
+  const __m256i zero = _mm256_setzero_si256();
+  usize i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i raw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i up = _mm256_and_si256(raw, case_mask);
+    const __m256i lo = _mm256_and_si256(up, lo_mask);
+    const __m256i hi = _mm256_andnot_si256(lo_mask, up);
+    const __m256i is4 = _mm256_cmpeq_epi8(hi, hi4);
+    const __m256i is5 = _mm256_cmpeq_epi8(hi, hi5);
+    const __m256i out = _mm256_or_si256(
+        _mm256_and_si256(is4, _mm256_shuffle_epi8(tbl4, lo)),
+        _mm256_and_si256(is5, _mm256_shuffle_epi8(tbl5, lo)));
+    // A zero output byte marks an invalid residue; leave the chunk
+    // untouched for the caller's table rescan.
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi8(out, zero)) != 0) break;
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(data + i), out);
+  }
+  return i;
+}
+
+using NormalizeKernel = usize (*)(char*, usize);
+NormalizeKernel pick_normalize_kernel() {
+  if (__builtin_cpu_supports("avx2")) return normalize_kernel_avx2;
+  return normalize_kernel_sse2;
+}
+const NormalizeKernel kNormalizeKernel = pick_normalize_kernel();
+}  // namespace
+#endif  // STARATLAS_X86_SIMD
+
+void normalize_sequence_span(char* data, usize len) {
+  usize i = 0;
+#if defined(STARATLAS_X86_SIMD)
+  i = kNormalizeKernel(data, len);
+#endif
+  for (; i < len; ++i) {
+    const char mapped = kResidue[static_cast<unsigned char>(data[i])];
     if (mapped == 0) {
-      throw ParseError(std::string("invalid residue '") + c + "'");
+      throw ParseError(std::string("invalid residue '") + data[i] + "'");
     }
-    c = mapped;
+    data[i] = mapped;
   }
 }
 

@@ -39,4 +39,9 @@ void write_fasta_file(const std::string& path,
 /// Throws ParseError on characters that are not plausible residues.
 void normalize_sequence(std::string& seq);
 
+/// Span form of normalize_sequence for arena-resident sequences (the block
+/// FASTQ parser normalizes in place after copying raw bytes in). Same
+/// table, same ParseError text.
+void normalize_sequence_span(char* data, usize len);
+
 }  // namespace staratlas

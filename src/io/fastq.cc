@@ -3,11 +3,19 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <vector>
 
 #include "common/error.h"
 #include "io/fasta.h"
 
 namespace staratlas {
+
+namespace {
+// File streams default to a tiny (often 8 KiB) stdio-style buffer; FASTQ
+// files are large and line-oriented, so give disk I/O a block-sized one.
+// pubsetbuf must be applied before open() to take effect.
+constexpr usize kFileBufferBytes = 256 * 1024;
+}  // namespace
 
 bool FastqReader::get_line(std::string& out) {
   if (!std::getline(*in_, out)) return false;
@@ -47,6 +55,9 @@ std::optional<FastqRecord> FastqReader::next() {
   }
   normalize_sequence(rec.sequence);
   ++count_;
+  // '@' + name + '\n' + seq + '\n' + "+\n" + qual + '\n'
+  bytes_ += 1 + rec.name.size() + 1 + rec.sequence.size() + 1 + 2 +
+            rec.quality.size() + 1;
   return rec;
 }
 
@@ -58,9 +69,17 @@ std::vector<FastqRecord> read_fastq(std::istream& in) {
 }
 
 std::vector<FastqRecord> read_fastq_file(const std::string& path) {
-  std::ifstream in(path);
+  std::vector<char> buffer(kFileBufferBytes);
+  std::ifstream in;
+  in.rdbuf()->pubsetbuf(buffer.data(),
+                        static_cast<std::streamsize>(buffer.size()));
+  in.open(path);
   if (!in) throw IoError("cannot open FASTQ file: " + path);
-  return read_fastq(in);
+  auto records = read_fastq(in);
+  // getline-at-EOF leaves failbit set on a clean read; badbit is the one
+  // that distinguishes a mid-file I/O error from end of file.
+  if (in.bad()) throw IoError("I/O error while reading FASTQ file: " + path);
+  return records;
 }
 
 void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records) {
@@ -73,9 +92,14 @@ void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records) {
 
 void write_fastq_file(const std::string& path,
                       const std::vector<FastqRecord>& records) {
-  std::ofstream out(path);
+  std::vector<char> buffer(kFileBufferBytes);
+  std::ofstream out;
+  out.rdbuf()->pubsetbuf(buffer.data(),
+                         static_cast<std::streamsize>(buffer.size()));
+  out.open(path);
   if (!out) throw IoError("cannot open FASTQ file for writing: " + path);
   write_fastq(out, records);
+  out.flush();
   if (!out) throw IoError("failed writing FASTQ file: " + path);
 }
 
@@ -90,8 +114,13 @@ ByteSize fastq_serialized_size(const std::vector<FastqRecord>& records) {
 }
 
 ReadSet make_read_set(std::vector<FastqRecord> records) {
+  return make_read_set(std::move(records), ByteSize());
+}
+
+ReadSet make_read_set(std::vector<FastqRecord> records, ByteSize fastq_bytes) {
   ReadSet set;
-  set.fastq_bytes = fastq_serialized_size(records);
+  set.fastq_bytes = fastq_bytes.bytes() ? fastq_bytes
+                                        : fastq_serialized_size(records);
   set.reads = std::move(records);
   return set;
 }

@@ -34,10 +34,16 @@ class FastqReader {
   /// Number of records returned so far.
   u64 records_read() const { return count_; }
 
+  /// Exact serialized size of the 4-line FASTQ form of every record
+  /// returned so far, accumulated during the parse — callers building a
+  /// ReadSet can take this instead of re-walking every record.
+  u64 serialized_bytes() const { return bytes_; }
+
  private:
   std::istream* in_;
   u64 count_ = 0;
   u64 line_ = 0;
+  u64 bytes_ = 0;
   bool get_line(std::string& out);
 };
 
@@ -68,5 +74,9 @@ ByteSize fastq_serialized_size(const std::vector<FastqRecord>& records);
 
 /// Builds a ReadSet (computing fastq_bytes) from records.
 ReadSet make_read_set(std::vector<FastqRecord> records);
+
+/// O(1) form for callers whose parser already accumulated the byte count
+/// (FastqReader::serialized_bytes, SraStreamDecoder::serialized_bytes).
+ReadSet make_read_set(std::vector<FastqRecord> records, ByteSize fastq_bytes);
 
 }  // namespace staratlas

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <streambuf>
 
 #include "common/error.h"
 #include "index/packed_sequence.h"
@@ -12,6 +13,46 @@ namespace staratlas {
 namespace {
 constexpr u32 kSraMagic = 0x53524131;  // "SRA1"
 constexpr u32 kSraVersion = 1;
+
+/// Read-only streambuf over caller-owned bytes: lets the stream decoder
+/// walk a container without first copying it into a stringstream.
+class MemoryBuf : public std::streambuf {
+ public:
+  MemoryBuf(const char* data, usize size) {
+    char* p = const_cast<char*>(data);
+    setg(p, p, p + size);
+  }
+};
+
+/// Inverse of PackedSequence packing over raw codec fields, with the
+/// validation a corrupt container needs, writing into a reused buffer.
+void unpack_sequence(u64 length, const std::vector<u8>& codes,
+                     const std::vector<u64>& n_positions, std::string& out) {
+  if (codes.size() != (length + 3) / 4) {
+    throw ParseError("SRA container: sequence codes length mismatch");
+  }
+  if (!std::is_sorted(n_positions.begin(), n_positions.end()) ||
+      (!n_positions.empty() && n_positions.back() >= length)) {
+    throw ParseError("SRA container: corrupt N-position overlay");
+  }
+  out.resize(length);
+  for (u64 i = 0; i < length; ++i) {
+    out[i] = code_base((codes[i / 4] >> ((i % 4) * 2)) & 0x3);
+  }
+  for (u64 pos : n_positions) out[pos] = 'N';
+}
+
+/// rle_decode into a reused buffer.
+void rle_decode_into(const std::vector<u8>& encoded, std::string& out) {
+  if (encoded.size() % 2 != 0) throw ParseError("RLE stream has odd length");
+  out.clear();
+  for (usize i = 0; i < encoded.size(); i += 2) {
+    const char c = static_cast<char>(encoded[i]);
+    const usize run = encoded[i + 1];
+    if (run == 0) throw ParseError("RLE run of zero");
+    out.append(run, c);
+  }
+}
 
 void write_header(BinaryWriter& writer, const SraMetadata& metadata) {
   writer.write_u32(kSraMagic);
@@ -57,14 +98,8 @@ std::vector<u8> rle_encode(const std::string& text) {
 }
 
 std::string rle_decode(const std::vector<u8>& encoded) {
-  if (encoded.size() % 2 != 0) throw ParseError("RLE stream has odd length");
   std::string out;
-  for (usize i = 0; i < encoded.size(); i += 2) {
-    const char c = static_cast<char>(encoded[i]);
-    const usize run = encoded[i + 1];
-    if (run == 0) throw ParseError("RLE run of zero");
-    out.append(run, c);
-  }
+  rle_decode_into(encoded, out);
   return out;
 }
 
@@ -95,34 +130,74 @@ SraMetadata sra_peek(const std::vector<u8>& container) {
 
 std::pair<SraMetadata, std::vector<FastqRecord>> sra_decode(
     const std::vector<u8>& container) {
-  std::istringstream in(
-      std::string(container.begin(), container.end()), std::ios::binary);
-  BinaryReader reader(in);
-  const SraMetadata metadata = read_header(reader);
+  SraStreamDecoder decoder(container);
   std::vector<FastqRecord> reads;
   // Reserve defensively: a corrupted header must not drive allocation.
-  reads.reserve(std::min<u64>(metadata.num_reads, 1u << 20));
-  u64 total_bases = 0;
-  for (u64 r = 0; r < metadata.num_reads; ++r) {
-    FastqRecord read;
-    read.name = reader.read_string();
-    const u64 length = reader.read_u64();
-    std::vector<u8> codes = reader.read_bytes();
-    std::vector<u64> n_positions = reader.read_pod_vector<u64>();
-    read.sequence =
-        PackedSequence::from_raw(length, std::move(codes), std::move(n_positions))
-            .unpack();
-    read.quality = rle_decode(reader.read_bytes());
-    if (read.quality.size() != read.sequence.size()) {
-      throw ParseError("SRA container: quality/sequence length mismatch");
+  reads.reserve(std::min<u64>(decoder.metadata().num_reads, 1u << 20));
+  FastqRecord read;
+  while (decoder.next(read)) reads.push_back(std::move(read));
+  return {decoder.metadata(), std::move(reads)};
+}
+
+struct SraStreamDecoder::Cursor {
+  MemoryBuf buf;
+  std::istream in;
+  BinaryReader reader;
+  // Per-record scratch, reused so steady-state decode stops allocating.
+  std::vector<u8> codes;
+  std::vector<u64> n_positions;
+  std::vector<u8> rle;
+  FastqRecord rec;
+
+  explicit Cursor(const std::vector<u8>& container)
+      : buf(reinterpret_cast<const char*>(container.data()), container.size()),
+        in(&buf),
+        reader(in) {}
+};
+
+SraStreamDecoder::SraStreamDecoder(const std::vector<u8>& container)
+    : cursor_(std::make_unique<Cursor>(container)) {
+  metadata_ = read_header(cursor_->reader);
+}
+
+SraStreamDecoder::~SraStreamDecoder() = default;
+
+bool SraStreamDecoder::next(FastqRecord& out) {
+  if (done_) return false;
+  if (decoded_ == metadata_.num_reads) {
+    done_ = true;
+    if (total_bases_seen_ != metadata_.total_bases) {
+      throw ParseError("SRA container: total_bases mismatch");
     }
-    total_bases += length;
-    reads.push_back(std::move(read));
+    return false;
   }
-  if (total_bases != metadata.total_bases) {
-    throw ParseError("SRA container: total_bases mismatch");
+  Cursor& c = *cursor_;
+  c.reader.read_string_into(out.name);
+  const u64 length = c.reader.read_u64();
+  c.reader.read_bytes_into(c.codes);
+  c.reader.read_pod_vector_into(c.n_positions);
+  unpack_sequence(length, c.codes, c.n_positions, out.sequence);
+  c.reader.read_bytes_into(c.rle);
+  rle_decode_into(c.rle, out.quality);
+  if (out.quality.size() != out.sequence.size()) {
+    throw ParseError("SRA container: quality/sequence length mismatch");
   }
-  return {metadata, std::move(reads)};
+  total_bases_seen_ += length;
+  ++decoded_;
+  // '@' + name + '\n' + seq + '\n' + "+\n" + qual + '\n'
+  bytes_ += 1 + out.name.size() + 1 + out.sequence.size() + 1 + 2 +
+            out.quality.size() + 1;
+  return true;
+}
+
+usize SraStreamDecoder::next_batch(ReadBatch& batch, usize max_reads) {
+  usize appended = 0;
+  while (appended < max_reads && next(cursor_->rec)) {
+    batch.append(cursor_->rec.name, cursor_->rec.sequence,
+                 cursor_->rec.quality);
+    ++appended;
+  }
+  return appended;
 }
 
 }  // namespace staratlas

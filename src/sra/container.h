@@ -6,12 +6,14 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "common/units.h"
 #include "io/fastq.h"
+#include "io/read_batch.h"
 #include "sim/library_profile.h"
 
 namespace staratlas {
@@ -35,6 +37,46 @@ SraMetadata sra_peek(const std::vector<u8>& container);
 /// exactly. Throws ParseError on corrupt input.
 std::pair<SraMetadata, std::vector<FastqRecord>> sra_decode(
     const std::vector<u8>& container);
+
+/// Incremental container decoder — the record-at-a-time engine under both
+/// sra_decode (whole container) and the pipeline's streaming fasterq-dump
+/// stage (batches under backpressure, so peak ingest memory is a few
+/// batches, not the whole sample). The header is read and validated at
+/// construction; records decode on demand with reused scratch buffers.
+class SraStreamDecoder {
+ public:
+  /// Borrows `container`; it must outlive the decoder.
+  explicit SraStreamDecoder(const std::vector<u8>& container);
+  ~SraStreamDecoder();
+
+  const SraMetadata& metadata() const { return metadata_; }
+
+  /// Decodes the next record into `out` (buffers reused). Returns false
+  /// at end of container — at which point the total-bases invariant has
+  /// been checked. Throws ParseError/IoError on corruption, with the same
+  /// messages as sra_decode.
+  bool next(FastqRecord& out);
+
+  /// Decodes up to `max_reads` records, appending them to `batch`.
+  /// Returns the number appended (0 = end of container).
+  usize next_batch(ReadBatch& batch, usize max_reads);
+
+  u64 records_decoded() const { return decoded_; }
+
+  /// Exact serialized 4-line FASTQ size of every record decoded so far
+  /// (the whole sample once next() has returned false) — accumulated
+  /// in-stream so ReadSet construction needs no O(records) re-walk.
+  u64 serialized_bytes() const { return bytes_; }
+
+ private:
+  struct Cursor;  ///< stream + reader + scratch (keeps <sstream> out of the hot includes)
+  SraMetadata metadata_;
+  std::unique_ptr<Cursor> cursor_;
+  u64 decoded_ = 0;
+  u64 bytes_ = 0;
+  bool done_ = false;
+  u64 total_bases_seen_ = 0;
+};
 
 /// Run-length encodes a quality string ((char, count) pairs).
 std::vector<u8> rle_encode(const std::string& text);

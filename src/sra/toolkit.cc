@@ -1,5 +1,7 @@
 #include "sra/toolkit.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace staratlas {
@@ -40,9 +42,16 @@ PrefetchOutcome prefetch_with_retry(
 
 DumpResult fasterq_dump(const std::vector<u8>& container) {
   DumpResult result;
-  auto [metadata, reads] = sra_decode(container);
-  result.metadata = std::move(metadata);
-  result.reads = make_read_set(std::move(reads));
+  SraStreamDecoder decoder(container);
+  std::vector<FastqRecord> reads;
+  reads.reserve(std::min<u64>(decoder.metadata().num_reads, 1u << 20));
+  FastqRecord read;
+  while (decoder.next(read)) reads.push_back(std::move(read));
+  result.metadata = decoder.metadata();
+  // The decoder accumulated the serialized size in-stream, so ReadSet
+  // construction needs no O(records) re-walk.
+  result.reads = make_read_set(std::move(reads),
+                               ByteSize(decoder.serialized_bytes()));
   result.fastq_bytes = result.reads.fastq_bytes;
   return result;
 }

@@ -62,4 +62,31 @@ struct DumpResult {
 /// Simulates `fasterq-dump`: decodes a container into FASTQ reads.
 DumpResult fasterq_dump(const std::vector<u8>& container);
 
+/// Streaming form of fasterq-dump: yields batches of decoded reads on
+/// demand so the pipeline can overlap the dump stage with alignment
+/// (AlignmentEngine::run_stream) instead of materializing the whole
+/// ReadSet first. Borrows the container; it must outlive the stream.
+class FasterqDumpStream {
+ public:
+  explicit FasterqDumpStream(const std::vector<u8>& container)
+      : decoder_(container) {}
+
+  const SraMetadata& metadata() const { return decoder_.metadata(); }
+
+  /// Decodes up to `max_reads` records into `batch` (appended). Returns
+  /// the count appended; 0 means the container is fully decoded and the
+  /// total-bases invariant has been verified.
+  usize next_batch(ReadBatch& batch, usize max_reads) {
+    return decoder_.next_batch(batch, max_reads);
+  }
+
+  u64 records_dumped() const { return decoder_.records_decoded(); }
+
+  /// FASTQ-serialized size of everything dumped so far.
+  ByteSize fastq_bytes() const { return ByteSize(decoder_.serialized_bytes()); }
+
+ private:
+  SraStreamDecoder decoder_;
+};
+
 }  // namespace staratlas

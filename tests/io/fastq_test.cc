@@ -88,6 +88,33 @@ TEST(Fastq, MakeReadSetComputesBytes) {
   EXPECT_FALSE(set.empty());
 }
 
+TEST(Fastq, ReaderAccumulatesSerializedBytes) {
+  std::vector<FastqRecord> records = {{"abc", "ACGT", "IIII"},
+                                      {"x longer name", "GG", "II"}};
+  std::ostringstream out;
+  write_fastq(out, records);
+
+  std::istringstream in(out.str());
+  FastqReader reader(in);
+  EXPECT_EQ(reader.serialized_bytes(), 0u);
+  while (reader.next()) {
+  }
+  // In-stream accounting must agree with both the writer's actual output
+  // and the O(records) re-walk it replaces.
+  EXPECT_EQ(reader.serialized_bytes(), out.str().size());
+  EXPECT_EQ(reader.serialized_bytes(), fastq_serialized_size(records).bytes());
+}
+
+TEST(Fastq, MakeReadSetAcceptsPrecomputedBytes) {
+  std::vector<FastqRecord> records = {{"abc", "ACGT", "IIII"},
+                                      {"x", "GG", "II"}};
+  const ByteSize expected = fastq_serialized_size(records);
+  const ReadSet computed = make_read_set(records);
+  const ReadSet precomputed = make_read_set(records, expected);
+  EXPECT_EQ(computed.fastq_bytes.bytes(), precomputed.fastq_bytes.bytes());
+  EXPECT_EQ(precomputed.fastq_bytes.bytes(), expected.bytes());
+}
+
 TEST(Fastq, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/staratlas_fastq_test.fq";
   std::vector<FastqRecord> records = {{"a", "ACGT", "IIII"}};

@@ -10,6 +10,7 @@
 #include "index/genome_index.h"
 #include "io/fasta.h"
 #include "io/fastq.h"
+#include "io/fastq_block.h"
 #include "io/gtf.h"
 #include "sra/container.h"
 #include "testutil.h"
@@ -55,6 +56,108 @@ TEST(Fuzz, FastqParserNeverCrashes) {
       }
     } catch (const Error&) {
       // expected for malformed input
+    }
+  }
+}
+
+// Result of running a FASTQ parser to completion: the records it produced,
+// or the exact error text it died with.
+struct FastqParse {
+  std::vector<FastqRecord> records;
+  std::string error;
+};
+
+FastqParse parse_getline(const std::string& text) {
+  FastqParse out;
+  std::istringstream in(text);
+  try {
+    out.records = read_fastq(in);
+  } catch (const Error& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+FastqParse parse_block(const std::string& text, usize block_bytes,
+                       usize batch_reads) {
+  FastqParse out;
+  std::istringstream in(text);
+  FastqBlockReader reader(in, block_bytes);
+  ReadBatch batch;
+  try {
+    while (reader.read_batch(batch, batch_reads) > 0) {
+      for (usize i = 0; i < batch.size(); ++i) {
+        out.records.push_back({std::string(batch.name(i)),
+                               std::string(batch.sequence(i)),
+                               std::string(batch.quality(i))});
+      }
+      batch.clear();
+    }
+  } catch (const Error& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+// The block parser's contract: over ANY input, byte-identical behavior to
+// FastqReader — the same record stream on success, the same ParseError
+// text on failure. An error aborts read_fastq before it returns anything,
+// so on the error path only the message is compared.
+void expect_block_parity(const std::string& text, usize block_bytes,
+                         usize batch_reads) {
+  const FastqParse expected = parse_getline(text);
+  const FastqParse got = parse_block(text, block_bytes, batch_reads);
+  ASSERT_EQ(got.error, expected.error) << "input: " << ::testing::PrintToString(text);
+  if (!expected.error.empty()) return;
+  ASSERT_EQ(got.records.size(), expected.records.size());
+  for (usize i = 0; i < got.records.size(); ++i) {
+    ASSERT_EQ(got.records[i].name, expected.records[i].name) << "read " << i;
+    ASSERT_EQ(got.records[i].sequence, expected.records[i].sequence)
+        << "read " << i;
+    ASSERT_EQ(got.records[i].quality, expected.records[i].quality)
+        << "read " << i;
+  }
+}
+
+TEST(Fuzz, BlockParserMatchesReaderOnCorruptedCorpus) {
+  Rng rng(131);
+  const std::string valid =
+      "@r1\nACGT\n+\nIIII\n@r2 desc\nGGCC\n+r2\nIIII\n\n@r3\nTTAA\n+\n!!!!\n";
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string bad = corrupt(valid, rng);
+    // Tiny blocks + small batches maximize refill/memmove crossings.
+    expect_block_parity(bad, 1 + rng.uniform(48), 1 + rng.uniform(4));
+  }
+}
+
+TEST(Fuzz, BlockParserMatchesReaderAtEveryTruncationOffset) {
+  const std::string valid =
+      "@r1\nACGT\n+\nIIII\n@r2 desc\nGGCC\n+r2\nIIII\n@r3\nTT\n+\nII\n";
+  for (usize cut = 0; cut <= valid.size(); ++cut) {
+    expect_block_parity(valid.substr(0, cut), 7, 2);
+  }
+}
+
+TEST(Fuzz, BlockParserMatchesReaderOnLineEndingAndJunkVariants) {
+  const std::string cases[] = {
+      "@a\r\nACGT\r\n+\r\nIIII\r\n@b\r\nGG\r\n+\r\nII\r\n",  // CRLF
+      "@a\nACGT\n+\nIIII\n\n\n\n@b\nGG\n+\nII\n",            // blank runs
+      "@a\nACGT\n+anything goes here\nIIII\n",               // '+' garbage
+      "@a\nACGT\n-not plus\nIIII\n",                         // bad '+' line
+      "@a\nACGT\n+\nIIII",            // no trailing newline
+      "@a\r\nACGT\r\n+\r\nIIII\r",    // CRLF, no trailing LF
+      "\n\n\n",                       // blanks only
+      "",                             // empty
+      "@a\n\n+\n\n@b\nGG\n+\nII\n",   // empty sequence + quality
+      "@a\nacgtn\n+\nIIIII\n",        // lowercase normalization
+      "@a\nACRT\n+\nIIII\n",          // ambiguity code -> N
+      "@a\nAC!T\n+\nIIII\n",          // invalid residue
+      "@\nACGT\n+\nIIII\n",           // empty name
+      "@a quality is +@\nAC\n+\n+@\n",  // quality starting with '+'
+  };
+  for (const auto& text : cases) {
+    for (const usize block : {usize{1}, usize{4}, usize{64}, usize{1 << 16}}) {
+      expect_block_parity(text, block, 3);
     }
   }
 }
