@@ -78,7 +78,7 @@ int usage() {
   std::cerr <<
       "usage: staratlas_cli <command> [flags]\n"
       "  synthesize --out-dir DIR [--release 108|111] [--seed N]\n"
-      "  index      --fasta FILE --out FILE [--release N]\n"
+      "  index      --fasta FILE --out FILE [--release N] [--threads N]\n"
       "  simulate   --fasta FILE --gtf FILE --out FILE\n"
       "             [--profile bulk|single_cell] [--reads N] [--seed N]\n"
       "  align      --index FILE --fastq FILE --out-prefix P\n"
@@ -123,7 +123,9 @@ int cmd_index(const Args& args) {
   const int release = static_cast<int>(args.get_u64("release", 0));
   const Assembly assembly = Assembly::from_fasta(
       "cli", release, AssemblyType::kToplevel, read_fasta_file(fasta));
-  const GenomeIndex index = GenomeIndex::build(assembly);
+  IndexParams params;
+  params.num_threads = args.get_u64("threads", 1);
+  const GenomeIndex index = GenomeIndex::build(assembly, params);
   index.save_file(out);
   const IndexStats stats = index.stats();
   std::cout << "indexed " << stats.genome_length << " bp into " << out << " ("

@@ -29,7 +29,9 @@ std::vector<RightSizingOption> evaluate_instances(
             .secs() +
         query.stages.postprocess_time().secs();
     const double init_secs =
-        query.stages.index_init_time(query.index_bytes, type).secs();
+        query.stages
+            .index_init_time(query.index_bytes, type, query.index_load_path)
+            .secs();
     option.sample_seconds =
         stage_secs + init_secs / query.samples_per_boot;
     option.cost_per_sample_usd =

@@ -33,6 +33,9 @@ struct RightSizingQuery {
   /// Samples processed per instance lifetime, for amortizing the index
   /// download/load into per-sample cost.
   double samples_per_boot = 40.0;
+  /// How workers materialize the index at boot; kMmap shrinks the
+  /// amortized init term by StageTimeModel::mmap_attach_speedup.
+  IndexLoadPath index_load_path = IndexLoadPath::kStream;
   StageTimeModel stages{};
 };
 

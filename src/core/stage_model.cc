@@ -46,12 +46,14 @@ VirtualDuration StageTimeModel::postprocess_time() const {
 }
 
 VirtualDuration StageTimeModel::index_init_time(ByteSize index_bytes,
-                                                const InstanceType& type) const {
+                                                const InstanceType& type,
+                                                IndexLoadPath path) const {
+  STARATLAS_CHECK(mmap_attach_speedup >= 1.0);
   const VirtualDuration download =
       S3Bucket::transfer_time(index_bytes, type.network_gbps);
-  const VirtualDuration shm_load =
-      VirtualDuration::seconds(index_bytes.gib() / shm_load_gibps);
-  return download + shm_load;
+  double load_secs = index_bytes.gib() / shm_load_gibps;
+  if (path == IndexLoadPath::kMmap) load_secs /= mmap_attach_speedup;
+  return download + VirtualDuration::seconds(load_secs);
 }
 
 const char* stage_name(SampleStage stage) {

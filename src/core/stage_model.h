@@ -44,6 +44,12 @@ constexpr bool is_transfer_stage(SampleStage stage) {
   return stage == SampleStage::kPrefetch || stage == SampleStage::kUpload;
 }
 
+/// How a worker materializes the downloaded index at boot. kStream is the
+/// v2 path (read + copy every section through memory at shm_load_gibps);
+/// kMmap is the v3 zero-copy attach, whose cost is the stream cost divided
+/// by the measured `mmap_attach_speedup` (bench_index_startup).
+enum class IndexLoadPath : u8 { kStream = 0, kMmap };
+
 /// One sample's planned per-stage durations. The durations always sum to
 /// exactly the single-block service time the simulator used before the
 /// stage machine existed (prefetch + dump + actual align + postprocess),
@@ -77,6 +83,11 @@ struct StageTimeModel {
   double sra_source_gbps_cap = 1.5;
   /// Loading the downloaded index into shared memory, GiB per second.
   double shm_load_gibps = 1.2;
+  /// Measured cold-load advantage of the v3 mmap attach over the v2
+  /// stream load (bench_index_startup cold_load.speedup; see
+  /// EXPERIMENTS.md INIT). Applied only when index_init_time is asked for
+  /// IndexLoadPath::kMmap.
+  double mmap_attach_speedup = 20.0;
   /// DESeq2-stage + result-upload bookkeeping per sample.
   double postprocess_secs = 20.0;
 
@@ -92,9 +103,13 @@ struct StageTimeModel {
   /// Stage 4: count normalization + upload bookkeeping.
   VirtualDuration postprocess_time() const;
 
-  /// Boot-time index initialization: S3 download + shared-memory load.
-  VirtualDuration index_init_time(ByteSize index_bytes,
-                                  const InstanceType& type) const;
+  /// Boot-time index initialization: S3 download + index materialization.
+  /// The default load path is the v2 stream (download + full copy); the
+  /// mmap path divides the materialization term by mmap_attach_speedup —
+  /// the download term is unchanged, so init stays download-dominated.
+  VirtualDuration index_init_time(
+      ByteSize index_bytes, const InstanceType& type,
+      IndexLoadPath path = IndexLoadPath::kStream) const;
 
   /// Per-stage plan for one sample. Alignment is split at
   /// `checkpoint_fraction`; with `stop_early` the post-checkpoint

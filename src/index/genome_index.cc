@@ -5,8 +5,11 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <sstream>
+#include <thread>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "index/packed_sequence.h"
 #include "index/suffix_array.h"
 #include "io/binary.h"
@@ -16,7 +19,20 @@ namespace staratlas {
 namespace {
 constexpr char kSeparator = '#';
 constexpr u32 kIndexMagic = 0x53544152;  // "STAR"
-constexpr u32 kIndexVersion = 2;
+constexpr u64 kSectionAlign = 4096;      // page size: mmap'd sections start here
+
+// v3 section ids, in file order.
+enum SectionId : u32 {
+  kSecMeta = 1,
+  kSecText = 2,
+  kSecSa = 3,
+  kSecLut = 4,
+  kSecMini1 = 5,  // 5..8 = cascade LUTs k=1..4
+};
+constexpr usize kNumSections = 8;
+// Header: magic u32, version u32, count u64, then per section
+// {id u32, reserved u32, offset u64, length u64, checksum u64}.
+constexpr u64 kSectionEntryBytes = 32;
 
 u32 auto_lut_k(u64 text_size) {
   // Aim for 4^k ~ text_size / 16 so the LUT is dense but small.
@@ -28,6 +44,14 @@ u32 auto_lut_k(u64 text_size) {
   }
   return k;
 }
+
+u64 align_up(u64 v, u64 alignment) {
+  return (v + alignment - 1) / alignment * alignment;
+}
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw ParseError("index corrupt: " + what);
+}
 }  // namespace
 
 GenomeIndex GenomeIndex::build(const Assembly& assembly,
@@ -38,47 +62,78 @@ GenomeIndex GenomeIndex::build(const Assembly& assembly,
   index.release_ = assembly.release();
   index.type_ = assembly.type();
 
+  const usize threads =
+      params.num_threads == 0
+          ? std::max<usize>(1, std::thread::hardware_concurrency())
+          : params.num_threads;
+
+  // Contig offsets are a pure prefix sum, so the text buffer can be
+  // preallocated and contigs copied into their slots independently.
   u64 total = 0;
   for (const auto& contig : assembly.contigs()) {
     total += contig.length() + 1;
   }
-  index.text_.reserve(total);
+  std::string& text = index.storage_.text_owned;
+  text.resize(total - 1);  // no trailing separator
+  index.contigs_.reserve(assembly.num_contigs());
+  u64 offset = 0;
   for (const auto& contig : assembly.contigs()) {
     ContigMeta meta;
     meta.name = contig.name;
     meta.cls = contig.cls;
-    meta.text_offset = index.text_.size();
+    meta.text_offset = offset;
     meta.length = contig.length();
     index.contigs_.push_back(std::move(meta));
-    index.text_ += contig.sequence;
-    index.text_ += kSeparator;
+    offset += contig.length() + 1;
   }
-  index.text_.pop_back();  // no trailing separator
+  const auto copy_contigs = [&](usize begin, usize end) {
+    for (usize c = begin; c < end; ++c) {
+      const ContigMeta& meta = index.contigs_[c];
+      std::memcpy(text.data() + meta.text_offset,
+                  assembly.contigs()[c].sequence.data(), meta.length);
+      if (c + 1 < index.contigs_.size()) {
+        text[meta.text_offset + meta.length] = kSeparator;
+      }
+    }
+  };
 
-  index.sa_ = build_suffix_array(index.text_);
-  index.lut_k_ =
-      params.prefix_lut_k ? params.prefix_lut_k : auto_lut_k(index.text_.size());
+  index.lut_k_ = params.prefix_lut_k ? params.prefix_lut_k
+                                     : auto_lut_k(text.size());
   STARATLAS_CHECK(index.lut_k_ >= 2 && index.lut_k_ <= 14);
-  index.build_lut();
-  index.build_mini_luts();
+
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    parallel_for_blocks(pool, index.contigs_.size(), copy_contigs);
+    index.storage_.sa_owned = build_suffix_array_parallel(text, pool);
+    index.build_lut_parallel(pool);
+    index.build_mini_luts_parallel(pool);
+  } else {
+    copy_contigs(0, index.contigs_.size());
+    index.storage_.sa_owned = build_suffix_array(text);
+    index.build_lut();
+    index.build_mini_luts();
+  }
   return index;
 }
 
 void GenomeIndex::build_lut() {
+  const std::string& text = storage_.text_owned;
+  const std::vector<u32>& sa = storage_.sa_owned;
   const u64 cells = u64{1} << (2 * lut_k_);
-  lut_.assign(cells, {0, 0});
+  storage_.lut_owned.assign(cells, {0, 0});
+  auto& lut = storage_.lut_owned;
 
   // Walk the suffix array once; suffixes beginning with the same pure-ACGT
   // k-mer form one contiguous block, and block codes appear in increasing
   // order (byte order of A<C<G<T matches code order).
   u64 current_code = ~u64{0};
-  for (usize row = 0; row < sa_.size(); ++row) {
-    const u64 pos = sa_[row];
-    if (pos + lut_k_ > text_.size()) continue;
+  for (usize row = 0; row < sa.size(); ++row) {
+    const u64 pos = sa[row];
+    if (pos + lut_k_ > text.size()) continue;
     u64 code = 0;
     bool valid = true;
     for (u32 j = 0; j < lut_k_; ++j) {
-      const u8 b = base_code(text_[pos + j]);
+      const u8 b = base_code(text[pos + j]);
       if (b == 0xff) {
         valid = false;
         break;
@@ -88,37 +143,154 @@ void GenomeIndex::build_lut() {
     if (!valid) continue;
     if (code != current_code) {
       current_code = code;
-      lut_[code][0] = static_cast<u32>(row);
+      lut[code][0] = static_cast<u32>(row);
     }
-    lut_[code][1] = static_cast<u32>(row) + 1;
+    lut[code][1] = static_cast<u32>(row) + 1;
+  }
+}
+
+void GenomeIndex::build_lut_parallel(ThreadPool& pool) {
+  const std::string& text = storage_.text_owned;
+  const std::vector<u32>& sa = storage_.sa_owned;
+  const u64 cells = u64{1} << (2 * lut_k_);
+  storage_.lut_owned.assign(cells, {0, 0});
+  auto& lut = storage_.lut_owned;
+
+  // Sharded single pass: each shard scans a contiguous SA row range and
+  // emits its (code, lo, hi) runs in row order. Because the rows of one
+  // k-mer are contiguous in the SA, a run split across shards merges by
+  // extending hi; merging in shard order makes the result independent of
+  // scheduling and equal to the sequential walk.
+  struct Run {
+    u64 code;
+    u32 lo;
+    u32 hi;
+  };
+  const usize shards = std::min<usize>(sa.size(), pool.size() * 4);
+  if (shards == 0) return;
+  std::vector<std::vector<Run>> shard_runs(shards);
+  const usize per_shard = (sa.size() + shards - 1) / shards;
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  for (usize s = 0; s < shards; ++s) {
+    futures.push_back(pool.submit([&, s] {
+      const usize begin = s * per_shard;
+      const usize end = std::min(sa.size(), begin + per_shard);
+      std::vector<Run>& runs = shard_runs[s];
+      u64 current_code = ~u64{0};
+      for (usize row = begin; row < end; ++row) {
+        const u64 pos = sa[row];
+        if (pos + lut_k_ > text.size()) continue;
+        u64 code = 0;
+        bool valid = true;
+        for (u32 j = 0; j < lut_k_; ++j) {
+          const u8 b = base_code(text[pos + j]);
+          if (b == 0xff) {
+            valid = false;
+            break;
+          }
+          code = (code << 2) | b;
+        }
+        if (!valid) continue;
+        if (code != current_code) {
+          current_code = code;
+          runs.push_back({code, static_cast<u32>(row), static_cast<u32>(row)});
+        }
+        runs.back().hi = static_cast<u32>(row) + 1;
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  for (const auto& runs : shard_runs) {
+    for (const Run& run : runs) {
+      auto& cell = lut[run.code];
+      if (cell[0] == cell[1]) cell[0] = run.lo;
+      cell[1] = run.hi;
+    }
   }
 }
 
 void GenomeIndex::build_mini_luts() {
+  const std::string& text = storage_.text_owned;
+  const std::vector<u32>& sa = storage_.sa_owned;
   for (u32 k = 1; k <= 4; ++k) {
-    mini_lut_[k - 1].assign(u64{1} << (2 * k), {0, 0});
+    storage_.mini_owned[k - 1].assign(u64{1} << (2 * k), {0, 0});
   }
   // One SA pass; each row contributes to every prefix length its leading
   // pure-ACGT run covers. Unlike the main LUT, a block here includes
   // suffixes with a separator or N *after* the prefix — exactly the set
   // incremental narrowing from the full range would produce.
-  for (usize row = 0; row < sa_.size(); ++row) {
-    const u64 pos = sa_[row];
+  for (usize row = 0; row < sa.size(); ++row) {
+    const u64 pos = sa[row];
     u64 code = 0;
     for (u32 k = 1; k <= 4; ++k) {
-      if (pos + k > text_.size()) break;
-      const u8 b = base_code(text_[pos + k - 1]);
+      if (pos + k > text.size()) break;
+      const u8 b = base_code(text[pos + k - 1]);
       if (b == 0xff) break;
       code = (code << 2) | b;
-      auto& cell = mini_lut_[k - 1][code];
+      auto& cell = storage_.mini_owned[k - 1][code];
       if (cell[0] == cell[1]) cell[0] = static_cast<u32>(row);
       cell[1] = static_cast<u32>(row) + 1;
     }
   }
 }
 
+void GenomeIndex::build_mini_luts_parallel(ThreadPool& pool) {
+  const std::string& text = storage_.text_owned;
+  const std::vector<u32>& sa = storage_.sa_owned;
+  for (u32 k = 1; k <= 4; ++k) {
+    storage_.mini_owned[k - 1].assign(u64{1} << (2 * k), {0, 0});
+  }
+  // 340 cells per shard — shard-local copies are cheap, and merging them
+  // in shard order (same contiguous-block argument as the main LUT) keeps
+  // the result bit-identical to the sequential pass.
+  using MiniSet = std::array<std::vector<LutCell>, 4>;
+  const usize shards = std::min<usize>(sa.size(), pool.size() * 4);
+  if (shards == 0) return;
+  std::vector<MiniSet> shard_minis(shards);
+  const usize per_shard = (sa.size() + shards - 1) / shards;
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  for (usize s = 0; s < shards; ++s) {
+    futures.push_back(pool.submit([&, s] {
+      MiniSet& local = shard_minis[s];
+      for (u32 k = 1; k <= 4; ++k) {
+        local[k - 1].assign(u64{1} << (2 * k), {0, 0});
+      }
+      const usize begin = s * per_shard;
+      const usize end = std::min(sa.size(), begin + per_shard);
+      for (usize row = begin; row < end; ++row) {
+        const u64 pos = sa[row];
+        u64 code = 0;
+        for (u32 k = 1; k <= 4; ++k) {
+          if (pos + k > text.size()) break;
+          const u8 b = base_code(text[pos + k - 1]);
+          if (b == 0xff) break;
+          code = (code << 2) | b;
+          auto& cell = local[k - 1][code];
+          if (cell[0] == cell[1]) cell[0] = static_cast<u32>(row);
+          cell[1] = static_cast<u32>(row) + 1;
+        }
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  for (const MiniSet& local : shard_minis) {
+    for (u32 k = 1; k <= 4; ++k) {
+      auto& global = storage_.mini_owned[k - 1];
+      const auto& shard = local[k - 1];
+      for (usize code = 0; code < shard.size(); ++code) {
+        if (shard[code][0] == shard[code][1]) continue;  // untouched
+        auto& cell = global[code];
+        if (cell[0] == cell[1]) cell[0] = shard[code][0];
+        cell[1] = shard[code][1];
+      }
+    }
+  }
+}
+
 ContigLocus GenomeIndex::locate(GenomePos text_pos) const {
-  STARATLAS_CHECK(text_pos < text_.size());
+  STARATLAS_CHECK(text_pos < storage_.text().size());
   // Binary search for the contig whose [text_offset, text_offset+length)
   // contains text_pos.
   usize lo = 0;
@@ -140,12 +312,14 @@ ContigLocus GenomeIndex::locate(GenomePos text_pos) const {
 SaInterval GenomeIndex::extend_interval(SaInterval interval, usize depth,
                                         char c) const {
   if (interval.empty()) return interval;
+  const std::string_view text = storage_.text();
+  const std::span<const u32> sa = storage_.sa();
   // Among suffixes in [lo, hi) — all sharing the same `depth`-char prefix —
   // find the subrange whose next character is `c`. Suffixes shorter than
   // depth+1 sort first within the range.
   const auto char_at = [&](u32 row) -> int {
-    const u64 pos = static_cast<u64>(sa_[row]) + depth;
-    return pos < text_.size() ? static_cast<unsigned char>(text_[pos]) : -1;
+    const u64 pos = static_cast<u64>(sa[row]) + depth;
+    return pos < text.size() ? static_cast<unsigned char>(text[pos]) : -1;
   };
   const int target = static_cast<unsigned char>(c);
   u32 lo = interval.lo;
@@ -188,7 +362,10 @@ MmpResult GenomeIndex::mmp(std::string_view query) const {
 }
 
 void GenomeIndex::mmp(std::string_view query, MmpResult& result) const {
-  SaInterval interval{0, static_cast<u32>(sa_.size())};
+  const std::string_view text = storage_.text();
+  const std::span<const u32> sa = storage_.sa();
+  const std::span<const LutCell> lut = storage_.lut();
+  SaInterval interval{0, static_cast<u32>(sa.size())};
   usize depth = 0;
 
   // Jump-start with the prefix LUT when the leading k-mer is pure ACGT.
@@ -204,7 +381,7 @@ void GenomeIndex::mmp(std::string_view query, MmpResult& result) const {
       code = (code << 2) | b;
     }
     if (valid) {
-      const SaInterval hit{lut_[code][0], lut_[code][1]};
+      const SaInterval hit{lut[code][0], lut[code][1]};
       if (!hit.empty()) {
         interval = hit;
         depth = lut_k_;
@@ -230,7 +407,7 @@ void GenomeIndex::mmp(std::string_view query, MmpResult& result) const {
       ++pure;
     }
     for (u32 k = pure; k >= 1; --k) {
-      const auto& cell = mini_lut_[k - 1][code >> (2 * (pure - k))];
+      const auto& cell = storage_.mini(k)[code >> (2 * (pure - k))];
       const SaInterval hit{cell[0], cell[1]};
       if (!hit.empty()) {
         interval = hit;
@@ -248,9 +425,9 @@ void GenomeIndex::mmp(std::string_view query, MmpResult& result) const {
       // narrowing steps) pins the interval, and it turns O(log n) SA
       // probes per character into one text byte. Compare a word at a
       // time: the matched stretch is most of the read for unique reads.
-      const u64 pos = sa_[interval.lo];
-      const u64 limit = std::min<u64>(query.size(), text_.size() - pos);
-      const char* t = text_.data() + pos;
+      const u64 pos = sa[interval.lo];
+      const u64 limit = std::min<u64>(query.size(), text.size() - pos);
+      const char* t = text.data() + pos;
       const char* q = query.data();
       while (depth + sizeof(u64) <= limit) {
         u64 tw;
@@ -280,19 +457,38 @@ void GenomeIndex::mmp(std::string_view query, MmpResult& result) const {
 
 IndexStats GenomeIndex::stats() const {
   IndexStats stats;
-  stats.text_bytes = ByteSize(text_.size());
-  stats.suffix_array_bytes = ByteSize(sa_.size() * sizeof(u32));
-  stats.lut_bytes = ByteSize(lut_.size() * sizeof(lut_[0]));
-  stats.genome_length = text_.size() - (contigs_.size() - 1);
+  stats.text_bytes = ByteSize(storage_.text().size());
+  stats.suffix_array_bytes = ByteSize(storage_.sa().size() * sizeof(u32));
+  stats.lut_bytes = ByteSize(storage_.lut().size() * sizeof(LutCell));
+  u64 mini_bytes = 0;
+  for (u32 k = 1; k <= 4; ++k) {
+    mini_bytes += storage_.mini(k).size() * sizeof(LutCell);
+  }
+  stats.mini_lut_bytes = ByteSize(mini_bytes);
+  stats.genome_length = storage_.text().size() - (contigs_.size() - 1);
   stats.num_contigs = contigs_.size();
   stats.prefix_lut_k = lut_k_;
   return stats;
 }
 
-void GenomeIndex::save(std::ostream& out) const {
+// ---------------------------------------------------------------------------
+// Serialization.
+
+void GenomeIndex::save(std::ostream& out, u32 version) const {
+  if (version == kVersionV2) {
+    save_v2(out);
+  } else if (version == kVersionV3) {
+    save_v3(out);
+  } else {
+    throw InvalidArgument("unsupported index save version " +
+                          std::to_string(version));
+  }
+}
+
+void GenomeIndex::save_v2(std::ostream& out) const {
   BinaryWriter writer(out);
   writer.write_u32(kIndexMagic);
-  writer.write_u32(kIndexVersion);
+  writer.write_u32(kVersionV2);
   writer.write_string(species_);
   writer.write_u32(static_cast<u32>(release_));
   writer.write_u8(type_ == AssemblyType::kToplevel ? 0 : 1);
@@ -303,34 +499,144 @@ void GenomeIndex::save(std::ostream& out) const {
     writer.write_u64(meta.text_offset);
     writer.write_u64(meta.length);
   }
-  writer.write_string(text_);
-  writer.write_pod_vector(sa_);
+  const std::string_view text = storage_.text();
+  writer.write_u64(text.size());
+  writer.write_blob(text.data(), text.size());
+  const std::span<const u32> sa = storage_.sa();
+  writer.write_u64(sa.size());
+  writer.write_blob(sa.data(), sa.size() * sizeof(u32));
   writer.write_u32(lut_k_);
-  // On-disk layout predates the interleaved in-memory LUT: split back
+  // v2 on-disk layout predates the interleaved in-memory LUT: split back
   // into the lo array then the hi array so version 2 stays readable.
-  std::vector<u32> bound(lut_.size());
-  for (usize i = 0; i < lut_.size(); ++i) bound[i] = lut_[i][0];
+  const std::span<const LutCell> lut = storage_.lut();
+  std::vector<u32> bound(lut.size());
+  for (usize i = 0; i < lut.size(); ++i) bound[i] = lut[i][0];
   writer.write_pod_vector(bound);
-  for (usize i = 0; i < lut_.size(); ++i) bound[i] = lut_[i][1];
+  for (usize i = 0; i < lut.size(); ++i) bound[i] = lut[i][1];
   writer.write_pod_vector(bound);
 }
 
-GenomeIndex GenomeIndex::load(std::istream& in) {
+std::string GenomeIndex::serialize_meta() const {
+  std::ostringstream buf(std::ios::out | std::ios::binary);
+  BinaryWriter writer(buf);
+  writer.write_string(species_);
+  writer.write_u32(static_cast<u32>(release_));
+  writer.write_u8(type_ == AssemblyType::kToplevel ? 0 : 1);
+  writer.write_u32(lut_k_);
+  writer.write_u64(storage_.text().size());
+  writer.write_u64(storage_.sa().size());
+  writer.write_u64(storage_.lut().size());
+  writer.write_u64(contigs_.size());
+  for (const auto& meta : contigs_) {
+    writer.write_string(meta.name);
+    writer.write_u8(static_cast<u8>(meta.cls));
+    writer.write_u64(meta.text_offset);
+    writer.write_u64(meta.length);
+  }
+  return buf.str();
+}
+
+void GenomeIndex::parse_meta(const std::string& blob, u64& text_size,
+                             u64& sa_size, u64& lut_cells) {
+  std::istringstream in(blob, std::ios::in | std::ios::binary);
   BinaryReader reader(in);
-  if (reader.read_u32() != kIndexMagic) {
-    throw ParseError("not a staratlas genome index (bad magic)");
+  species_ = reader.read_string();
+  release_ = static_cast<int>(reader.read_u32());
+  type_ = reader.read_u8() == 0 ? AssemblyType::kToplevel
+                                : AssemblyType::kPrimaryAssembly;
+  lut_k_ = reader.read_u32();
+  text_size = reader.read_u64();
+  sa_size = reader.read_u64();
+  lut_cells = reader.read_u64();
+  const u64 num_contigs = reader.read_u64();
+  if (num_contigs > text_size + 1) corrupt("contig count exceeds text");
+  contigs_.clear();
+  // A corrupt count larger than the blob can back runs out of bytes in
+  // the read loop below (IoError -> ParseError); don't let it drive a
+  // giant up-front allocation.
+  contigs_.reserve(std::min<u64>(num_contigs, 1 << 20));
+  for (u64 i = 0; i < num_contigs; ++i) {
+    ContigMeta meta;
+    meta.name = reader.read_string();
+    meta.cls = static_cast<ContigClass>(reader.read_u8());
+    meta.text_offset = reader.read_u64();
+    meta.length = reader.read_u64();
+    contigs_.push_back(std::move(meta));
   }
-  const u32 version = reader.read_u32();
-  if (version != kIndexVersion) {
+}
+
+void GenomeIndex::save_v3(std::ostream& out) const {
+  const std::string meta = serialize_meta();
+  const std::string_view text = storage_.text();
+  const std::span<const u32> sa = storage_.sa();
+  const std::span<const LutCell> lut = storage_.lut();
+
+  struct Payload {
+    u32 id;
+    const void* data;
+    u64 length;
+  };
+  std::array<Payload, kNumSections> payloads = {{
+      {kSecMeta, meta.data(), meta.size()},
+      {kSecText, text.data(), text.size()},
+      {kSecSa, sa.data(), sa.size() * sizeof(u32)},
+      {kSecLut, lut.data(), lut.size() * sizeof(LutCell)},
+      {kSecMini1 + 0, storage_.mini(1).data(),
+       storage_.mini(1).size() * sizeof(LutCell)},
+      {kSecMini1 + 1, storage_.mini(2).data(),
+       storage_.mini(2).size() * sizeof(LutCell)},
+      {kSecMini1 + 2, storage_.mini(3).data(),
+       storage_.mini(3).size() * sizeof(LutCell)},
+      {kSecMini1 + 3, storage_.mini(4).data(),
+       storage_.mini(4).size() * sizeof(LutCell)},
+  }};
+
+  BinaryWriter writer(out);
+  writer.write_u32(kIndexMagic);
+  writer.write_u32(kVersionV3);
+  writer.write_u64(kNumSections);
+  u64 offset = kSectionAlign;  // header page
+  for (const Payload& p : payloads) {
+    writer.write_u32(p.id);
+    writer.write_u32(0);  // reserved
+    writer.write_u64(offset);
+    writer.write_u64(p.length);
+    writer.write_u64(fnv1a64(p.data, p.length));
+    offset = align_up(offset + p.length, kSectionAlign);
+  }
+  for (const Payload& p : payloads) {
+    writer.pad_to(kSectionAlign);
+    writer.write_blob(p.data, p.length);
+  }
+}
+
+GenomeIndex GenomeIndex::load(std::istream& in) {
+  try {
+    BinaryReader reader(in);
+    if (reader.read_u32() != kIndexMagic) {
+      throw ParseError("not a staratlas genome index (bad magic)");
+    }
+    const u32 version = reader.read_u32();
+    if (version == kVersionV2) return load_v2(reader);
+    if (version == kVersionV3) return load_v3_stream(reader);
     throw ParseError("unsupported index version " + std::to_string(version));
+  } catch (const IoError& e) {
+    // A corrupt length prefix or truncated file surfaces as a short read
+    // deep in the reader; fold it into the one corruption exception type
+    // callers are promised.
+    throw ParseError(std::string("index truncated or unreadable: ") +
+                     e.what());
   }
+}
+
+GenomeIndex GenomeIndex::load_v2(BinaryReader& reader) {
   GenomeIndex index;
   index.species_ = reader.read_string();
   index.release_ = static_cast<int>(reader.read_u32());
   index.type_ = reader.read_u8() == 0 ? AssemblyType::kToplevel
                                       : AssemblyType::kPrimaryAssembly;
   const u64 num_contigs = reader.read_u64();
-  index.contigs_.reserve(num_contigs);
+  index.contigs_.reserve(std::min<u64>(num_contigs, 1 << 20));
   for (u64 i = 0; i < num_contigs; ++i) {
     ContigMeta meta;
     meta.name = reader.read_string();
@@ -339,31 +645,277 @@ GenomeIndex GenomeIndex::load(std::istream& in) {
     meta.length = reader.read_u64();
     index.contigs_.push_back(std::move(meta));
   }
-  index.text_ = reader.read_string();
-  index.sa_ = reader.read_pod_vector<u32>();
+  reader.read_string_into(index.storage_.text_owned);
+  reader.read_pod_vector_into(index.storage_.sa_owned);
   index.lut_k_ = reader.read_u32();
+  if (index.lut_k_ < 2 || index.lut_k_ > 14) corrupt("LUT k out of range");
   const std::vector<u32> lo = reader.read_pod_vector<u32>();
   const std::vector<u32> hi = reader.read_pod_vector<u32>();
-  if (lo.size() != hi.size()) {
-    throw ParseError("index corrupt: LUT bound size mismatch");
+  if (lo.size() != hi.size()) corrupt("LUT bound size mismatch");
+  index.storage_.lut_owned.resize(lo.size());
+  for (usize i = 0; i < lo.size(); ++i) {
+    index.storage_.lut_owned[i] = {lo[i], hi[i]};
   }
-  index.lut_.resize(lo.size());
-  for (usize i = 0; i < lo.size(); ++i) index.lut_[i] = {lo[i], hi[i]};
-  if (index.sa_.size() != index.text_.size()) {
-    throw ParseError("index corrupt: SA/text size mismatch");
-  }
+  // v2 has no checksums: deep-validate before touching the data, then
+  // rebuild the mini-LUTs (v2 never stored them).
+  index.validate_loaded(/*deep=*/true);
   index.build_mini_luts();
   return index;
 }
 
-void GenomeIndex::save_file(const std::string& path) const {
+GenomeIndex GenomeIndex::load_v3_stream(BinaryReader& reader) {
+  const u64 count = reader.read_u64();
+  if (count != kNumSections) corrupt("bad section count");
+  std::array<SectionInfo, kNumSections> sections;
+  u64 prev_end = 0;
+  for (usize i = 0; i < kNumSections; ++i) {
+    SectionInfo& s = sections[i];
+    s.id = reader.read_u32();
+    reader.read_u32();  // reserved
+    s.offset = reader.read_u64();
+    s.length = reader.read_u64();
+    s.checksum = reader.read_u64();
+    if (s.id != i + 1) corrupt("unexpected section order");
+    if (s.offset % kSectionAlign != 0 || s.offset < kSectionAlign) {
+      corrupt("misaligned section offset");
+    }
+    if (s.offset < prev_end) corrupt("overlapping sections");
+    if (s.length > (1ULL << 40)) corrupt("section length implausibly large");
+    prev_end = s.offset + s.length;
+  }
+
+  GenomeIndex index;
+  u64 text_size = 0;
+  u64 sa_size = 0;
+  u64 lut_cells = 0;
+  std::string meta_blob;
+  for (usize i = 0; i < kNumSections; ++i) {
+    const SectionInfo& s = sections[i];
+    STARATLAS_CHECK(s.offset >= reader.bytes_read());
+    reader.skip(s.offset - reader.bytes_read());
+    u64 checksum = 0;
+    switch (s.id) {
+      case kSecMeta: {
+        meta_blob.resize(s.length);
+        reader.read_blob(meta_blob.data(), s.length);
+        checksum = fnv1a64(meta_blob.data(), s.length);
+        // Verify before parsing: every later section trusts the sizes the
+        // meta block declares.
+        if (checksum != s.checksum) corrupt("checksum mismatch in section 1");
+        index.parse_meta(meta_blob, text_size, sa_size, lut_cells);
+        break;
+      }
+      case kSecText: {
+        if (s.length != text_size) corrupt("text section size mismatch");
+        index.storage_.text_owned.resize(s.length);
+        reader.read_blob(index.storage_.text_owned.data(), s.length);
+        checksum = fnv1a64(index.storage_.text_owned.data(), s.length);
+        break;
+      }
+      case kSecSa: {
+        if (s.length != sa_size * sizeof(u32)) {
+          corrupt("SA section size mismatch");
+        }
+        index.storage_.sa_owned.resize(sa_size);
+        reader.read_blob(index.storage_.sa_owned.data(), s.length);
+        checksum = fnv1a64(index.storage_.sa_owned.data(), s.length);
+        break;
+      }
+      case kSecLut: {
+        if (s.length != lut_cells * sizeof(LutCell)) {
+          corrupt("LUT section size mismatch");
+        }
+        index.storage_.lut_owned.resize(lut_cells);
+        checksum = 0;
+        reader.read_blob(index.storage_.lut_owned.data(), s.length);
+        checksum = fnv1a64(index.storage_.lut_owned.data(), s.length);
+        break;
+      }
+      default: {
+        const u32 k = s.id - kSecMini1 + 1;
+        const u64 cells = u64{1} << (2 * k);
+        if (s.length != cells * sizeof(LutCell)) {
+          corrupt("mini-LUT section size mismatch");
+        }
+        auto& mini = index.storage_.mini_owned[k - 1];
+        mini.resize(cells);
+        reader.read_blob(mini.data(), s.length);
+        checksum = fnv1a64(mini.data(), s.length);
+        break;
+      }
+    }
+    if (checksum != s.checksum) {
+      corrupt("checksum mismatch in section " + std::to_string(s.id));
+    }
+  }
+  index.validate_loaded(/*deep=*/true);
+  return index;
+}
+
+GenomeIndex GenomeIndex::load_v3_mmap(MappedFile file,
+                                      const std::string& path) {
+  const u8* base = file.data();
+  const usize file_size = file.size();
+  const auto read_at = [&](u64 offset, auto& out) {
+    if (offset + sizeof(out) > file_size) corrupt("header past end of file");
+    std::memcpy(&out, base + offset, sizeof(out));
+  };
+  u32 magic = 0;
+  u32 version = 0;
+  read_at(0, magic);
+  read_at(4, version);
+  if (magic != kIndexMagic) {
+    throw ParseError("not a staratlas genome index (bad magic): " + path);
+  }
+  if (version != kVersionV3) {
+    throw ParseError("index version " + std::to_string(version) +
+                     " cannot be memory-mapped; use stream load");
+  }
+  u64 count = 0;
+  read_at(8, count);
+  if (count != kNumSections) corrupt("bad section count");
+
+  GenomeIndex index;
+  index.sections_.resize(kNumSections);
+  u64 prev_end = 0;
+  for (usize i = 0; i < kNumSections; ++i) {
+    SectionInfo& s = index.sections_[i];
+    const u64 entry = 16 + i * kSectionEntryBytes;
+    read_at(entry, s.id);
+    read_at(entry + 8, s.offset);
+    read_at(entry + 16, s.length);
+    read_at(entry + 24, s.checksum);
+    if (s.id != i + 1) corrupt("unexpected section order");
+    if (s.offset % kSectionAlign != 0 || s.offset < kSectionAlign) {
+      corrupt("misaligned section offset");
+    }
+    if (s.offset < prev_end) corrupt("overlapping sections");
+    if (s.length > file_size || s.offset > file_size - s.length) {
+      corrupt("section past end of file");
+    }
+    prev_end = s.offset + s.length;
+  }
+
+  // The meta section is tiny; copy and parse it. Everything else becomes
+  // a borrowed view — no bytes move, the kernel pages them in on demand.
+  const SectionInfo& meta = index.sections_[0];
+  const std::string meta_blob(reinterpret_cast<const char*>(base + meta.offset),
+                              meta.length);
+  if (fnv1a64(meta_blob.data(), meta_blob.size()) != meta.checksum) {
+    corrupt("checksum mismatch in section 1");
+  }
+  u64 text_size = 0;
+  u64 sa_size = 0;
+  u64 lut_cells = 0;
+  index.parse_meta(meta_blob, text_size, sa_size, lut_cells);
+
+  const SectionInfo& text = index.sections_[1];
+  const SectionInfo& sa = index.sections_[2];
+  const SectionInfo& lut = index.sections_[3];
+  if (text.length != text_size) corrupt("text section size mismatch");
+  if (sa.length != sa_size * sizeof(u32)) corrupt("SA section size mismatch");
+  if (lut.length != lut_cells * sizeof(LutCell)) {
+    corrupt("LUT section size mismatch");
+  }
+  index.storage_.file = std::move(file);
+  const u8* data = index.storage_.file.data();
+  index.storage_.mapped = true;
+  index.storage_.text_view = std::string_view(
+      reinterpret_cast<const char*>(data + text.offset), text.length);
+  index.storage_.sa_view = std::span<const u32>(
+      reinterpret_cast<const u32*>(data + sa.offset), sa_size);
+  index.storage_.lut_view = std::span<const LutCell>(
+      reinterpret_cast<const LutCell*>(data + lut.offset), lut_cells);
+  for (u32 k = 1; k <= 4; ++k) {
+    const SectionInfo& mini = index.sections_[3 + k];
+    const u64 cells = u64{1} << (2 * k);
+    if (mini.length != cells * sizeof(LutCell)) {
+      corrupt("mini-LUT section size mismatch");
+    }
+    index.storage_.mini_view[k - 1] = std::span<const LutCell>(
+        reinterpret_cast<const LutCell*>(data + mini.offset), cells);
+  }
+  // Structural checks only: a deep scan would fault in every page,
+  // defeating the O(header) attach. verify_checksums() is the on-demand
+  // integrity pass.
+  index.validate_loaded(/*deep=*/false);
+  return index;
+}
+
+void GenomeIndex::validate_loaded(bool deep) const {
+  const std::string_view text = storage_.text();
+  const std::span<const u32> sa = storage_.sa();
+  const std::span<const LutCell> lut = storage_.lut();
+  if (lut_k_ < 2 || lut_k_ > 14) corrupt("LUT k out of range");
+  if (sa.size() != text.size()) corrupt("SA/text size mismatch");
+  if (lut.size() != (u64{1} << (2 * lut_k_))) corrupt("LUT size mismatch");
+  if (contigs_.empty()) corrupt("no contigs");
+  // Contig metadata must tile the text exactly: offsets form a dense
+  // chain with one separator byte between contigs and no overhang. A
+  // corrupt offset/length would otherwise pass load and fail deep inside
+  // locate() during alignment.
+  u64 expect = 0;
+  for (usize i = 0; i < contigs_.size(); ++i) {
+    const ContigMeta& meta = contigs_[i];
+    if (meta.text_offset != expect) corrupt("contig offsets not contiguous");
+    if (meta.length > text.size() - meta.text_offset) {
+      corrupt("contig extends past text");
+    }
+    expect = meta.text_offset + meta.length + 1;
+  }
+  if (expect != text.size() + 1) corrupt("contig chain does not cover text");
+  if (deep) {
+    const u64 n = text.size();
+    for (const u32 pos : sa) {
+      if (pos >= n) corrupt("SA entry out of range");
+    }
+    const auto check_cells = [n](std::span<const LutCell> cells) {
+      for (const LutCell& cell : cells) {
+        if (cell[0] > cell[1] || cell[1] > n) corrupt("LUT cell out of range");
+      }
+    };
+    check_cells(lut);
+    for (u32 k = 1; k <= 4; ++k) {
+      if (!storage_.mini(k).empty()) check_cells(storage_.mini(k));
+    }
+  }
+}
+
+void GenomeIndex::verify_checksums() const {
+  if (!storage_.mapped) return;
+  const u8* base = storage_.file.data();
+  for (const SectionInfo& s : sections_) {
+    if (fnv1a64(base + s.offset, s.length) != s.checksum) {
+      corrupt("checksum mismatch in section " + std::to_string(s.id));
+    }
+  }
+}
+
+void GenomeIndex::save_file(const std::string& path, u32 version) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw IoError("cannot open index file for writing: " + path);
-  save(out);
+  save(out, version);
   if (!out) throw IoError("failed writing index file: " + path);
 }
 
-GenomeIndex GenomeIndex::load_file(const std::string& path) {
+GenomeIndex GenomeIndex::load_file(const std::string& path,
+                                   IndexLoadMode mode) {
+  if (mode == IndexLoadMode::kAuto) {
+    mode = IndexLoadMode::kStream;
+    if (MappedFile::supported()) {
+      std::ifstream probe(path, std::ios::binary);
+      if (!probe) throw IoError("cannot open index file: " + path);
+      u32 header[2] = {0, 0};
+      probe.read(reinterpret_cast<char*>(header), sizeof header);
+      if (probe.gcount() == sizeof header && header[0] == kIndexMagic &&
+          header[1] == kVersionV3) {
+        mode = IndexLoadMode::kMmap;
+      }
+    }
+  }
+  if (mode == IndexLoadMode::kMmap) {
+    return load_v3_mmap(MappedFile::map(path), path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open index file: " + path);
   return load(in);

@@ -3,12 +3,17 @@
 //
 // The index concatenates all contigs with a '#' separator byte between
 // them, so no suffix-array match can span a contig boundary, then builds a
-// suffix array (SA-IS) and a k-mer prefix lookup table that jump-starts
-// Maximal Mappable Prefix searches.
+// suffix array and a k-mer prefix lookup table that jump-starts Maximal
+// Mappable Prefix searches. Construction is thread-pool parallel when
+// IndexParams::num_threads > 1 (bit-identical to the sequential SA-IS
+// reference path). On-disk formats: v2 (length-prefixed stream, mini-LUTs
+// recomputed on load) and v3 (page-aligned checksummed sections, mini-LUTs
+// serialized, mmap-able for O(header) zero-copy loads via IndexStorage).
 #pragma once
 
 #include <array>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,12 +21,27 @@
 #include "common/types.h"
 #include "common/units.h"
 #include "genome/model.h"
+#include "index/index_storage.h"
 
 namespace staratlas {
+
+class BinaryReader;
+class ThreadPool;
 
 struct IndexParams {
   /// Prefix lookup k-mer length; 0 = auto (scales with genome size).
   u32 prefix_lut_k = 0;
+  /// Build threads; 1 = the sequential SA-IS reference path, 0 = one per
+  /// hardware thread, >1 = prefix-bucketed parallel build (bit-identical
+  /// output, property-tested against the sequential path).
+  usize num_threads = 1;
+};
+
+/// How load_file materializes an index file.
+enum class IndexLoadMode : u8 {
+  kAuto = 0,  ///< mmap for v3 files when available, else stream
+  kStream,    ///< copy every section through BinaryReader (v2 or v3)
+  kMmap,      ///< zero-copy mmap; requires a v3 file
 };
 
 /// Half-open range [lo, hi) of suffix-array rows.
@@ -56,7 +76,10 @@ struct IndexStats {
   ByteSize text_bytes;
   ByteSize suffix_array_bytes;
   ByteSize lut_bytes;
-  ByteSize total() const { return text_bytes + suffix_array_bytes + lut_bytes; }
+  ByteSize mini_lut_bytes;  ///< the four cascade LUTs (resident like the rest)
+  ByteSize total() const {
+    return text_bytes + suffix_array_bytes + lut_bytes + mini_lut_bytes;
+  }
   u64 genome_length = 0;  ///< residues (without separators)
   usize num_contigs = 0;
   u32 prefix_lut_k = 0;
@@ -64,9 +87,14 @@ struct IndexStats {
 
 class GenomeIndex {
  public:
+  static constexpr u32 kVersionV2 = 2;
+  static constexpr u32 kVersionV3 = 3;
+  static constexpr u32 kVersionLatest = kVersionV3;
+
   GenomeIndex() = default;
 
-  /// Builds the index from an assembly. Single-threaded, O(genome).
+  /// Builds the index from an assembly. O(genome); parallel across
+  /// IndexParams::num_threads.
   static GenomeIndex build(const Assembly& assembly,
                            const IndexParams& params = {});
 
@@ -75,12 +103,17 @@ class GenomeIndex {
   AssemblyType assembly_type() const { return type_; }
 
   const std::vector<ContigMeta>& contigs() const { return contigs_; }
-  const std::string& text() const { return text_; }
-  const std::vector<u32>& suffix_array() const { return sa_; }
+  std::string_view text() const { return storage_.text(); }
+  std::span<const u32> suffix_array() const { return storage_.sa(); }
+  std::span<const LutCell> prefix_lut() const { return storage_.lut(); }
+  /// Cascade LUT for prefix length `k` in 1..4.
+  std::span<const LutCell> mini_lut(u32 k) const { return storage_.mini(k); }
   u32 prefix_lut_k() const { return lut_k_; }
+  /// True when the big sections are borrowed from an mmap'd file.
+  bool memory_mapped() const { return storage_.mapped; }
 
   /// Suffix-array row -> genome text position.
-  GenomePos sa_position(u32 row) const { return sa_[row]; }
+  GenomePos sa_position(u32 row) const { return storage_.sa()[row]; }
 
   /// Maps a concatenated-text position to (contig, offset). Positions that
   /// land on a separator are invalid; callers never produce them because
@@ -101,37 +134,71 @@ class GenomeIndex {
 
   IndexStats stats() const;
 
-  /// Serialization (binary, versioned).
-  void save(std::ostream& out) const;
+  /// Serialization (binary, versioned). `version` is kVersionV2 or
+  /// kVersionV3; v3 is page-aligned/checksummed and mmap-able.
+  void save(std::ostream& out, u32 version = kVersionLatest) const;
+  void save_file(const std::string& path, u32 version = kVersionLatest) const;
+  /// Stream load; accepts v2 and v3. Corruption (including truncation)
+  /// surfaces as ParseError.
   static GenomeIndex load(std::istream& in);
-  void save_file(const std::string& path) const;
-  static GenomeIndex load_file(const std::string& path);
+  static GenomeIndex load_file(const std::string& path,
+                               IndexLoadMode mode = IndexLoadMode::kAuto);
+
+  /// Recomputes the per-section checksums of a memory-mapped index against
+  /// the file's section table; throws ParseError on mismatch. O(file) —
+  /// the mmap load path skips it by default to stay O(header), like
+  /// attaching to an already-resident shm segment. No-op for owned
+  /// indexes (their sections were verified or built in-process).
+  void verify_checksums() const;
 
  private:
+  struct SectionInfo {
+    u32 id = 0;
+    u64 offset = 0;
+    u64 length = 0;
+    u64 checksum = 0;
+  };
+
   void build_lut();
   void build_mini_luts();
+  void build_lut_parallel(ThreadPool& pool);
+  void build_mini_luts_parallel(ThreadPool& pool);
+  /// Structural validation shared by every load path; `deep` additionally
+  /// scans SA entries and LUT cells for out-of-range values (the v2 path,
+  /// which has no checksums to catch corruption).
+  void validate_loaded(bool deep) const;
+  void save_v2(std::ostream& out) const;
+  void save_v3(std::ostream& out) const;
+  std::string serialize_meta() const;
+  void parse_meta(const std::string& blob, u64& text_size, u64& sa_size,
+                  u64& lut_cells);
+  static GenomeIndex load_v2(BinaryReader& reader);
+  static GenomeIndex load_v3_stream(BinaryReader& reader);
+  static GenomeIndex load_v3_mmap(MappedFile file, const std::string& path);
+
   char text_at(u64 pos) const {
-    return pos < text_.size() ? text_[pos] : '\0';
+    const std::string_view text = storage_.text();
+    return pos < text.size() ? text[pos] : '\0';
   }
 
   std::string species_;
   int release_ = 0;
   AssemblyType type_ = AssemblyType::kToplevel;
   std::vector<ContigMeta> contigs_;
-  std::string text_;       ///< contigs joined by '#'
-  std::vector<u32> sa_;
   u32 lut_k_ = 0;
-  /// Prefix LUT, one [lo, hi) SA-row pair per k-mer code. Interleaved so a
-  /// lookup touches one cache line, not one per bound — MMP calls are the
-  /// aligner's hottest operation and each one starts with this load. The
-  /// serialized format stays split (lo array, hi array) for compatibility.
-  std::vector<std::array<u32, 2>> lut_;
-  /// Cascade LUTs for prefix lengths 1..4 (mini_lut_[k-1] has 4^k cells).
-  /// When the main LUT cannot jump — query shorter than k, leading k-mer
+  /// Backing memory: owned containers or mmap'd section views. The main
+  /// LUT is interleaved ([lo, hi] per k-mer code) so a lookup touches one
+  /// cache line — MMP calls are the aligner's hottest operation and each
+  /// one starts with this load. The v2 on-disk layout stays split (lo
+  /// array, hi array) for compatibility; v3 stores cells interleaved.
+  /// Cascade mini-LUTs cover prefix lengths 1..4 (4^k cells each): when
+  /// the main LUT cannot jump — query shorter than k, leading k-mer
   /// absent, or an early N — these pin the walk to a short-prefix SA block
   /// instead of binary-searching down from the full range. 340 cells
-  /// total, so they stay cache-resident. Rebuilt on load, never stored.
-  std::array<std::vector<std::array<u32, 2>>, 4> mini_lut_;
+  /// total, so they stay cache-resident.
+  IndexStorage storage_;
+  /// v3 mmap only: the file's section table, for verify_checksums().
+  std::vector<SectionInfo> sections_;
 };
 
 }  // namespace staratlas

@@ -1,7 +1,5 @@
 #include "index/shared_cache.h"
 
-#include <vector>
-
 #include "common/error.h"
 
 namespace staratlas {
@@ -13,33 +11,68 @@ SharedIndexCache::SharedIndexCache(ByteSize capacity_bytes)
 
 std::shared_ptr<const GenomeIndex> SharedIndexCache::acquire(
     const std::string& key, const Loader& loader) {
-  std::unique_lock lock(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    ++hits_;
-    it->second.last_use = ++clock_;
-    return it->second.index;
+  std::promise<std::shared_ptr<const GenomeIndex>> promise;
+  IndexFuture future;
+  bool owns_load = false;
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      it->second.last_use = ++clock_;
+      return it->second.index;
+    }
+    auto flight = inflight_.find(key);
+    if (flight != inflight_.end()) {
+      // Someone else is loading this key right now; piggyback on their
+      // load instead of duplicating it.
+      ++hits_;
+      future = flight->second;
+    } else {
+      ++loads_;
+      owns_load = true;
+      future = promise.get_future().share();
+      inflight_.emplace(key, future);
+    }
   }
-  // Load outside the lock would allow duplicate loads; the load is the
-  // expensive part, so hold the lock for correctness and simplicity —
-  // workers block behind one shared load, exactly like waiting on the shm
-  // segment to appear.
-  ++loads_;
-  auto index = std::make_shared<const GenomeIndex>(loader());
-  Entry entry;
-  entry.index = index;
-  entry.bytes = index->stats().total();
-  entry.last_use = ++clock_;
-  entries_.emplace(key, std::move(entry));
-  evict_if_needed_locked();
-  return index;
+
+  if (!owns_load) {
+    // Blocks until the owning loader publishes; rethrows its exception.
+    return future.get();
+  }
+
+  // We own the load. Run the loader with no lock held so loads for other
+  // keys — and every cache query — proceed concurrently.
+  try {
+    auto index = std::make_shared<const GenomeIndex>(loader());
+    const ByteSize bytes = index->stats().total();
+    {
+      std::lock_guard lock(mu_);
+      Entry entry;
+      entry.index = index;
+      entry.bytes = bytes;
+      entry.last_use = ++clock_;
+      resident_bytes_ += bytes;
+      entries_.emplace(key, std::move(entry));
+      inflight_.erase(key);
+      evict_if_needed_locked();
+    }
+    promise.set_value(index);
+    return index;
+  } catch (...) {
+    // Forget the failed key first so a subsequent acquire retries, then
+    // fan the error out to every piggybacked waiter.
+    {
+      std::lock_guard lock(mu_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
 }
 
 void SharedIndexCache::evict_if_needed_locked() {
-  for (;;) {
-    ByteSize total;
-    for (const auto& [key, entry] : entries_) total += entry.bytes;
-    if (total <= capacity_) return;
+  while (resident_bytes_ > capacity_) {
     // Evict the least-recently-used entry nobody references (use_count
     // 1 = only the cache holds it).
     std::map<std::string, Entry>::iterator victim = entries_.end();
@@ -51,6 +84,7 @@ void SharedIndexCache::evict_if_needed_locked() {
       }
     }
     if (victim == entries_.end()) return;  // everything in use: over budget
+    resident_bytes_ -= victim->second.bytes;
     entries_.erase(victim);
     ++evictions_;
   }
@@ -68,9 +102,22 @@ usize SharedIndexCache::entries() const {
 
 ByteSize SharedIndexCache::resident_bytes() const {
   std::lock_guard lock(mu_);
-  ByteSize total;
-  for (const auto& [key, entry] : entries_) total += entry.bytes;
-  return total;
+  return resident_bytes_;
+}
+
+u64 SharedIndexCache::loads() const {
+  std::lock_guard lock(mu_);
+  return loads_;
+}
+
+u64 SharedIndexCache::hits() const {
+  std::lock_guard lock(mu_);
+  return hits_;
+}
+
+u64 SharedIndexCache::evictions() const {
+  std::lock_guard lock(mu_);
+  return evictions_;
 }
 
 }  // namespace staratlas

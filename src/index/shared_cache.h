@@ -6,10 +6,15 @@
 // Multiple pipeline workers on one machine share a single loaded index
 // per key instead of each paying the load cost; entries are refcounted
 // via shared_ptr and evicted once released when capacity demands it.
+//
+// Loads are single-flight: concurrent acquire() calls for the same key
+// coalesce onto one loader invocation (waiters block on a shared_future),
+// while loads for *different* keys proceed fully in parallel — the cache
+// mutex is held only for map surgery, never across a loader call.
 #pragma once
 
 #include <functional>
-#include <list>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,19 +34,23 @@ class SharedIndexCache {
   /// referenced by callers are never evicted (like shm segments in use).
   explicit SharedIndexCache(ByteSize capacity_bytes);
 
-  /// Returns the index for `key`, invoking `loader` only on first use
-  /// (thread-safe; concurrent callers for the same key share one load).
+  /// Returns the index for `key`, invoking `loader` only on first use.
+  /// Thread-safe and single-flight: concurrent callers for the same key
+  /// share one load (the first caller runs the loader, the rest wait on
+  /// its future and count as hits); callers for different keys load
+  /// concurrently. A loader exception propagates to every waiter and the
+  /// failed key is forgotten, so a later acquire retries the load.
   std::shared_ptr<const GenomeIndex> acquire(const std::string& key,
                                              const Loader& loader);
 
-  /// True if `key` is currently resident.
+  /// True if `key` is currently resident (in-flight loads don't count).
   bool resident(const std::string& key) const;
 
   usize entries() const;
   ByteSize resident_bytes() const;
-  u64 loads() const { return loads_; }
-  u64 hits() const { return hits_; }
-  u64 evictions() const { return evictions_; }
+  u64 loads() const;
+  u64 hits() const;
+  u64 evictions() const;
 
  private:
   struct Entry {
@@ -49,11 +58,18 @@ class SharedIndexCache {
     ByteSize bytes;
     u64 last_use = 0;
   };
+  using IndexFuture = std::shared_future<std::shared_ptr<const GenomeIndex>>;
+
   void evict_if_needed_locked();
 
   ByteSize capacity_;
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
+  /// Keys whose load is running right now; same-key acquires wait here.
+  std::map<std::string, IndexFuture> inflight_;
+  /// Sum of entries_[*].bytes, maintained incrementally so eviction and
+  /// resident_bytes() are O(log n) / O(1) instead of re-summing the map.
+  ByteSize resident_bytes_;
   u64 clock_ = 0;
   u64 loads_ = 0;
   u64 hits_ = 0;

@@ -1,9 +1,12 @@
 #include "index/suffix_array.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <numeric>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace staratlas {
 
@@ -157,6 +160,97 @@ std::vector<u32> build_suffix_array(std::string_view text) {
   return std::vector<u32>(sa.begin() + 1, sa.end());
 }
 
+namespace {
+
+// Bucket key for the parallel builder: the leading two bytes of the
+// suffix, with "no second byte" (the length-1 suffix) ordered before
+// every real second byte — exactly how lexicographic order ranks a
+// 1-char suffix against longer suffixes sharing its first byte.
+constexpr usize kPrefixBuckets = 256 * 257;
+
+inline u32 suffix_bucket(std::string_view text, usize i) {
+  const u32 b0 = static_cast<unsigned char>(text[i]);
+  const u32 b1 = i + 1 < text.size()
+                     ? static_cast<unsigned char>(text[i + 1]) + 1
+                     : 0;
+  return b0 * 257 + b1;
+}
+
+}  // namespace
+
+std::vector<u32> build_suffix_array_parallel(std::string_view text,
+                                             ThreadPool& pool) {
+  const usize n = text.size();
+  // Below this size the bucket bookkeeping costs more than SA-IS.
+  constexpr usize kParallelThreshold = 1 << 15;
+  if (n < kParallelThreshold || pool.size() <= 1) {
+    return build_suffix_array(text);
+  }
+  STARATLAS_CHECK(n < (~u32{0}) - 2);
+
+  // Pass 1: parallel bucket counting (block-local histograms summed under
+  // a mutex; sums commute, so the result is schedule-independent).
+  std::vector<u32> counts(kPrefixBuckets, 0);
+  std::mutex merge_mu;
+  parallel_for_blocks(pool, n, [&](usize begin, usize end) {
+    std::vector<u32> local(kPrefixBuckets, 0);
+    for (usize i = begin; i < end; ++i) ++local[suffix_bucket(text, i)];
+    std::lock_guard lock(merge_mu);
+    for (usize b = 0; b < kPrefixBuckets; ++b) counts[b] += local[b];
+  });
+
+  std::vector<u32> bucket_start(kPrefixBuckets + 1, 0);
+  for (usize b = 0; b < kPrefixBuckets; ++b) {
+    bucket_start[b + 1] = bucket_start[b] + counts[b];
+  }
+
+  // Pass 2: parallel scatter. Within-bucket arrival order depends on
+  // scheduling, but the per-bucket sort below imposes a total order on
+  // distinct suffixes, so the final array is deterministic anyway.
+  std::vector<u32> sa(n);
+  std::vector<std::atomic<u32>> cursor(kPrefixBuckets);
+  for (usize b = 0; b < kPrefixBuckets; ++b) {
+    cursor[b].store(bucket_start[b], std::memory_order_relaxed);
+  }
+  parallel_for_blocks(pool, n, [&](usize begin, usize end) {
+    for (usize i = begin; i < end; ++i) {
+      const u32 slot = cursor[suffix_bucket(text, i)].fetch_add(
+          1, std::memory_order_relaxed);
+      sa[slot] = static_cast<u32>(i);
+    }
+  });
+
+  // Pass 3: sort each multi-element bucket, biggest first so the long
+  // poles start early. Every multi-element bucket holds suffixes of
+  // length >= 2 sharing their first two bytes; compare from offset 2.
+  std::vector<u32> heavy;
+  for (usize b = 0; b < kPrefixBuckets; ++b) {
+    if (counts[b] > 1) heavy.push_back(static_cast<u32>(b));
+  }
+  std::sort(heavy.begin(), heavy.end(),
+            [&](u32 a, u32 b) { return counts[a] > counts[b]; });
+  std::atomic<usize> next{0};
+  const auto sort_worker = [&] {
+    for (;;) {
+      const usize h = next.fetch_add(1, std::memory_order_relaxed);
+      if (h >= heavy.size()) return;
+      const u32 b = heavy[h];
+      const auto first = sa.begin() + bucket_start[b];
+      const auto last = sa.begin() + bucket_start[b + 1];
+      std::sort(first, last, [&](u32 x, u32 y) {
+        return text.substr(x + 2) < text.substr(y + 2);
+      });
+    }
+  };
+  std::vector<std::future<void>> workers;
+  workers.reserve(pool.size());
+  for (usize t = 0; t < pool.size(); ++t) {
+    workers.push_back(pool.submit(sort_worker));
+  }
+  for (auto& w : workers) w.get();
+  return sa;
+}
+
 std::vector<u32> build_suffix_array_doubling(std::string_view text) {
   const usize n = text.size();
   std::vector<u32> sa(n);
@@ -185,16 +279,32 @@ std::vector<u32> build_suffix_array_doubling(std::string_view text) {
   return sa;
 }
 
-bool is_valid_suffix_array(std::string_view text, const std::vector<u32>& sa) {
+bool is_valid_suffix_array(std::string_view text, std::span<const u32> sa) {
   const usize n = text.size();
   if (sa.size() != n) return false;
-  std::vector<bool> seen(n, false);
-  for (u32 p : sa) {
-    if (p >= n || seen[p]) return false;
-    seen[p] = true;
+  // rank = inverse permutation; filling it also validates sa is a
+  // permutation of [0, n).
+  std::vector<u32> rank(n, ~u32{0});
+  for (usize row = 0; row < n; ++row) {
+    const u32 p = sa[row];
+    if (p >= n || rank[p] != ~u32{0}) return false;
+    rank[p] = static_cast<u32>(row);
   }
+  // Adjacent suffixes a < b iff (text[a], rest-of-a) < (text[b], rest-of-b),
+  // and the rests are themselves suffixes whose order the rank array
+  // already encodes — no substring materialization, O(1) per pair.
   for (usize i = 1; i < n; ++i) {
-    if (text.substr(sa[i - 1]) >= text.substr(sa[i])) return false;
+    const u32 a = sa[i - 1];
+    const u32 b = sa[i];
+    const auto ca = static_cast<unsigned char>(text[a]);
+    const auto cb = static_cast<unsigned char>(text[b]);
+    if (ca != cb) {
+      if (ca > cb) return false;
+      continue;
+    }
+    if (a + 1 == n) continue;          // empty rest sorts first: a < b holds
+    if (b + 1 == n) return false;      // b's rest empty but a's is not
+    if (rank[a + 1] >= rank[b + 1]) return false;
   }
   return true;
 }

@@ -1,11 +1,16 @@
 // Suffix array construction.
 //
-// The production path is SA-IS (linear time, linear memory), the same
-// family of algorithm STAR uses for its genome generation step. A simple
-// prefix-doubling builder is kept as a reference implementation for
-// property tests and as a fallback for pathological alphabets.
+// The production single-thread path is SA-IS (linear time, linear memory),
+// the same family of algorithm STAR uses for its genome generation step.
+// `build_suffix_array_parallel` is the multi-thread path: it partitions
+// suffixes by their leading two bytes and sorts the buckets concurrently
+// (the shape of real STAR's `--runThreadN` index build). Both produce the
+// one true suffix array, so their outputs are bit-identical; SA-IS stays
+// the reference the parallel builder is property-tested against. A simple
+// prefix-doubling builder is kept as a second reference implementation.
 #pragma once
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -13,16 +18,30 @@
 
 namespace staratlas {
 
+class ThreadPool;
+
 /// Builds the suffix array of `text` (all suffixes, no sentinel in the
 /// output) using SA-IS. O(n) time. Text may contain arbitrary bytes.
 std::vector<u32> build_suffix_array(std::string_view text);
+
+/// Parallel construction on `pool`: bucket suffixes by leading 2-byte
+/// prefix (counted and scattered in parallel), sort buckets concurrently,
+/// concatenate in bucket order. Output is bit-identical to
+/// `build_suffix_array` for every input (the suffix array is unique).
+/// Falls back to SA-IS for small inputs where fan-out cannot pay off.
+/// Worst case O(n^2 log n) on pathological single-symbol texts; genomes
+/// are nowhere near it.
+std::vector<u32> build_suffix_array_parallel(std::string_view text,
+                                             ThreadPool& pool);
 
 /// Reference O(n log^2 n) prefix-doubling construction; used by tests to
 /// validate the SA-IS implementation on random inputs.
 std::vector<u32> build_suffix_array_doubling(std::string_view text);
 
-/// Verifies that `sa` is the suffix array of `text` (sorted, a permutation).
-/// O(n log n)-ish; intended for tests and debug assertions.
-bool is_valid_suffix_array(std::string_view text, const std::vector<u32>& sa);
+/// Verifies that `sa` is the suffix array of `text` (sorted, a
+/// permutation). O(n): adjacent suffixes are compared through the rank
+/// (inverse) permutation instead of materialized substrings, so property
+/// tests can afford genome-scale inputs.
+bool is_valid_suffix_array(std::string_view text, std::span<const u32> sa);
 
 }  // namespace staratlas

@@ -15,6 +15,18 @@
 
 namespace staratlas {
 
+/// FNV-1a 64-bit checksum. Used for the per-section integrity words in the
+/// v3 genome-index format; not cryptographic, just corruption detection.
+inline u64 fnv1a64(const void* data, usize n) {
+  const u8* bytes = static_cast<const u8*>(data);
+  u64 hash = 0xcbf29ce484222325ULL;
+  for (usize i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 class BinaryWriter {
  public:
   explicit BinaryWriter(std::ostream& out) : out_(&out) {}
@@ -40,6 +52,18 @@ class BinaryWriter {
     static_assert(std::is_trivially_copyable_v<T>);
     write_u64(v.size());
     write_raw(v.data(), v.size() * sizeof(T));
+  }
+  /// Raw bytes with no length prefix (for externally described sections).
+  void write_blob(const void* data, usize n) { write_raw(data, n); }
+  /// Pads with zero bytes until bytes_written() is a multiple of
+  /// `alignment`. The page-aligned index sections rely on this.
+  void pad_to(u64 alignment) {
+    static const char kZeros[256] = {};
+    while (written_ % alignment != 0) {
+      const u64 take = std::min<u64>(alignment - written_ % alignment,
+                                     sizeof(kZeros));
+      write_raw(kZeros, take);
+    }
   }
   /// Bytes written so far through this writer.
   u64 bytes_written() const { return written_; }
@@ -93,6 +117,20 @@ class BinaryReader {
     return v;
   }
 
+  /// Raw bytes with no length prefix (for externally described sections).
+  void read_blob(void* out, usize n) { read_raw(out, n); }
+  /// Discards exactly `n` bytes (section padding in sequential loads).
+  void skip(u64 n) {
+    char scratch[1024];
+    while (n > 0) {
+      const u64 take = std::min<u64>(n, sizeof(scratch));
+      read_raw(scratch, take);
+      n -= take;
+    }
+  }
+  /// Bytes consumed so far through this reader.
+  u64 bytes_read() const { return consumed_; }
+
   // _into forms reuse the destination's capacity — record-at-a-time
   // decoders (SraStreamDecoder) call these with per-stream scratch so
   // steady-state decoding stops allocating.
@@ -135,6 +173,7 @@ class BinaryReader {
     if (static_cast<usize>(in_->gcount()) != n) {
       throw IoError("binary read truncated");
     }
+    consumed_ += n;
   }
   /// Grows `out` to n elements in bounded chunks so a corrupted length
   /// prefix fails with IoError at end-of-stream instead of attempting a
@@ -153,6 +192,7 @@ class BinaryReader {
     }
   }
   std::istream* in_;
+  u64 consumed_ = 0;
 };
 
 }  // namespace staratlas

@@ -77,6 +77,18 @@ TEST(RightSizing, SpotPricingLowersCost) {
   EXPECT_LT(spot_cost, od_cost * 0.6);
 }
 
+TEST(RightSizing, MmapLoadPathLowersAmortizedCost) {
+  RightSizingQuery stream = query_for(111);
+  RightSizingQuery mapped = query_for(111);
+  mapped.index_load_path = IndexLoadPath::kMmap;
+  const auto stream_best = best_option(evaluate_instances(stream));
+  const auto mapped_best = best_option(evaluate_instances(mapped));
+  // The init term shrinks, so per-sample time/cost can only improve; the
+  // ranking stays driven by alignment, so the winner's type is stable.
+  EXPECT_LT(mapped_best.sample_seconds, stream_best.sample_seconds);
+  EXPECT_LE(mapped_best.cost_per_sample_usd, stream_best.cost_per_sample_usd);
+}
+
 TEST(RightSizing, NoFeasibleOptionThrows) {
   RightSizingQuery query = query_for(108);
   query.index_bytes = ByteSize::from_tib(2.0);  // fits nothing

@@ -76,6 +76,24 @@ TEST(StageModel, IndexInitFasterForSmallIndex) {
   EXPECT_GT(init108.mins() - init111.mins(), 1.0);
 }
 
+TEST(StageModel, MmapLoadPathShrinksOnlyTheLoadTerm) {
+  StageTimeModel model;
+  model.mmap_attach_speedup = 20.0;
+  const ByteSize index = ByteSize::from_gib(29.5);
+  const auto stream =
+      model.index_init_time(index, r6a4x(), IndexLoadPath::kStream);
+  const auto mapped = model.index_init_time(index, r6a4x(), IndexLoadPath::kMmap);
+  // Default path argument is the stream path (sim outputs unchanged).
+  EXPECT_NEAR(model.index_init_time(index, r6a4x()).secs(), stream.secs(),
+              1e-12);
+  // mmap is strictly faster, but the S3 download term is untouched, so
+  // the gap equals (1 - 1/speedup) of the stream-load term exactly.
+  EXPECT_LT(mapped, stream);
+  const double load_secs = index.gib() / model.shm_load_gibps;
+  EXPECT_NEAR(stream.secs() - mapped.secs(), load_secs * (1.0 - 1.0 / 20.0),
+              1e-9);
+}
+
 TEST(StageModel, RequiredMemoryIncludesHeadroom) {
   const ByteSize need = StageTimeModel::required_memory(ByteSize::from_gib(29.5));
   EXPECT_GT(need.gib(), 29.5);

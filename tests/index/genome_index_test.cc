@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/error.h"
@@ -13,6 +16,24 @@ namespace staratlas {
 namespace {
 
 using staratlas::testing::world;
+
+template <typename A, typename B>
+bool same_range(const A& a, const B& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+// Writes the index to a real file (mmap needs one) and removes it on scope
+// exit.
+struct TempIndexFile {
+  explicit TempIndexFile(const GenomeIndex& index,
+                         u32 version = GenomeIndex::kVersionLatest)
+      : path(::testing::TempDir() + "staratlas_index_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".bin") {
+    index.save_file(path, version);
+  }
+  ~TempIndexFile() { std::remove(path.c_str()); }
+  const std::string path;
+};
 
 Assembly two_contig_assembly() {
   std::vector<Contig> contigs = {
@@ -170,7 +191,7 @@ TEST(GenomeIndex, SaveLoadRoundTrip) {
   index.save(buffer);
   const GenomeIndex loaded = GenomeIndex::load(buffer);
   EXPECT_EQ(loaded.text(), index.text());
-  EXPECT_EQ(loaded.suffix_array(), index.suffix_array());
+  EXPECT_TRUE(same_range(loaded.suffix_array(), index.suffix_array()));
   EXPECT_EQ(loaded.prefix_lut_k(), index.prefix_lut_k());
   EXPECT_EQ(loaded.release(), index.release());
   EXPECT_EQ(loaded.contigs().size(), index.contigs().size());
@@ -185,6 +206,115 @@ TEST(GenomeIndex, SaveLoadRoundTrip) {
 TEST(GenomeIndex, LoadRejectsGarbage) {
   std::istringstream in("not an index at all, definitely not");
   EXPECT_THROW(GenomeIndex::load(in), ParseError);
+}
+
+TEST(GenomeIndex, ParallelBuildIsBitIdenticalToSequential) {
+  const auto& w = world();
+  IndexParams sequential_params;
+  sequential_params.num_threads = 1;
+  const GenomeIndex sequential = GenomeIndex::build(w.r111, sequential_params);
+  for (const usize threads : {2u, 4u, 8u}) {
+    IndexParams params;
+    params.num_threads = threads;
+    const GenomeIndex parallel = GenomeIndex::build(w.r111, params);
+    EXPECT_EQ(parallel.text(), sequential.text()) << threads << " threads";
+    EXPECT_TRUE(
+        same_range(parallel.suffix_array(), sequential.suffix_array()))
+        << threads << " threads";
+    EXPECT_TRUE(same_range(parallel.prefix_lut(), sequential.prefix_lut()))
+        << threads << " threads";
+    for (u32 k = 1; k <= 4; ++k) {
+      EXPECT_TRUE(same_range(parallel.mini_lut(k), sequential.mini_lut(k)))
+          << threads << " threads, mini-LUT k=" << k;
+    }
+  }
+}
+
+TEST(GenomeIndex, StatsIncludeMiniLutBytes) {
+  const GenomeIndex index = GenomeIndex::build(two_contig_assembly());
+  const IndexStats stats = index.stats();
+  // 4 + 16 + 64 + 256 cells of 8 bytes each.
+  EXPECT_EQ(stats.mini_lut_bytes.bytes(), 340u * sizeof(LutCell));
+  EXPECT_EQ(stats.total().bytes(),
+            stats.text_bytes.bytes() + stats.suffix_array_bytes.bytes() +
+                stats.lut_bytes.bytes() + stats.mini_lut_bytes.bytes());
+}
+
+// Round-trip matrix: every (save version, load path) combination must
+// produce an index that searches and reports identically to the original.
+TEST(GenomeIndex, RoundTripMatrixSearchesIdentically) {
+  const auto& w = world();
+  const GenomeIndex& original = w.index111;
+  const std::string& chrom = w.r111.contig(0).sequence;
+  std::vector<std::string> queries = {"ACGTACGT", "NNNNN", "A", ""};
+  Rng rng(21);
+  for (int i = 0; i < 20; ++i) {
+    queries.push_back(chrom.substr(rng.uniform(chrom.size() - 64), 48));
+  }
+
+  struct Case {
+    const char* name;
+    u32 version;
+    IndexLoadMode mode;
+  };
+  const Case cases[] = {
+      {"v2-stream", GenomeIndex::kVersionV2, IndexLoadMode::kStream},
+      {"v3-stream", GenomeIndex::kVersionV3, IndexLoadMode::kStream},
+      {"v3-mmap", GenomeIndex::kVersionV3, IndexLoadMode::kMmap},
+  };
+  for (const Case& c : cases) {
+    if (c.mode == IndexLoadMode::kMmap && !MappedFile::supported()) continue;
+    const TempIndexFile file(original, c.version);
+    const GenomeIndex loaded = GenomeIndex::load_file(file.path, c.mode);
+    SCOPED_TRACE(c.name);
+    EXPECT_EQ(loaded.memory_mapped(), c.mode == IndexLoadMode::kMmap);
+    EXPECT_EQ(loaded.text(), original.text());
+    EXPECT_TRUE(same_range(loaded.suffix_array(), original.suffix_array()));
+    EXPECT_TRUE(same_range(loaded.prefix_lut(), original.prefix_lut()));
+    for (u32 k = 1; k <= 4; ++k) {
+      EXPECT_TRUE(same_range(loaded.mini_lut(k), original.mini_lut(k)));
+    }
+    const IndexStats got = loaded.stats();
+    const IndexStats want = original.stats();
+    EXPECT_EQ(got.total().bytes(), want.total().bytes());
+    EXPECT_EQ(got.genome_length, want.genome_length);
+    EXPECT_EQ(got.num_contigs, want.num_contigs);
+    for (const std::string& q : queries) {
+      const MmpResult a = original.mmp(q);
+      const MmpResult b = loaded.mmp(q);
+      EXPECT_EQ(a.length, b.length) << "query " << q;
+      EXPECT_EQ(a.interval.lo, b.interval.lo) << "query " << q;
+      EXPECT_EQ(a.interval.hi, b.interval.hi) << "query " << q;
+    }
+    // kAuto picks mmap for v3 (when supported) and stream for v2; either
+    // way the result must match too.
+    const GenomeIndex auto_loaded = GenomeIndex::load_file(file.path);
+    EXPECT_EQ(auto_loaded.text(), original.text());
+  }
+}
+
+TEST(GenomeIndex, MmapChecksumVerificationPasses) {
+  if (!MappedFile::supported()) GTEST_SKIP();
+  const GenomeIndex index = GenomeIndex::build(two_contig_assembly());
+  const TempIndexFile file(index);
+  const GenomeIndex mapped =
+      GenomeIndex::load_file(file.path, IndexLoadMode::kMmap);
+  EXPECT_TRUE(mapped.memory_mapped());
+  EXPECT_NO_THROW(mapped.verify_checksums());
+  // Owned indexes have nothing to verify; must be a no-op.
+  EXPECT_NO_THROW(index.verify_checksums());
+}
+
+TEST(GenomeIndex, MmapRejectsV2Files) {
+  if (!MappedFile::supported()) GTEST_SKIP();
+  const GenomeIndex index = GenomeIndex::build(two_contig_assembly());
+  const TempIndexFile file(index, GenomeIndex::kVersionV2);
+  EXPECT_THROW(GenomeIndex::load_file(file.path, IndexLoadMode::kMmap),
+               ParseError);
+  // kAuto must quietly fall back to the stream loader for v2.
+  const GenomeIndex loaded = GenomeIndex::load_file(file.path);
+  EXPECT_FALSE(loaded.memory_mapped());
+  EXPECT_EQ(loaded.text(), index.text());
 }
 
 TEST(GenomeIndex, CustomLutK) {

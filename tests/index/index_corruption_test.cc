@@ -1,0 +1,139 @@
+// Corruption robustness: a damaged index file must always surface as a
+// clean ParseError from load — never a crash, hang, OOM, or a quietly
+// wrong index that fails later inside locate()/mmp(). These tests run in
+// the sanitized job too, where any out-of-bounds read aborts loudly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "index/genome_index.h"
+
+namespace staratlas {
+namespace {
+
+Assembly small_assembly() {
+  std::vector<Contig> contigs = {
+      {"A", ContigClass::kChromosome,
+       "ACGTACGTACGTAAATTTCCCGGGACGTACGTACGTAAGGCCTTACGT"},
+      {"B", ContigClass::kUnlocalizedScaffold, "TTTTGGGGCCCCAAAATTTTGGGG"},
+  };
+  return Assembly("t", 111, AssemblyType::kToplevel, std::move(contigs));
+}
+
+std::string serialized(const GenomeIndex& index, u32 version) {
+  std::ostringstream out(std::ios::out | std::ios::binary);
+  index.save(out, version);
+  return out.str();
+}
+
+// Loading `bytes` must either succeed (a flip can hit padding or a
+// section a deep check doesn't cover — for v2 there are no checksums over
+// the contig names, say, and a changed name byte is valid data) or throw
+// ParseError. Anything else — a crash, or IoError escaping — fails.
+void expect_clean_load(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::in | std::ios::binary);
+  try {
+    const GenomeIndex loaded = GenomeIndex::load(in);
+    // If it loaded, it must be internally consistent enough to search.
+    (void)loaded.mmp("ACGTACGT");
+  } catch (const ParseError&) {
+    // expected for most corruptions
+  }
+}
+
+class IndexCorruption : public ::testing::TestWithParam<u32> {};
+
+TEST_P(IndexCorruption, SingleByteFlipsNeverCrash) {
+  const GenomeIndex index = GenomeIndex::build(small_assembly());
+  const std::string good = serialized(index, GetParam());
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string bad = good;
+    const usize pos = rng.uniform(bad.size());
+    bad[pos] = static_cast<char>(bad[pos] ^ (1 + rng.uniform(255)));
+    expect_clean_load(bad);
+  }
+}
+
+TEST_P(IndexCorruption, TruncationAlwaysParseError) {
+  const GenomeIndex index = GenomeIndex::build(small_assembly());
+  const std::string good = serialized(index, GetParam());
+  Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const usize cut = rng.uniform(good.size());
+    std::istringstream in(good.substr(0, cut),
+                          std::ios::in | std::ios::binary);
+    EXPECT_THROW(GenomeIndex::load(in), ParseError) << "cut at " << cut;
+  }
+}
+
+TEST_P(IndexCorruption, MultiByteGarbageNeverCrashes) {
+  const GenomeIndex index = GenomeIndex::build(small_assembly());
+  const std::string good = serialized(index, GetParam());
+  Rng rng(GetParam() + 2);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string bad = good;
+    const usize start = rng.uniform(bad.size());
+    const usize len = std::min<usize>(1 + rng.uniform(64), bad.size() - start);
+    for (usize i = 0; i < len; ++i) {
+      bad[start + i] = static_cast<char>(rng.uniform(256));
+    }
+    expect_clean_load(bad);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, IndexCorruption,
+                         ::testing::Values(GenomeIndex::kVersionV2,
+                                           GenomeIndex::kVersionV3),
+                         [](const auto& info) {
+                           return "v" + std::to_string(info.param);
+                         });
+
+// Targeted contig-metadata corruption: these fields used to pass load
+// unchecked and blow up later inside locate(). The validator must reject
+// each at load time.
+TEST(IndexCorruption, BadContigMetadataRejectedAtLoad) {
+  const GenomeIndex index = GenomeIndex::build(small_assembly());
+  const std::string good = serialized(index, GenomeIndex::kVersionV2);
+  // v2 layout: magic u32, version u32, species (len u64 + "t"), release
+  // u32, type u8, num_contigs u64, then contig 0: name (len u64 + "A"),
+  // cls u8, text_offset u64, length u64.
+  const usize contig0_offset_pos = 4 + 4 + (8 + 1) + 4 + 1 + 8 + (8 + 1) + 1;
+  const usize contig0_length_pos = contig0_offset_pos + 8;
+
+  auto with_u64_at = [&](usize pos, u64 value) {
+    std::string bad = good;
+    for (int i = 0; i < 8; ++i) {
+      bad[pos + i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+    return bad;
+  };
+
+  // Offset chain broken: first contig no longer starts at 0.
+  {
+    std::istringstream in(with_u64_at(contig0_offset_pos, 7));
+    EXPECT_THROW(GenomeIndex::load(in), ParseError);
+  }
+  // Length overruns the text.
+  {
+    std::istringstream in(with_u64_at(contig0_length_pos, 1'000'000));
+    EXPECT_THROW(GenomeIndex::load(in), ParseError);
+  }
+  // Overlapping/duplicated extent: contig 0 claims the whole text, which
+  // breaks the dense-chain invariant against contig 1's offset.
+  {
+    std::istringstream in(with_u64_at(contig0_length_pos, 72));
+    EXPECT_THROW(GenomeIndex::load(in), ParseError);
+  }
+  // Unchanged bytes still load fine (guards the offsets above).
+  {
+    std::istringstream in(good);
+    EXPECT_NO_THROW(GenomeIndex::load(in));
+  }
+}
+
+}  // namespace
+}  // namespace staratlas

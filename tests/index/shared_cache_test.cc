@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
+#include <vector>
 
 #include "common/error.h"
+#include "common/rng.h"
 #include "testutil.h"
 
 namespace staratlas {
@@ -96,6 +99,131 @@ TEST(SharedIndexCache, ConcurrentWorkersShareOneLoad) {
 
 TEST(SharedIndexCache, ZeroCapacityRejected) {
   EXPECT_THROW(SharedIndexCache(ByteSize(0)), InternalError);
+}
+
+TEST(SharedIndexCache, ResidentBytesMatchSectionSizes) {
+  // The accounting the evictor trusts must equal what the indexes really
+  // occupy — including the mini-LUT sections stats() used to omit.
+  SharedIndexCache cache(ByteSize::from_gib(1.0));
+  auto a = cache.acquire("a", [] { return small_index(1); });
+  auto b = cache.acquire("b", [] { return small_index(2); });
+  EXPECT_EQ(cache.resident_bytes().bytes(),
+            a->stats().total().bytes() + b->stats().total().bytes());
+  EXPECT_GT(a->stats().mini_lut_bytes.bytes(), 0u);
+}
+
+TEST(SharedIndexCache, DistinctKeysLoadConcurrently) {
+  // Each loader waits (bounded) for the other to start: only possible if
+  // the cache runs loads for different keys outside any shared lock. The
+  // old design held the cache mutex across the loader, serializing these.
+  SharedIndexCache cache(ByteSize::from_gib(1.0));
+  std::atomic<bool> started_a{false};
+  std::atomic<bool> started_b{false};
+  std::atomic<bool> overlapped{true};
+  const auto await = [&](std::atomic<bool>& other) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!other.load()) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        overlapped = false;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  std::thread ta([&] {
+    cache.acquire("a", [&] {
+      started_a = true;
+      await(started_b);
+      return small_index(1);
+    });
+  });
+  std::thread tb([&] {
+    cache.acquire("b", [&] {
+      started_b = true;
+      await(started_a);
+      return small_index(2);
+    });
+  });
+  ta.join();
+  tb.join();
+  EXPECT_TRUE(overlapped.load()) << "loads for different keys serialized";
+  EXPECT_EQ(cache.loads(), 2u);
+}
+
+TEST(SharedIndexCache, HammeredAcrossKeysLoadsEachKeyOnce) {
+  SharedIndexCache cache(ByteSize::from_gib(1.0));
+  const std::vector<std::string> keys = {"k0", "k1", "k2", "k3"};
+  std::atomic<int> loader_calls{0};
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 40;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<u64>(t) + 100);
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const std::string& key = keys[rng.uniform(keys.size())];
+        auto index = cache.acquire(key, [&] {
+          ++loader_calls;
+          return small_index(42);
+        });
+        ASSERT_NE(index, nullptr);
+        ASSERT_GT(index->text().size(), 0u);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  // Capacity fits everything: each key loads exactly once no matter how
+  // the acquires interleave, and every other acquire is a hit.
+  EXPECT_EQ(loader_calls.load(), static_cast<int>(keys.size()));
+  EXPECT_EQ(cache.loads(), keys.size());
+  EXPECT_EQ(cache.hits(), kThreads * kItersPerThread - keys.size());
+  EXPECT_EQ(cache.entries(), keys.size());
+}
+
+TEST(SharedIndexCache, HammeredUnderTightCapacityStaysConsistent) {
+  // Capacity fits ~2 of 4 keys, so eviction and reload churn constantly;
+  // entries in use must survive and the counters must stay coherent.
+  const ByteSize one = small_index(1).stats().total();
+  SharedIndexCache cache(one * 2.5);
+  const std::vector<std::string> keys = {"k0", "k1", "k2", "k3"};
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 25;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<u64>(t) + 7);
+      for (int i = 0; i < kItersPerThread; ++i) {
+        auto index = cache.acquire(keys[rng.uniform(keys.size())],
+                                   [] { return small_index(42); });
+        // Use the index while holding it: eviction must never free it
+        // out from under us.
+        ASSERT_TRUE(index->mmp("ACGT").length <= 4u);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(cache.loads() + cache.hits(),
+            static_cast<u64>(kThreads) * kItersPerThread);
+  EXPECT_LE(cache.entries(), keys.size());
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(SharedIndexCache, LoaderFailurePropagatesAndRetries) {
+  SharedIndexCache cache(ByteSize::from_gib(1.0));
+  int calls = 0;
+  auto flaky = [&calls]() -> GenomeIndex {
+    if (++calls == 1) throw IoError("transient download failure");
+    return small_index(3);
+  };
+  EXPECT_THROW(cache.acquire("r111", flaky), IoError);
+  EXPECT_FALSE(cache.resident("r111"));
+  // The failed in-flight slot must be forgotten so the next acquire
+  // retries the load instead of waiting on a dead future.
+  auto index = cache.acquire("r111", flaky);
+  EXPECT_NE(index, nullptr);
+  EXPECT_EQ(calls, 2);
+  EXPECT_TRUE(cache.resident("r111"));
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace staratlas {
 namespace {
@@ -59,7 +61,10 @@ TEST(SuffixArray, MatchesDoublingOnDnaAlphabet) {
 }
 
 // Parameterized sweep: random texts over alphabets of different sizes,
-// including separator bytes like the genome index uses.
+// including separator bytes like the genome index uses. Every case also
+// runs the prefix-bucketed parallel builder, which must be bit-identical
+// to the SA-IS reference (small cases exercise its sequential fallback,
+// the 20k/50k cases its bucketed path).
 struct SaCase {
   usize length;
   usize alphabet;
@@ -78,6 +83,8 @@ TEST_P(SuffixArrayProperty, SaisAgreesWithReferenceAndIsValid) {
   const auto fast = build_suffix_array(text);
   EXPECT_TRUE(is_valid_suffix_array(text, fast));
   EXPECT_EQ(fast, build_suffix_array_doubling(text));
+  ThreadPool pool(4);
+  EXPECT_EQ(fast, build_suffix_array_parallel(text, pool));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -86,7 +93,8 @@ INSTANTIATE_TEST_SUITE_P(
                       SaCase{64, 2, 4}, SaCase{256, 3, 5}, SaCase{512, 4, 6},
                       SaCase{1024, 5, 7}, SaCase{2048, 4, 8},
                       SaCase{4096, 26, 9}, SaCase{1000, 2, 10},
-                      SaCase{333, 7, 11}, SaCase{50, 1, 12}));
+                      SaCase{333, 7, 11}, SaCase{50, 1, 12},
+                      SaCase{20'000, 4, 13}, SaCase{50'000, 5, 14}));
 
 TEST(SuffixArray, ValidatorCatchesBadArrays) {
   const std::string text = "banana";
@@ -94,17 +102,58 @@ TEST(SuffixArray, ValidatorCatchesBadArrays) {
   EXPECT_TRUE(is_valid_suffix_array(text, sa));
   std::swap(sa[0], sa[1]);
   EXPECT_FALSE(is_valid_suffix_array(text, sa));
-  EXPECT_FALSE(is_valid_suffix_array(text, {0, 1, 2}));       // wrong size
-  EXPECT_FALSE(is_valid_suffix_array(text, {5, 5, 1, 0, 4, 2}));  // dup
+  const std::vector<u32> wrong_size = {0, 1, 2};
+  EXPECT_FALSE(is_valid_suffix_array(text, wrong_size));
+  const std::vector<u32> duplicate = {5, 5, 1, 0, 4, 2};
+  EXPECT_FALSE(is_valid_suffix_array(text, duplicate));
+  const std::vector<u32> out_of_range = {5, 3, 1, 0, 4, 6};
+  EXPECT_FALSE(is_valid_suffix_array(text, out_of_range));
+  // Equal first chars, wrong rest order: ana(3) before a(5) is invalid.
+  const std::vector<u32> bad_rest = {3, 5, 1, 0, 4, 2};
+  EXPECT_FALSE(is_valid_suffix_array(text, bad_rest));
+}
+
+TEST(SuffixArray, ValidatorHandlesUniformText) {
+  // All suffixes share every leading char; order is decided purely by the
+  // rank-of-rest rule, including the empty-rest edge at both positions.
+  const std::string text(64, 'Z');
+  const auto sa = build_suffix_array(text);
+  EXPECT_TRUE(is_valid_suffix_array(text, sa));
+  std::vector<u32> reversed(sa.rbegin(), sa.rend());
+  EXPECT_FALSE(is_valid_suffix_array(text, reversed));
 }
 
 TEST(SuffixArray, LargeRandomDnaIsValid) {
   Rng rng(99);
   static const char kBases[] = "ACGT";
-  std::string text(100'000, 'A');
+  std::string text(1'000'000, 'A');
   for (auto& c : text) c = kBases[rng.uniform(4)];
   const auto sa = build_suffix_array(text);
   EXPECT_TRUE(is_valid_suffix_array(text, sa));
+}
+
+TEST(SuffixArray, ParallelMatchesSequentialOnLargeDna) {
+  Rng rng(7);
+  static const char kBases[] = "ACGTN";  // include N runs like real genomes
+  std::string text(300'000, 'A');
+  for (auto& c : text) c = kBases[rng.uniform(5)];
+  // Sprinkle contig separators so bucket 0x23 ('#') is populated too.
+  for (usize i = 40'000; i < text.size(); i += 40'000) text[i] = '#';
+  const auto sequential = build_suffix_array(text);
+  for (const usize threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(build_suffix_array_parallel(text, pool), sequential)
+        << threads << " threads";
+  }
+}
+
+TEST(SuffixArray, ParallelFallsBackBelowThreshold) {
+  // Small inputs take the sequential path inside the parallel entry point;
+  // the result must still be the exact suffix array.
+  ThreadPool pool(4);
+  const std::string text = "bananabandana";
+  EXPECT_EQ(build_suffix_array_parallel(text, pool),
+            build_suffix_array(text));
 }
 
 }  // namespace
