@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "align/seed.h"
+#include "common/error.h"
 #include "index/packed_sequence.h"
 
 namespace staratlas {
@@ -30,6 +31,36 @@ void Aligner::align(std::string_view read, AlignWorkspace& ws,
   score_windows(*index_, ws.rc, ws.seeds.seeds, /*reverse=*/true, params_,
                 extend_stats, ws.extend, ws.hits);
 
+  classify(read, extend_stats, ws, work, result);
+}
+
+void Aligner::finish_read(std::string_view read, std::string_view rc,
+                          const SeedSearchResult& fwd_seeds,
+                          const SeedSearchResult& rev_seeds,
+                          AlignWorkspace& ws, MappingStats& work,
+                          ReadAlignment& result) const {
+  result.reset();
+  if (read.empty()) return;
+
+  ExtendStats extend_stats;
+  ws.hits.clear();
+
+  work.seeds_generated += fwd_seeds.seeds.size();
+  work.bases_compared += fwd_seeds.chars_matched;
+  score_windows(*index_, read, fwd_seeds.seeds, /*reverse=*/false, params_,
+                extend_stats, ws.extend, ws.hits);
+
+  work.seeds_generated += rev_seeds.seeds.size();
+  work.bases_compared += rev_seeds.chars_matched;
+  score_windows(*index_, rc, rev_seeds.seeds, /*reverse=*/true, params_,
+                extend_stats, ws.extend, ws.hits);
+
+  classify(read, extend_stats, ws, work, result);
+}
+
+void Aligner::classify(std::string_view read, const ExtendStats& extend_stats,
+                       AlignWorkspace& ws, MappingStats& work,
+                       ReadAlignment& result) const {
   work.windows_scored += extend_stats.windows_scored;
   work.bases_compared += extend_stats.bases_compared;
   result.repetitive_capped = extend_stats.capped;
@@ -83,6 +114,36 @@ void Aligner::align(std::string_view read, AlignWorkspace& ws,
   const usize keep = std::min<usize>(num_loci, ws.hits.size());
   for (usize i = 0; i < keep; ++i) {
     result.hits.push_back(std::move(ws.hits[ws.hit_order[i]]));
+  }
+}
+
+void Aligner::align_batch(std::span<const std::string_view> reads,
+                          AlignWorkspace& ws, MappingStats& work,
+                          std::span<ReadAlignment> results) const {
+  STARATLAS_CHECK(reads.size() == results.size());
+  AlignBatchLanes& lanes = ws.batch;
+  const usize n = reads.size();
+  if (n == 0) return;
+
+  // Phase 1 — batched seed search. Every read contributes two walks
+  // (forward and reverse complement); all 2n walks advance together so
+  // the index probes overlap across the batch.
+  if (lanes.rc.size() < n) lanes.rc.resize(n);
+  if (lanes.seeds.size() < 2 * n) lanes.seeds.resize(2 * n);
+  lanes.walks.clear();
+  for (usize i = 0; i < n; ++i) {
+    reverse_complement(reads[i], lanes.rc[i]);
+    lanes.walks.push_back(reads[i]);
+    lanes.walks.push_back(lanes.rc[i]);
+  }
+  find_seeds_batch(*index_, lanes.walks, params_,
+                   std::span(lanes.seeds).first(2 * n), lanes.scratch);
+
+  // Phase 2 — per-read finish: extension, scoring and classification are
+  // branchy and already cache-friendly, so they stay sequential.
+  for (usize i = 0; i < n; ++i) {
+    finish_read(reads[i], lanes.rc[i], lanes.seeds[2 * i],
+                lanes.seeds[2 * i + 1], ws, work, results[i]);
   }
 }
 

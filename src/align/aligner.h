@@ -3,6 +3,7 @@
 // with STAR-equivalent filter semantics.
 #pragma once
 
+#include <span>
 #include <string_view>
 
 #include "align/extend.h"
@@ -31,10 +32,37 @@ class Aligner {
   void align(std::string_view read, AlignWorkspace& ws, MappingStats& work,
              ReadAlignment& result) const;
 
+  /// Batched form of align(): produces per-read results bit-identical to
+  /// align() on each read, but runs the whole batch's seed phase first —
+  /// all reads' forward and reverse-complement MMP walks advance together
+  /// through GenomeIndex::mmp_batch, overlapping the suffix-array cache
+  /// misses that dominate alignment time — and only then finishes each
+  /// read (extension, scoring, classification) individually. Work counters
+  /// accumulate into `work` in read order, exactly as per-read align()
+  /// calls would. `results.size()` must equal `reads.size()`; each entry
+  /// is reset. Zero steady-state heap allocations with warmed lanes.
+  void align_batch(std::span<const std::string_view> reads,
+                   AlignWorkspace& ws, MappingStats& work,
+                   std::span<ReadAlignment> results) const;
+
   /// Convenience form with a throwaway workspace (allocates; tests/tools).
   ReadAlignment align(std::string_view read, MappingStats& work) const;
 
  private:
+  /// Shared back half of align()/align_batch(): window scoring for both
+  /// orientations' seeds, hit sorting, and outcome classification.
+  void finish_read(std::string_view read, std::string_view rc,
+                   const SeedSearchResult& fwd_seeds,
+                   const SeedSearchResult& rev_seeds, AlignWorkspace& ws,
+                   MappingStats& work, ReadAlignment& result) const;
+
+  /// Classification tail shared by align() and finish_read(): folds the
+  /// extension counters into `work`, sorts the candidate hits, and
+  /// resolves the read's outcome.
+  void classify(std::string_view read, const ExtendStats& extend_stats,
+                AlignWorkspace& ws, MappingStats& work,
+                ReadAlignment& result) const;
+
   const GenomeIndex* index_;
   AlignerParams params_;
 };

@@ -6,6 +6,7 @@
 #include <exception>
 #include <future>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -113,12 +114,21 @@ AlignmentRun AlignmentEngine::run(const ReadSet& reads,
       const usize end = std::min(begin + config_.chunk_size, reads.size());
 
       MappingStats chunk_stats;
+      const usize count = end - begin;
+      AlignBatchLanes& lanes = ws.batch;
+      lanes.views.clear();
       for (usize r = begin; r < end; ++r) {
-        aligner.align(reads.reads[r].sequence, ws, chunk_stats, ws.result);
-        chunk_stats.add_outcome(ws.result.outcome);
-        run.outcomes[r] = ws.result.outcome;
-        if (counter) counter->count(ws.result, local_counts);
-        if (config_.collect_junctions) local_junctions.add(ws.result);
+        lanes.views.push_back(reads.reads[r].sequence);
+      }
+      if (lanes.results.size() < count) lanes.results.resize(count);
+      aligner.align_batch(lanes.views, ws, chunk_stats,
+                          std::span(lanes.results).first(count));
+      for (usize r = begin; r < end; ++r) {
+        const ReadAlignment& result = lanes.results[r - begin];
+        chunk_stats.add_outcome(result.outcome);
+        run.outcomes[r] = result.outcome;
+        if (counter) counter->count(result, local_counts);
+        if (config_.collect_junctions) local_junctions.add(result);
       }
       local_stats += chunk_stats;
       tracker.add(chunk_stats);
@@ -303,15 +313,24 @@ AlignmentRun AlignmentEngine::run_stream(const BatchSource& source,
       if (!abort_flag.load(std::memory_order_relaxed)) {
         try {
           slot->stats = MappingStats{};
-          slot->outcomes.resize(slot->batch.size());
+          const usize count = slot->batch.size();
+          slot->outcomes.resize(count);
           if (counter_) reset_counts(slot->counts);
           if (slot->junctions) slot->junctions->clear();
-          for (usize r = 0; r < slot->batch.size(); ++r) {
-            aligner.align(slot->batch.sequence(r), ws, slot->stats, ws.result);
-            slot->stats.add_outcome(ws.result.outcome);
-            slot->outcomes[r] = ws.result.outcome;
-            if (counter_) counter_->count(ws.result, slot->counts);
-            if (slot->junctions) slot->junctions->add(ws.result);
+          AlignBatchLanes& lanes = ws.batch;
+          lanes.views.clear();
+          for (usize r = 0; r < count; ++r) {
+            lanes.views.push_back(slot->batch.sequence(r));
+          }
+          if (lanes.results.size() < count) lanes.results.resize(count);
+          aligner.align_batch(lanes.views, ws, slot->stats,
+                              std::span(lanes.results).first(count));
+          for (usize r = 0; r < count; ++r) {
+            const ReadAlignment& result = lanes.results[r];
+            slot->stats.add_outcome(result.outcome);
+            slot->outcomes[r] = result.outcome;
+            if (counter_) counter_->count(result, slot->counts);
+            if (slot->junctions) slot->junctions->add(result);
           }
         } catch (...) {
           std::lock_guard lock(commit_mu);

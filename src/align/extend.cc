@@ -6,8 +6,13 @@
 
 #include "common/error.h"
 
+#if defined(STARATLAS_X86_SIMD)
+#include <immintrin.h>
+#endif
+
 namespace staratlas {
 
+namespace xdrop_kernels {
 namespace {
 
 /// Length of the match run in a[0..limit) vs b[0..limit) scanning forward,
@@ -49,85 +54,391 @@ u64 match_run_bwd(const char* a, const char* b, u64 limit) {
   return i;
 }
 
-// The X-drop extensions below process whole match runs instead of single
-// bases. This is exact, not approximate: with +1/-2 scoring the score rises
+// The X-drop scans process whole match runs instead of single bases. This
+// is exact, not approximate: with +1/-2 scoring the score rises
 // monotonically inside a run, so the x-drop break can only trigger at a
 // mismatch and the best-prefix update only improves at a run's end. Each
 // base of a run still counts one unit of bases_compared, so the virtual
-// cost model sees identical work.
+// cost model sees identical work. The SIMD variants additionally update
+// the best prefix at strip boundaries mid-run; any such update is
+// superseded at the true run end with a strictly greater score, so the
+// returned result is identical.
+
+/// Scalar reference: the pre-SIMD run loop (u64 word compares, no vector
+/// instructions). STARATLAS_FORCE_SCALAR pins dispatch here.
+ScanResult scan_fwd_scalar(const char* q, const char* t, u64 limit,
+                           int xdrop) {
+  ScanResult r;
+  int score = 0;
+  int best_score = 0;
+  u64 matched = 0;
+  u64 len = 0;
+  while (len < limit) {
+    const u64 run = match_run_fwd(q + len, t + len, limit - len);
+    score += static_cast<int>(run);
+    matched += run;
+    len += run;
+    r.compared += run;
+    if (score > best_score) {
+      best_score = score;
+      r.best_matched = matched;
+      r.best_len = len;
+    }
+    if (len >= limit) break;
+    ++r.compared;  // the mismatching base
+    score -= 2;
+    ++len;
+    if (score <= best_score - xdrop) break;
+  }
+  return r;
+}
+
+ScanResult scan_bwd_scalar(const char* q, const char* t, u64 limit,
+                           int xdrop) {
+  ScanResult r;
+  int score = 0;
+  int best_score = 0;
+  u64 matched = 0;
+  u64 len = 0;
+  while (len < limit) {
+    const u64 run = match_run_bwd(q - len, t - len, limit - len);
+    score += static_cast<int>(run);
+    matched += run;
+    len += run;
+    r.compared += run;
+    if (score > best_score) {
+      best_score = score;
+      r.best_matched = matched;
+      r.best_len = len;
+    }
+    if (len >= limit) break;
+    ++r.compared;
+    score -= 2;
+    ++len;
+    if (score <= best_score - xdrop) break;
+  }
+  return r;
+}
+
+#if defined(STARATLAS_X86_SIMD)
+// Vector variants: one compare+movemask builds a per-strip mismatch
+// bitmap (32 bases with AVX2, 16 with SSE2), then the whole strip —
+// every run and every penalized mismatch in it — is consumed from that
+// one register with ctz/clz instead of reloading memory after each
+// mismatch. The tail shorter than a strip falls back to the scalar run
+// loop, which continues the same scan state, so no out-of-bounds byte is
+// ever touched.
+
+ScanResult scan_fwd_sse2(const char* q, const char* t, u64 limit,
+                         int xdrop) {
+  ScanResult r;
+  int score = 0;
+  int best_score = 0;
+  u64 matched = 0;
+  u64 len = 0;
+  while (len + 16 <= limit) {
+    const __m128i qa =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + len));
+    const __m128i ta =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(t + len));
+    const u32 mm =
+        ~static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi8(qa, ta))) &
+        0xFFFFu;
+    u32 pos = 0;
+    while (pos < 16) {
+      const u32 rest = mm >> pos;
+      const u32 run =
+          rest == 0 ? 16 - pos : static_cast<u32>(__builtin_ctz(rest));
+      score += static_cast<int>(run);
+      matched += run;
+      len += run;
+      r.compared += run;
+      pos += run;
+      if (score > best_score) {
+        best_score = score;
+        r.best_matched = matched;
+        r.best_len = len;
+      }
+      if (rest == 0) break;  // run reaches the strip end; reload
+      ++r.compared;          // the mismatching base
+      score -= 2;
+      ++len;
+      ++pos;
+      if (score <= best_score - xdrop) return r;
+    }
+  }
+  while (len < limit) {
+    const u64 run = match_run_fwd(q + len, t + len, limit - len);
+    score += static_cast<int>(run);
+    matched += run;
+    len += run;
+    r.compared += run;
+    if (score > best_score) {
+      best_score = score;
+      r.best_matched = matched;
+      r.best_len = len;
+    }
+    if (len >= limit) break;
+    ++r.compared;
+    score -= 2;
+    ++len;
+    if (score <= best_score - xdrop) break;
+  }
+  return r;
+}
+
+ScanResult scan_bwd_sse2(const char* q, const char* t, u64 limit,
+                         int xdrop) {
+  ScanResult r;
+  int score = 0;
+  int best_score = 0;
+  u64 matched = 0;
+  u64 len = 0;
+  while (len + 16 <= limit) {
+    const __m128i qa =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q - len - 16));
+    const __m128i ta =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(t - len - 16));
+    // Scan order is highest vector byte first; park the 16-bit mismatch
+    // mask in the top half so clz counts scan-order matches directly.
+    const u32 mm =
+        (~static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi8(qa, ta)))
+         & 0xFFFFu)
+        << 16;
+    u32 pos = 0;
+    while (pos < 16) {
+      const u32 rest = mm << pos;
+      const u32 run =
+          rest == 0 ? 16 - pos : static_cast<u32>(__builtin_clz(rest));
+      score += static_cast<int>(run);
+      matched += run;
+      len += run;
+      r.compared += run;
+      pos += run;
+      if (score > best_score) {
+        best_score = score;
+        r.best_matched = matched;
+        r.best_len = len;
+      }
+      if (rest == 0) break;
+      ++r.compared;
+      score -= 2;
+      ++len;
+      ++pos;
+      if (score <= best_score - xdrop) return r;
+    }
+  }
+  while (len < limit) {
+    const u64 run = match_run_bwd(q - len, t - len, limit - len);
+    score += static_cast<int>(run);
+    matched += run;
+    len += run;
+    r.compared += run;
+    if (score > best_score) {
+      best_score = score;
+      r.best_matched = matched;
+      r.best_len = len;
+    }
+    if (len >= limit) break;
+    ++r.compared;
+    score -= 2;
+    ++len;
+    if (score <= best_score - xdrop) break;
+  }
+  return r;
+}
+
+__attribute__((target("avx2"))) ScanResult scan_fwd_avx2(const char* q,
+                                                         const char* t,
+                                                         u64 limit,
+                                                         int xdrop) {
+  ScanResult r;
+  int score = 0;
+  int best_score = 0;
+  u64 matched = 0;
+  u64 len = 0;
+  while (len + 32 <= limit) {
+    const __m256i qa =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + len));
+    const __m256i ta =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t + len));
+    const u32 mm = ~static_cast<u32>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(qa, ta)));
+    u32 pos = 0;
+    while (pos < 32) {
+      const u32 rest = mm >> pos;
+      const u32 run =
+          rest == 0 ? 32 - pos : static_cast<u32>(__builtin_ctz(rest));
+      score += static_cast<int>(run);
+      matched += run;
+      len += run;
+      r.compared += run;
+      pos += run;
+      if (score > best_score) {
+        best_score = score;
+        r.best_matched = matched;
+        r.best_len = len;
+      }
+      if (rest == 0) break;
+      ++r.compared;
+      score -= 2;
+      ++len;
+      ++pos;
+      if (score <= best_score - xdrop) return r;
+    }
+  }
+  while (len < limit) {
+    const u64 run = match_run_fwd(q + len, t + len, limit - len);
+    score += static_cast<int>(run);
+    matched += run;
+    len += run;
+    r.compared += run;
+    if (score > best_score) {
+      best_score = score;
+      r.best_matched = matched;
+      r.best_len = len;
+    }
+    if (len >= limit) break;
+    ++r.compared;
+    score -= 2;
+    ++len;
+    if (score <= best_score - xdrop) break;
+  }
+  return r;
+}
+
+__attribute__((target("avx2"))) ScanResult scan_bwd_avx2(const char* q,
+                                                         const char* t,
+                                                         u64 limit,
+                                                         int xdrop) {
+  ScanResult r;
+  int score = 0;
+  int best_score = 0;
+  u64 matched = 0;
+  u64 len = 0;
+  while (len + 32 <= limit) {
+    const __m256i qa =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q - len - 32));
+    const __m256i ta =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t - len - 32));
+    const u32 mm = ~static_cast<u32>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(qa, ta)));
+    u32 pos = 0;
+    while (pos < 32) {
+      const u32 rest = mm << pos;  // scan order: highest vector byte first
+      const u32 run =
+          rest == 0 ? 32 - pos : static_cast<u32>(__builtin_clz(rest));
+      score += static_cast<int>(run);
+      matched += run;
+      len += run;
+      r.compared += run;
+      pos += run;
+      if (score > best_score) {
+        best_score = score;
+        r.best_matched = matched;
+        r.best_len = len;
+      }
+      if (rest == 0) break;
+      ++r.compared;
+      score -= 2;
+      ++len;
+      ++pos;
+      if (score <= best_score - xdrop) return r;
+    }
+  }
+  while (len < limit) {
+    const u64 run = match_run_bwd(q - len, t - len, limit - len);
+    score += static_cast<int>(run);
+    matched += run;
+    len += run;
+    r.compared += run;
+    if (score > best_score) {
+      best_score = score;
+      r.best_matched = matched;
+      r.best_len = len;
+    }
+    if (len >= limit) break;
+    ++r.compared;
+    score -= 2;
+    ++len;
+    if (score <= best_score - xdrop) break;
+  }
+  return r;
+}
+#endif  // STARATLAS_X86_SIMD
+
+}  // namespace
+
+ScanFn fwd_kernel(SimdLevel level) {
+  switch (level) {
+#if defined(STARATLAS_X86_SIMD)
+    case SimdLevel::kAvx2:
+      return &scan_fwd_avx2;
+    case SimdLevel::kSse2:
+      return &scan_fwd_sse2;
+#else
+    case SimdLevel::kAvx2:
+    case SimdLevel::kSse2:
+      return nullptr;
+#endif
+    case SimdLevel::kScalar:
+      break;
+  }
+  return &scan_fwd_scalar;
+}
+
+ScanFn bwd_kernel(SimdLevel level) {
+  switch (level) {
+#if defined(STARATLAS_X86_SIMD)
+    case SimdLevel::kAvx2:
+      return &scan_bwd_avx2;
+    case SimdLevel::kSse2:
+      return &scan_bwd_sse2;
+#else
+    case SimdLevel::kAvx2:
+    case SimdLevel::kSse2:
+      return nullptr;
+#endif
+    case SimdLevel::kScalar:
+      break;
+  }
+  return &scan_bwd_scalar;
+}
+
+}  // namespace xdrop_kernels
+
+namespace {
 
 /// X-drop extension to the left of (read_pos, text_pos), exclusive.
 /// Returns (matched_bases, extended_length) of the best extension.
 std::pair<u64, u64> extend_left(std::string_view read, std::string_view text,
                                 u64 read_pos, GenomePos text_pos, int xdrop,
                                 u64& bases_compared) {
-  int score = 0;
-  int best_score = 0;
-  u64 matched = 0;
-  u64 best_matched = 0;
-  u64 len = 0;
-  u64 best_len = 0;
-  // Count into a local: a store through the reference each iteration could
-  // alias the text and would force re-loading it.
-  u64 compared = 0;
+  static const xdrop_kernels::ScanFn kScan =
+      pick_kernel(xdrop_kernels::bwd_kernel(SimdLevel::kScalar),
+                  xdrop_kernels::bwd_kernel(SimdLevel::kSse2),
+                  xdrop_kernels::bwd_kernel(SimdLevel::kAvx2));
   const u64 limit = std::min<u64>(read_pos, text_pos);
-  const char* const q = read.data() + read_pos;
-  const char* const t = text.data() + text_pos;
-  while (len < limit) {
-    const u64 run = match_run_bwd(q - len, t - len, limit - len);
-    score += static_cast<int>(run);
-    matched += run;
-    len += run;
-    compared += run;
-    if (score > best_score) {
-      best_score = score;
-      best_matched = matched;
-      best_len = len;
-    }
-    if (len >= limit) break;
-    ++compared;  // the mismatching base
-    score -= 2;
-    ++len;
-    if (score <= best_score - xdrop) break;
-  }
-  bases_compared += compared;
-  return {best_matched, best_len};
+  const xdrop_kernels::ScanResult r =
+      kScan(read.data() + read_pos, text.data() + text_pos, limit, xdrop);
+  bases_compared += r.compared;
+  return {r.best_matched, r.best_len};
 }
 
 /// X-drop extension to the right starting at (read_pos, text_pos).
 std::pair<u64, u64> extend_right(std::string_view read, std::string_view text,
                                  u64 read_pos, GenomePos text_pos, int xdrop,
                                  u64& bases_compared) {
-  int score = 0;
-  int best_score = 0;
-  u64 matched = 0;
-  u64 best_matched = 0;
-  u64 len = 0;
-  u64 best_len = 0;
-  u64 compared = 0;
+  static const xdrop_kernels::ScanFn kScan =
+      pick_kernel(xdrop_kernels::fwd_kernel(SimdLevel::kScalar),
+                  xdrop_kernels::fwd_kernel(SimdLevel::kSse2),
+                  xdrop_kernels::fwd_kernel(SimdLevel::kAvx2));
   const u64 limit =
       std::min<u64>(read.size() - read_pos, text.size() - text_pos);
-  const char* const q = read.data() + read_pos;
-  const char* const t = text.data() + text_pos;
-  while (len < limit) {
-    const u64 run = match_run_fwd(q + len, t + len, limit - len);
-    score += static_cast<int>(run);
-    matched += run;
-    len += run;
-    compared += run;
-    if (score > best_score) {
-      best_score = score;
-      best_matched = matched;
-      best_len = len;
-    }
-    if (len >= limit) break;
-    ++compared;  // the mismatching base
-    score -= 2;
-    ++len;
-    if (score <= best_score - xdrop) break;
-  }
-  bases_compared += compared;
-  return {best_matched, best_len};
+  const xdrop_kernels::ScanResult r =
+      kScan(read.data() + read_pos, text.data() + text_pos, limit, xdrop);
+  bases_compared += r.compared;
+  return {r.best_matched, r.best_len};
 }
 
 /// Chains the window's loci (sorted by read_offset) with the classic

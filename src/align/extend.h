@@ -16,9 +16,39 @@
 #include "align/params.h"
 #include "align/record.h"
 #include "align/seed.h"
+#include "common/simd.h"
 #include "index/genome_index.h"
 
 namespace staratlas {
+
+/// X-drop scan kernels (the inner loop of seed end extension), exposed so
+/// the scalar/SIMD parity fuzz test can drive every compiled variant
+/// explicitly; the aligner itself binds the dispatched pick once.
+namespace xdrop_kernels {
+
+/// Result of one whole X-drop scan with +1/-2 scoring.
+struct ScanResult {
+  u64 best_matched = 0;  ///< matched bases within the best-scoring prefix
+  u64 best_len = 0;      ///< length of the best-scoring prefix
+  u64 compared = 0;      ///< bases examined == scan length at exit
+};
+
+/// Forward kernels compare q[0..limit) against t[0..limit); backward
+/// kernels compare q[-1], q[-2], ... against t[-1], t[-2], ... for up to
+/// `limit` bases. All variants of a direction return identical results —
+/// with +1/-2 scoring the score rises monotonically inside a match run, so
+/// the x-drop break can only trigger at a mismatch and intermediate
+/// best-prefix updates (per SIMD strip instead of per run) are always
+/// superseded at the true run end.
+using ScanFn = ScanResult (*)(const char* q, const char* t, u64 limit,
+                              int xdrop);
+
+/// Kernel compiled for `level`, or null when this build lacks it (non-x86
+/// builds only compile the scalar reference).
+ScanFn fwd_kernel(SimdLevel level);
+ScanFn bwd_kernel(SimdLevel level);
+
+}  // namespace xdrop_kernels
 
 struct ExtendStats {
   u64 windows_scored = 0;

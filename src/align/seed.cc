@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.h"
+
 namespace staratlas {
 
 void find_seeds(const GenomeIndex& index, std::string_view read,
@@ -43,6 +45,103 @@ SeedSearchResult find_seeds(const GenomeIndex& index, std::string_view read,
   SeedSearchResult result;
   find_seeds(index, read, params, result);
   return result;
+}
+
+namespace {
+/// Advances one walk's (grid, offset) cursor to its next MMP start, or
+/// returns false when the walk is finished. Encodes exactly the control
+/// flow of find_seeds' nested loops: the inner while ends at the read end
+/// or a seeded offset (walk merged into a previous one), the outer for
+/// steps the grid by lmax, and hitting max_seeds_per_read ends everything.
+bool next_mmp_start(std::string_view read, const SeedSearchResult& result,
+                    const AlignerParams& params, u64 lmax, u64& grid,
+                    u64& offset) {
+  for (;;) {
+    if (result.seeds.size() >= params.max_seeds_per_read) return false;
+    if (offset < read.size() && !result.offset_seeded[offset]) return true;
+    grid += lmax;
+    if (grid >= read.size()) return false;
+    offset = grid;
+  }
+}
+
+/// Drives every read's MMP walk through the streaming batch walker. The
+/// tag is the walk (= read) index. next() prefers walks freshly advanced
+/// by done() — LIFO, so a restart issues while its read tail is still in
+/// cache — and falls back to starting the next unstarted read. Each
+/// walk's queries execute strictly in walk order, so its result is
+/// independent of how walks interleave across lanes.
+class SeedWalkFeed final : public GenomeIndex::MmpFeed {
+ public:
+  SeedWalkFeed(std::span<const std::string_view> reads,
+               const AlignerParams& params,
+               std::span<SeedSearchResult> results, SeedBatchScratch& s)
+      : reads_(reads),
+        params_(params),
+        results_(results),
+        s_(s),
+        lmax_(std::max<usize>(1, params.seed_search_start_lmax)) {}
+
+  bool next(std::string_view& query, u32& tag) override {
+    u32 w;
+    if (!s_.ready.empty()) {
+      w = s_.ready.back();
+      s_.ready.pop_back();
+    } else {
+      for (;;) {
+        if (cursor_ >= reads_.size()) return false;
+        w = static_cast<u32>(cursor_++);
+        results_[w].clear(reads_[w].size());
+        if (next_mmp_start(reads_[w], results_[w], params_, lmax_,
+                           s_.grid[w], s_.offset[w])) {
+          break;
+        }
+      }
+    }
+    query = reads_[w].substr(s_.offset[w]);
+    tag = w;
+    return true;
+  }
+
+  void done(u32 w, const MmpResult& mmp) override {
+    SeedSearchResult& result = results_[w];
+    u64& offset = s_.offset[w];
+    ++result.mmp_calls;
+    result.chars_matched += mmp.length;
+    if (mmp.length >= params_.seed_min_length) {
+      result.seeds.push_back({offset, mmp.length, mmp.interval});
+      result.offset_seeded[offset] = 1;
+      offset += mmp.length;
+    } else {
+      offset += mmp.length + 1;
+    }
+    if (next_mmp_start(reads_[w], result, params_, lmax_, s_.grid[w],
+                       offset)) {
+      s_.ready.push_back(w);
+    }
+  }
+
+ private:
+  std::span<const std::string_view> reads_;
+  const AlignerParams& params_;
+  std::span<SeedSearchResult> results_;
+  SeedBatchScratch& s_;
+  const u64 lmax_;
+  usize cursor_ = 0;
+};
+}  // namespace
+
+void find_seeds_batch(const GenomeIndex& index,
+                      std::span<const std::string_view> reads,
+                      const AlignerParams& params,
+                      std::span<SeedSearchResult> results,
+                      SeedBatchScratch& scratch) {
+  STARATLAS_CHECK(reads.size() == results.size());
+  scratch.grid.assign(reads.size(), 0);
+  scratch.offset.assign(reads.size(), 0);
+  scratch.ready.clear();
+  SeedWalkFeed feed(reads, params, results, scratch);
+  index.mmp_batch_stream(feed);
 }
 
 }  // namespace staratlas

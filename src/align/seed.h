@@ -6,6 +6,7 @@
 // sequencing errors naturally split a read into multiple seeds.
 #pragma once
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -49,5 +50,28 @@ void find_seeds(const GenomeIndex& index, std::string_view read,
 /// Convenience form that returns a fresh result (allocates; tests/tools).
 SeedSearchResult find_seeds(const GenomeIndex& index, std::string_view read,
                             const AlignerParams& params);
+
+/// Walk-state buffers for find_seeds_batch, reused batch after batch so
+/// the steady state allocates nothing. Owned by AlignWorkspace.
+struct SeedBatchScratch {
+  std::vector<u32> ready;   ///< walks whose next restart is pending
+  std::vector<u64> grid;    ///< per-walk: current restart-grid boundary
+  std::vector<u64> offset;  ///< per-walk: current MMP start offset
+};
+
+/// Batched find_seeds: runs the MMP walk of every read in `reads`, writing
+/// results[i] for reads[i]. Each result is bit-identical to a find_seeds
+/// call on that read alone — same seeds, same mmp_calls/chars_matched
+/// accounting — but the walks advance together as a feed into
+/// GenomeIndex::mmp_batch_stream, so the dependent suffix-array loads
+/// that serialize a lone walk overlap across up to 64 in-flight walks,
+/// and a walk's next restart re-enters the lanes the moment its previous
+/// MMP resolves. Steady-state it performs no heap allocations.
+/// `reads.size()` must equal `results.size()`.
+void find_seeds_batch(const GenomeIndex& index,
+                      std::span<const std::string_view> reads,
+                      const AlignerParams& params,
+                      std::span<SeedSearchResult> results,
+                      SeedBatchScratch& scratch);
 
 }  // namespace staratlas

@@ -21,6 +21,21 @@
 
 namespace staratlas {
 
+/// Per-batch lanes for Aligner::align_batch. Unlike the per-read buffers
+/// above, these hold state for EVERY read of a batch at once: the batched
+/// seed phase needs all reads' reverse complements and both orientations'
+/// seed results live simultaneously before any read is finished. All
+/// vectors reach their high-water marks after a warm-up batch and are
+/// reused, so steady-state batches allocate nothing.
+struct AlignBatchLanes {
+  std::vector<std::string> rc;          ///< reverse complement per read
+  std::vector<std::string_view> walks;  ///< 2 per read: forward, rc
+  std::vector<SeedSearchResult> seeds;  ///< parallel to `walks`
+  SeedBatchScratch scratch;             ///< find_seeds_batch round buffers
+  std::vector<std::string_view> views;  ///< engine: the batch's read views
+  std::vector<ReadAlignment> results;   ///< engine: per-read result slots
+};
+
 struct AlignWorkspace {
   std::string rc;           ///< reverse-complement buffer
   SeedSearchResult seeds;   ///< seed walk output; reused per orientation
@@ -28,6 +43,7 @@ struct AlignWorkspace {
   std::vector<AlignmentHit> hits;  ///< candidate hits, both orientations
   std::vector<u32> hit_order;      ///< sort permutation over `hits`
   ReadAlignment result;     ///< per-read result slot for engine loops
+  AlignBatchLanes batch;    ///< align_batch lanes (empty if unused)
 };
 
 }  // namespace staratlas

@@ -1,0 +1,46 @@
+#include "common/simd.h"
+
+#include <cstdlib>
+
+namespace staratlas {
+
+SimdLevel detected_simd_level() {
+#if defined(STARATLAS_X86_SIMD)
+  static const SimdLevel level = [] {
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+    return SimdLevel::kSse2;  // baseline on x86-64
+  }();
+  return level;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+bool simd_force_scalar() {
+  static const bool force = [] {
+    const char* v = std::getenv("STARATLAS_FORCE_SCALAR");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+  }();
+  return force;
+}
+
+SimdLevel active_simd_level() {
+  static const SimdLevel level =
+      simd_force_scalar() ? SimdLevel::kScalar : detected_simd_level();
+  return level;
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+}  // namespace staratlas

@@ -1,0 +1,66 @@
+// Shared SIMD runtime dispatch for the io and align kernels.
+//
+// Every vectorized hot loop in this codebase follows one idiom: a scalar
+// reference implementation, optional SSE2/AVX2 variants compiled with
+// per-function target attributes, and a one-time runtime pick of the
+// widest level the CPU supports. This header centralizes the probe and
+// the pick so io/fasta.cc, io/fastq_block.cc and align/extend.cc share
+// one dispatch path instead of each carrying a copy.
+//
+// Setting STARATLAS_FORCE_SCALAR=1 in the environment pins every kernel
+// dispatched through pick_kernel() to its scalar reference. The CI
+// force-scalar job reruns the alignment determinism and mapping-rate
+// smoke tests under it, so scalar/SIMD outcome parity is enforced on
+// every build, not just in the fuzz tests. The level is sampled once on
+// first use (function-local static), so the variable must be set before
+// the process touches any dispatched kernel — true for ctest jobs, which
+// set it at process spawn.
+#pragma once
+
+#include "common/types.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define STARATLAS_X86_SIMD 1
+#endif
+
+namespace staratlas {
+
+enum class SimdLevel : u8 { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Widest level the CPU supports (ignores STARATLAS_FORCE_SCALAR).
+/// x86-64 guarantees SSE2; AVX2 is probed at runtime.
+SimdLevel detected_simd_level();
+
+/// True when STARATLAS_FORCE_SCALAR is set to anything but "" or "0".
+/// Cached after the first call.
+bool simd_force_scalar();
+
+/// The dispatch level: detected_simd_level(), clamped to kScalar when
+/// STARATLAS_FORCE_SCALAR is active. Cached after the first call.
+SimdLevel active_simd_level();
+
+/// Name for logs and bench output: "scalar", "sse2", "avx2".
+const char* simd_level_name(SimdLevel level);
+
+/// Picks the widest kernel active_simd_level() allows. Null entries fall
+/// through to the next narrower level, so callers without (say) an SSE2
+/// variant pass nullptr and still get correct dispatch. `scalar` must be
+/// non-null. Typical use binds the result once per process:
+///
+///   static const Kernel k = pick_kernel(&run_scalar, &run_sse2, &run_avx2);
+template <typename Fn>
+Fn pick_kernel(Fn scalar, Fn sse2, Fn avx2) {
+  switch (active_simd_level()) {
+    case SimdLevel::kAvx2:
+      if (avx2) return avx2;
+      [[fallthrough]];
+    case SimdLevel::kSse2:
+      if (sse2) return sse2;
+      [[fallthrough]];
+    case SimdLevel::kScalar:
+      break;
+  }
+  return scalar;
+}
+
+}  // namespace staratlas

@@ -455,6 +455,351 @@ void GenomeIndex::mmp(std::string_view query, MmpResult& result) const {
   result.interval = depth > 0 ? interval : SaInterval{};
 }
 
+namespace {
+
+/// Lockstep batch walker behind GenomeIndex::mmp_batch. Lane state is
+/// struct-of-arrays so each wave phase runs as a tight loop over a dense
+/// active-lane list; per-lane state machines were measured slower than
+/// this shape (dispatch overhead ate the latency win).
+///
+/// Wave structure, per round of up to kLanes in-flight queries:
+///   jump:    compute LUT codes for every lane, prefetch the LUT cells
+///            across lanes, then read them (mini-LUT cascade fallback,
+///            exactly as mmp()).
+///   narrow:  lanes whose interval is still wide binary-search one query
+///            character at a time (the lower-then-upper bound rounds of
+///            extend_interval). Each half-round first issues every lane's
+///            sa[mid] load and prefetches the text byte it points at,
+///            then consumes them — lane A's DRAM miss hides behind lanes
+///            B..Z instead of stalling the walk.
+///   gather:  lanes whose interval fits kT rows read the rows' text
+///            positions and prefetch all of them at once.
+///   compare: per row, LCP against the query (word-at-a-time); the
+///            maximal rows form a contiguous block (LCP over a sorted
+///            suffix block is unimodal), which becomes the result
+///            interval. This replaces the per-character narrowing for
+///            small intervals and is where unique reads spend their walk.
+///   apply:   results are written out and freed lanes refill from the
+///            query list.
+struct MmpBatchWalker {
+  static constexpr u32 kT = 24;       ///< direct-scan row threshold
+  static constexpr usize kLanes = 64; ///< in-flight queries
+
+  const std::string_view text;
+  const std::span<const u32> sa;
+  const std::span<const LutCell> lut;
+  const u32 lut_k;
+  const GenomeIndex& index;
+
+  // Lane state (index = lane).
+  const char* q[kLanes];
+  u32 qlen[kLanes];
+  u32 ilo[kLanes], ihi[kLanes], depth[kLanes];
+  // Narrow state: current bounds [a, b), probe row, lower-bound result,
+  // and whether we are in the lower (0) or upper (1) bound pass.
+  u32 a[kLanes], b[kLanes], mid[kLanes], nlo[kLanes];
+  u8 nmode[kLanes];
+  i32 target[kLanes];
+  // Gathered text positions of a small interval's rows.
+  u64 rpos[kLanes][kT];
+  u32 rn[kLanes];
+  // advance_bounds() outcome: 0 = next character started (still
+  // narrowing), 1 = direct scan next, 2 = walk finished.
+  u8 state[kLanes];
+  u32 tag[kLanes];  ///< feed tag of the query the lane is resolving
+
+  explicit MmpBatchWalker(const GenomeIndex& idx)
+      : text(idx.text()),
+        sa(idx.suffix_array()),
+        lut(idx.prefix_lut()),
+        lut_k(idx.prefix_lut_k()),
+        index(idx) {}
+
+  void start_char(usize i) {
+    target[i] = static_cast<unsigned char>(q[i][depth[i]]);
+    a[i] = ilo[i];
+    b[i] = ihi[i];
+    nmode[i] = 0;
+    mid[i] = a[i] + (b[i] - a[i]) / 2;
+    __builtin_prefetch(&sa[mid[i]]);
+  }
+
+  /// After one probe was consumed: true when another probe is pending
+  /// (mid computed and prefetched); false with state[i] set otherwise.
+  bool advance_bounds(usize i) {
+    for (;;) {
+      if (a[i] < b[i]) {
+        mid[i] = a[i] + (b[i] - a[i]) / 2;
+        __builtin_prefetch(&sa[mid[i]]);
+        return true;
+      }
+      if (nmode[i] == 0) {
+        // Lower bound done; run the upper bound over [lower, ihi).
+        nlo[i] = a[i];
+        b[i] = ihi[i];
+        nmode[i] = 1;
+        continue;
+      }
+      // Both bounds done: the narrowed interval is [nlo, a).
+      if (nlo[i] == a[i]) {
+        state[i] = 2;  // next char absent: keep interval/depth, finish
+        return false;
+      }
+      ilo[i] = nlo[i];
+      ihi[i] = a[i];
+      ++depth[i];
+      if (depth[i] >= qlen[i]) {
+        state[i] = 2;
+        return false;
+      }
+      if (ihi[i] - ilo[i] > kT) {
+        start_char(i);
+        state[i] = 0;
+        return false;
+      }
+      state[i] = 1;  // small enough for the direct scan
+      return false;
+    }
+  }
+
+  void classify(usize i, u8* narrow, usize& n_nar, u8* direct, usize& n_dir,
+                u8* done, usize& n_done) {
+    if (depth[i] >= qlen[i]) {
+      done[n_done++] = static_cast<u8>(i);
+      return;
+    }
+    if (ihi[i] - ilo[i] > kT) {
+      start_char(i);
+      narrow[n_nar++] = static_cast<u8>(i);
+      return;
+    }
+    direct[n_dir++] = static_cast<u8>(i);
+  }
+
+  /// Claims the next query from the feed into lane `i`.
+  bool refill(GenomeIndex::MmpFeed& feed, usize i) {
+    std::string_view query;
+    u32 t = 0;
+    if (!feed.next(query, t)) return false;
+    q[i] = query.data();
+    qlen[i] = static_cast<u32>(query.size());
+    tag[i] = t;
+    return true;
+  }
+
+  void run(GenomeIndex::MmpFeed& feed) {
+    u8 active[kLanes];
+    usize n_active = 0;
+    for (usize i = 0; i < kLanes && refill(feed, i); ++i) {
+      active[n_active++] = static_cast<u8>(i);
+    }
+
+    u8 narrow[kLanes], direct[kLanes], done[kLanes];
+    u64 codes[kLanes];
+    while (n_active > 0) {
+      usize n_nar = 0, n_dir = 0, n_done = 0;
+      // Jump: codes + LUT prefetch across lanes, then the cell reads.
+      for (usize k = 0; k < n_active; ++k) {
+        const usize i = active[k];
+        const std::string_view query(q[i], qlen[i]);
+        codes[i] = ~u64{0};
+        if (query.size() >= lut_k) {
+          u64 code = 0;
+          bool valid = true;
+          for (u32 j = 0; j < lut_k; ++j) {
+            const u8 c = base_code(query[j]);
+            if (c == 0xff) {
+              valid = false;
+              break;
+            }
+            code = (code << 2) | c;
+          }
+          if (valid) {
+            codes[i] = code;
+            __builtin_prefetch(&lut[code]);
+          }
+        }
+      }
+      for (usize k = 0; k < n_active; ++k) {
+        const usize i = active[k];
+        ilo[i] = 0;
+        ihi[i] = static_cast<u32>(sa.size());
+        depth[i] = 0;
+        if (codes[i] != ~u64{0}) {
+          const LutCell& cell = lut[codes[i]];
+          if (cell[0] != cell[1]) {
+            ilo[i] = cell[0];
+            ihi[i] = cell[1];
+            depth[i] = lut_k;
+          }
+        }
+        if (depth[i] == 0 && qlen[i] > 0) {
+          // Mini-LUT cascade, exactly as mmp().
+          u64 code = 0;
+          u32 pure = 0;
+          const u32 kmax = std::min<u32>(4, qlen[i]);
+          for (u32 j = 0; j < kmax; ++j) {
+            const u8 c = base_code(q[i][j]);
+            if (c == 0xff) break;
+            code = (code << 2) | c;
+            ++pure;
+          }
+          for (u32 kk = pure; kk >= 1; --kk) {
+            const LutCell& cell = index.mini_lut(kk)[code >> (2 * (pure - kk))];
+            if (cell[0] != cell[1]) {
+              ilo[i] = cell[0];
+              ihi[i] = cell[1];
+              depth[i] = kk;
+              break;
+            }
+          }
+        }
+        classify(i, narrow, n_nar, direct, n_dir, done, n_done);
+      }
+
+      // Narrow rounds: issue all lanes' probes, then consume them.
+      while (n_nar > 0) {
+        for (usize k = 0; k < n_nar; ++k) {
+          const usize i = narrow[k];
+          rpos[i][0] = sa[mid[i]];
+          __builtin_prefetch(text.data() + rpos[i][0] + depth[i]);
+        }
+        usize kept = 0;
+        for (usize k = 0; k < n_nar; ++k) {
+          const usize i = narrow[k];
+          const u64 p = rpos[i][0] + depth[i];
+          const i32 c =
+              p < text.size() ? static_cast<unsigned char>(text[p]) : -1;
+          const bool go_right =
+              nmode[i] == 0 ? (c < target[i]) : (c <= target[i]);
+          if (go_right) {
+            a[i] = mid[i] + 1;
+          } else {
+            b[i] = mid[i];
+          }
+          if (advance_bounds(i)) {
+            narrow[kept++] = static_cast<u8>(i);
+          } else if (state[i] == 0) {
+            narrow[kept++] = static_cast<u8>(i);  // next char started
+          } else if (state[i] == 1) {
+            direct[n_dir++] = static_cast<u8>(i);
+          } else {
+            done[n_done++] = static_cast<u8>(i);
+          }
+        }
+        n_nar = kept;
+      }
+
+      // Gather: read the rows of every direct lane, prefetch their text.
+      for (usize k = 0; k < n_dir; ++k) {
+        const usize i = direct[k];
+        const u32 n = ihi[i] - ilo[i];
+        rn[i] = n;
+        for (u32 r = 0; r < n; ++r) {
+          rpos[i][r] = sa[ilo[i] + r];
+          __builtin_prefetch(text.data() + rpos[i][r] + depth[i]);
+        }
+      }
+      // Compare: per-row LCP, then extract the maximal contiguous block.
+      for (usize k = 0; k < n_dir; ++k) {
+        const usize i = direct[k];
+        const char* qq = q[i];
+        u32 lens[kT];
+        u32 best = depth[i];
+        for (u32 r = 0; r < rn[i]; ++r) {
+          const u64 limit = std::min<u64>(qlen[i], text.size() - rpos[i][r]);
+          const char* t = text.data() + rpos[i][r];
+          u64 d = depth[i];
+          while (d + sizeof(u64) <= limit) {
+            u64 tw, qw;
+            std::memcpy(&tw, t + d, sizeof(u64));
+            std::memcpy(&qw, qq + d, sizeof(u64));
+            const u64 x = tw ^ qw;
+            if (x != 0) {
+              d += static_cast<u64>(std::countr_zero(x)) / 8;
+              goto row_done;
+            }
+            d += sizeof(u64);
+          }
+          while (d < limit && t[d] == qq[d]) ++d;
+        row_done:
+          lens[r] = static_cast<u32>(d);
+          if (lens[r] > best) best = lens[r];
+        }
+        if (best > depth[i]) {
+          u32 lo = 0;
+          while (lens[lo] < best) ++lo;
+          u32 hi = rn[i];
+          while (lens[hi - 1] < best) --hi;
+          ilo[i] += lo;
+          ihi[i] = ilo[i] + (hi - lo);
+          depth[i] = best;
+        }
+        done[n_done++] = static_cast<u8>(i);
+      }
+
+      // Apply: deliver every result first — each may hand the feed new
+      // work (a walk's next restart) — then refill the freed lanes.
+      for (usize k = 0; k < n_done; ++k) {
+        const usize i = done[k];
+        MmpResult out;
+        out.length = depth[i];
+        out.interval =
+            depth[i] > 0 ? SaInterval{ilo[i], ihi[i]} : SaInterval{};
+        feed.done(tag[i], out);
+      }
+      usize new_active = 0;
+      for (usize k = 0; k < n_done; ++k) {
+        const usize i = done[k];
+        if (!refill(feed, i)) break;  // dry now; no in-flight queries left
+        active[new_active++] = static_cast<u8>(i);
+      }
+      n_active = new_active;
+    }
+  }
+};
+
+/// Adapts the span-based mmp_batch onto the streaming walker.
+class SpanFeed final : public GenomeIndex::MmpFeed {
+ public:
+  SpanFeed(std::span<const std::string_view> queries,
+           std::span<MmpResult> results)
+      : queries_(queries), results_(results) {}
+
+  bool next(std::string_view& query, u32& tag) override {
+    if (next_ >= queries_.size()) return false;
+    query = queries_[next_];
+    tag = static_cast<u32>(next_);
+    ++next_;
+    return true;
+  }
+
+  void done(u32 tag, const MmpResult& result) override {
+    results_[tag] = result;
+  }
+
+ private:
+  std::span<const std::string_view> queries_;
+  std::span<MmpResult> results_;
+  usize next_ = 0;
+};
+
+}  // namespace
+
+void GenomeIndex::mmp_batch_stream(MmpFeed& feed) const {
+  MmpBatchWalker walker(*this);
+  walker.run(feed);
+}
+
+void GenomeIndex::mmp_batch(std::span<const std::string_view> queries,
+                            std::span<MmpResult> results) const {
+  STARATLAS_CHECK(queries.size() == results.size());
+  if (queries.empty()) return;
+  SpanFeed feed(queries, results);
+  MmpBatchWalker walker(*this);
+  walker.run(feed);
+}
+
 IndexStats GenomeIndex::stats() const {
   IndexStats stats;
   stats.text_bytes = ByteSize(storage_.text().size());

@@ -128,6 +128,43 @@ class GenomeIndex {
   /// heap allocation.
   void mmp(std::string_view query, MmpResult& out) const;
 
+  /// Batched mmp(): resolves queries[i] into results[i] for every i, with
+  /// results identical to per-query mmp() calls. Internally up to 64
+  /// queries walk the suffix array in lockstep — each binary-search round
+  /// issues all lanes' SA probes with software prefetches before any lane
+  /// consumes one, so the dependent DRAM loads that serialize a lone walk
+  /// overlap across lanes instead. Small intervals (<= 24 rows) skip the
+  /// per-character narrowing entirely: the rows' suffixes are gathered,
+  /// prefetched, and LCP-compared directly, which is exact because the
+  /// LCP against a sorted suffix block is unimodal, so the maximal-prefix
+  /// rows form the contiguous block this scan extracts. Performs no heap
+  /// allocation. `queries.size()` must equal `results.size()`.
+  void mmp_batch(std::span<const std::string_view> queries,
+                 std::span<MmpResult> results) const;
+
+  /// Pull interface for mmp_batch_stream(). The walker calls next() to
+  /// claim a free lane's query and done() exactly once per issued query;
+  /// within one wave round every result is delivered through done()
+  /// before any next() call of that round, so a caller whose next query
+  /// depends on the previous result (the seed walk's restarts) can chain
+  /// work without ever draining the lanes.
+  class MmpFeed {
+   public:
+    virtual ~MmpFeed() = default;
+    /// Supplies the next pending query and an opaque tag, or returns
+    /// false when nothing is pending right now. Called again after later
+    /// done() deliveries, which may have created new pending work.
+    virtual bool next(std::string_view& query, u32& tag) = 0;
+    /// Delivers the result of the query issued under `tag`. Delivery
+    /// order across tags follows lane completion, not issue order.
+    virtual void done(u32 tag, const MmpResult& result) = 0;
+  };
+
+  /// Pull-driven mmp_batch: keeps up to 64 lockstep lanes full from
+  /// `feed` until it runs dry. Each query's result is identical to a
+  /// per-query mmp() call. Performs no heap allocation.
+  void mmp_batch_stream(MmpFeed& feed) const;
+
   /// Narrows `interval` (matching `depth` query chars) to suffixes whose
   /// next character equals `c`. Exposed for the aligner's seed logic.
   SaInterval extend_interval(SaInterval interval, usize depth, char c) const;

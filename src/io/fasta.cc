@@ -2,16 +2,17 @@
 
 #include <array>
 #include <cctype>
-#if defined(__x86_64__) && defined(__GNUC__)
-#include <immintrin.h>
-#define STARATLAS_X86_SIMD 1
-#endif
 #include <fstream>
 #include <istream>
 #include <ostream>
 
 #include "common/error.h"
+#include "common/simd.h"
 #include "io/text.h"
+
+#if defined(STARATLAS_X86_SIMD)
+#include <immintrin.h>
+#endif
 
 namespace staratlas {
 
@@ -122,19 +123,21 @@ __attribute__((target("avx2"))) usize normalize_kernel_avx2(char* data,
   return i;
 }
 
+// The scalar path is the caller's table loop below, so the scalar
+// "kernel" processes nothing and hands the whole span to it.
+usize normalize_kernel_scalar(char*, usize) { return 0; }
+
 using NormalizeKernel = usize (*)(char*, usize);
-NormalizeKernel pick_normalize_kernel() {
-  if (__builtin_cpu_supports("avx2")) return normalize_kernel_avx2;
-  return normalize_kernel_sse2;
-}
-const NormalizeKernel kNormalizeKernel = pick_normalize_kernel();
 }  // namespace
 #endif  // STARATLAS_X86_SIMD
 
 void normalize_sequence_span(char* data, usize len) {
   usize i = 0;
 #if defined(STARATLAS_X86_SIMD)
-  i = kNormalizeKernel(data, len);
+  static const NormalizeKernel kKernel = pick_kernel(
+      &normalize_kernel_scalar, &normalize_kernel_sse2,
+      &normalize_kernel_avx2);
+  i = kKernel(data, len);
 #endif
   for (; i < len; ++i) {
     const char mapped = kResidue[static_cast<unsigned char>(data[i])];

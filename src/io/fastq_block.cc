@@ -7,17 +7,17 @@
 #include <string>
 
 #include "common/error.h"
+#include "common/simd.h"
 #include "io/fasta.h"
 
-#if defined(__x86_64__) && defined(__GNUC__)
+#if defined(STARATLAS_X86_SIMD)
 #include <immintrin.h>
-#define STARATLAS_FASTQ_SSE2 1
 #endif
 
 namespace staratlas {
 
 namespace {
-#if defined(STARATLAS_FASTQ_SSE2)
+#if defined(STARATLAS_X86_SIMD)
 // Newline scan kernels: one vectorized sweep per refill (or per 16 MiB
 // window in memory mode) builds the newline index, so the per-line cost
 // is a table pop instead of a short-span memchr call. Offsets are emitted
@@ -107,13 +107,17 @@ __attribute__((target("avx2"))) void scan_newlines_avx2(
   }
 }
 
-using ScanKernel = void (*)(const char*, usize, usize, std::vector<u32>&);
-ScanKernel pick_scan_kernel() {
-  if (__builtin_cpu_supports("avx2")) return scan_newlines_avx2;
-  return scan_newlines_sse2;
+// Scalar reference: the same byte loop the non-x86 build uses, routed
+// through the kernel table so STARATLAS_FORCE_SCALAR exercises it.
+void scan_newlines_scalar(const char* p, usize from, usize limit,
+                          std::vector<u32>& out) {
+  for (usize i = from; i < limit; ++i) {
+    if (p[i] == '\n') out.push_back(static_cast<u32>(i));
+  }
 }
-const ScanKernel kScanKernel = pick_scan_kernel();
-#endif  // STARATLAS_FASTQ_SSE2
+
+using ScanKernel = void (*)(const char*, usize, usize, std::vector<u32>&);
+#endif  // STARATLAS_X86_SIMD
 }  // namespace
 
 FastqBlockReader::FastqBlockReader(std::istream& in, usize block_bytes)
@@ -134,8 +138,10 @@ void FastqBlockReader::index_newlines(usize from, usize scan_end,
   nl_.clear();
   nl_head_ = 0;
   nl_base_ = rel_base;
-#if defined(STARATLAS_FASTQ_SSE2)
-  kScanKernel(base_ + rel_base, from - rel_base, scan_end - rel_base, nl_);
+#if defined(STARATLAS_X86_SIMD)
+  static const ScanKernel kKernel = pick_kernel(
+      &scan_newlines_scalar, &scan_newlines_sse2, &scan_newlines_avx2);
+  kKernel(base_ + rel_base, from - rel_base, scan_end - rel_base, nl_);
 #else
   for (usize i = from; i < scan_end; ++i) {
     if (base_[i] == '\n') nl_.push_back(static_cast<u32>(i - rel_base));

@@ -1,0 +1,234 @@
+// Scalar/SIMD parity: every compiled X-drop kernel variant must return
+// bit-identical ScanResults to the scalar reference on fuzzed inputs, and
+// the batched alignment path (find_seeds_batch / Aligner::align_batch)
+// must reproduce the per-read path exactly — outcomes, scores, hits,
+// segments, and every work counter. These are the invariants that let the
+// FIG3/FIG4 experiment outputs stay bit-identical across SIMD levels and
+// batch shapes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "align/aligner.h"
+#include "align/extend.h"
+#include "align/seed.h"
+#include "align/workspace.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "sim/library_profile.h"
+#include "sim/read_simulator.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+using xdrop_kernels::ScanFn;
+using xdrop_kernels::ScanResult;
+
+std::string random_seq(Rng& rng, usize len) {
+  std::string s;
+  s.reserve(len);
+  for (usize i = 0; i < len; ++i) s.push_back("ACGT"[rng.uniform(4)]);
+  return s;
+}
+
+/// Copies `t` and flips each base with probability `p`, producing query/
+/// text pairs whose mismatch density spans all-match to all-mismatch.
+std::string corrupt(const std::string& t, Rng& rng, double p) {
+  std::string q = t;
+  for (char& c : q) {
+    if (rng.chance(p)) c = "ACGT"[rng.uniform(4)];
+  }
+  return q;
+}
+
+void expect_scan_eq(const ScanResult& got, const ScanResult& want,
+                    const char* what, usize trial) {
+  EXPECT_EQ(got.best_matched, want.best_matched) << what << " trial " << trial;
+  EXPECT_EQ(got.best_len, want.best_len) << what << " trial " << trial;
+  EXPECT_EQ(got.compared, want.compared) << what << " trial " << trial;
+}
+
+TEST(SimdParity, XdropKernelsMatchScalarOnFuzzedInputs) {
+  const ScanFn fwd_scalar = xdrop_kernels::fwd_kernel(SimdLevel::kScalar);
+  const ScanFn bwd_scalar = xdrop_kernels::bwd_kernel(SimdLevel::kScalar);
+  ASSERT_NE(fwd_scalar, nullptr);
+  ASSERT_NE(bwd_scalar, nullptr);
+
+  const SimdLevel levels[] = {SimdLevel::kSse2, SimdLevel::kAvx2};
+  const double densities[] = {0.0, 0.02, 0.1, 0.5, 1.0};
+  const int xdrops[] = {1, 8, 100};
+
+  Rng rng(0xf022);
+  int exercised = 0;
+  for (usize trial = 0; trial < 400; ++trial) {
+    const usize len = rng.uniform(301);  // 0..300: tails, strips, multi-strip
+    const std::string t = random_seq(rng, len);
+    const std::string q =
+        corrupt(t, rng, densities[trial % std::size(densities)]);
+    const int xdrop = xdrops[trial % 3];
+
+    const ScanResult fwd_want = fwd_scalar(q.data(), t.data(), len, xdrop);
+    // Backward kernels take pointers one past the bases they compare.
+    const ScanResult bwd_want =
+        bwd_scalar(q.data() + len, t.data() + len, len, xdrop);
+    EXPECT_LE(fwd_want.compared, len);
+    EXPECT_LE(bwd_want.compared, len);
+
+    for (const SimdLevel level : levels) {
+      const ScanFn fwd = xdrop_kernels::fwd_kernel(level);
+      const ScanFn bwd = xdrop_kernels::bwd_kernel(level);
+      if (fwd == nullptr || bwd == nullptr) continue;  // not in this build
+      ++exercised;
+      expect_scan_eq(fwd(q.data(), t.data(), len, xdrop), fwd_want,
+                     simd_level_name(level), trial);
+      expect_scan_eq(bwd(q.data() + len, t.data() + len, len, xdrop),
+                     bwd_want, simd_level_name(level), trial);
+    }
+  }
+#ifdef STARATLAS_X86_SIMD
+  EXPECT_GT(exercised, 0) << "x86 build compiled no SIMD variant";
+#endif
+}
+
+TEST(SimdParity, XdropKernelsMatchScalarOnAdversarialShapes) {
+  // Mismatches planted exactly at strip boundaries (15/16/17, 31/32/33...)
+  // and runs that straddle them — the cases where a strip-local scan could
+  // diverge from the run-based scalar loop.
+  const ScanFn fwd_scalar = xdrop_kernels::fwd_kernel(SimdLevel::kScalar);
+  const ScanFn bwd_scalar = xdrop_kernels::bwd_kernel(SimdLevel::kScalar);
+  const usize boundaries[] = {0,  1,  14, 15, 16, 17, 30, 31, 32,
+                              33, 47, 48, 63, 64, 65, 95, 96, 97};
+  const usize len = 128;
+  for (const usize at : boundaries) {
+    for (const int xdrop : {1, 3, 8, 100}) {
+      std::string t(len, 'A');
+      std::string q = t;
+      q[at] = 'C';  // single mismatch at the boundary
+      if (at + 1 < len) q[at + 1] = 'C';  // and a 2-run variant next to it
+      const ScanResult fwd_want = fwd_scalar(q.data(), t.data(), len, xdrop);
+      const ScanResult bwd_want =
+          bwd_scalar(q.data() + len, t.data() + len, len, xdrop);
+      for (const SimdLevel level : {SimdLevel::kSse2, SimdLevel::kAvx2}) {
+        const ScanFn fwd = xdrop_kernels::fwd_kernel(level);
+        const ScanFn bwd = xdrop_kernels::bwd_kernel(level);
+        if (fwd == nullptr || bwd == nullptr) continue;
+        expect_scan_eq(fwd(q.data(), t.data(), len, xdrop), fwd_want,
+                       simd_level_name(level), at);
+        expect_scan_eq(bwd(q.data() + len, t.data() + len, len, xdrop),
+                       bwd_want, simd_level_name(level), at);
+      }
+    }
+  }
+}
+
+void expect_seed_results_eq(const SeedSearchResult& batch,
+                            const SeedSearchResult& solo, usize read) {
+  EXPECT_EQ(batch.mmp_calls, solo.mmp_calls) << "read " << read;
+  EXPECT_EQ(batch.chars_matched, solo.chars_matched) << "read " << read;
+  ASSERT_EQ(batch.seeds.size(), solo.seeds.size()) << "read " << read;
+  for (usize s = 0; s < solo.seeds.size(); ++s) {
+    EXPECT_EQ(batch.seeds[s].read_offset, solo.seeds[s].read_offset);
+    EXPECT_EQ(batch.seeds[s].length, solo.seeds[s].length);
+    EXPECT_EQ(batch.seeds[s].interval.lo, solo.seeds[s].interval.lo);
+    EXPECT_EQ(batch.seeds[s].interval.hi, solo.seeds[s].interval.hi);
+  }
+}
+
+TEST(SimdParity, FindSeedsBatchMatchesPerReadFindSeeds) {
+  const auto& w = world();
+  const AlignerParams params;
+  const ReadSet reads =
+      w.simulator->simulate(bulk_rna_profile(), 300, Rng(4242));
+
+  std::vector<std::string_view> views;
+  for (const auto& read : reads.reads) views.push_back(read.sequence);
+
+  std::vector<SeedSearchResult> batch(views.size());
+  SeedBatchScratch scratch;
+  find_seeds_batch(w.index111, views, params, batch, scratch);
+
+  SeedSearchResult solo;
+  for (usize i = 0; i < views.size(); ++i) {
+    find_seeds(w.index111, views[i], params, solo);
+    expect_seed_results_eq(batch[i], solo, i);
+  }
+}
+
+void expect_alignments_eq(const ReadAlignment& batch,
+                          const ReadAlignment& solo, usize read) {
+  EXPECT_EQ(batch.outcome, solo.outcome) << "read " << read;
+  EXPECT_EQ(batch.best_score, solo.best_score) << "read " << read;
+  EXPECT_EQ(batch.num_loci, solo.num_loci) << "read " << read;
+  EXPECT_EQ(batch.repetitive_capped, solo.repetitive_capped) << "read " << read;
+  ASSERT_EQ(batch.hits.size(), solo.hits.size()) << "read " << read;
+  for (usize h = 0; h < solo.hits.size(); ++h) {
+    EXPECT_EQ(batch.hits[h].text_pos, solo.hits[h].text_pos);
+    EXPECT_EQ(batch.hits[h].reverse, solo.hits[h].reverse);
+    EXPECT_EQ(batch.hits[h].score, solo.hits[h].score);
+    ASSERT_EQ(batch.hits[h].segments.size(), solo.hits[h].segments.size());
+    for (usize s = 0; s < solo.hits[h].segments.size(); ++s) {
+      EXPECT_EQ(batch.hits[h].segments[s].read_start,
+                solo.hits[h].segments[s].read_start);
+      EXPECT_EQ(batch.hits[h].segments[s].text_start,
+                solo.hits[h].segments[s].text_start);
+      EXPECT_EQ(batch.hits[h].segments[s].length,
+                solo.hits[h].segments[s].length);
+    }
+  }
+}
+
+TEST(SimdParity, AlignBatchMatchesPerReadAlign) {
+  const auto& w = world();
+  const Aligner aligner(w.index111, AlignerParams{});
+  const ReadSet reads =
+      w.simulator->simulate(bulk_rna_profile(), 300, Rng(31337));
+
+  // Per-read reference path.
+  AlignWorkspace solo_ws;
+  MappingStats solo_stats;
+  std::vector<ReadAlignment> solo(reads.reads.size());
+  for (usize i = 0; i < reads.reads.size(); ++i) {
+    aligner.align(reads.reads[i].sequence, solo_ws, solo_stats, solo[i]);
+  }
+
+  // Batched path, in uneven chunk sizes (partial lanes, sub-lane chunks).
+  AlignWorkspace batch_ws;
+  MappingStats batch_stats;
+  std::vector<ReadAlignment> batch(reads.reads.size());
+  std::vector<std::string_view> views;
+  usize begin = 0;
+  const usize chunks[] = {1, 7, 64, 100, 128};
+  for (usize c = 0; begin < reads.reads.size(); ++c) {
+    const usize count =
+        std::min(chunks[c % 5], reads.reads.size() - begin);
+    views.clear();
+    for (usize i = begin; i < begin + count; ++i) {
+      views.push_back(reads.reads[i].sequence);
+    }
+    aligner.align_batch(views, batch_ws, batch_stats,
+                        std::span(batch).subspan(begin, count));
+    begin += count;
+  }
+
+  for (usize i = 0; i < reads.reads.size(); ++i) {
+    expect_alignments_eq(batch[i], solo[i], i);
+  }
+  EXPECT_EQ(batch_stats.processed, solo_stats.processed);
+  EXPECT_EQ(batch_stats.unique, solo_stats.unique);
+  EXPECT_EQ(batch_stats.multi, solo_stats.multi);
+  EXPECT_EQ(batch_stats.too_many, solo_stats.too_many);
+  EXPECT_EQ(batch_stats.unmapped, solo_stats.unmapped);
+  EXPECT_EQ(batch_stats.seeds_generated, solo_stats.seeds_generated);
+  EXPECT_EQ(batch_stats.windows_scored, solo_stats.windows_scored);
+  EXPECT_EQ(batch_stats.bases_compared, solo_stats.bases_compared);
+}
+
+}  // namespace
+}  // namespace staratlas

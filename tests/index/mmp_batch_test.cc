@@ -1,0 +1,226 @@
+// Property tests for the batched MMP walker: mmp_batch / mmp_batch_stream
+// must resolve every query to exactly the result a per-query mmp() call
+// produces, across the corpus shapes that exercise every walker phase
+// (LUT jumps, mini-LUT cascade, narrow half-rounds, the <=24-row direct
+// scan, N runs, contig-boundary suffixes, empty and tiny queries), and the
+// steady state must be allocation-free.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/alloc_counter.h"
+#include "common/rng.h"
+#include "index/genome_index.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+void expect_same(const MmpResult& batch, const MmpResult& solo, usize i) {
+  EXPECT_EQ(batch.length, solo.length) << "query " << i;
+  EXPECT_EQ(batch.interval.lo, solo.interval.lo) << "query " << i;
+  EXPECT_EQ(batch.interval.hi, solo.interval.hi) << "query " << i;
+}
+
+void check_batch_matches_solo(const GenomeIndex& index,
+                              const std::vector<std::string>& corpus) {
+  std::vector<std::string_view> queries(corpus.begin(), corpus.end());
+  std::vector<MmpResult> results(queries.size());
+  index.mmp_batch(queries, results);
+  for (usize i = 0; i < queries.size(); ++i) {
+    MmpResult solo;
+    index.mmp(queries[i], solo);
+    expect_same(results[i], solo, i);
+  }
+}
+
+std::string mutate(std::string s, Rng& rng, int edits) {
+  static constexpr char kBases[] = "ACGTN";
+  for (int e = 0; e < edits && !s.empty(); ++e) {
+    s[rng.uniform(s.size())] = kBases[rng.uniform(5)];
+  }
+  return s;
+}
+
+TEST(MmpBatch, MatchesPerQueryMmpOnRandomCorpus) {
+  const auto& w = world();
+  const GenomeIndex& index = w.index111;
+  const std::string& chrom0 = w.r111.contig(0).sequence;
+  const std::string& chrom1 = w.r111.contig(1).sequence;
+
+  Rng rng(20260808);
+  std::vector<std::string> corpus;
+  // Exact genome substrings of varied lengths: big intervals (short) down
+  // to unique hits (long), from both contigs.
+  for (int i = 0; i < 120; ++i) {
+    const std::string& chrom = (i % 2 == 0) ? chrom0 : chrom1;
+    const u64 len = 1 + rng.uniform(120);
+    corpus.push_back(chrom.substr(rng.uniform(chrom.size() - len), len));
+  }
+  // Mutated substrings: the MMP ends mid-query, mixing walk depths.
+  for (int i = 0; i < 120; ++i) {
+    const u64 len = 8 + rng.uniform(100);
+    corpus.push_back(
+        mutate(chrom0.substr(rng.uniform(chrom0.size() - len), len), rng,
+               1 + static_cast<int>(rng.uniform(4))));
+  }
+  // Pure random strings (mostly absent prefixes, mini-LUT territory).
+  for (int i = 0; i < 60; ++i) {
+    std::string q;
+    const u64 len = rng.uniform(40);
+    for (u64 j = 0; j < len; ++j) q.push_back("ACGTN"[rng.uniform(5)]);
+    corpus.push_back(std::move(q));
+  }
+  check_batch_matches_solo(index, corpus);
+}
+
+TEST(MmpBatch, MatchesPerQueryMmpOnEdgeCases) {
+  const auto& w = world();
+  const GenomeIndex& index = w.index111;
+  const std::string& chrom0 = w.r111.contig(0).sequence;
+  const std::string& chrom1 = w.r111.contig(1).sequence;
+
+  std::vector<std::string> corpus = {
+      "",        // empty query
+      "A",       // single chars (shorter than any LUT k)
+      "C",
+      "G",
+      "T",
+      "N",                        // absent first char
+      "NNNNNNNNNNNNNNNNNNNNNNNN",  // long N run
+      "ACGTNNNNACGT",              // N run in the middle
+      "AC",  // shorter than the mini-LUT cascade tops out
+      "ACG",
+      "ACGT",
+      chrom0.substr(0, 3),   // tiny genome prefixes
+      chrom0.substr(0, 7),
+      // Suffixes at the very end of each contig: the walk runs into the
+      // '#' separator / end of text.
+      chrom0.substr(chrom0.size() - 5),
+      chrom0.substr(chrom0.size() - 31),
+      chrom1.substr(chrom1.size() - 3),
+      // Contig-boundary straddle: cannot match past the separator.
+      chrom0.substr(chrom0.size() - 12) + chrom1.substr(0, 12),
+      // Last contig's tail plus junk: match must stop at end of text.
+      w.r111.contig(w.r111.num_contigs() - 1).sequence.substr(
+          w.r111.contig(w.r111.num_contigs() - 1).sequence.size() - 9) +
+          "NQNQ",
+  };
+  check_batch_matches_solo(index, corpus);
+}
+
+TEST(MmpBatch, BatchSizesAroundLaneCountAgree) {
+  // 0, 1, sub-lane, exactly 64, and multi-wave batch sizes all agree with
+  // solo mmp (the refill sweep and partial final wave are exercised).
+  const auto& w = world();
+  const GenomeIndex& index = w.index111;
+  const std::string& chrom = w.r111.contig(0).sequence;
+  Rng rng(7);
+  for (const usize n : {0u, 1u, 3u, 63u, 64u, 65u, 200u}) {
+    std::vector<std::string> corpus;
+    for (usize i = 0; i < n; ++i) {
+      const u64 len = 1 + rng.uniform(80);
+      corpus.push_back(chrom.substr(rng.uniform(chrom.size() - len), len));
+    }
+    check_batch_matches_solo(index, corpus);
+  }
+}
+
+/// Feed whose next query depends on the previous result for the same tag —
+/// the seed walk's restart pattern — exercising mmp_batch_stream's
+/// done-before-refill contract: each walk consumes its read by repeated
+/// MMPs (offset += max(length, 1)) and must end with the same offset
+/// trajectory as a sequential per-query walk.
+class ChainingFeed final : public GenomeIndex::MmpFeed {
+ public:
+  ChainingFeed(std::span<const std::string> reads,
+               std::vector<std::vector<usize>>& trajectories)
+      : reads_(reads), offsets_(reads.size(), 0), trajectories_(trajectories) {}
+
+  bool next(std::string_view& query, u32& tag) override {
+    if (!ready_.empty()) {
+      tag = ready_.back();
+      ready_.pop_back();
+    } else if (cursor_ < reads_.size()) {
+      tag = static_cast<u32>(cursor_++);
+    } else {
+      return false;
+    }
+    query = std::string_view(reads_[tag]).substr(offsets_[tag]);
+    return true;
+  }
+
+  void done(u32 tag, const MmpResult& result) override {
+    offsets_[tag] += std::max<usize>(result.length, 1);
+    trajectories_[tag].push_back(result.length);
+    if (offsets_[tag] < reads_[tag].size()) ready_.push_back(tag);
+  }
+
+ private:
+  std::span<const std::string> reads_;
+  std::vector<usize> offsets_;
+  std::vector<std::vector<usize>>& trajectories_;
+  std::vector<u32> ready_;
+  usize cursor_ = 0;
+};
+
+TEST(MmpBatch, StreamChainedRestartsMatchSequentialWalk) {
+  const auto& w = world();
+  const GenomeIndex& index = w.index111;
+  const std::string& chrom = w.r111.contig(0).sequence;
+
+  Rng rng(99);
+  std::vector<std::string> reads;
+  for (int i = 0; i < 150; ++i) {
+    const u64 len = 40 + rng.uniform(80);
+    reads.push_back(
+        mutate(chrom.substr(rng.uniform(chrom.size() - len), len), rng,
+               static_cast<int>(rng.uniform(5))));
+  }
+
+  std::vector<std::vector<usize>> streamed(reads.size());
+  ChainingFeed feed(reads, streamed);
+  index.mmp_batch_stream(feed);
+
+  for (usize i = 0; i < reads.size(); ++i) {
+    // Sequential reference walk for read i.
+    std::vector<usize> expected;
+    MmpResult mmp;
+    for (usize offset = 0; offset < reads[i].size();
+         offset += std::max<usize>(mmp.length, 1)) {
+      index.mmp(std::string_view(reads[i]).substr(offset), mmp);
+      expected.push_back(mmp.length);
+    }
+    EXPECT_EQ(streamed[i], expected) << "read " << i;
+  }
+}
+
+TEST(MmpBatch, SteadyStateIsAllocationFree) {
+  const auto& w = world();
+  const GenomeIndex& index = w.index111;
+  const std::string& chrom = w.r111.contig(0).sequence;
+
+  Rng rng(5);
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 200; ++i) {
+    const u64 len = 1 + rng.uniform(90);
+    corpus.push_back(chrom.substr(rng.uniform(chrom.size() - len), len));
+  }
+  std::vector<std::string_view> queries(corpus.begin(), corpus.end());
+  std::vector<MmpResult> results(queries.size());
+
+  index.mmp_batch(queries, results);  // warm-up (touches text/SA pages)
+  const u64 before = alloc_counter::thread_allocations();
+  index.mmp_batch(queries, results);
+  const u64 after = alloc_counter::thread_allocations();
+  EXPECT_EQ(after - before, 0u)
+      << "mmp_batch allocated on a warmed second call";
+}
+
+}  // namespace
+}  // namespace staratlas
