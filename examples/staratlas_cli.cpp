@@ -8,7 +8,7 @@
 //       --profile bulk|single_cell --reads 5000 --out data/sample.fastq
 //   staratlas_cli align --index data/genome.idx --fastq data/sample.fastq \
 //       --gtf data/annotation.gtf --out-prefix data/sample ...
-//       [--threads 4] [--early-stop]
+//       [--threads 4] [--shards 4] [--early-stop]
 //       writes sample.sam, sample.SJ.out.tab, sample.ReadsPerGene.out.tab,
 //       sample.Log.final.out
 //
@@ -19,13 +19,16 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "align/engine.h"
 #include "common/error.h"
 #include "align/final_log.h"
+#include "align/junctions.h"
 #include "align/sam.h"
+#include "align/sharded.h"
 #include "core/early_stopping.h"
 #include "genome/synthesizer.h"
 #include "index/genome_index.h"
@@ -82,7 +85,8 @@ int usage() {
       "  simulate   --fasta FILE --gtf FILE --out FILE\n"
       "             [--profile bulk|single_cell] [--reads N] [--seed N]\n"
       "  align      --index FILE --fastq FILE --out-prefix P\n"
-      "             [--gtf FILE] [--threads N] [--early-stop] [--no-sam]\n";
+      "             [--gtf FILE] [--threads N] [--shards N] [--early-stop]\n"
+      "             [--no-sam]\n";
   return 1;
 }
 
@@ -195,12 +199,33 @@ int cmd_align(const Args& args) {
   config.num_threads = args.get_u64("threads", 2);
   config.quant_gene_counts = quant;
   config.collect_junctions = true;
-  AlignmentEngine engine(index, quant ? &annotation : nullptr, config);
 
-  EarlyStopController controller(EarlyStopPolicy{});
-  const AlignmentRun run = args.has("early-stop")
-                               ? engine.run(reads, controller.callback())
-                               : engine.run(reads);
+  const usize shards = args.get_u64("shards", 1);
+  AlignmentRun run;
+  if (shards > 1) {
+    // Scatter/gather over byte ranges of the file; merged output is
+    // byte-identical to the unsharded run (early-stop applies to a
+    // single streaming engine only).
+    if (args.has("early-stop")) {
+      std::cerr << "--early-stop is not supported with --shards\n";
+      return 1;
+    }
+    std::ifstream in(fastq, std::ios::binary);
+    std::stringstream raw;
+    raw << in.rdbuf();
+    ShardedConfig sharded_config;
+    sharded_config.engine = config;
+    sharded_config.num_shards = shards;
+    ShardedRun sharded = align_sharded(raw.str(), index,
+                                       quant ? &annotation : nullptr,
+                                       sharded_config);
+    run = std::move(sharded.merged);
+  } else {
+    AlignmentEngine engine(index, quant ? &annotation : nullptr, config);
+    EarlyStopController controller(EarlyStopPolicy{});
+    run = args.has("early-stop") ? engine.run(reads, controller.callback())
+                                 : engine.run(reads);
+  }
 
   // Log.final.out
   double mean_length = 0.0;
@@ -215,12 +240,7 @@ int cmd_align(const Args& args) {
   // SJ.out.tab
   {
     std::ofstream sj(prefix + ".SJ.out.tab");
-    for (const Junction& junction : run.junctions) {
-      sj << index.contigs()[junction.contig].name << '\t'
-         << junction.intron_start + 1 << '\t' << junction.intron_end << '\t'
-         << "0\t0\t0\t" << junction.unique_reads << '\t'
-         << junction.multi_reads << '\t' << junction.max_overhang << '\n';
-    }
+    write_junctions_tsv(sj, run.junctions, index);
   }
   // ReadsPerGene.out.tab
   if (quant) {

@@ -69,6 +69,9 @@ AlignmentRun AlignmentEngine::run(const ReadSet& reads,
   const auto wall_start = std::chrono::steady_clock::now();
   AlignmentRun run;
   run.outcomes.assign(reads.size(), ReadOutcome::kUnmapped);
+  // Pre-size like run_stream: worker tables merge under the strict
+  // equal-dimension contract of GeneCountsTable::operator+=.
+  if (counter_) run.gene_counts = GeneCountsTable(annotation_->num_genes());
   if (reads.empty()) return run;
 
   ensure_workers();

@@ -49,11 +49,16 @@ std::string render_final_log(const AlignmentRun& run, u64 input_reads,
   row(out, "% of reads unmapped",
       pct(static_cast<double>(stats.unmapped) / processed));
   out += "                            SPEED:\n";
-  if (run.wall_seconds > 0.0) {
+  {
+    // Always emitted, 0.00 when unmeasurable: the log's line count must
+    // not depend on whether wall time was captured, or merged shard logs
+    // and zero-read shards change shape vs the unsharded log.
     char buf[48];
-    std::snprintf(buf, sizeof(buf), "%.2f",
-                  static_cast<double>(stats.processed) / 1e6 /
-                      (run.wall_seconds / 3600.0));
+    const double speed = run.wall_seconds > 0.0
+                             ? static_cast<double>(stats.processed) / 1e6 /
+                                   (run.wall_seconds / 3600.0)
+                             : 0.0;
+    std::snprintf(buf, sizeof(buf), "%.2f", speed);
     row(out, "Mapping speed, Million of reads per hour", buf);
   }
   if (run.aborted) {

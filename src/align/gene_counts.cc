@@ -15,9 +15,10 @@ u64 GeneCountsTable::total_counted() const {
 }
 
 GeneCountsTable& GeneCountsTable::operator+=(const GeneCountsTable& other) {
-  if (per_gene.size() < other.per_gene.size()) {
-    per_gene.resize(other.per_gene.size(), 0);
-  }
+  // Tables built against different annotations must not merge: silently
+  // resizing would let a shard counted on another gene set pass and
+  // miscount. Equal gene dimension is the annotation-identity proxy.
+  STARATLAS_CHECK(per_gene.size() == other.per_gene.size());
   for (usize i = 0; i < other.per_gene.size(); ++i) {
     per_gene[i] += other.per_gene[i];
   }

@@ -23,6 +23,9 @@ struct GeneCountsTable {
   explicit GeneCountsTable(usize num_genes) : per_gene(num_genes, 0) {}
 
   u64 total_counted() const;
+  /// Element-wise accumulate. Both tables must have the same gene
+  /// dimension (the annotation-identity proxy); mismatches throw
+  /// InternalError rather than silently resizing and miscounting.
   GeneCountsTable& operator+=(const GeneCountsTable& other);
 
   /// ReadsPerGene.out.tab-style TSV (N_* rows first, then one row per gene).

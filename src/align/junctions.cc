@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <tuple>
 
 #include "common/error.h"
 
@@ -76,6 +77,14 @@ std::vector<Junction> JunctionCollector::junctions() const {
 
 JunctionCollector& JunctionCollector::operator+=(
     const JunctionCollector& other) {
+  // Junction keys are (contig id, text offsets): merging tables built
+  // against different genomes silently misaligns contig ids and write_tsv
+  // prints the wrong contig names. Same engine-local merges share the
+  // index object; cross-process shard merges (separately loaded copies)
+  // are allowed through when the content fingerprints agree.
+  STARATLAS_CHECK(min_intron_ == other.min_intron_);
+  STARATLAS_CHECK(index_ == other.index_ ||
+                  index_->fingerprint() == other.index_->fingerprint());
   for (const auto& [key, support] : other.table_) {
     Support& mine = table_[key];
     mine.unique_reads += support.unique_reads;
@@ -86,10 +95,39 @@ JunctionCollector& JunctionCollector::operator+=(
 }
 
 void JunctionCollector::write_tsv(std::ostream& out) const {
-  for (const auto& [key, support] : table_) {
-    out << index_->contigs()[key.contig].name << '\t' << key.start + 1 << '\t'
-        << key.end << "\t0\t0\t0\t" << support.unique_reads << '\t'
-        << support.multi_reads << '\t' << support.max_overhang << '\n';
+  write_junctions_tsv(out, junctions(), *index_);
+}
+
+std::vector<Junction> merge_junctions(
+    const std::vector<std::vector<Junction>>& parts) {
+  std::map<std::tuple<ContigId, u64, u64>, Junction> merged;
+  for (const auto& part : parts) {
+    for (const Junction& junction : part) {
+      auto [it, inserted] = merged.try_emplace(
+          {junction.contig, junction.intron_start, junction.intron_end},
+          junction);
+      if (!inserted) {
+        it->second.unique_reads += junction.unique_reads;
+        it->second.multi_reads += junction.multi_reads;
+        it->second.max_overhang =
+            std::max(it->second.max_overhang, junction.max_overhang);
+      }
+    }
+  }
+  std::vector<Junction> result;
+  result.reserve(merged.size());
+  for (const auto& [key, junction] : merged) result.push_back(junction);
+  return result;  // map order == (contig, start, end) sort order
+}
+
+void write_junctions_tsv(std::ostream& out,
+                         const std::vector<Junction>& junctions,
+                         const GenomeIndex& index) {
+  for (const Junction& junction : junctions) {
+    out << index.contigs()[junction.contig].name << '\t'
+        << junction.intron_start + 1 << '\t' << junction.intron_end
+        << "\t0\t0\t0\t" << junction.unique_reads << '\t'
+        << junction.multi_reads << '\t' << junction.max_overhang << '\n';
   }
 }
 

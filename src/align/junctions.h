@@ -48,7 +48,12 @@ class JunctionCollector {
   /// Junctions sorted by (contig, intron_start, intron_end).
   std::vector<Junction> junctions() const;
 
-  /// Merges another collector (for per-thread accumulation).
+  /// Merges another collector (for per-thread accumulation). Both
+  /// collectors must use the same min_intron and reference the same
+  /// genome — the same index object, or (for collectors fed by separate
+  /// index loads, e.g. cross-process shards) indexes whose fingerprint()
+  /// matches. Violations throw InternalError instead of silently
+  /// misaligning contig ids.
   JunctionCollector& operator+=(const JunctionCollector& other);
 
   /// Drops all tallied junctions (index and min_intron keep). Lets the
@@ -78,5 +83,21 @@ class JunctionCollector {
   u64 min_intron_;
   std::map<Key, Support> table_;
 };
+
+/// Deterministic k-way merge of already-extracted junction vectors (each
+/// sorted by (contig, start, end), as JunctionCollector::junctions()
+/// returns them): counts sum, overhangs take the max, output order is the
+/// same sorted order regardless of how reads were split into parts. The
+/// scatter/gather layer merges shard results through this instead of
+/// keeping collectors alive across workers.
+std::vector<Junction> merge_junctions(
+    const std::vector<std::vector<Junction>>& parts);
+
+/// SJ.out.tab rendering of an extracted junction vector (shared by the
+/// collector, the CLI, and the sharded gather stage, so all three emit
+/// byte-identical tables).
+void write_junctions_tsv(std::ostream& out,
+                         const std::vector<Junction>& junctions,
+                         const GenomeIndex& index);
 
 }  // namespace staratlas

@@ -1,0 +1,57 @@
+#include "cloud/faas.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+double FaasClass::invoke_cost(double seconds) const {
+  const double billed_ms = std::ceil(std::max(0.0, seconds) * 1000.0);
+  const double gb = static_cast<double>(memory.bytes()) / 1e9;
+  return billed_ms / 1000.0 * gb * usd_per_gb_second + usd_per_invocation;
+}
+
+InstanceType FaasClass::as_instance() const {
+  InstanceType type;
+  type.name = name;
+  type.vcpus = static_cast<u32>(std::max(1.0, std::round(vcpus)));
+  type.memory = memory;
+  type.on_demand_hourly = invoke_cost(3600.0);
+  type.spot_hourly = type.on_demand_hourly;  // no spot market for functions
+  type.network_gbps = network_gbps;
+  return type;
+}
+
+const std::vector<FaasClass>& faas_catalog() {
+  // vCPU share = memory MB / 1769 (Lambda's allocation rule); cold starts
+  // grow mildly with package/runtime size. Defaults for the billing
+  // fields come from the struct initializers.
+  static const std::vector<FaasClass> kCatalog = [] {
+    std::vector<FaasClass> catalog;
+    const auto add = [&](const char* name, double gb, double cold) {
+      FaasClass cls;
+      cls.name = name;
+      cls.memory = ByteSize(static_cast<u64>(gb * 1e9));
+      cls.vcpus = gb * 1000.0 / 1769.0;
+      cls.cold_start_seconds = cold;
+      catalog.push_back(cls);
+    };
+    add("fn-2gb", 2.0, 0.30);
+    add("fn-4gb", 4.0, 0.35);
+    add("fn-6gb", 6.0, 0.40);
+    add("fn-8gb", 8.0, 0.45);
+    add("fn-10gb", 10.0, 0.50);
+    return catalog;
+  }();
+  return kCatalog;
+}
+
+const FaasClass& faas_class(const std::string& name) {
+  for (const auto& cls : faas_catalog()) {
+    if (cls.name == name) return cls;
+  }
+  throw InvalidArgument("unknown FaaS class: " + name);
+}
+
+}  // namespace staratlas

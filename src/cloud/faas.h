@@ -1,0 +1,50 @@
+// FaaS (Lambda-style) worker classes: the serverless complement to the
+// EC2 catalog. The follow-up paper ("Serverless Approach to Running
+// Resource-Intensive STAR Aligner") scatters one sample's reads over many
+// small function workers; these classes capture what makes that economics
+// different from an r6a instance — sub-second cold start, small RAM,
+// per-millisecond duration billing proportional to provisioned memory,
+// and compute that scales with memory (Lambda grants ~1 vCPU per 1769 MB).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/instance_types.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace staratlas {
+
+struct FaasClass {
+  std::string name;
+  ByteSize memory;
+  /// Effective vCPU share (fractional below one full core, ~1 vCPU per
+  /// 1769 MB like Lambda).
+  double vcpus = 0.0;
+  /// USD per GB-second of provisioned memory (x86 Lambda pricing).
+  double usd_per_gb_second = 0.0000166667;
+  /// Flat per-request charge.
+  double usd_per_invocation = 0.0000002;
+  /// Runtime + snapshot restore before user code runs.
+  double cold_start_seconds = 0.35;
+  /// Sustained network/shared-FS bandwidth available to one function.
+  double network_gbps = 0.6;
+
+  /// Billed cost of one invocation running `seconds`: duration rounded up
+  /// to the millisecond, billed against provisioned memory GB.
+  double invoke_cost(double seconds) const;
+
+  /// InstanceType view for the StageTimeModel formulas (vCPUs rounded to
+  /// at least 1; hourly prices derived from the GB-second rate so either
+  /// billing path prices a full hour identically).
+  InstanceType as_instance() const;
+};
+
+/// Lambda-like memory tiers (2–10 GB).
+const std::vector<FaasClass>& faas_catalog();
+
+/// Lookup by name; throws InvalidArgument if unknown.
+const FaasClass& faas_class(const std::string& name);
+
+}  // namespace staratlas

@@ -1,0 +1,103 @@
+#include "core/shard_sim.h"
+
+#include <cmath>
+
+#include "cloud/cost.h"
+#include "cloud/event_sim.h"
+#include "cloud/s3.h"
+#include "common/error.h"
+
+namespace staratlas {
+
+namespace {
+/// StageTimeModel's vCPU scaling with fractional vCPUs (FaaS workers get
+/// fractional cores below the 1769 MB-per-vCPU line).
+double vcpu_speedup(double vcpus, double alpha) {
+  return std::pow(vcpus / 16.0, alpha);
+}
+}  // namespace
+
+ScatterGatherResult simulate_scatter_gather(const ScatterGatherQuery& query) {
+  STARATLAS_CHECK(query.num_workers >= 1);
+  STARATLAS_CHECK(query.index_touch_fraction >= 0.0 &&
+                  query.index_touch_fraction <= 1.0);
+  ScatterGatherResult result;
+  result.workers = query.num_workers;
+  result.cold_start =
+      VirtualDuration::seconds(query.worker.cold_start_seconds);
+  // mmap keeps the index out of the function's provisioned memory (pages
+  // are evictable shared-FS cache); only the engine working set counts.
+  if (query.worker.memory < query.worker_headroom) return result;
+  result.feasible = true;
+
+  const StageTimeModel& model = query.model;
+  // Index attach: O(header) mmap (the v3 stream-load cost divided by the
+  // measured attach speedup) plus first-touch streaming of the pages the
+  // alignment actually faults in.
+  const double attach_secs =
+      query.index_bytes.gib() / model.shm_load_gibps / model.mmap_attach_speedup;
+  const VirtualDuration first_touch = S3Bucket::transfer_time(
+      query.index_bytes * query.index_touch_fraction,
+      query.worker.network_gbps);
+  result.attach = VirtualDuration::seconds(attach_secs) + first_touch;
+
+  const ByteSize shard_bytes =
+      query.sample_fastq * (1.0 / static_cast<double>(query.num_workers));
+  const double slowdown =
+      query.genome_release == 108 ? model.release_slowdown_108 : 1.0;
+  result.worker_align = VirtualDuration::seconds(
+      model.align_secs_per_gib_r111_16vcpu * slowdown * shard_bytes.gib() /
+      vcpu_speedup(query.worker.vcpus, model.vcpu_scaling_alpha));
+  result.gather = VirtualDuration::seconds(query.gather_secs_per_gib *
+                                           query.sample_fastq.gib());
+
+  // Discrete-event run: every worker is invoked at t=0, the gather
+  // function fires when the last worker lands.
+  SimKernel sim;
+  const VirtualDuration worker_total =
+      result.cold_start + result.attach + result.worker_align;
+  usize workers_done = 0;
+  for (usize w = 0; w < query.num_workers; ++w) {
+    sim.schedule_after(worker_total, [&] {
+      if (++workers_done == query.num_workers) {
+        sim.schedule_after(result.cold_start + result.gather, [&] {
+          result.makespan = VirtualDuration::seconds(sim.now().secs());
+        });
+      }
+    });
+  }
+  sim.run();
+  result.sim_events = sim.events_processed();
+
+  result.cost_usd =
+      static_cast<double>(query.num_workers) *
+          query.worker.invoke_cost(worker_total.secs()) +
+      query.worker.invoke_cost((result.cold_start + result.gather).secs());
+  return result;
+}
+
+SingleInstanceResult simulate_single_instance(
+    const SingleInstanceQuery& query) {
+  SingleInstanceResult result;
+  const StageTimeModel& model = query.model;
+  if (query.instance.memory <
+      StageTimeModel::required_memory(query.index_bytes)) {
+    return result;
+  }
+  result.feasible = true;
+  result.boot_and_init =
+      VirtualDuration::seconds(query.boot_seconds) +
+      model.index_init_time(query.index_bytes, query.instance,
+                            query.load_path);
+  result.makespan =
+      result.boot_and_init +
+      model.align_time(query.sample_fastq, query.genome_release,
+                       query.instance) +
+      model.postprocess_time();
+  CostMeter meter;
+  meter.add_instance_time(query.instance, result.makespan.secs(), query.spot);
+  result.cost_usd = meter.total_usd();
+  return result;
+}
+
+}  // namespace staratlas

@@ -816,6 +816,43 @@ IndexStats GenomeIndex::stats() const {
   return stats;
 }
 
+u64 GenomeIndex::fingerprint() const {
+  // FNV-1a over the identity-bearing metadata plus sampled text bytes.
+  // O(contigs): cheap enough to compute on demand wherever two collectors
+  // from different processes (or different load paths) must prove they
+  // were built against the same genome before merging.
+  u64 h = 14695981039346656037ull;
+  const auto mix_byte = [&h](u8 byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  const auto mix_u64 = [&](u64 v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<u8>(v >> (8 * i)));
+  };
+  const auto mix_str = [&](std::string_view s) {
+    mix_u64(s.size());
+    for (char c : s) mix_byte(static_cast<u8>(c));
+  };
+  mix_str(species_);
+  mix_u64(static_cast<u64>(release_));
+  mix_byte(static_cast<u8>(type_));
+  mix_u64(lut_k_);
+  const std::string_view text = storage_.text();
+  mix_u64(text.size());
+  mix_u64(contigs_.size());
+  for (const ContigMeta& contig : contigs_) {
+    mix_str(contig.name);
+    mix_byte(static_cast<u8>(contig.cls));
+    mix_u64(contig.text_offset);
+    mix_u64(contig.length);
+  }
+  // Sampled content guards against same-shaped but different genomes.
+  const usize sample = std::min<usize>(text.size(), 64);
+  mix_str(text.substr(0, sample));
+  mix_str(text.substr(text.size() - sample));
+  return h;
+}
+
 // ---------------------------------------------------------------------------
 // Serialization.
 

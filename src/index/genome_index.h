@@ -171,6 +171,13 @@ class GenomeIndex {
 
   IndexStats stats() const;
 
+  /// Stable identity hash (FNV-1a over species/release/type/LUT-k, contig
+  /// metadata, and sampled text bytes). Equal for any two loads of the
+  /// same index — stream, mmap, or another process — so cross-shard merge
+  /// layers can verify two result collectors reference the same genome
+  /// without comparing full text. O(contigs).
+  u64 fingerprint() const;
+
   /// Serialization (binary, versioned). `version` is kVersionV2 or
   /// kVersionV3; v3 is page-aligned/checksummed and mmap-able.
   void save(std::ostream& out, u32 version = kVersionLatest) const;

@@ -1,0 +1,121 @@
+#include "io/shard_plan.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+namespace {
+
+/// Calls fn(line_start, content_len) for every line of `data`, with the
+/// trailing '\r' of CRLF endings excluded from content_len. Returns the
+/// number of non-blank lines seen.
+template <typename Fn>
+u64 for_each_line(std::string_view data, Fn&& fn) {
+  u64 nonblank = 0;
+  usize pos = 0;
+  while (pos < data.size()) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(data.data() + pos, '\n', data.size() - pos));
+    const usize line_end = nl ? static_cast<usize>(nl - data.data())
+                              : data.size();
+    usize content_end = line_end;
+    if (content_end > pos && data[content_end - 1] == '\r') --content_end;
+    if (content_end > pos) {
+      fn(pos, nonblank);
+      ++nonblank;
+    }
+    pos = nl ? line_end + 1 : data.size();
+  }
+  return nonblank;
+}
+
+[[noreturn]] void throw_truncated(u64 nonblank) {
+  throw ParseError("FASTQ line count " + std::to_string(nonblank) +
+                   " is not a multiple of 4 (truncated record)");
+}
+
+}  // namespace
+
+ShardPlan plan_fastq_shards(std::string_view data, usize num_shards) {
+  STARATLAS_CHECK(num_shards >= 1);
+  ShardPlan plan;
+  plan.total_bytes = data.size();
+
+  // Byte targets t_i = i * size / n; each shard boundary is the first
+  // record start at or past its target, found in one forward line walk.
+  std::vector<usize> snapped(num_shards, data.size());
+  std::vector<u64> reads_before(num_shards, 0);
+  usize next_target = 1;  // boundary 0 is pinned to offset 0
+
+  const u64 nonblank = for_each_line(data, [&](usize line_start, u64 seen) {
+    if (seen % 4 != 0) return;  // only every 4th non-blank line starts a record
+    while (next_target < num_shards &&
+           line_start >= data.size() * next_target / num_shards) {
+      snapped[next_target] = line_start;
+      reads_before[next_target] = seen / 4;
+      ++next_target;
+    }
+  });
+  if (nonblank % 4 != 0) throw_truncated(nonblank);
+  plan.total_reads = nonblank / 4;
+  for (; next_target < num_shards; ++next_target) {
+    snapped[next_target] = data.size();
+    reads_before[next_target] = plan.total_reads;
+  }
+
+  plan.ranges.resize(num_shards);
+  for (usize i = 0; i < num_shards; ++i) {
+    ShardRange& range = plan.ranges[i];
+    range.byte_begin = i == 0 ? 0 : snapped[i];
+    range.byte_end = i + 1 < num_shards ? snapped[i + 1] : data.size();
+    range.first_read = i == 0 ? 0 : reads_before[i];
+    const u64 end_read =
+        i + 1 < num_shards ? reads_before[i + 1] : plan.total_reads;
+    range.num_reads = end_read - range.first_read;
+  }
+  return plan;
+}
+
+usize next_record_start(std::string_view data, usize pos) {
+  if (pos >= data.size()) return data.size();
+  // Land on a line start: pos is one already iff it is 0 or follows '\n'.
+  usize line = pos;
+  if (pos > 0 && data[pos - 1] != '\n') {
+    const usize nl = data.find('\n', pos);
+    if (nl == std::string_view::npos) return data.size();
+    line = nl + 1;
+  }
+  // Collect the next few non-blank line starts. From any line of a
+  // well-formed record the next record start is at most 4 lines away, so
+  // a 12-line window always contains candidate k and its k+2 probe.
+  constexpr usize kWindow = 12;
+  usize starts[kWindow];
+  usize count = 0;
+  while (line < data.size() && count < kWindow) {
+    const usize nl = data.find('\n', line);
+    const usize line_end = nl == std::string_view::npos ? data.size() : nl;
+    usize content_end = line_end;
+    if (content_end > line && data[content_end - 1] == '\r') --content_end;
+    if (content_end > line) starts[count++] = line;
+    if (nl == std::string_view::npos) break;
+    line = nl + 1;
+  }
+  for (usize k = 0; k + 2 < count; ++k) {
+    // Quality lines may start with '@' but sequence lines never start
+    // with '+', so "line k is '@' and line k+2 is '+'" is unambiguous.
+    if (data[starts[k]] == '@' && data[starts[k + 2]] == '+') {
+      return starts[k];
+    }
+  }
+  return data.size();
+}
+
+u64 count_fastq_records(std::string_view data) {
+  const u64 nonblank = for_each_line(data, [](usize, u64) {});
+  if (nonblank % 4 != 0) throw_truncated(nonblank);
+  return nonblank / 4;
+}
+
+}  // namespace staratlas

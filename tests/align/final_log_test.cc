@@ -59,5 +59,45 @@ TEST(FinalLog, EmptyRunSafe) {
   EXPECT_NE(log.find("Reads processed |\t0"), std::string::npos);
 }
 
+TEST(FinalLog, SpeedRowAlwaysPresent) {
+  // Regression: the row used to vanish when wall_seconds <= 0, changing
+  // the log's line count between measured and merged/zero-wall runs.
+  AlignmentRun run;
+  run.stats.processed = 100;
+  run.stats.unique = 100;
+  run.wall_seconds = 0.0;
+  const std::string log = render_final_log(run, 100, 100.0);
+  EXPECT_NE(log.find("Mapping speed, Million of reads per hour |\t0.00"),
+            std::string::npos);
+}
+
+usize count_lines(const std::string& text) {
+  usize lines = 0;
+  for (char c : text) lines += c == '\n';
+  return lines;
+}
+
+TEST(FinalLog, ZeroReadShardKeepsLogShape) {
+  // A zero-read shard (scatter/gather tail) must render the same line
+  // count as a populated run: percent rows print 0.00% (denominator
+  // clamps to 1) and the speed row prints 0.00.
+  AlignmentRun empty_shard;
+  const std::string empty_log = render_final_log(empty_shard, 0, 0.0);
+
+  AlignmentRun populated;
+  populated.stats.processed = 50;
+  populated.stats.unique = 40;
+  populated.stats.unmapped = 10;
+  populated.wall_seconds = 1.5;
+  const std::string full_log = render_final_log(populated, 50, 100.0);
+
+  EXPECT_EQ(count_lines(empty_log), count_lines(full_log));
+  EXPECT_NE(empty_log.find("Uniquely mapped reads % |\t0.00%"),
+            std::string::npos);
+  EXPECT_NE(empty_log.find("% of reads unmapped |\t0.00%"),
+            std::string::npos);
+  EXPECT_NE(empty_log.find("Mapping speed"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace staratlas

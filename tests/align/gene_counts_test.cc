@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "common/error.h"
 #include "testutil.h"
 
 namespace staratlas {
@@ -157,6 +158,18 @@ TEST(GeneCountsTable, MergeAccumulates) {
   EXPECT_EQ(a.n_unmapped, 1u);
   EXPECT_EQ(a.n_ambiguous, 4u);
   EXPECT_EQ(a.total_counted(), 10u);
+}
+
+TEST(GeneCountsTable, MergeRejectsMismatchedGeneDimension) {
+  // Regression: += used to silently resize, so a shard table counted
+  // against a different annotation merged and miscounted.
+  GeneCountsTable a(2);
+  GeneCountsTable b(3);
+  EXPECT_THROW(a += b, InternalError);
+  EXPECT_THROW(b += a, InternalError);
+  GeneCountsTable sized(2);
+  EXPECT_THROW(GeneCountsTable() += sized, InternalError);
+  EXPECT_NO_THROW(GeneCountsTable() += GeneCountsTable());
 }
 
 TEST(GeneCountsTable, TsvFormat) {

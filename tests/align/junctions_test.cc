@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "align/engine.h"
+#include "common/error.h"
 #include "sim/read_simulator.h"
 #include "testutil.h"
 
@@ -84,6 +85,82 @@ TEST(JunctionCollector, MergeAccumulates) {
   ASSERT_EQ(junctions.size(), 2u);
   EXPECT_EQ(junctions[0].unique_reads, 2u);
   EXPECT_EQ(junctions[1].unique_reads, 1u);
+}
+
+TEST(JunctionCollector, MergeRejectsDifferentGenomes) {
+  // Regression: += used to merge tables from collectors built against
+  // different indexes, silently misaligning contig ids so write_tsv
+  // printed the wrong contig names.
+  const auto& w = world();
+  JunctionCollector on_111(w.index111);
+  JunctionCollector on_108(w.index108);
+  EXPECT_THROW(on_111 += on_108, InternalError);
+
+  JunctionCollector wider_introns(w.index111, 50);
+  EXPECT_THROW(on_111 += wider_introns, InternalError);
+}
+
+TEST(JunctionCollector, MergeAcceptsSameGenomeAcrossLoads) {
+  // Cross-process shards reference separately loaded copies of the same
+  // index file: different objects, equal fingerprints, merge allowed.
+  const auto& w = world();
+  std::stringstream file;
+  w.index111.save(file);
+  const GenomeIndex copy = GenomeIndex::load(file);
+  ASSERT_NE(&copy, &w.index111);
+  EXPECT_EQ(copy.fingerprint(), w.index111.fingerprint());
+  EXPECT_NE(copy.fingerprint(), w.index108.fingerprint());
+
+  JunctionCollector a(w.index111);
+  JunctionCollector b(copy);
+  a.add(alignment_with({{0, 1'000, 40}, {40, 1'540, 60}},
+                       ReadOutcome::kUniqueMapped));
+  b.add(alignment_with({{0, 1'000, 40}, {40, 1'540, 60}},
+                       ReadOutcome::kUniqueMapped));
+  EXPECT_NO_THROW(a += b);
+  ASSERT_EQ(a.junctions().size(), 1u);
+  EXPECT_EQ(a.junctions()[0].unique_reads, 2u);
+}
+
+TEST(JunctionCollector, MergeJunctionsFreeFunction) {
+  const auto& w = world();
+  JunctionCollector a(w.index111);
+  JunctionCollector b(w.index111);
+  a.add(alignment_with({{0, 1'000, 40}, {40, 1'540, 60}},
+                       ReadOutcome::kUniqueMapped));
+  b.add(alignment_with({{0, 1'000, 40}, {40, 1'540, 60}},
+                       ReadOutcome::kMultiMapped));
+  b.add(alignment_with({{0, 5'000, 50}, {50, 6'000, 50}},
+                       ReadOutcome::kUniqueMapped));
+  const auto merged = merge_junctions({a.junctions(), b.junctions()});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].unique_reads, 1u);
+  EXPECT_EQ(merged[0].multi_reads, 1u);
+  EXPECT_EQ(merged[1].unique_reads, 1u);
+
+  // Merge order does not change the result.
+  const auto reversed = merge_junctions({b.junctions(), a.junctions()});
+  ASSERT_EQ(reversed.size(), merged.size());
+  for (usize j = 0; j < merged.size(); ++j) {
+    EXPECT_EQ(reversed[j].contig, merged[j].contig);
+    EXPECT_EQ(reversed[j].intron_start, merged[j].intron_start);
+    EXPECT_EQ(reversed[j].unique_reads, merged[j].unique_reads);
+    EXPECT_EQ(reversed[j].multi_reads, merged[j].multi_reads);
+  }
+
+  // TSV of the merged vector matches a collector fed the same reads.
+  JunctionCollector all(w.index111);
+  all.add(alignment_with({{0, 1'000, 40}, {40, 1'540, 60}},
+                         ReadOutcome::kUniqueMapped));
+  all.add(alignment_with({{0, 1'000, 40}, {40, 1'540, 60}},
+                         ReadOutcome::kMultiMapped));
+  all.add(alignment_with({{0, 5'000, 50}, {50, 6'000, 50}},
+                         ReadOutcome::kUniqueMapped));
+  std::ostringstream from_collector;
+  all.write_tsv(from_collector);
+  std::ostringstream from_merged;
+  write_junctions_tsv(from_merged, merged, w.index111);
+  EXPECT_EQ(from_merged.str(), from_collector.str());
 }
 
 TEST(JunctionCollector, TsvFormat) {

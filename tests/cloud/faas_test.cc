@@ -1,0 +1,62 @@
+// FaaS worker classes: per-millisecond billing, Lambda's memory-to-vCPU
+// allocation rule, and the InstanceType bridge into StageTimeModel.
+#include "cloud/faas.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+TEST(Faas, CatalogCoversLambdaMemoryTiers) {
+  const auto& catalog = faas_catalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  for (const FaasClass& cls : catalog) {
+    EXPECT_GT(cls.memory.bytes(), 0u);
+    EXPECT_GT(cls.vcpus, 0.0);
+    EXPECT_GT(cls.cold_start_seconds, 0.0);
+    EXPECT_LT(cls.cold_start_seconds, 1.0);  // sub-second, unlike EC2 boot
+    EXPECT_EQ(&faas_class(cls.name), &cls);
+  }
+  // ~1 vCPU per 1769 MB: a 2 GB function is just over one core.
+  const FaasClass& small = faas_class("fn-2gb");
+  EXPECT_NEAR(small.vcpus, 2000.0 / 1769.0, 1e-9);
+  EXPECT_THROW(faas_class("fn-512mb"), InvalidArgument);
+}
+
+TEST(Faas, InvokeCostRoundsUpToTheMillisecond) {
+  const FaasClass& cls = faas_class("fn-2gb");
+  // Sub-millisecond runs bill one full millisecond.
+  EXPECT_DOUBLE_EQ(cls.invoke_cost(0.0001), cls.invoke_cost(0.001));
+  EXPECT_GT(cls.invoke_cost(0.0011), cls.invoke_cost(0.001));
+  // Zero-duration invocations still pay the per-request charge.
+  EXPECT_DOUBLE_EQ(cls.invoke_cost(0.0), cls.usd_per_invocation);
+  EXPECT_DOUBLE_EQ(cls.invoke_cost(-5.0), cls.usd_per_invocation);
+  // One second of 2 GB: 2 GB-seconds at the GB-second rate plus request.
+  EXPECT_NEAR(cls.invoke_cost(1.0),
+              2.0 * cls.usd_per_gb_second + cls.usd_per_invocation, 1e-12);
+}
+
+TEST(Faas, CostScalesWithProvisionedMemory) {
+  const double small = faas_class("fn-2gb").invoke_cost(10.0);
+  const double large = faas_class("fn-10gb").invoke_cost(10.0);
+  EXPECT_NEAR(large - faas_class("fn-10gb").usd_per_invocation,
+              5.0 * (small - faas_class("fn-2gb").usd_per_invocation), 1e-12);
+}
+
+TEST(Faas, AsInstanceBridgesToStageModel) {
+  const FaasClass& cls = faas_class("fn-10gb");
+  const InstanceType type = cls.as_instance();
+  EXPECT_EQ(type.name, "fn-10gb");
+  EXPECT_EQ(type.vcpus, 6u);  // round(10000/1769) = round(5.65)
+  EXPECT_EQ(type.memory.bytes(), cls.memory.bytes());
+  // A full hour priced through either path is identical.
+  EXPECT_DOUBLE_EQ(type.on_demand_hourly, cls.invoke_cost(3600.0));
+  EXPECT_DOUBLE_EQ(type.spot_hourly, type.on_demand_hourly);
+  // Fractional share below one core still presents at least 1 vCPU.
+  EXPECT_GE(faas_class("fn-2gb").as_instance().vcpus, 1u);
+}
+
+}  // namespace
+}  // namespace staratlas

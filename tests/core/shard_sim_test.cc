@@ -1,0 +1,119 @@
+// Scatter/gather vs single-instance economics in the event sim: the
+// serverless split buys latency on anything but tiny samples (worker
+// align time shrinks with N while the single instance grows linearly),
+// while per-GB-second billing keeps its cost above the r6a baseline.
+#include "core/shard_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace staratlas {
+namespace {
+
+ScatterGatherQuery scatter_query(double sample_gib, usize workers) {
+  ScatterGatherQuery query;
+  query.sample_fastq = ByteSize::from_gib(sample_gib);
+  query.index_bytes = ByteSize::from_gib(28.0);
+  query.num_workers = workers;
+  query.worker = faas_class("fn-10gb");
+  return query;
+}
+
+SingleInstanceQuery single_query(double sample_gib) {
+  SingleInstanceQuery query;
+  query.sample_fastq = ByteSize::from_gib(sample_gib);
+  query.index_bytes = ByteSize::from_gib(28.0);
+  query.instance = instance_type("r6a.4xlarge");
+  return query;
+}
+
+TEST(ShardSim, SmallFunctionCannotHoldWorkingSet) {
+  // 2 GB provisioned < 2 GiB engine headroom: infeasible regardless of
+  // the mmap'd index staying out of provisioned memory.
+  ScatterGatherQuery query = scatter_query(4.0, 16);
+  query.worker = faas_class("fn-2gb");
+  const ScatterGatherResult result = simulate_scatter_gather(query);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.cost_usd, 0.0);
+}
+
+TEST(ShardSim, ScatterGatherRunsThroughEventSim) {
+  const ScatterGatherResult result =
+      simulate_scatter_gather(scatter_query(8.0, 32));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.workers, 32u);
+  // One event per worker landing plus the gather completion.
+  EXPECT_EQ(result.sim_events, 33u);
+  EXPECT_GT(result.attach.secs(), 0.0);
+  EXPECT_GT(result.worker_align.secs(), 0.0);
+  // Makespan decomposes: all workers run concurrently, gather follows.
+  const double expected = result.cold_start.secs() + result.attach.secs() +
+                          result.worker_align.secs() +
+                          result.cold_start.secs() + result.gather.secs();
+  EXPECT_NEAR(result.makespan.secs(), expected, 1e-6);
+  EXPECT_GT(result.cost_usd, 0.0);
+}
+
+TEST(ShardSim, MoreWorkersShrinkMakespanButRaiseCost) {
+  const ScatterGatherResult few = simulate_scatter_gather(scatter_query(16.0, 8));
+  const ScatterGatherResult many =
+      simulate_scatter_gather(scatter_query(16.0, 64));
+  ASSERT_TRUE(few.feasible);
+  ASSERT_TRUE(many.feasible);
+  EXPECT_LT(many.worker_align.secs(), few.worker_align.secs());
+  EXPECT_LT(many.makespan.secs(), few.makespan.secs());
+  // Every extra worker pays its own cold start + index first-touch.
+  EXPECT_GT(many.cost_usd, few.cost_usd);
+}
+
+TEST(ShardSim, SingleInstanceFeasibilityTracksIndexMemory) {
+  const SingleInstanceResult ok = simulate_single_instance(single_query(8.0));
+  ASSERT_TRUE(ok.feasible);
+  EXPECT_GT(ok.boot_and_init.secs(), 45.0);  // boot + index load
+  EXPECT_GT(ok.makespan.secs(), ok.boot_and_init.secs());
+  EXPECT_GT(ok.cost_usd, 0.0);
+
+  SingleInstanceQuery cramped = single_query(8.0);
+  cramped.index_bytes = ByteSize::from_gib(130.0);  // needs 136 GiB > 128
+  const SingleInstanceResult bad = simulate_single_instance(cramped);
+  EXPECT_FALSE(bad.feasible);
+}
+
+TEST(ShardSim, LatencyCrossoverFavorsScatterOnLargeSamples) {
+  // Both paths carry ~2 minutes of fixed overhead (boot + S3 index load
+  // vs cold start + index first-touch), but the scatter makespan grows
+  // ~N times slower with sample size, so it wins clearly at scale.
+  const double small = 0.1;
+  const double large = 32.0;
+  const ScatterGatherResult scatter_small =
+      simulate_scatter_gather(scatter_query(small, 32));
+  const ScatterGatherResult scatter_large =
+      simulate_scatter_gather(scatter_query(large, 32));
+  const SingleInstanceResult single_small =
+      simulate_single_instance(single_query(small));
+  const SingleInstanceResult single_large =
+      simulate_single_instance(single_query(large));
+  ASSERT_TRUE(scatter_small.feasible && scatter_large.feasible);
+  ASSERT_TRUE(single_small.feasible && single_large.feasible);
+
+  EXPECT_LT(scatter_large.makespan.secs(), single_large.makespan.secs());
+  const double scatter_slope =
+      scatter_large.makespan.secs() - scatter_small.makespan.secs();
+  const double single_slope =
+      single_large.makespan.secs() - single_small.makespan.secs();
+  EXPECT_LT(scatter_slope * 4.0, single_slope);
+  // Per-GB-second compute is pricier than the r6a's hourly rate, so the
+  // cost advantage stays with the single instance even at this size.
+  EXPECT_GT(scatter_large.cost_usd, single_large.cost_usd);
+}
+
+TEST(ShardSim, Release108SlowdownPropagates) {
+  ScatterGatherQuery r108 = scatter_query(8.0, 32);
+  r108.genome_release = 108;
+  const ScatterGatherResult slow = simulate_scatter_gather(r108);
+  const ScatterGatherResult fast =
+      simulate_scatter_gather(scatter_query(8.0, 32));
+  EXPECT_GT(slow.worker_align.secs(), fast.worker_align.secs());
+}
+
+}  // namespace
+}  // namespace staratlas
