@@ -5,9 +5,11 @@
 //   1. index build wall time at 1/2/4/8 threads (prefix-bucketed parallel
 //      builder vs the sequential SA-IS reference; outputs are
 //      property-tested bit-identical, so this is a pure perf knob);
-//   2. cold-load throughput of the three load paths: v2 stream, v3
-//      stream, and v3 mmap attach (the zero-copy O(header) path — the
-//      in-process analog of attaching to STAR's shm segment);
+//   2. cold-load throughput of the load paths: v2 stream, v3 stream, v4
+//      (packed-text) stream, and v3/v4 mmap attach (the zero-copy
+//      O(header) path — the in-process analog of attaching to STAR's shm
+//      segment), plus the packed resident-text shrink the v4 sections
+//      deliver;
 //   3. SharedIndexCache contention: N workers hammering 2 keys with a
 //      slow loader — duplicate loads must be zero (single-flight) and
 //      loads for distinct keys must overlap rather than serialize.
@@ -92,7 +94,7 @@ BuildResult run_build(const StartupConfig& cfg) {
       const auto start = std::chrono::steady_clock::now();
       const GenomeIndex index = GenomeIndex::build(assembly, params);
       best = std::min(best, seconds_since(start));
-      out.text_bytes = index.text().size();
+      out.text_bytes = index.text_size();
     }
     return best;
   };
@@ -107,12 +109,16 @@ BuildResult run_build(const StartupConfig& cfg) {
 struct ColdLoadResult {
   double file_mb_v2 = 0;
   double file_mb_v3 = 0;
+  double file_mb_v4 = 0;
   double v2_stream_mb_s = 0;
   double v3_stream_mb_s = 0;
+  double v4_stream_mb_s = 0;
   double v3_mmap_attach_mb_s = 0;
   double v3_mmap_attach_secs = 0;
+  double v4_mmap_attach_secs = 0;
   double v2_stream_secs = 0;
   double mmap_vs_stream_speedup = 0;
+  double packed_text_ratio = 0;  ///< resident text: raw / packed
 };
 
 ColdLoadResult run_cold_load(const StartupConfig& cfg) {
@@ -120,8 +126,10 @@ ColdLoadResult run_cold_load(const StartupConfig& cfg) {
   const std::string dir = "/tmp";
   const std::string v2_path = dir + "/staratlas_bench_index_v2.bin";
   const std::string v3_path = dir + "/staratlas_bench_index_v3.bin";
+  const std::string v4_path = dir + "/staratlas_bench_index_v4.bin";
   w.index111.save_file(v2_path, GenomeIndex::kVersionV2);
   w.index111.save_file(v3_path, GenomeIndex::kVersionV3);
+  w.index111.save_file(v4_path, GenomeIndex::kVersionV4);
 
   const auto file_mb = [](const std::string& path) {
     std::ifstream in(path, std::ios::binary | std::ios::ate);
@@ -130,6 +138,7 @@ ColdLoadResult run_cold_load(const StartupConfig& cfg) {
   ColdLoadResult out;
   out.file_mb_v2 = file_mb(v2_path);
   out.file_mb_v3 = file_mb(v3_path);
+  out.file_mb_v4 = file_mb(v4_path);
 
   // "Cold" here means a fresh load into a new GenomeIndex each pass; the
   // page cache stays warm for every path alike, so the comparison
@@ -146,17 +155,31 @@ ColdLoadResult run_cold_load(const StartupConfig& cfg) {
   };
   out.v2_stream_secs = timed_load(v2_path, IndexLoadMode::kStream);
   const double v3_stream_secs = timed_load(v3_path, IndexLoadMode::kStream);
+  const double v4_stream_secs = timed_load(v4_path, IndexLoadMode::kStream);
   out.v3_mmap_attach_secs =
       MappedFile::supported() ? timed_load(v3_path, IndexLoadMode::kMmap) : 0;
+  out.v4_mmap_attach_secs =
+      MappedFile::supported() ? timed_load(v4_path, IndexLoadMode::kMmap) : 0;
 
   out.v2_stream_mb_s = out.file_mb_v2 / out.v2_stream_secs;
   out.v3_stream_mb_s = out.file_mb_v3 / v3_stream_secs;
+  out.v4_stream_mb_s = out.file_mb_v4 / v4_stream_secs;
   if (out.v3_mmap_attach_secs > 0) {
     out.v3_mmap_attach_mb_s = out.file_mb_v3 / out.v3_mmap_attach_secs;
     out.mmap_vs_stream_speedup = out.v2_stream_secs / out.v3_mmap_attach_secs;
   }
+  // Packed resident footprint vs raw — what IndexStats feeds the
+  // rightsizing/faas models.
+  {
+    const GenomeIndex packed =
+        GenomeIndex::load_file(v4_path, IndexLoadMode::kStream);
+    out.packed_text_ratio =
+        static_cast<double>(w.index111.stats().text_bytes.bytes()) /
+        static_cast<double>(packed.stats().text_bytes.bytes());
+  }
   std::remove(v2_path.c_str());
   std::remove(v3_path.c_str());
+  std::remove(v4_path.c_str());
   return out;
 }
 
@@ -243,6 +266,13 @@ int check_results(const std::string& baseline_path, const BuildResult& build,
               << "x the v2 stream load (need >= 5x)\n";
     ++failures;
   }
+  // Structural, not timing: the paged overlay must keep the packed
+  // resident text close to the ideal 4x under 1 byte/base.
+  if (cold.packed_text_ratio < 3.5) {
+    std::cerr << "SMOKE FAIL: packed text ratio " << cold.packed_text_ratio
+              << " < 3.5\n";
+    ++failures;
+  }
   // >30% regression vs the committed same-box baseline fails. Both are
   // in-process ratios, so they transfer across machines. The mmap attach
   // speedup is deliberately NOT baseline-gated: the attach is
@@ -304,12 +334,17 @@ int main(int argc, char** argv) {
 
   const ColdLoadResult cold = run_cold_load(cfg);
   std::cout << "cold load (v2 " << cold.file_mb_v2 << " MB, v3 "
-            << cold.file_mb_v3 << " MB)\n"
+            << cold.file_mb_v3 << " MB, v4 " << cold.file_mb_v4 << " MB)\n"
             << "  v2 stream      : " << cold.v2_stream_mb_s << " MB/s\n"
             << "  v3 stream      : " << cold.v3_stream_mb_s << " MB/s\n"
+            << "  v4 stream      : " << cold.v4_stream_mb_s << " MB/s\n"
             << "  v3 mmap attach : " << cold.v3_mmap_attach_mb_s << " MB/s ("
             << cold.v3_mmap_attach_secs * 1e3 << " ms)\n"
+            << "  v4 mmap attach : " << cold.v4_mmap_attach_secs * 1e3
+            << " ms\n"
             << "  mmap vs v2 stream speedup: " << cold.mmap_vs_stream_speedup
+            << "x\n"
+            << "  packed resident text shrink: " << cold.packed_text_ratio
             << "x\n";
 
   const CacheResult cache = run_cache(cfg);
@@ -342,12 +377,16 @@ int main(int argc, char** argv) {
   JsonObject cold_json;
   cold_json.add("file_mb_v2", cold.file_mb_v2)
       .add("file_mb_v3", cold.file_mb_v3)
+      .add("file_mb_v4", cold.file_mb_v4)
       .add("v2_stream_mb_s", cold.v2_stream_mb_s)
       .add("v3_stream_mb_s", cold.v3_stream_mb_s)
+      .add("v4_stream_mb_s", cold.v4_stream_mb_s)
       .add("v3_mmap_attach_mb_s", cold.v3_mmap_attach_mb_s)
       .add("v3_mmap_attach_secs", cold.v3_mmap_attach_secs)
+      .add("v4_mmap_attach_secs", cold.v4_mmap_attach_secs)
       .add("v2_stream_secs", cold.v2_stream_secs)
-      .add("mmap_vs_stream_speedup", cold.mmap_vs_stream_speedup);
+      .add("mmap_vs_stream_speedup", cold.mmap_vs_stream_speedup)
+      .add("packed_text_ratio", cold.packed_text_ratio);
   JsonObject cache_json;
   cache_json.add("loader_invocations", cache.loader_invocations)
       .add("duplicate_loads", cache.duplicate_loads)
@@ -356,7 +395,7 @@ int main(int argc, char** argv) {
       .add("concurrency_ratio", cache.concurrency_ratio);
   JsonObject root;
   root.add("bench", "index_startup")
-      .add("schema_version", 1)
+      .add("schema_version", 2)
       .add("smoke", cfg.smoke)
       .add("config", config_json)
       .add("build", build_json)

@@ -12,7 +12,10 @@
 //      beats one r6a.4xlarge (boot + S3 index download + stream load) on
 //      latency and on cost. With Lambda-style per-GB-second pricing the
 //      scatter path wins latency from well under 1 GiB but stays above
-//      the r6a on cost — the crossover table quantifies both.
+//      the r6a on cost — the crossover table quantifies both. A second
+//      sweep reruns the model with the packed (v4) index footprint —
+//      the 29.5 GiB anchor scaled by the measured packed/raw ratio — so
+//      the index-download/-load share of both columns shrinks.
 //
 // Emits machine-readable BENCH_shard.json (schema in EXPERIMENTS.md).
 //
@@ -147,14 +150,14 @@ struct SweepResult {
   double cost_crossover_gib = -1;     ///< first size scatter wins cost
 };
 
-SweepResult run_sweep() {
+SweepResult run_sweep(double index_gib) {
   const double kSampleGib[] = {0.5, 1, 2, 4, 8, 16, 32, 64};
   const usize kWorkers[] = {16, 32, 64, 128};
   SweepResult out;
   for (const double gib : kSampleGib) {
     SingleInstanceQuery single;
     single.sample_fastq = ByteSize::from_gib(gib);
-    single.index_bytes = ByteSize::from_gib(kPaperIndexGib111);
+    single.index_bytes = ByteSize::from_gib(index_gib);
     single.instance = instance_type("r6a.4xlarge");
     const SingleInstanceResult baseline = simulate_single_instance(single);
 
@@ -165,7 +168,7 @@ SweepResult run_sweep() {
     for (const usize workers : kWorkers) {
       ScatterGatherQuery query;
       query.sample_fastq = ByteSize::from_gib(gib);
-      query.index_bytes = ByteSize::from_gib(kPaperIndexGib111);
+      query.index_bytes = ByteSize::from_gib(index_gib);
       query.num_workers = workers;
       query.worker = faas_class("fn-10gb");
       const ScatterGatherResult result = simulate_scatter_gather(query);
@@ -265,25 +268,40 @@ int main(int argc, char** argv) {
             << "  scatter efficiency : " << measured.scatter_efficiency
             << "\n";
 
-  const SweepResult sweep = run_sweep();
+  const auto print_sweep = [](const SweepResult& sweep) {
+    std::cout << "  sample   single(s)  single($)   scatter(s)  scatter($)  "
+                 "workers\n";
+    for (const SweepRow& row : sweep.rows) {
+      std::printf("  %5.1fG  %9.1f  %9.4f   %9.1f  %9.4f  %7zu\n",
+                  row.sample_gib, row.single_secs, row.single_usd,
+                  row.scatter_secs, row.scatter_usd, row.scatter_workers);
+    }
+    std::cout << "  latency crossover: "
+              << (sweep.latency_crossover_gib > 0
+                      ? std::to_string(sweep.latency_crossover_gib) + " GiB"
+                      : "none")
+              << "\n  cost crossover: "
+              << (sweep.cost_crossover_gib > 0
+                      ? std::to_string(sweep.cost_crossover_gib) + " GiB"
+                      : "none (per-GB-second pricing stays above r6a)")
+              << "\n";
+  };
+
+  const SweepResult sweep = run_sweep(kPaperIndexGib111);
   std::cout << "crossover sweep (fn-10gb workers vs r6a.4xlarge, index "
-            << kPaperIndexGib111 << " GiB)\n"
-            << "  sample   single(s)  single($)   scatter(s)  scatter($)  "
-               "workers\n";
-  for (const SweepRow& row : sweep.rows) {
-    std::printf("  %5.1fG  %9.1f  %9.4f   %9.1f  %9.4f  %7zu\n",
-                row.sample_gib, row.single_secs, row.single_usd,
-                row.scatter_secs, row.scatter_usd, row.scatter_workers);
-  }
-  std::cout << "  latency crossover: "
-            << (sweep.latency_crossover_gib > 0
-                    ? std::to_string(sweep.latency_crossover_gib) + " GiB"
-                    : "none")
-            << "\n  cost crossover: "
-            << (sweep.cost_crossover_gib > 0
-                    ? std::to_string(sweep.cost_crossover_gib) + " GiB"
-                    : "none (per-GB-second pricing stays above r6a)")
-            << "\n";
+            << kPaperIndexGib111 << " GiB)\n";
+  print_sweep(sweep);
+
+  // Packed-index (v4) scenario: the same sweep with the index anchor
+  // scaled by the measured packed/raw footprint ratio — less to download
+  // and load per worker boot and per instance, so both columns shift.
+  const double packed_ratio = packed_index_footprint_ratio();
+  const double packed_gib = kPaperIndexGib111 * packed_ratio;
+  const SweepResult sweep_packed = run_sweep(packed_gib);
+  std::printf("crossover sweep, packed v4 index (%.1f GiB, measured %.3fx "
+              "ratio)\n",
+              packed_gib, packed_ratio);
+  print_sweep(sweep_packed);
 
   JsonObject config_json;
   config_json.add("reads", static_cast<u64>(cfg.reads))
@@ -297,32 +315,39 @@ int main(int argc, char** argv) {
       .add("sharded_reads_per_s", measured.sharded_reads_per_s)
       .add("speedup", measured.speedup)
       .add("scatter_efficiency", measured.scatter_efficiency);
-  JsonObject sweep_json;
-  sweep_json.add("latency_crossover_gib", sweep.latency_crossover_gib)
-      .add("cost_crossover_gib", sweep.cost_crossover_gib);
-  for (const SweepRow& row : sweep.rows) {
-    // Stable per-size key prefix: "g0p5", "g1", ... (flat-parser safe).
-    std::string label = std::to_string(row.sample_gib);
-    label.erase(label.find_last_not_of('0') + 1);
-    if (!label.empty() && label.back() == '.') label.pop_back();
-    for (auto& c : label) {
-      if (c == '.') c = 'p';
+  const auto sweep_to_json = [](const SweepResult& swept) {
+    JsonObject json;
+    json.add("latency_crossover_gib", swept.latency_crossover_gib)
+        .add("cost_crossover_gib", swept.cost_crossover_gib);
+    for (const SweepRow& row : swept.rows) {
+      // Stable per-size key prefix: "g0p5", "g1", ... (flat-parser safe).
+      std::string label = std::to_string(row.sample_gib);
+      label.erase(label.find_last_not_of('0') + 1);
+      if (!label.empty() && label.back() == '.') label.pop_back();
+      for (auto& c : label) {
+        if (c == '.') c = 'p';
+      }
+      JsonObject row_json;
+      row_json.add("single_secs", row.single_secs)
+          .add("single_usd", row.single_usd)
+          .add("scatter_secs", row.scatter_secs)
+          .add("scatter_usd", row.scatter_usd)
+          .add("scatter_workers", static_cast<u64>(row.scatter_workers));
+      json.add("g" + label, row_json);
     }
-    JsonObject row_json;
-    row_json.add("single_secs", row.single_secs)
-        .add("single_usd", row.single_usd)
-        .add("scatter_secs", row.scatter_secs)
-        .add("scatter_usd", row.scatter_usd)
-        .add("scatter_workers", static_cast<u64>(row.scatter_workers));
-    sweep_json.add("g" + label, row_json);
-  }
+    return json;
+  };
+  JsonObject packed_json = sweep_to_json(sweep_packed);
+  packed_json.add("packed_index_gib", packed_gib)
+      .add("packed_footprint_ratio", packed_ratio);
   JsonObject root;
   root.add("bench", "shard")
-      .add("schema_version", 1)
+      .add("schema_version", 2)
       .add("smoke", cfg.smoke)
       .add("config", config_json)
       .add("measured", measured_json)
-      .add("sweep", sweep_json);
+      .add("sweep", sweep_to_json(sweep))
+      .add("sweep_packed", packed_json);
   root.write_file(out_path);
   std::cout << "wrote " << out_path << "\n";
 

@@ -82,6 +82,7 @@ int usage() {
       "usage: staratlas_cli <command> [flags]\n"
       "  synthesize --out-dir DIR [--release 108|111] [--seed N]\n"
       "  index      --fasta FILE --out FILE [--release N] [--threads N]\n"
+      "             [--format v3|v4]   (v4 = 2-bit packed genome text)\n"
       "  simulate   --fasta FILE --gtf FILE --out FILE\n"
       "             [--profile bulk|single_cell] [--reads N] [--seed N]\n"
       "  align      --index FILE --fastq FILE --out-prefix P\n"
@@ -129,12 +130,20 @@ int cmd_index(const Args& args) {
       "cli", release, AssemblyType::kToplevel, read_fasta_file(fasta));
   IndexParams params;
   params.num_threads = args.get_u64("threads", 1);
+  const std::string format = args.get("format", "v3");
+  u32 version = GenomeIndex::kVersionLatest;
+  if (format == "v4") {
+    version = GenomeIndex::kVersionV4;
+  } else if (format != "v3") {
+    std::cerr << "error: --format must be v3 or v4, got '" << format << "'\n";
+    return 2;
+  }
   const GenomeIndex index = GenomeIndex::build(assembly, params);
-  index.save_file(out);
+  index.save_file(out, version);
   const IndexStats stats = index.stats();
   std::cout << "indexed " << stats.genome_length << " bp into " << out << " ("
             << stats.total().str() << ", LUT k=" << stats.prefix_lut_k
-            << ")\n";
+            << (format == "v4" ? ", packed v4" : "") << ")\n";
   return 0;
 }
 
@@ -183,10 +192,11 @@ int cmd_align(const Args& args) {
     // Rebuild a throwaway assembly view for contig-name resolution.
     std::vector<FastaRecord> records;
     for (const ContigMeta& contig : index.contigs()) {
-      const std::string_view text(index.text());
+      // text_substr decodes when the index is packed (v4), so the GTF path
+      // works against any index version.
       records.push_back({contig.name, "",
-                         std::string(text.substr(contig.text_offset,
-                                                 contig.length))});
+                         index.text_substr(contig.text_offset,
+                                           contig.length)});
     }
     const Assembly assembly =
         Assembly::from_fasta("cli", index.release(), index.assembly_type(),

@@ -409,37 +409,232 @@ ScanFn bwd_kernel(SimdLevel level) {
 
 namespace {
 
-/// X-drop extension to the left of (read_pos, text_pos), exclusive.
-/// Returns (matched_bases, extended_length) of the best extension.
-std::pair<u64, u64> extend_left(std::string_view read, std::string_view text,
-                                u64 read_pos, GenomePos text_pos, int xdrop,
-                                u64& bases_compared) {
-  static const xdrop_kernels::ScanFn kScan =
-      pick_kernel(xdrop_kernels::bwd_kernel(SimdLevel::kScalar),
-                  xdrop_kernels::bwd_kernel(SimdLevel::kSse2),
-                  xdrop_kernels::bwd_kernel(SimdLevel::kAvx2));
-  const u64 limit = std::min<u64>(read_pos, text_pos);
-  const xdrop_kernels::ScanResult r =
-      kScan(read.data() + read_pos, text.data() + text_pos, limit, xdrop);
-  bases_compared += r.compared;
-  return {r.best_matched, r.best_len};
+// ---------------------------------------------------------------------------
+// Striped multi-window extension driver.
+//
+// The old path ran one X-drop kernel per window end, to completion, before
+// touching the next window: every window paid its own text-fetch latency
+// serially. The driver below instead records all of a read's extension
+// tasks first, then advances them round-robin one 32-base strip at a time,
+// prefetching the next task's strip while the current one is consumed —
+// several genomic windows' cache misses overlap instead of queuing.
+//
+// Each strip is one mismatch bitmap (bit i = base i of the strip differs),
+// built from whichever representation the index carries:
+//   - raw text:    byte compares (scalar SWAR / SSE2 / AVX2 movemask);
+//   - packed text: packed_mismatch_mask32 over 2-bit codes + overlay.
+// The bitmap is consumed with the same ctz/clz run loop as the scan
+// kernels above, so the monotone +1/-2 argument carries over unchanged:
+// strip-boundary best updates are superseded at true run ends, the x-drop
+// break only fires at mismatches, and per-base `compared` accounting is
+// the sum of run lengths plus mismatches either way. Results are therefore
+// bit-identical to the per-window kernels (asserted by the parity tests).
+// ---------------------------------------------------------------------------
+
+/// 32-byte mismatch bitmap of a[0..32) vs b[0..32), scalar reference:
+/// per-word XOR, SWAR zero-byte test, multiply-gather of the byte flags.
+u32 strip_mask_scalar(const char* a, const char* b) {
+  u32 m = 0;
+  for (u32 w = 0; w < 4; ++w) {
+    u64 aw;
+    u64 bw;
+    std::memcpy(&aw, a + w * 8, sizeof(u64));
+    std::memcpy(&bw, b + w * 8, sizeof(u64));
+    const u64 x = aw ^ bw;
+    // High bit of each byte set iff that byte is zero (== bytes match).
+    const u64 z = (x - 0x0101010101010101ULL) & ~x & 0x8080808080808080ULL;
+    // Gather the eight flag bits (positions 8k+7) into one byte. The magic
+    // constant routes flag k to result bit 56+k with provably no carries
+    // (all partial-product bit positions are distinct).
+    const u32 eq = static_cast<u32>((z * 0x0002040810204081ULL) >> 56);
+    m |= (~eq & 0xFFu) << (w * 8);
+  }
+  return m;
 }
 
-/// X-drop extension to the right starting at (read_pos, text_pos).
-std::pair<u64, u64> extend_right(std::string_view read, std::string_view text,
-                                 u64 read_pos, GenomePos text_pos, int xdrop,
-                                 u64& bases_compared) {
-  static const xdrop_kernels::ScanFn kScan =
-      pick_kernel(xdrop_kernels::fwd_kernel(SimdLevel::kScalar),
-                  xdrop_kernels::fwd_kernel(SimdLevel::kSse2),
-                  xdrop_kernels::fwd_kernel(SimdLevel::kAvx2));
-  const u64 limit =
-      std::min<u64>(read.size() - read_pos, text.size() - text_pos);
-  const xdrop_kernels::ScanResult r =
-      kScan(read.data() + read_pos, text.data() + text_pos, limit, xdrop);
-  bases_compared += r.compared;
-  return {r.best_matched, r.best_len};
+#if defined(STARATLAS_X86_SIMD)
+u32 strip_mask_sse2(const char* a, const char* b) {
+  const __m128i a0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+  const __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+  const __m128i a1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + 16));
+  const __m128i b1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + 16));
+  const u32 lo = static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi8(a0, b0)));
+  const u32 hi = static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi8(a1, b1)));
+  return ~(lo | (hi << 16));
 }
+
+__attribute__((target("avx2"))) u32 strip_mask_avx2(const char* a,
+                                                    const char* b) {
+  const __m256i av = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i bv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  return ~static_cast<u32>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(av, bv)));
+}
+#endif  // STARATLAS_X86_SIMD
+
+using StripMaskFn = u32 (*)(const char* a, const char* b);
+
+StripMaskFn strip_kernel() {
+#if defined(STARATLAS_X86_SIMD)
+  static const StripMaskFn kFn =
+      pick_kernel(&strip_mask_scalar, &strip_mask_sse2, &strip_mask_avx2);
+#else
+  static const StripMaskFn kFn =
+      pick_kernel<StripMaskFn>(&strip_mask_scalar, nullptr, nullptr);
+#endif
+  return kFn;
+}
+
+/// Consumes one forward strip (mask bit 0 = first base in scan order).
+/// Returns true when the x-drop break fired, ending the task.
+bool consume_strip_fwd(ScanTask& t, u32 m, int xdrop) {
+  u32 pos = 0;
+  while (pos < 32) {
+    const u32 rest = m >> pos;
+    const u32 run =
+        rest == 0 ? 32 - pos : static_cast<u32>(std::countr_zero(rest));
+    t.score += static_cast<int>(run);
+    t.matched += run;
+    t.len += run;
+    t.compared += run;
+    pos += run;
+    if (t.score > t.best_score) {
+      t.best_score = t.score;
+      t.best_matched = t.matched;
+      t.best_len = t.len;
+    }
+    if (rest == 0) break;
+    ++t.compared;  // the mismatching base
+    t.score -= 2;
+    ++t.len;
+    ++pos;
+    if (t.score <= t.best_score - xdrop) return true;
+  }
+  return false;
+}
+
+/// Backward twin: the strip covers the 32 bases just before the scan
+/// front, so the first base in scan order is mask bit 31 and runs are
+/// counted with clz (same orientation trick as the backward scan kernels).
+bool consume_strip_bwd(ScanTask& t, u32 m, int xdrop) {
+  u32 pos = 0;
+  while (pos < 32) {
+    const u32 rest = m << pos;
+    const u32 run =
+        rest == 0 ? 32 - pos : static_cast<u32>(std::countl_zero(rest));
+    t.score += static_cast<int>(run);
+    t.matched += run;
+    t.len += run;
+    t.compared += run;
+    pos += run;
+    if (t.score > t.best_score) {
+      t.best_score = t.score;
+      t.best_matched = t.matched;
+      t.best_len = t.len;
+    }
+    if (rest == 0) break;
+    ++t.compared;
+    t.score -= 2;
+    ++t.len;
+    ++pos;
+    if (t.score <= t.best_score - xdrop) return true;
+  }
+  return false;
+}
+
+/// All read/text context one driver pass needs; tasks hold positions only.
+struct StripedDriver {
+  std::string_view read;
+  std::string_view text;   ///< raw text bytes; empty when packed
+  PackedTextView ptext;    ///< packed view; inactive when raw
+  const u64* qcodes = nullptr;  ///< packed read codes (packed mode)
+  const u64* qexc = nullptr;    ///< packed read overlay bits
+  bool packed = false;     ///< text is 2-bit packed
+  bool qpacked = false;    ///< read packed successfully (ACGTN only)
+  int xdrop = 0;
+
+  char text_at(u64 pos) const { return packed ? ptext.at(pos) : text[pos]; }
+
+  /// Strips need both a wide text window and a wide read window; a read
+  /// that failed to pack (rare non-ACGTN chars) falls back to the exact
+  /// per-base decode loop for the whole task.
+  bool can_strip() const { return !packed || qpacked; }
+
+  u32 strip_mask(const ScanTask& t) const {
+    const u64 tp = t.fwd ? t.text_pos + t.len : t.text_pos - t.len - 32;
+    const u64 qp = t.fwd ? t.read_pos + t.len : t.read_pos - t.len - 32;
+    if (packed) return packed_mismatch_mask32(ptext, tp, qcodes, qexc, qp);
+    return strip_kernel()(read.data() + qp, text.data() + tp);
+  }
+
+  void prefetch(const ScanTask& t) const {
+    const u64 tp = t.fwd ? t.text_pos + t.len : t.text_pos - t.len - 32;
+    if (packed) {
+      __builtin_prefetch(ptext.codes + (tp >> 5));
+    } else {
+      __builtin_prefetch(text.data() + tp);
+    }
+  }
+
+  /// Finishes a task per-base: the sub-strip tail, and whole tasks in
+  /// decode mode. Identical outcomes to the run loops — the incremental
+  /// best update is superseded exactly like a strip-boundary update.
+  void finish_per_base(ScanTask& t) const {
+    while (t.len < t.limit) {
+      const bool match =
+          t.fwd ? read[t.read_pos + t.len] == text_at(t.text_pos + t.len)
+                : read[t.read_pos - t.len - 1] ==
+                      text_at(t.text_pos - t.len - 1);
+      ++t.compared;
+      ++t.len;
+      if (match) {
+        ++t.score;
+        ++t.matched;
+        if (t.score > t.best_score) {
+          t.best_score = t.score;
+          t.best_matched = t.matched;
+          t.best_len = t.len;
+        }
+      } else {
+        t.score -= 2;
+        if (t.score <= t.best_score - xdrop) return;
+      }
+    }
+  }
+
+  /// Runs every task to completion: strip rounds over all live tasks
+  /// (one strip per task per round, next task's strip prefetched), then
+  /// one per-base pass for tails and x-drop survivors shorter than a
+  /// strip. `live` is caller scratch, reused across reads.
+  void run(ScanTask* tasks, usize n, std::vector<u32>& live) const {
+    live.clear();
+    if (can_strip()) {
+      for (usize i = 0; i < n; ++i) {
+        if (tasks[i].len + 32 <= tasks[i].limit) {
+          live.push_back(static_cast<u32>(i));
+        }
+      }
+      while (!live.empty()) {
+        usize out = 0;
+        for (usize k = 0; k < live.size(); ++k) {
+          ScanTask& t = tasks[live[k]];
+          if (k + 1 < live.size()) prefetch(tasks[live[k + 1]]);
+          const u32 m = strip_mask(t);
+          const bool broke = t.fwd ? consume_strip_fwd(t, m, xdrop)
+                                   : consume_strip_bwd(t, m, xdrop);
+          if (broke) {
+            t.done = true;
+            continue;
+          }
+          if (t.len + 32 <= t.limit) live[out++] = live[k];
+        }
+        live.resize(out);
+      }
+    }
+    for (usize i = 0; i < n; ++i) {
+      if (!tasks[i].done) finish_per_base(tasks[i]);
+    }
+  }
+};
 
 /// Chains the window's loci (sorted by read_offset) with the classic
 /// O(L^2) DP, maximizing total seed-matched bases under colinearity and
@@ -500,6 +695,24 @@ void score_windows(const GenomeIndex& index, std::string_view read,
                    const AlignerParams& params, ExtendStats& stats,
                    ExtendWorkspace& ws, std::vector<AlignmentHit>& hits) {
   const std::string_view text = index.text();
+  const u64 tsize = index.text_size();
+
+  StripedDriver driver;
+  driver.read = read;
+  driver.text = text;
+  driver.packed = index.packed_text();
+  driver.xdrop = params.xdrop;
+  if (driver.packed) {
+    driver.ptext = index.packed_view();
+    // Pack the read once per call; both orientations and every window's
+    // strips reuse the same buffers.
+    ws.read_codes.resize(packed_code_words(read.size()));
+    ws.read_exc.resize(read.size() / 64 + 2);
+    driver.qpacked =
+        pack_query(read, ws.read_codes.data(), ws.read_exc.data());
+    driver.qcodes = ws.read_codes.data();
+    driver.qexc = ws.read_exc.data();
+  }
 
   // 1. Enumerate loci (capped per seed for hyper-repetitive seeds).
   ws.loci.clear();
@@ -528,6 +741,11 @@ void score_windows(const GenomeIndex& index, std::string_view read,
               return a.diagonal() < b.diagonal();
             });
 
+  // Phase A: per window, chain + gap compares + segment assembly; the end
+  // extensions are only *recorded* as ScanTasks here.
+  ws.plans.clear();
+  ws.plan_segments.clear();
+  ws.tasks.clear();
   usize window_begin = 0;
   for (usize i = 1; i <= ws.loci.size(); ++i) {
     const bool boundary =
@@ -558,13 +776,13 @@ void score_windows(const GenomeIndex& index, std::string_view read,
     const std::vector<usize>& chain = ws.chain;
     const std::vector<SeedLocus>& window = ws.window;
 
-    // 3. Score: chained seed bases + interior gap matches + end extensions.
+    WindowPlan plan;
+    plan.seg_begin = static_cast<u32>(ws.plan_segments.size());
     u64 matched = 0;
-    ws.segments.clear();
     for (usize c = 0; c < chain.size(); ++c) {
       const SeedLocus& locus = window[chain[c]];
       matched += locus.length;
-      ws.segments.push_back(
+      ws.plan_segments.push_back(
           {locus.read_offset, locus.text_start, locus.length});
       if (c == 0) continue;
       const SeedLocus& prior = window[chain[c - 1]];
@@ -576,35 +794,58 @@ void score_windows(const GenomeIndex& index, std::string_view read,
       const GenomePos gap_text = locus.text_start - read_gap;
       u64 gap_matched = 0;
       for (u64 g = 0; g < read_gap; ++g) {
-        if (read[prior.read_end() + g] == text[gap_text + g]) ++gap_matched;
+        if (read[prior.read_end() + g] == driver.text_at(gap_text + g)) {
+          ++gap_matched;
+        }
       }
       stats.bases_compared += read_gap;
       matched += gap_matched;
       (void)text_gap;
     }
+    plan.seg_end = static_cast<u32>(ws.plan_segments.size());
+    plan.matched = matched;
 
-    // Left extension from the first chained seed.
-    {
-      const SeedLocus& first = window[chain.front()];
-      const auto [ext_matched, ext_len] =
-          extend_left(read, text, first.read_offset, first.text_start,
-                      params.xdrop, stats.bases_compared);
-      matched += ext_matched;
-      if (ext_len > 0) {
-        ws.segments.front().read_start -= ext_len;
-        ws.segments.front().text_start -= ext_len;
-        ws.segments.front().length += ext_len;
-      }
+    const SeedLocus& first = window[chain.front()];
+    ScanTask left;
+    left.read_pos = first.read_offset;
+    left.text_pos = first.text_start;
+    left.limit = std::min<u64>(first.read_offset, first.text_start);
+    left.fwd = false;
+    plan.left_task = static_cast<u32>(ws.tasks.size());
+    ws.tasks.push_back(left);
+
+    const SeedLocus& last = window[chain.back()];
+    ScanTask right;
+    right.read_pos = last.read_end();
+    right.text_pos = last.text_end();
+    right.limit =
+        std::min<u64>(read.size() - last.read_end(), tsize - last.text_end());
+    right.fwd = true;
+    plan.right_task = static_cast<u32>(ws.tasks.size());
+    ws.tasks.push_back(right);
+
+    ws.plans.push_back(plan);
+  }
+
+  // Phase B: one striped pass extends every window's ends together.
+  driver.run(ws.tasks.data(), ws.tasks.size(), ws.live);
+
+  // Phase C: apply extensions and emit hits in original window order, so
+  // output and counters match the serial per-window path exactly.
+  for (const WindowPlan& plan : ws.plans) {
+    const ScanTask& left = ws.tasks[plan.left_task];
+    const ScanTask& right = ws.tasks[plan.right_task];
+    stats.bases_compared += left.compared + right.compared;
+    const u64 matched = plan.matched + left.best_matched + right.best_matched;
+
+    AlignedSegment* segs = ws.plan_segments.data() + plan.seg_begin;
+    const usize nseg = plan.seg_end - plan.seg_begin;
+    if (left.best_len > 0) {
+      segs[0].read_start -= left.best_len;
+      segs[0].text_start -= left.best_len;
+      segs[0].length += left.best_len;
     }
-    // Right extension from the last chained seed.
-    {
-      const SeedLocus& last = window[chain.back()];
-      const auto [ext_matched, ext_len] =
-          extend_right(read, text, last.read_end(), last.text_end(),
-                       params.xdrop, stats.bases_compared);
-      matched += ext_matched;
-      if (ext_len > 0) ws.segments.back().length += ext_len;
-    }
+    if (right.best_len > 0) segs[nseg - 1].length += right.best_len;
 
     const u32 score = static_cast<u32>(std::min<u64>(matched, read.size()));
     if (score == 0) continue;
@@ -614,7 +855,8 @@ void score_windows(const GenomeIndex& index, std::string_view read,
     AlignmentHit& hit = hits.emplace_back();
     hit.reverse = reverse;
     hit.score = score;
-    for (const auto& segment : ws.segments) {
+    for (usize s = 0; s < nseg; ++s) {
+      const AlignedSegment& segment = segs[s];
       if (!hit.segments.empty()) {
         AlignedSegment& tail = hit.segments.back();
         const u64 read_gap =

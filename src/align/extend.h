@@ -57,6 +57,42 @@ struct ExtendStats {
   bool capped = false;  ///< some seed exceeded anchor_max_loci
 };
 
+/// One end-extension job for the striped multi-window driver. score_windows
+/// records two per window (left of the first chained seed, right of the
+/// last), then a single driver pass extends every window of the read a
+/// 32-base strip at a time, round-robin, so the text loads of several
+/// genomic windows are in flight at once instead of one window stalling
+/// the pipeline at a time. Results are identical to running the per-window
+/// X-drop kernels back to back (same +1/-2 monotone-run argument as the
+/// SIMD scan kernels).
+struct ScanTask {
+  u64 read_pos = 0;   ///< read anchor; exclusive when scanning backward
+  u64 text_pos = 0;   ///< text anchor; exclusive when scanning backward
+  u64 limit = 0;      ///< max scan length (min of read/text headroom)
+  bool fwd = true;    ///< scan direction
+  bool done = false;  ///< x-drop break fired; skip the tail pass
+  // Live scan state (resumed strip after strip by the driver).
+  int score = 0;
+  int best_score = 0;
+  u64 matched = 0;
+  u64 len = 0;
+  // Outputs, valid once the driver finishes.
+  u64 best_matched = 0;  ///< matched bases within the best-scoring prefix
+  u64 best_len = 0;      ///< length of the best-scoring prefix
+  u64 compared = 0;      ///< bases examined
+};
+
+/// Deferred per-window assembly: what Phase A (chain + gap compares)
+/// computed, waiting for Phase B (the striped driver) to finish both
+/// extension tasks so Phase C can apply them and emit the hit.
+struct WindowPlan {
+  u64 matched = 0;   ///< chained seed bases + interior gap matches
+  u32 seg_begin = 0; ///< [seg_begin, seg_end) into ws.plan_segments
+  u32 seg_end = 0;
+  u32 left_task = 0;   ///< index into ws.tasks (backward extension)
+  u32 right_task = 0;  ///< index into ws.tasks (forward extension)
+};
+
 /// One genomic occurrence of a seed, the unit the window clustering and
 /// chaining DP operate on.
 struct SeedLocus {
@@ -82,6 +118,13 @@ struct ExtendWorkspace {
   std::vector<i64> chain_prev;    ///< DP: predecessor of i (-1 = none)
   std::vector<usize> chain;       ///< backtracked best chain, ascending
   std::vector<AlignedSegment> segments;  ///< pre-merge segment assembly
+  // Striped extension driver state, spanning all windows of one read.
+  std::vector<WindowPlan> plans;
+  std::vector<AlignedSegment> plan_segments;  ///< all plans' segments
+  std::vector<ScanTask> tasks;   ///< two extension tasks per plan
+  std::vector<u32> live;         ///< driver round-robin scratch
+  std::vector<u64> read_codes;   ///< packed read (packed-text mode)
+  std::vector<u64> read_exc;     ///< packed read overlay bits
 };
 
 /// Scores all candidate windows implied by `seeds` for `read` (already

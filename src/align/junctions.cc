@@ -42,10 +42,18 @@ void JunctionCollector::add(const ReadAlignment& alignment) {
     const GenomePos donor = a.text_start + a.length;
     const ContigLocus locus = index_->locate(donor);
     const ContigMeta& meta = index_->contigs()[locus.contig];
-    const std::string_view contig_seq =
-        std::string_view(index_->text()).substr(meta.text_offset, meta.length);
-    const u64 start =
-        left_shift_intron(contig_seq, locus.offset, locus.offset + intron);
+    // Same normalization as left_shift_intron, but through the index's
+    // encoding-agnostic per-char accessor: packed (v4) indexes carry no
+    // raw text to take a contig view of, and the shift only ever touches
+    // a handful of bases around the boundary.
+    u64 start = locus.offset;
+    u64 end = locus.offset + intron;
+    while (start > 0 &&
+           index_->text_char(meta.text_offset + start - 1) ==
+               index_->text_char(meta.text_offset + end - 1)) {
+      --start;
+      --end;
+    }
     // Junctions never span contigs (windows are per-contig).
     Key key{locus.contig, start, start + intron};
     Support& support = table_[key];

@@ -7,8 +7,12 @@
 // Mappable Prefix searches. Construction is thread-pool parallel when
 // IndexParams::num_threads > 1 (bit-identical to the sequential SA-IS
 // reference path). On-disk formats: v2 (length-prefixed stream, mini-LUTs
-// recomputed on load) and v3 (page-aligned checksummed sections, mini-LUTs
-// serialized, mmap-able for O(header) zero-copy loads via IndexStorage).
+// recomputed on load), v3 (page-aligned checksummed sections, mini-LUTs
+// serialized, mmap-able for O(header) zero-copy loads via IndexStorage),
+// and v4 (v3 layout, but the genome text ships 2-bit packed with a paged
+// exception overlay — see index/packed_text.h — so the resident text is
+// ~4x smaller and every hot compare runs on packed words; searches and
+// stats stay bit-identical to a raw-text load of the same genome).
 #pragma once
 
 #include <array>
@@ -39,9 +43,9 @@ struct IndexParams {
 
 /// How load_file materializes an index file.
 enum class IndexLoadMode : u8 {
-  kAuto = 0,  ///< mmap for v3 files when available, else stream
-  kStream,    ///< copy every section through BinaryReader (v2 or v3)
-  kMmap,      ///< zero-copy mmap; requires a v3 file
+  kAuto = 0,  ///< mmap for v3/v4 files when available, else stream
+  kStream,    ///< copy every section through BinaryReader (v2, v3 or v4)
+  kMmap,      ///< zero-copy mmap; requires a v3 or v4 file
 };
 
 /// Half-open range [lo, hi) of suffix-array rows.
@@ -73,7 +77,7 @@ struct ContigMeta {
 };
 
 struct IndexStats {
-  ByteSize text_bytes;
+  ByteSize text_bytes;  ///< resident text: raw bytes, or packed words (v4)
   ByteSize suffix_array_bytes;
   ByteSize lut_bytes;
   ByteSize mini_lut_bytes;  ///< the four cascade LUTs (resident like the rest)
@@ -83,12 +87,17 @@ struct IndexStats {
   u64 genome_length = 0;  ///< residues (without separators)
   usize num_contigs = 0;
   u32 prefix_lut_k = 0;
+  bool packed_text = false;  ///< text_bytes counts the 2-bit representation
 };
 
 class GenomeIndex {
  public:
   static constexpr u32 kVersionV2 = 2;
   static constexpr u32 kVersionV3 = 3;
+  static constexpr u32 kVersionV4 = 4;
+  /// Default interchange format. v4 (packed text) is opt-in: it changes
+  /// what text() returns (empty; use text_char/text_substr), so callers
+  /// ask for it explicitly via save(out, kVersionV4).
   static constexpr u32 kVersionLatest = kVersionV3;
 
   GenomeIndex() = default;
@@ -103,7 +112,20 @@ class GenomeIndex {
   AssemblyType assembly_type() const { return type_; }
 
   const std::vector<ContigMeta>& contigs() const { return contigs_; }
+  /// Raw concatenated text. Empty for v4 (packed) loads — use text_size /
+  /// text_char / text_substr, which work for every encoding.
   std::string_view text() const { return storage_.text(); }
+  /// Genome text length (contigs + separators) regardless of encoding.
+  u64 text_size() const { return storage_.text_size(); }
+  /// True when the text is resident in 2-bit packed form (v4 load).
+  bool packed_text() const { return storage_.has_packed(); }
+  /// Packed-text view; inactive unless packed_text().
+  PackedTextView packed_view() const { return storage_.packed_view(); }
+  /// Character at `pos` in the concatenated text, decoding if packed.
+  char text_char(u64 pos) const { return text_at(pos); }
+  /// Decoded copy of text [pos, pos+len) — the encoding-independent form
+  /// of text().substr(pos, len).
+  std::string text_substr(u64 pos, u64 len) const;
   std::span<const u32> suffix_array() const { return storage_.sa(); }
   std::span<const LutCell> prefix_lut() const { return storage_.lut(); }
   /// Cascade LUT for prefix length `k` in 1..4.
@@ -178,12 +200,14 @@ class GenomeIndex {
   /// without comparing full text. O(contigs).
   u64 fingerprint() const;
 
-  /// Serialization (binary, versioned). `version` is kVersionV2 or
-  /// kVersionV3; v3 is page-aligned/checksummed and mmap-able.
+  /// Serialization (binary, versioned). `version` is kVersionV2,
+  /// kVersionV3 or kVersionV4; v3/v4 are page-aligned/checksummed and
+  /// mmap-able, v4 additionally ships the text 2-bit packed. Any load can
+  /// save any version (packed text is decoded or packed on the fly).
   void save(std::ostream& out, u32 version = kVersionLatest) const;
   void save_file(const std::string& path, u32 version = kVersionLatest) const;
-  /// Stream load; accepts v2 and v3. Corruption (including truncation)
-  /// surfaces as ParseError.
+  /// Stream load; accepts v2, v3 and v4. Corruption (including
+  /// truncation) surfaces as ParseError.
   static GenomeIndex load(std::istream& in);
   static GenomeIndex load_file(const std::string& path,
                                IndexLoadMode mode = IndexLoadMode::kAuto);
@@ -212,15 +236,25 @@ class GenomeIndex {
   /// which has no checksums to catch corruption).
   void validate_loaded(bool deep) const;
   void save_v2(std::ostream& out) const;
-  void save_v3(std::ostream& out) const;
+  /// v3 and v4 share the sectioned writer; v4 appends the packed-text
+  /// sections and leaves the raw text section empty.
+  void save_sectioned(std::ostream& out, u32 version) const;
   std::string serialize_meta() const;
   void parse_meta(const std::string& blob, u64& text_size, u64& sa_size,
                   u64& lut_cells);
   static GenomeIndex load_v2(BinaryReader& reader);
-  static GenomeIndex load_v3_stream(BinaryReader& reader);
-  static GenomeIndex load_v3_mmap(MappedFile file, const std::string& path);
+  static GenomeIndex load_sectioned_stream(BinaryReader& reader, u32 version);
+  static GenomeIndex load_sectioned_mmap(MappedFile file,
+                                         const std::string& path);
 
+  /// Character at `pos`, '\0' past the end. The scalar fallback every
+  /// search path shares: raw loads read the byte, packed loads decode it,
+  /// so byte-level comparison semantics are identical in both modes.
   char text_at(u64 pos) const {
+    if (storage_.has_packed()) {
+      return pos < storage_.packed_size ? storage_.packed_view().at(pos)
+                                        : '\0';
+    }
     const std::string_view text = storage_.text();
     return pos < text.size() ? text[pos] : '\0';
   }

@@ -65,12 +65,28 @@ std::string PackedSequence::unpack() const {
 }
 
 void PackedSequence::unpack_into(std::string& out) const {
-  out.resize(length_);
-  for (u64 i = 0; i < length_; ++i) {
-    const u8 byte = codes_[i / 4];
-    out[i] = code_base((byte >> ((i % 4) * 2)) & 0x3);
+  unpack_raw(length_, codes_.data(), n_positions_.data(), n_positions_.size(),
+             out);
+}
+
+void PackedSequence::unpack_raw(u64 length, const u8* codes,
+                                const u64* n_positions, usize num_n,
+                                std::string& out) {
+  // Single pass with the sorted overlay merged in as it goes. The old
+  // decode patched N's in a second pass over the finished string, which
+  // re-touched a cold cache line per overlay entry; per-base at() calls
+  // were worse still (a binary search per residue).
+  static constexpr char kBases[] = "ACGT";
+  out.resize(length);
+  usize n_idx = 0;
+  for (u64 i = 0; i < length; ++i) {
+    if (n_idx < num_n && n_positions[n_idx] == i) {
+      out[i] = 'N';
+      ++n_idx;
+      continue;
+    }
+    out[i] = kBases[(codes[i >> 2] >> ((i & 3) * 2)) & 0x3];
   }
-  for (u64 pos : n_positions_) out[pos] = 'N';
 }
 
 char PackedSequence::at(u64 i) const {
@@ -80,6 +96,26 @@ char PackedSequence::at(u64 i) const {
   }
   const u8 byte = codes_[i / 4];
   return code_base((byte >> ((i % 4) * 2)) & 0x3);
+}
+
+PackedSequence::Cursor::Cursor(const PackedSequence& seq, u64 start)
+    : seq_(&seq), pos_(start) {
+  n_idx_ = static_cast<usize>(
+      std::lower_bound(seq.n_positions_.begin(), seq.n_positions_.end(),
+                       start) -
+      seq.n_positions_.begin());
+}
+
+char PackedSequence::Cursor::next() {
+  STARATLAS_CHECK(pos_ < seq_->length_);
+  const u64 i = pos_++;
+  if (n_idx_ < seq_->n_positions_.size() &&
+      seq_->n_positions_[n_idx_] == i) {
+    ++n_idx_;
+    return 'N';
+  }
+  static constexpr char kBases[] = "ACGT";
+  return kBases[(seq_->codes_[i >> 2] >> ((i & 3) * 2)) & 0x3];
 }
 
 ByteSize PackedSequence::packed_bytes() const {

@@ -32,8 +32,35 @@ class PackedSequence {
   u64 size() const { return length_; }
   bool empty() const { return length_ == 0; }
 
-  /// Residue at position i (ACGT or N).
+  /// Residue at position i (ACGT or N). Random access: pays a binary
+  /// search over the N overlay per call — for sequential walks use a
+  /// Cursor, which merges the overlay in O(1) amortized per base.
   char at(u64 i) const;
+
+  /// Sequential accessor. The old decoder loops called at() per base,
+  /// which re-ran the overlay binary search length times; the cursor
+  /// positions itself in the sorted overlay once and then just compares
+  /// the front entry as it advances.
+  class Cursor {
+   public:
+    explicit Cursor(const PackedSequence& seq, u64 start = 0);
+    bool done() const { return pos_ >= seq_->length_; }
+    u64 position() const { return pos_; }
+    /// Residue at position(), then advances. Checks !done().
+    char next();
+
+   private:
+    const PackedSequence* seq_;
+    u64 pos_;
+    usize n_idx_;  ///< first overlay entry >= pos_
+  };
+  Cursor cursor(u64 start = 0) const { return Cursor(*this, start); }
+
+  /// Single-pass decode over raw codec fields, overlay merged on the fly
+  /// — shared by unpack_into and the SRA container's record decoder.
+  /// Caller is responsible for validating the field shapes first.
+  static void unpack_raw(u64 length, const u8* codes, const u64* n_positions,
+                         usize num_n, std::string& out);
 
   /// Bytes used by the packed representation (codes + N overlay).
   ByteSize packed_bytes() const;

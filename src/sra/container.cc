@@ -35,11 +35,8 @@ void unpack_sequence(u64 length, const std::vector<u8>& codes,
       (!n_positions.empty() && n_positions.back() >= length)) {
     throw ParseError("SRA container: corrupt N-position overlay");
   }
-  out.resize(length);
-  for (u64 i = 0; i < length; ++i) {
-    out[i] = code_base((codes[i / 4] >> ((i % 4) * 2)) & 0x3);
-  }
-  for (u64 pos : n_positions) out[pos] = 'N';
+  PackedSequence::unpack_raw(length, codes.data(), n_positions.data(),
+                             n_positions.size(), out);
 }
 
 /// rle_decode into a reused buffer.

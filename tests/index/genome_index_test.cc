@@ -261,14 +261,21 @@ TEST(GenomeIndex, RoundTripMatrixSearchesIdentically) {
       {"v2-stream", GenomeIndex::kVersionV2, IndexLoadMode::kStream},
       {"v3-stream", GenomeIndex::kVersionV3, IndexLoadMode::kStream},
       {"v3-mmap", GenomeIndex::kVersionV3, IndexLoadMode::kMmap},
+      {"v4-stream", GenomeIndex::kVersionV4, IndexLoadMode::kStream},
+      {"v4-mmap", GenomeIndex::kVersionV4, IndexLoadMode::kMmap},
   };
   for (const Case& c : cases) {
     if (c.mode == IndexLoadMode::kMmap && !MappedFile::supported()) continue;
+    const bool packed = c.version == GenomeIndex::kVersionV4;
     const TempIndexFile file(original, c.version);
     const GenomeIndex loaded = GenomeIndex::load_file(file.path, c.mode);
     SCOPED_TRACE(c.name);
     EXPECT_EQ(loaded.memory_mapped(), c.mode == IndexLoadMode::kMmap);
-    EXPECT_EQ(loaded.text(), original.text());
+    EXPECT_EQ(loaded.packed_text(), packed);
+    // v4 carries no raw text; the decoded form must still be byte-equal.
+    EXPECT_EQ(loaded.text(), packed ? std::string_view() : original.text());
+    EXPECT_EQ(loaded.text_size(), original.text().size());
+    EXPECT_EQ(loaded.text_substr(0, original.text().size()), original.text());
     EXPECT_TRUE(same_range(loaded.suffix_array(), original.suffix_array()));
     EXPECT_TRUE(same_range(loaded.prefix_lut(), original.prefix_lut()));
     for (u32 k = 1; k <= 4; ++k) {
@@ -276,7 +283,16 @@ TEST(GenomeIndex, RoundTripMatrixSearchesIdentically) {
     }
     const IndexStats got = loaded.stats();
     const IndexStats want = original.stats();
-    EXPECT_EQ(got.total().bytes(), want.total().bytes());
+    EXPECT_EQ(got.packed_text, packed);
+    if (packed) {
+      // Everything but the text is unchanged; the text shrinks ~4x.
+      EXPECT_EQ(got.suffix_array_bytes.bytes(),
+                want.suffix_array_bytes.bytes());
+      EXPECT_EQ(got.lut_bytes.bytes(), want.lut_bytes.bytes());
+      EXPECT_LT(got.text_bytes.bytes() * 3, want.text_bytes.bytes());
+    } else {
+      EXPECT_EQ(got.total().bytes(), want.total().bytes());
+    }
     EXPECT_EQ(got.genome_length, want.genome_length);
     EXPECT_EQ(got.num_contigs, want.num_contigs);
     for (const std::string& q : queries) {
@@ -286,10 +302,14 @@ TEST(GenomeIndex, RoundTripMatrixSearchesIdentically) {
       EXPECT_EQ(a.interval.lo, b.interval.lo) << "query " << q;
       EXPECT_EQ(a.interval.hi, b.interval.hi) << "query " << q;
     }
-    // kAuto picks mmap for v3 (when supported) and stream for v2; either
-    // way the result must match too.
+    // kAuto picks mmap for v3/v4 (when supported) and stream for v2;
+    // either way the result must match too.
     const GenomeIndex auto_loaded = GenomeIndex::load_file(file.path);
-    EXPECT_EQ(auto_loaded.text(), original.text());
+    EXPECT_EQ(auto_loaded.text_substr(0, original.text().size()),
+              original.text());
+    if (!packed) {
+      EXPECT_EQ(auto_loaded.text(), original.text());
+    }
   }
 }
 

@@ -15,9 +15,12 @@ namespace staratlas {
 namespace {
 
 Assembly small_assembly() {
+  // The N's matter for the v4 fuzz: they force a dirty overlay page, so
+  // byte flips can hit live packed-codes, slot-table, and exception-block
+  // bytes, not just empty sections.
   std::vector<Contig> contigs = {
       {"A", ContigClass::kChromosome,
-       "ACGTACGTACGTAAATTTCCCGGGACGTACGTACGTAAGGCCTTACGT"},
+       "ACGTACGTACGTANATTTCCCGGGACGTACGTACGTANGGCCTTACGT"},
       {"B", ContigClass::kUnlocalizedScaffold, "TTTTGGGGCCCCAAAATTTTGGGG"},
   };
   return Assembly("t", 111, AssemblyType::kToplevel, std::move(contigs));
@@ -87,7 +90,8 @@ TEST_P(IndexCorruption, MultiByteGarbageNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Versions, IndexCorruption,
                          ::testing::Values(GenomeIndex::kVersionV2,
-                                           GenomeIndex::kVersionV3),
+                                           GenomeIndex::kVersionV3,
+                                           GenomeIndex::kVersionV4),
                          [](const auto& info) {
                            return "v" + std::to_string(info.param);
                          });

@@ -66,6 +66,57 @@ TEST(PackedSequence, FromRawValidates) {
   EXPECT_THROW(PackedSequence::from_raw(10, {1}, {}), InternalError);
 }
 
+TEST(PackedSequence, CursorMatchesAtEverywhere) {
+  Rng rng(7);
+  static const char kBases[] = "ACGTN";
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string seq(1 + rng.uniform(500), 'A');
+    for (auto& c : seq) c = kBases[rng.uniform(5)];
+    const PackedSequence packed = PackedSequence::pack(seq);
+    auto cur = packed.cursor();
+    for (usize i = 0; i < seq.size(); ++i) {
+      ASSERT_FALSE(cur.done());
+      EXPECT_EQ(cur.position(), i);
+      EXPECT_EQ(cur.next(), seq[i]) << "trial " << trial << " pos " << i;
+    }
+    EXPECT_TRUE(cur.done());
+  }
+}
+
+TEST(PackedSequence, CursorFromMidSequence) {
+  // Starting mid-sequence must land n_idx_ past the overlay entries
+  // already consumed, including when the start position is itself an N.
+  const std::string seq = "NNACGTNNNACGTN";
+  const PackedSequence packed = PackedSequence::pack(seq);
+  for (u64 start = 0; start <= seq.size(); ++start) {
+    auto cur = packed.cursor(start);
+    for (usize i = start; i < seq.size(); ++i) {
+      EXPECT_EQ(cur.next(), seq[i]) << "start " << start << " pos " << i;
+    }
+    EXPECT_TRUE(cur.done());
+  }
+}
+
+TEST(PackedSequence, CursorPastEndThrows) {
+  const PackedSequence packed = PackedSequence::pack("AC");
+  auto cur = packed.cursor();
+  cur.next();
+  cur.next();
+  EXPECT_TRUE(cur.done());
+  EXPECT_THROW(cur.next(), InternalError);
+}
+
+TEST(PackedSequence, UnpackRawMatchesUnpack) {
+  const std::string seq = "NACGTNNACGTACGTN";
+  const PackedSequence packed = PackedSequence::pack(seq);
+  std::string out;
+  PackedSequence::unpack_raw(packed.size(), packed.codes().data(),
+                             packed.n_positions().data(),
+                             packed.n_positions().size(), out);
+  EXPECT_EQ(out, seq);
+  EXPECT_EQ(out, packed.unpack());
+}
+
 TEST(BaseCode, RoundTrips) {
   EXPECT_EQ(code_base(base_code('A')), 'A');
   EXPECT_EQ(code_base(base_code('C')), 'C');

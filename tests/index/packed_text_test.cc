@@ -1,0 +1,204 @@
+// Unit tests for the 2-bit packed text (v4 index representation): the
+// injective encoding, the paged exception overlay, the guarded funnel-shift
+// extractors, and the wide-word LCP kernels at every SIMD level.
+#include "index/packed_text.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace staratlas {
+namespace {
+
+std::string random_text(u64 size, u64 seed, double n_rate = 0.01,
+                        double sep_rate = 0.002) {
+  static const char kBases[] = "ACGT";
+  Rng rng(seed);
+  std::string text(size, 'A');
+  for (auto& c : text) {
+    const u64 r = rng.uniform(100'000);
+    if (r < static_cast<u64>(n_rate * 100'000)) {
+      c = 'N';
+    } else if (r < static_cast<u64>((n_rate + sep_rate) * 100'000)) {
+      c = '#';
+    } else {
+      c = kBases[rng.uniform(4)];
+    }
+  }
+  return text;
+}
+
+/// Naive per-base LCP reference.
+u64 naive_lcp(std::string_view text, u64 tpos, std::string_view query,
+              u64 depth, u64 limit) {
+  while (depth < limit && text[tpos + depth] == query[depth]) ++depth;
+  return depth;
+}
+
+TEST(PackedText, DecodeRoundTripsEveryCharacter) {
+  const std::string text = random_text(20'000, 7, 0.05, 0.01);
+  const PackedText packed = PackedText::pack(text);
+  const PackedTextView view = packed.view();
+  ASSERT_EQ(view.size, text.size());
+  for (u64 i = 0; i < text.size(); ++i) {
+    ASSERT_EQ(view.at(i), text[i]) << "position " << i;
+  }
+  EXPECT_EQ(view.decode(0, text.size()), text);
+  EXPECT_EQ(view.decode(12'345, 100), text.substr(12'345, 100));
+}
+
+TEST(PackedText, PackRejectsUnknownResidues) {
+  EXPECT_THROW(PackedText::pack("ACGTX"), InvalidArgument);
+  EXPECT_THROW(PackedText::pack("acgt"), InvalidArgument);
+}
+
+TEST(PackedText, CleanPagesShareTheImplicitZeroBlock) {
+  // One exception in the last page: every other page must stay slot-free,
+  // so the overlay stays one block no matter how long the text is.
+  std::string text(5 * kPackedPageBases, 'A');
+  text[text.size() - 1] = 'N';
+  const PackedText packed = PackedText::pack(text);
+  const PackedTextView view = packed.view();
+  EXPECT_EQ(view.num_exc_blocks, 1u);
+  for (u64 p = 0; p + 1 < view.num_pages; ++p) {
+    EXPECT_EQ(view.page_slots[p], kPackedNoExc) << "page " << p;
+  }
+  EXPECT_NE(view.page_slots[view.num_pages - 1], kPackedNoExc);
+  // Footprint: ~0.25 bytes/base + one 512 B block, far under 1 byte/base.
+  EXPECT_LT(packed.resident_bytes(), text.size() / 3);
+  EXPECT_EQ(view.at(text.size() - 1), 'N');
+  EXPECT_EQ(view.at(text.size() - 2), 'A');
+}
+
+TEST(PackedText, FromRawValidatesShape) {
+  const std::string text = random_text(10'000, 9);
+  const PackedText packed = PackedText::pack(text);
+  // A faithful rebuild round-trips.
+  const PackedText rebuilt =
+      PackedText::from_raw(text.size(), packed.codes(), packed.page_slots(),
+                           packed.exc_blocks());
+  EXPECT_EQ(rebuilt.view().decode(0, text.size()), text);
+
+  // Wrong code-word count.
+  auto codes = packed.codes();
+  codes.pop_back();
+  EXPECT_THROW(PackedText::from_raw(text.size(), codes, packed.page_slots(),
+                                    packed.exc_blocks()),
+               InvalidArgument);
+  // Slot pointing past the block array.
+  auto slots = packed.page_slots();
+  slots[0] = 1'000'000;
+  EXPECT_THROW(PackedText::from_raw(text.size(), packed.codes(), slots,
+                                    packed.exc_blocks()),
+               InvalidArgument);
+  // Dirty guard slot.
+  auto slots2 = packed.page_slots();
+  slots2.back() = 0;
+  EXPECT_THROW(PackedText::from_raw(text.size(), packed.codes(), slots2,
+                                    packed.exc_blocks()),
+               InvalidArgument);
+}
+
+TEST(PackedText, PackQueryRejectsNonAcgtn) {
+  u64 codes[20];
+  u64 exc[20];
+  EXPECT_TRUE(pack_query("ACGTNACGT", codes, exc));
+  EXPECT_FALSE(pack_query("ACGT#ACGT", codes, exc));
+  EXPECT_FALSE(pack_query("ACGTxACGT", codes, exc));
+}
+
+TEST(PackedText, LcpKernelsMatchNaiveAtEveryLevel) {
+  const std::string text = random_text(50'000, 11);
+  const PackedText packed = PackedText::pack(text);
+  const PackedTextView view = packed.view();
+
+  Rng rng(13);
+  static const char kBases[] = "ACGTN";
+  for (int trial = 0; trial < 300; ++trial) {
+    // Query = genome slice with sprinkled mutations, so LCPs of every
+    // length (including crossing 32/64/128-base block boundaries) occur.
+    const u64 qlen = 1 + rng.uniform(400);
+    const u64 tpos = rng.uniform(text.size() - qlen);
+    std::string query = text.substr(tpos, qlen);
+    for (auto& c : query) {
+      if (c == '#') c = 'A';  // queries are reads: no separators
+      if (rng.uniform(100) < 3) c = kBases[rng.uniform(5)];
+    }
+    std::vector<u64> qcodes(packed_code_words(query.size()));
+    std::vector<u64> qexc(query.size() / 64 + 2);
+    ASSERT_TRUE(pack_query(query, qcodes.data(), qexc.data()));
+
+    const u64 limit = std::min<u64>(qlen, text.size() - tpos);
+    const u64 want = naive_lcp(text, tpos, query, 0, limit);
+    for (const SimdLevel level :
+         {SimdLevel::kScalar, SimdLevel::kSse2, SimdLevel::kAvx2}) {
+      const PackedLcpFn kernel = packed_lcp_kernel(level);
+      if (!kernel) continue;  // level not compiled on this platform
+      if (level > detected_simd_level()) continue;
+      EXPECT_EQ(kernel(view, tpos, qcodes.data(), qexc.data(), 0, limit),
+                want)
+          << "trial " << trial << " level " << static_cast<int>(level);
+    }
+    // Nonzero starting depth (kernel resumes mid-query).
+    if (want > 4) {
+      EXPECT_EQ(packed_lcp(view, tpos, qcodes.data(), qexc.data(), want / 2,
+                           limit),
+                want);
+    }
+  }
+}
+
+TEST(PackedText, MismatchMask32MatchesByteCompare) {
+  const std::string text = random_text(8'192, 17, 0.05, 0.01);
+  const PackedText packed = PackedText::pack(text);
+  const PackedTextView view = packed.view();
+
+  Rng rng(19);
+  for (int trial = 0; trial < 200; ++trial) {
+    const u64 qlen = 64 + rng.uniform(200);
+    const u64 tpos = rng.uniform(text.size() - qlen);
+    std::string query = text.substr(tpos, qlen);
+    for (auto& c : query) {
+      if (c == '#') c = 'C';
+      if (rng.uniform(10) < 2) c = "ACGTN"[rng.uniform(5)];
+    }
+    std::vector<u64> qcodes(packed_code_words(query.size()));
+    std::vector<u64> qexc(query.size() / 64 + 2);
+    ASSERT_TRUE(pack_query(query, qcodes.data(), qexc.data()));
+
+    const u64 qoff = rng.uniform(qlen - 32);
+    const u32 mask = packed_mismatch_mask32(view, tpos + qoff, qcodes.data(),
+                                            qexc.data(), qoff);
+    for (u32 i = 0; i < 32; ++i) {
+      const bool differ = text[tpos + qoff + i] != query[qoff + i];
+      EXPECT_EQ((mask >> i) & 1u, differ ? 1u : 0u)
+          << "trial " << trial << " bit " << i;
+    }
+  }
+}
+
+TEST(PackedText, ResidentBytesAboutFourTimesSmaller) {
+  // Realistic genomes have N's in long clustered runs (assembly gaps,
+  // telomeres), not scattered uniformly — so only the few pages those runs
+  // touch go dirty and the paged overlay lands close to the ideal 2
+  // bits/base, i.e. ~4x under raw bytes. (A dense bitmap would cap the
+  // ratio at 2.67x; this test is what rules that design out.)
+  std::string text = random_text(1'000'000, 23, 0.0, 0.0);
+  for (const u64 run_start : {100'000u, 500'000u, 900'000u}) {
+    for (u64 i = 0; i < 5'000; ++i) text[run_start + i] = 'N';
+  }
+  text[250'000] = '#';
+  text[750'000] = '#';
+  const PackedText packed = PackedText::pack(text);
+  const double ratio =
+      static_cast<double>(text.size()) /
+      static_cast<double>(packed.resident_bytes());
+  EXPECT_GT(ratio, 3.5);
+  EXPECT_LE(ratio, 4.0);
+}
+
+}  // namespace
+}  // namespace staratlas
