@@ -11,16 +11,27 @@
 //       [--threads 4] [--shards 4] [--early-stop]
 //       writes sample.sam, sample.SJ.out.tab, sample.ReadsPerGene.out.tab,
 //       sample.Log.final.out
+//   staratlas_cli serve --index data/genome.idx --socket /tmp/sa.sock
+//       [--gtf data/annotation.gtf] [--workers 2] [--chunk 256]
+//       long-running multi-tenant daemon; loads the index once and aligns
+//       every submission against it until a client sends DRAIN
+//   staratlas_cli submit --socket /tmp/sa.sock --fastq data/sample.fastq
+//       --tenant acme [--name sample] [--out-prefix data/sample]
+//       hands one sample to a running daemon; staratlas_cli submit
+//       --socket /tmp/sa.sock --drain gracefully drains it
 //
 // Run without arguments for usage. Exit code 0 on success, 1 on usage
 // errors, 2 on runtime failures.
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "align/engine.h"
@@ -35,6 +46,8 @@
 #include "io/fasta.h"
 #include "io/fastq.h"
 #include "io/gtf.h"
+#include "service/rpc.h"
+#include "service/service.h"
 #include "sim/read_simulator.h"
 
 using namespace staratlas;
@@ -88,6 +101,12 @@ int usage() {
       "  align      --index FILE --fastq FILE --out-prefix P\n"
       "             [--gtf FILE] [--threads N] [--shards N] [--early-stop]\n"
       "             [--no-sam]\n";
+  std::cerr <<
+      "  serve      --index FILE --socket PATH\n"
+      "             [--gtf FILE] [--workers N] [--chunk N]\n"
+      "  submit     --socket PATH --fastq FILE --tenant NAME\n"
+      "             [--name NAME] [--out-prefix P]\n"
+      "  submit     --socket PATH --drain\n";
   return 1;
 }
 
@@ -279,6 +298,100 @@ int cmd_align(const Args& args) {
   return 0;
 }
 
+// Contig-name resolution for the GTF against a loaded index (the serve
+// path has no FASTA on hand; text_substr decodes packed v4 indexes too).
+Annotation annotation_from_index(const GenomeIndex& index,
+                                 const std::string& gtf_path) {
+  std::vector<FastaRecord> records;
+  for (const ContigMeta& contig : index.contigs()) {
+    records.push_back(
+        {contig.name, "",
+         index.text_substr(contig.text_offset, contig.length)});
+  }
+  const Assembly assembly = Assembly::from_fasta(
+      "cli", index.release(), index.assembly_type(), records);
+  return Annotation::from_gtf(read_gtf_file(gtf_path), assembly);
+}
+
+int cmd_serve(const Args& args) {
+  const std::string index_path = args.require("index");
+  const std::string socket_path = args.require("socket");
+
+  auto index = std::make_shared<const GenomeIndex>(
+      GenomeIndex::load_file(index_path));
+  const bool quant = args.has("gtf");
+  Annotation annotation;
+  if (quant) {
+    annotation = annotation_from_index(*index, args.require("gtf"));
+  }
+
+  ServiceConfig config;
+  config.engine.num_threads = args.get_u64("workers", 2);
+  config.engine.quant_gene_counts = quant;
+  config.engine.collect_junctions = true;
+  config.chunk_size = args.get_u64("chunk", 256);
+
+  AlignmentService service(index, quant ? &annotation : nullptr, config);
+  ServiceServer server(service, quant ? &annotation : nullptr, socket_path);
+  std::cout << "serving " << index->stats().genome_length << " bp index on "
+            << socket_path << " (" << config.engine.num_threads
+            << " workers, chunk " << config.chunk_size
+            << " reads); DRAIN to stop\n";
+  // A DRAIN request flips the service into draining; exit once it does.
+  while (!service.draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  const auto metrics = service.metrics();
+  std::cout << "drained: " << metrics.samples_completed << " samples, "
+            << metrics.reads_completed << " reads across "
+            << metrics.tenants.size() << " tenant(s)\n";
+  return 0;
+}
+
+int cmd_submit(const Args& args) {
+  const std::string socket_path = args.require("socket");
+  ServiceClient client(socket_path);
+  if (args.has("drain")) {
+    const auto response = client.drain();
+    if (!response.ok) {
+      std::cerr << "error: drain failed: " << response.message << "\n";
+      return 2;
+    }
+    std::cout << "service drained\n";
+    return 0;
+  }
+
+  const std::string fastq_path = args.require("fastq");
+  const std::string tenant = args.require("tenant");
+  const std::string name = args.get(
+      "name", std::filesystem::path(fastq_path).stem().string());
+  std::ifstream in(fastq_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "error: cannot read " << fastq_path << "\n";
+    return 2;
+  }
+  std::stringstream fastq;
+  fastq << in.rdbuf();
+
+  const auto response = client.submit(tenant, name, fastq.str());
+  if (!response.ok) {
+    std::cerr << "rejected (" << response.error_code
+              << "): " << response.message << "\n";
+    return 2;
+  }
+  if (args.has("out-prefix")) {
+    const std::string out = args.require("out-prefix") + ".service.out";
+    std::ofstream artifact(out);
+    artifact << response.body;
+    std::cout << "wrote " << out << " (" << response.body.size()
+              << " bytes)\n";
+  } else {
+    std::cout << response.body;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -290,6 +403,8 @@ int main(int argc, char** argv) {
     if (command == "index") return cmd_index(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "align") return cmd_align(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "submit") return cmd_submit(args);
     std::cerr << "unknown command: " << command << "\n";
     return usage();
   } catch (const Error& e) {

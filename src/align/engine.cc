@@ -196,6 +196,55 @@ void reset_counts(GeneCountsTable& counts) {
 }
 }  // namespace
 
+usize AlignmentEngine::prepare_worker_slots() {
+  // Workspaces only — the external scheduler brings its own threads, so
+  // spinning up the internal pool here would double the thread count.
+  while (workspaces_.size() < config_.num_threads) {
+    workspaces_.push_back(std::make_unique<AlignWorkspace>());
+  }
+  return config_.num_threads;
+}
+
+ChunkSink AlignmentEngine::make_chunk_sink() const {
+  ChunkSink sink;
+  if (counter_) sink.counts = GeneCountsTable(annotation_->num_genes());
+  if (config_.collect_junctions) {
+    sink.junctions = std::make_unique<JunctionCollector>(
+        *index_, config_.junction_min_intron);
+  }
+  return sink;
+}
+
+void AlignmentEngine::align_chunk(const ReadSet& reads, usize begin,
+                                  usize end, usize slot, ChunkSink& sink,
+                                  std::span<ReadOutcome> outcomes) const {
+  STARATLAS_CHECK(slot < workspaces_.size());
+  STARATLAS_CHECK(begin <= end && end <= reads.size());
+  STARATLAS_CHECK(outcomes.size() >= end - begin);
+  sink.stats = MappingStats{};
+  if (counter_) reset_counts(sink.counts);
+  if (sink.junctions) sink.junctions->clear();
+
+  AlignWorkspace& ws = *workspaces_[slot];
+  const Aligner aligner(*index_, config_.params);
+  const usize count = end - begin;
+  AlignBatchLanes& lanes = ws.batch;
+  lanes.views.clear();
+  for (usize r = begin; r < end; ++r) {
+    lanes.views.push_back(reads.reads[r].sequence);
+  }
+  if (lanes.results.size() < count) lanes.results.resize(count);
+  aligner.align_batch(lanes.views, ws, sink.stats,
+                      std::span(lanes.results).first(count));
+  for (usize r = 0; r < count; ++r) {
+    const ReadAlignment& result = lanes.results[r];
+    sink.stats.add_outcome(result.outcome);
+    outcomes[r] = result.outcome;
+    if (counter_) counter_->count(result, sink.counts);
+    if (sink.junctions) sink.junctions->add(result);
+  }
+}
+
 AlignmentRun AlignmentEngine::run_stream(const BatchSource& source,
                                          u64 total_reads_hint,
                                          const ProgressCallback& callback) {

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "align/aligner.h"
@@ -54,6 +55,19 @@ struct EngineConfig {
   /// Batch slots in flight for run_stream (the backpressure bound: peak
   /// ingest memory is this many batch arenas). 0 = num_threads + 2.
   usize stream_queue_depth = 0;
+};
+
+/// Accumulators for one externally scheduled chunk — the preemptible work
+/// unit of the multi-tenant service. A service worker owns one sink per
+/// worker slot and reuses it across chunks of *different* samples: the
+/// engine zeroes it (capacity kept) at the start of every align_chunk, so
+/// steady-state chunk execution stays allocation-free like run()'s own
+/// workers.
+struct ChunkSink {
+  MappingStats stats;
+  GeneCountsTable counts;  ///< sized num_genes when quant is on
+  /// Null unless the engine collects junctions.
+  std::unique_ptr<JunctionCollector> junctions;
 };
 
 struct AlignmentRun {
@@ -117,6 +131,32 @@ class AlignmentEngine {
   /// decoder instead).
   AlignmentRun run_stream_reads(const ReadSet& reads, usize batch_size,
                                 const ProgressCallback& callback = {});
+
+  // --- Chunk-granular scheduling hooks -------------------------------
+  // run() owns its chunk queue; an external scheduler (the multi-tenant
+  // service) instead interleaves chunks of MANY samples over one engine,
+  // preempting a long sample between chunks. The hooks expose the same
+  // per-chunk alignment body run()'s workers execute, so per-read results
+  // are identical to a run() over the whole sample.
+
+  /// Creates the worker pool and workspaces if needed and returns the
+  /// number of worker slots (== num_threads). NOT thread-safe: call once
+  /// before spawning external workers.
+  usize prepare_worker_slots();
+
+  /// A sink dimensioned for this engine's quant/junction configuration.
+  ChunkSink make_chunk_sink() const;
+
+  /// Aligns reads [begin, end) of `reads`, writing outcomes[r - begin]
+  /// and accumulating stats/counts/junctions into `sink` (which is reset
+  /// first, keeping capacity). Uses worker slot `slot`'s workspace:
+  /// distinct slots may execute concurrently, the same slot must not.
+  /// Requires prepare_worker_slots() first and outcomes.size() >= end -
+  /// begin. Merging every chunk's sink of a sample reproduces run()'s
+  /// stats, counts and junctions for that sample exactly (field-wise sums
+  /// of chunk-local values, as run()'s own merge does).
+  void align_chunk(const ReadSet& reads, usize begin, usize end, usize slot,
+                   ChunkSink& sink, std::span<ReadOutcome> outcomes) const;
 
  private:
   struct StreamSlot;

@@ -346,6 +346,95 @@ ContigLocus GenomeIndex::locate(GenomePos text_pos) const {
   return {static_cast<ContigId>(lo), text_pos - meta.text_offset};
 }
 
+namespace {
+
+/// Byte-order rank of a packed (code, exception) pair: '#' < 'A' < 'C' <
+/// 'G' < 'N' < 'T' — the order raw-text suffix comparison sees, so block
+/// compares over packed text narrow exactly like byte compares.
+inline u32 packed_char_rank(u32 code, u32 exc) {
+  static constexpr u32 kBase[4] = {1, 2, 3, 5};  // A C G T
+  return exc ? (code == 0 ? 4 : 0) : kBase[code];  // N / '#'
+}
+
+/// Compresses a XOR of two 2-bit code words to a per-base mismatch mask
+/// (bit i set iff base i's codes differ) — packed_mismatch_mask32's fold.
+inline u32 fold_code_mismatch32(u64 x) {
+  u64 m = (x | (x >> 1)) & 0x5555555555555555ULL;
+  m = (m | (m >> 1)) & 0x3333333333333333ULL;
+  m = (m | (m >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  m = (m | (m >> 4)) & 0x00FF00FF00FF00FFULL;
+  m = (m | (m >> 8)) & 0x0000FFFF0000FFFFULL;
+  m = (m | (m >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<u32>(m);
+}
+
+/// Three-way byte-order compare of text block [pos, pos+len) against
+/// packed query bases [qpos, qpos+len), len <= 32, in one code-word +
+/// overlay extraction per side. A block truncated by the text end sorts
+/// first (the char_at == -1 convention of extend_interval). Guard words
+/// make the end-of-array extractions safe; bases past min(len, text end)
+/// are masked out of the decision.
+inline int packed_block_compare(const PackedTextView& ptext, u64 tsize,
+                                u64 pos, const u64* qcodes, const u64* qexc,
+                                u64 qpos, u32 len) {
+  if (pos >= tsize) return -1;
+  const u32 n = static_cast<u32>(std::min<u64>(len, tsize - pos));
+  const u64 tc = ptext.extract_codes(pos);
+  const u32 te = ptext.extract_exc(pos);
+  const u64 qc = packed_extract_codes(qcodes, qpos);
+  const u32 qe = packed_extract_bits32(qexc, qpos);
+  const u32 mismatch = fold_code_mismatch32(tc ^ qc) | (te ^ qe);
+  const u32 first =
+      mismatch == 0 ? 32 : static_cast<u32>(std::countr_zero(mismatch));
+  if (first >= n) return n == len ? 0 : -1;
+  const u32 trank = packed_char_rank((tc >> (2 * first)) & 3u,
+                                     (te >> first) & 1u);
+  const u32 qrank = packed_char_rank((qc >> (2 * first)) & 3u,
+                                     (qe >> first) & 1u);
+  return trank < qrank ? -1 : 1;
+}
+
+}  // namespace
+
+SaInterval GenomeIndex::extend_interval_packed_block(SaInterval interval,
+                                                     usize depth,
+                                                     const u64* qcodes,
+                                                     const u64* qexc,
+                                                     u32 len) const {
+  STARATLAS_CHECK(storage_.has_packed());
+  STARATLAS_CHECK(len >= 1 && len <= kPackedBasesPerWord);
+  if (interval.empty()) return interval;
+  const std::span<const u32> sa = storage_.sa();
+  const u64 tsize = storage_.text_size();
+  const PackedTextView ptext = storage_.packed_view();
+  const auto compare = [&](u32 row) {
+    return packed_block_compare(ptext, tsize,
+                                static_cast<u64>(sa[row]) + depth, qcodes,
+                                qexc, depth, len);
+  };
+  u32 a = interval.lo;
+  u32 b = interval.hi;
+  while (a < b) {
+    const u32 mid = a + (b - a) / 2;
+    if (compare(mid) < 0) {
+      a = mid + 1;
+    } else {
+      b = mid;
+    }
+  }
+  const u32 lo = a;
+  b = interval.hi;
+  while (a < b) {
+    const u32 mid = a + (b - a) / 2;
+    if (compare(mid) <= 0) {
+      a = mid + 1;
+    } else {
+      b = mid;
+    }
+  }
+  return {lo, a};
+}
+
 SaInterval GenomeIndex::extend_interval(SaInterval interval, usize depth,
                                         char c) const {
   if (interval.empty()) return interval;
@@ -484,6 +573,37 @@ void GenomeIndex::mmp(std::string_view query, MmpResult& result) const {
         }
         break;
       }
+      if (packable) {
+        // Wide-block narrowing: consume up to 32 characters per
+        // equal-range pass, one code-word extraction per probe instead of
+        // one decoded base. An empty block range means the walk ends
+        // strictly inside the block — the per-char fallback below finds
+        // the exact end (or pins a single candidate for the scan above),
+        // so results are bit-identical to the per-char walk.
+        const u32 len = static_cast<u32>(
+            std::min<u64>(kPackedBasesPerWord, query.size() - depth));
+        if (len > 1) {
+          const SaInterval block =
+              extend_interval_packed_block(interval, depth, qc, qe, len);
+          if (!block.empty()) {
+            interval = block;
+            depth += len;
+            continue;
+          }
+          while (interval.count() > 1 && depth < query.size()) {
+            const SaInterval narrowed =
+                extend_interval(interval, depth, query[depth]);
+            if (narrowed.empty()) {
+              result.length = depth;
+              result.interval = depth > 0 ? interval : SaInterval{};
+              return;
+            }
+            interval = narrowed;
+            ++depth;
+          }
+          continue;
+        }
+      }
       const SaInterval narrowed =
           extend_interval(interval, depth, query[depth]);
       if (narrowed.empty()) break;
@@ -592,6 +712,14 @@ struct MmpBatchWalker {
   u32 a[kLanes], b[kLanes], mid[kLanes], nlo[kLanes];
   u8 nmode[kLanes];
   i32 target[kLanes];
+  // Wide-block narrowing (packed text + packed lane): characters consumed
+  // per equal-range pass. 1 = per-char probes (raw text, unpackable
+  // query, or the fallback after a block came up empty).
+  u32 blen[kLanes];
+  // Set once a lane's wide block found no matching suffix: the walk ends
+  // within that block, so the lane finishes it per-char (retrying wider
+  // blocks would re-fail and waste probes).
+  bool single[kLanes];
   // Gathered text positions of a small interval's rows.
   u64 rpos[kLanes][kT];
   u32 rn[kLanes];
@@ -627,6 +755,13 @@ struct MmpBatchWalker {
   }
 
   void start_char(usize i) {
+    // Packed lanes narrow by up to a whole 32-base code word per pass —
+    // one funnel-shift extraction per probe — unless a previous block of
+    // this walk already came up empty (single-char fallback).
+    blen[i] = ptext.active() && qpacked[i] && !single[i]
+                  ? std::min<u32>(static_cast<u32>(kPackedBasesPerWord),
+                                  qlen[i] - depth[i])
+                  : 1;
     target[i] = static_cast<unsigned char>(q[i][depth[i]]);
     a[i] = ilo[i];
     b[i] = ihi[i];
@@ -653,12 +788,21 @@ struct MmpBatchWalker {
       }
       // Both bounds done: the narrowed interval is [nlo, a).
       if (nlo[i] == a[i]) {
+        if (blen[i] > 1) {
+          // No suffix matches the whole block: the walk terminates
+          // within it. Re-narrow the same depth one character at a time
+          // to find exactly where (bit-identical to a per-char walk).
+          single[i] = true;
+          start_char(i);
+          state[i] = 0;
+          return false;
+        }
         state[i] = 2;  // next char absent: keep interval/depth, finish
         return false;
       }
       ilo[i] = nlo[i];
       ihi[i] = a[i];
-      ++depth[i];
+      depth[i] += blen[i];
       if (depth[i] >= qlen[i]) {
         state[i] = 2;
         return false;
@@ -695,6 +839,7 @@ struct MmpBatchWalker {
     q[i] = query.data();
     qlen[i] = static_cast<u32>(query.size());
     tag[i] = t;
+    single[i] = false;
     if (ptext.active()) {
       qpacked[i] = query.size() <= kMaxPackedQuery &&
                    pack_query(query, qcodes[i], qexc[i]);
@@ -782,9 +927,16 @@ struct MmpBatchWalker {
         usize kept = 0;
         for (usize k = 0; k < n_nar; ++k) {
           const usize i = narrow[k];
-          const i32 c = probe_char(rpos[i][0] + depth[i]);
-          const bool go_right =
-              nmode[i] == 0 ? (c < target[i]) : (c <= target[i]);
+          bool go_right;
+          if (blen[i] > 1) {
+            const int cmp =
+                packed_block_compare(ptext, tsize, rpos[i][0] + depth[i],
+                                     qcodes[i], qexc[i], depth[i], blen[i]);
+            go_right = nmode[i] == 0 ? cmp < 0 : cmp <= 0;
+          } else {
+            const i32 c = probe_char(rpos[i][0] + depth[i]);
+            go_right = nmode[i] == 0 ? (c < target[i]) : (c <= target[i]);
+          }
           if (go_right) {
             a[i] = mid[i] + 1;
           } else {

@@ -191,6 +191,21 @@ class GenomeIndex {
   /// next character equals `c`. Exposed for the aligner's seed logic.
   SaInterval extend_interval(SaInterval interval, usize depth, char c) const;
 
+  /// Wide-block form of extend_interval for packed (v4) indexes: narrows
+  /// by the next `len` (1..32) query characters in ONE equal-range pass.
+  /// Each SA probe funnel-shift-extracts a whole 32-base code word plus
+  /// its overlay strip and compares the block at once, instead of
+  /// decoding one base per probe per character — 2 log|interval| probes
+  /// for `len` characters rather than 2·len·log|interval|. `qcodes` /
+  /// `qexc` are the pack_query() form of the query; the block is query
+  /// bases [depth, depth+len). An empty result means no suffix matches
+  /// the whole block, i.e. the walk terminates strictly within it — fall
+  /// back to per-char extend_interval to locate the exact end (results
+  /// stay bit-identical to the per-char walk). Requires has_packed().
+  SaInterval extend_interval_packed_block(SaInterval interval, usize depth,
+                                          const u64* qcodes, const u64* qexc,
+                                          u32 len) const;
+
   IndexStats stats() const;
 
   /// Stable identity hash (FNV-1a over species/release/type/LUT-k, contig

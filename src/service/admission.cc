@@ -1,0 +1,82 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+void AdmissionController::set_profile(const TenantId& tenant,
+                                      const TenantProfile& profile) {
+  std::lock_guard lock(mu_);
+  tenants_[tenant].profile = profile;
+}
+
+SubmitStatus AdmissionController::try_admit(const TenantId& tenant,
+                                            u64 reads) {
+  std::lock_guard lock(mu_);
+  if (draining_) {
+    ++rejected_draining_;
+    return SubmitStatus::kDraining;
+  }
+  TenantState& state = tenants_[tenant];  // default profile on first touch
+  // Per-tenant caps first: a tenant over its own share is told so even
+  // when the service as a whole still has room.
+  if (state.depth.samples + 1 > state.profile.max_queued_samples ||
+      state.depth.reads + reads > state.profile.max_queued_reads) {
+    ++state.depth.rejected;
+    return SubmitStatus::kTenantQueueFull;
+  }
+  if (total_samples_ + 1 > limits_.max_total_samples ||
+      total_reads_ + reads > limits_.max_total_reads) {
+    ++state.depth.rejected;
+    return SubmitStatus::kGlobalQueueFull;
+  }
+  ++state.depth.samples;
+  state.depth.reads += reads;
+  ++state.depth.admitted;
+  state.depth.sample_high_water =
+      std::max(state.depth.sample_high_water, state.depth.samples);
+  ++total_samples_;
+  total_reads_ += reads;
+  total_high_water_ = std::max(total_high_water_, total_samples_);
+  return SubmitStatus::kAccepted;
+}
+
+void AdmissionController::release(const TenantId& tenant, u64 reads) {
+  std::lock_guard lock(mu_);
+  auto it = tenants_.find(tenant);
+  STARATLAS_CHECK(it != tenants_.end());
+  TenantDepth& depth = it->second.depth;
+  STARATLAS_CHECK(depth.samples >= 1 && depth.reads >= reads);
+  STARATLAS_CHECK(total_samples_ >= 1 && total_reads_ >= reads);
+  --depth.samples;
+  depth.reads -= reads;
+  --total_samples_;
+  total_reads_ -= reads;
+}
+
+void AdmissionController::begin_drain() {
+  std::lock_guard lock(mu_);
+  draining_ = true;
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard lock(mu_);
+  return draining_;
+}
+
+AdmissionController::Depths AdmissionController::depths() const {
+  std::lock_guard lock(mu_);
+  Depths out;
+  for (const auto& [tenant, state] : tenants_) {
+    out.tenants.emplace(tenant, state.depth);
+  }
+  out.total_samples = total_samples_;
+  out.total_reads = total_reads_;
+  out.total_sample_high_water = total_high_water_;
+  out.rejected_draining = rejected_draining_;
+  return out;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,78 @@
+// AdmissionController: bounded-queue admission for the multi-tenant
+// service.
+//
+// Every submission passes through try_admit() before it may enter the
+// scheduler; the controller tracks queued + in-flight samples and reads
+// per tenant and service-wide, and rejects — never blocks — when a cap is
+// reached. Rejection is the service's backpressure signal: a client that
+// floods past its share sees kTenantQueueFull immediately instead of
+// growing an unbounded queue, exactly the BoundedQueue contract lifted to
+// sample granularity. release() returns capacity when a sample completes
+// or is drain-rejected.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "service/types.h"
+
+namespace staratlas {
+
+/// Service-wide admission caps (per-tenant caps live in TenantProfile).
+struct AdmissionLimits {
+  usize max_total_samples = 1024;  ///< queued + in-flight, all tenants
+  u64 max_total_reads = 32u << 20;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionLimits limits) : limits_(limits) {}
+
+  /// Registers `tenant`'s profile (first submission wins otherwise).
+  void set_profile(const TenantId& tenant, const TenantProfile& profile);
+
+  /// Admits a sample of `reads` reads for `tenant`, reserving capacity,
+  /// or returns the rejection reason without side effects.
+  SubmitStatus try_admit(const TenantId& tenant, u64 reads);
+
+  /// Returns the capacity reserved by a prior successful try_admit.
+  void release(const TenantId& tenant, u64 reads);
+
+  /// Flips the controller into draining: every later try_admit returns
+  /// kDraining. Idempotent.
+  void begin_drain();
+  bool draining() const;
+
+  struct TenantDepth {
+    usize samples = 0;       ///< currently queued + in-flight
+    u64 reads = 0;
+    usize sample_high_water = 0;
+    u64 admitted = 0;
+    u64 rejected = 0;        ///< kTenantQueueFull + kGlobalQueueFull
+  };
+  struct Depths {
+    std::map<TenantId, TenantDepth> tenants;
+    usize total_samples = 0;
+    u64 total_reads = 0;
+    usize total_sample_high_water = 0;
+    u64 rejected_draining = 0;
+  };
+  Depths depths() const;
+
+ private:
+  struct TenantState {
+    TenantProfile profile;
+    TenantDepth depth;
+  };
+
+  AdmissionLimits limits_;
+  mutable std::mutex mu_;
+  std::map<TenantId, TenantState> tenants_;
+  usize total_samples_ = 0;
+  u64 total_reads_ = 0;
+  usize total_high_water_ = 0;
+  u64 rejected_draining_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace staratlas

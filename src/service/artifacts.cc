@@ -1,0 +1,30 @@
+#include "service/artifacts.h"
+
+#include <sstream>
+
+#include "align/engine.h"
+#include "align/final_log.h"
+#include "align/junctions.h"
+
+namespace staratlas {
+
+std::string render_sample_artifacts(const SampleResult& result,
+                                    const GenomeIndex& index,
+                                    const Annotation* annotation) {
+  AlignmentRun run;
+  run.stats = result.stats;
+  run.wall_seconds = 0.0;
+  std::string out =
+      render_final_log(run, result.total_reads, result.mean_read_length);
+  if (annotation && !result.gene_counts.per_gene.empty()) {
+    std::ostringstream counts;
+    result.gene_counts.write_tsv(counts, *annotation);
+    out += counts.str();
+  }
+  std::ostringstream sj;
+  write_junctions_tsv(sj, result.junctions, index);
+  out += sj.str();
+  return out;
+}
+
+}  // namespace staratlas

@@ -1,0 +1,150 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+FairShareScheduler::FairShareScheduler(usize chunk_size)
+    : chunk_size_(chunk_size) {
+  STARATLAS_CHECK(chunk_size_ >= 1);
+}
+
+void FairShareScheduler::set_weight(const TenantId& tenant, double weight) {
+  STARATLAS_CHECK(weight > 0.0);
+  std::lock_guard lock(mu_);
+  tenants_[tenant].weight = weight;
+}
+
+double FairShareScheduler::virtual_floor_locked() const {
+  double floor = global_vtime_;
+  bool runnable = false;
+  for (const auto& [id, tenant] : tenants_) {
+    if (tenant.jobs.empty()) continue;
+    floor = runnable ? std::min(floor, tenant.vtime) : tenant.vtime;
+    runnable = true;
+  }
+  return floor;
+}
+
+bool FairShareScheduler::enqueue(const TenantId& tenant_id, u64 job_id,
+                                 u64 total_reads) {
+  STARATLAS_CHECK(total_reads >= 1);
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) return false;
+    // Compute the floor BEFORE inserting so an idle tenant rejoins at the
+    // current virtual time: it neither spends credit banked while idle
+    // nor starts behind tenants that kept running.
+    const double floor = virtual_floor_locked();
+    Tenant& tenant = tenants_[tenant_id];
+    if (tenant.jobs.empty()) tenant.vtime = std::max(tenant.vtime, floor);
+    tenant.jobs.push_back(Job{job_id, total_reads, 0});
+    queued_reads_ += total_reads;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<FairShareScheduler::Dispatch>
+FairShareScheduler::dispatch_locked() {
+  // Runnable tenant with the minimum virtual time; ties resolve in map
+  // (tenant-id) order, which keeps dispatch sequences deterministic for
+  // the fairness tests.
+  Tenant* best = nullptr;
+  const TenantId* best_id = nullptr;
+  for (auto& [id, tenant] : tenants_) {
+    if (tenant.jobs.empty()) continue;
+    if (!best || tenant.vtime < best->vtime) {
+      best = &tenant;
+      best_id = &id;
+    }
+  }
+  if (!best) return std::nullopt;
+
+  Job& job = best->jobs.front();
+  Dispatch out;
+  out.job_id = job.id;
+  out.begin = job.next;
+  out.end = std::min<u64>(job.total, job.next + chunk_size_);
+  out.first_chunk = out.begin == 0;
+  out.last_chunk = out.end == job.total;
+  out.tenant = *best_id;
+  job.next = out.end;
+  queued_reads_ -= out.end - out.begin;
+  ++chunks_dispatched_;
+  global_vtime_ = best->vtime;
+  best->vtime +=
+      static_cast<double>(out.end - out.begin) / best->weight;
+  if (out.last_chunk) best->jobs.pop_front();
+  return out;
+}
+
+std::optional<FairShareScheduler::Dispatch> FairShareScheduler::next_chunk() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    // Dispatch-then-check: a waiter woken for a job another waiter
+    // consumed must go back to sleep, not return early.
+    if (auto dispatch = dispatch_locked()) return dispatch;
+    if (closed_) return std::nullopt;
+    cv_.wait(lock);
+  }
+}
+
+std::optional<FairShareScheduler::Dispatch>
+FairShareScheduler::try_next_chunk() {
+  std::lock_guard lock(mu_);
+  return dispatch_locked();
+}
+
+std::vector<u64> FairShareScheduler::cancel_unstarted() {
+  std::lock_guard lock(mu_);
+  std::vector<u64> cancelled;
+  for (auto& [id, tenant] : tenants_) {
+    std::deque<Job> kept;
+    for (Job& job : tenant.jobs) {
+      if (job.next == 0) {
+        cancelled.push_back(job.id);
+        queued_reads_ -= job.total;
+      } else {
+        kept.push_back(job);
+      }
+    }
+    tenant.jobs = std::move(kept);
+  }
+  return cancelled;
+}
+
+void FairShareScheduler::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+usize FairShareScheduler::queued_jobs() const {
+  std::lock_guard lock(mu_);
+  usize n = 0;
+  for (const auto& [id, tenant] : tenants_) n += tenant.jobs.size();
+  return n;
+}
+
+u64 FairShareScheduler::queued_reads() const {
+  std::lock_guard lock(mu_);
+  return queued_reads_;
+}
+
+u64 FairShareScheduler::chunks_dispatched() const {
+  std::lock_guard lock(mu_);
+  return chunks_dispatched_;
+}
+
+double FairShareScheduler::tenant_vtime(const TenantId& tenant) const {
+  std::lock_guard lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0.0 : it->second.vtime;
+}
+
+}  // namespace staratlas

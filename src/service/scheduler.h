@@ -1,0 +1,102 @@
+// FairShareScheduler: work-conserving weighted fair queueing of sample
+// chunks across tenants (stride scheduling over a virtual clock).
+//
+// The schedulable unit is a CHUNK — chunk_size reads of one sample — not
+// a whole sample, which is what makes scheduling preemptive at chunk
+// granularity: a tenant that floods thousand-sample backlogs still hands
+// the engine back after every chunk, so a light tenant's sample waits for
+// at most one in-flight chunk per worker plus its weighted share, never
+// for the heavy tenant's whole backlog.
+//
+// Mechanics: each tenant carries a virtual time that advances by
+// chunk_reads / weight as its chunks dispatch; the runnable tenant with
+// the smallest virtual time dispatches next. A tenant waking from idle
+// joins at the current virtual floor (it cannot bank credit while idle,
+// and cannot be punished for having been idle). Samples are FIFO within
+// a tenant. The scheduler is work-conserving by construction: whenever
+// any tenant has a pending chunk, next_chunk() dispatches — a lone
+// tenant gets the whole engine.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "service/types.h"
+
+namespace staratlas {
+
+class FairShareScheduler {
+ public:
+  explicit FairShareScheduler(usize chunk_size);
+
+  /// One dispatched chunk: reads [begin, end) of job `job_id`.
+  struct Dispatch {
+    u64 job_id = 0;
+    u64 begin = 0;
+    u64 end = 0;
+    bool first_chunk = false;  ///< begin == 0 (the job just started)
+    bool last_chunk = false;   ///< end == total (job fully dispatched)
+    TenantId tenant;
+  };
+
+  void set_weight(const TenantId& tenant, double weight);
+
+  /// Queues a job of `total_reads` (>= 1) reads. FIFO within the tenant.
+  /// Returns false (job not queued) once the scheduler is closed.
+  bool enqueue(const TenantId& tenant, u64 job_id, u64 total_reads);
+
+  /// Blocks for the next chunk under the fair-share policy; nullopt once
+  /// the scheduler is closed and every queued chunk has been dispatched.
+  std::optional<Dispatch> next_chunk();
+
+  /// Non-blocking next_chunk: nullopt when nothing is pending right now.
+  std::optional<Dispatch> try_next_chunk();
+
+  /// Removes every job that has not dispatched any chunk yet and returns
+  /// their ids — the drain path: started jobs keep dispatching, queued
+  /// ones are handed back for clean rejection.
+  std::vector<u64> cancel_unstarted();
+
+  /// Stops accepting jobs and wakes every waiter; remaining chunks still
+  /// drain through next_chunk. Idempotent.
+  void close();
+
+  usize chunk_size() const { return chunk_size_; }
+  usize queued_jobs() const;
+  u64 queued_reads() const;  ///< not-yet-dispatched reads across jobs
+  u64 chunks_dispatched() const;
+  /// Virtual time of `tenant` (0 when never seen) — fairness tests.
+  double tenant_vtime(const TenantId& tenant) const;
+
+ private:
+  struct Job {
+    u64 id = 0;
+    u64 total = 0;
+    u64 next = 0;  ///< first undispatched read
+  };
+  struct Tenant {
+    double weight = 1.0;
+    double vtime = 0.0;
+    std::deque<Job> jobs;
+  };
+
+  /// The virtual floor: min vtime over runnable tenants, else the vtime
+  /// of the last dispatch. Callers hold mu_.
+  double virtual_floor_locked() const;
+  std::optional<Dispatch> dispatch_locked();
+
+  const usize chunk_size_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<TenantId, Tenant> tenants_;
+  double global_vtime_ = 0.0;
+  u64 queued_reads_ = 0;
+  u64 chunks_dispatched_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace staratlas

@@ -1,0 +1,19 @@
+#include "service/types.h"
+
+namespace staratlas {
+
+const char* submit_status_name(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted:
+      return "accepted";
+    case SubmitStatus::kTenantQueueFull:
+      return "tenant_queue_full";
+    case SubmitStatus::kGlobalQueueFull:
+      return "global_queue_full";
+    case SubmitStatus::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+}  // namespace staratlas

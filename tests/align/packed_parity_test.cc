@@ -10,7 +10,9 @@
 
 #include "align/engine.h"
 #include "common/rng.h"
+#include "genome/model.h"
 #include "index/genome_index.h"
+#include "index/packed_text.h"
 #include "sim/library_profile.h"
 #include "sim/read_simulator.h"
 #include "testutil.h"
@@ -154,6 +156,115 @@ TEST(PackedParity, AlignmentRunBitIdentical) {
         << "junction " << j;
     EXPECT_EQ(a.junctions[j].unique_reads, b.junctions[j].unique_reads)
         << "junction " << j;
+  }
+}
+
+TEST(PackedParity, BlockNarrowMatchesPerCharNarrow) {
+  // extend_interval_packed_block must equal len iterated per-char
+  // extend_interval steps: the final interval when all len characters
+  // match, the empty interval when the walk dies anywhere inside the
+  // block. Checked at every depth of real walks so both outcomes occur.
+  const GenomeIndex& packed = packed_index();
+  const std::string& chrom = world().r111.contig(0).sequence;
+
+  Rng rng(53);
+  for (int iter = 0; iter < 60; ++iter) {
+    const u64 len = 24 + rng.uniform(64);
+    std::string q = chrom.substr(rng.uniform(chrom.size() - len), len);
+    if (rng.uniform(2) == 0) {
+      q[rng.uniform(q.size())] = "ACGTN"[rng.uniform(5)];
+    }
+    u64 qc[512 / 32 + 1];
+    u64 qe[512 / 64 + 1];
+    ASSERT_TRUE(pack_query(q, qc, qe));
+
+    SaInterval interval{0, static_cast<u32>(packed.suffix_array().size())};
+    usize depth = 0;
+    while (depth < q.size() && !interval.empty()) {
+      const u32 block_len = static_cast<u32>(
+          std::min<u64>(kPackedBasesPerWord, q.size() - depth));
+      const SaInterval block =
+          packed.extend_interval_packed_block(interval, depth, qc, qe,
+                                              block_len);
+      SaInterval expect = interval;
+      for (u32 j = 0; j < block_len && !expect.empty(); ++j) {
+        expect = packed.extend_interval(expect, depth + j, q[depth + j]);
+      }
+      ASSERT_EQ(block.empty(), expect.empty())
+          << "query " << q << " depth " << depth;
+      if (!expect.empty()) {
+        ASSERT_EQ(block.lo, expect.lo) << "query " << q << " depth " << depth;
+        ASSERT_EQ(block.hi, expect.hi) << "query " << q << " depth " << depth;
+      }
+      interval = block;
+      depth += block_len;
+    }
+  }
+}
+
+TEST(PackedParity, WideBlockNarrowingOnRepetitiveGenome) {
+  // A highly repetitive genome keeps SA intervals wider than the batch
+  // walker's direct-scan threshold (kT = 24) deep into every walk, so
+  // the packed index narrows through many consecutive wide-block
+  // equal-range passes — including blocks that come up empty mid-walk
+  // (the per-char fallback) — before the direct scan takes over. Results
+  // must match the raw-text index exactly. Runs under the
+  // align_force_scalar job too, pinning the scalar packed kernels.
+  const std::string motif = "ACGTTGCAACGGATCCTAGG";
+  Rng rng(77);
+  std::string seq;
+  for (int rep = 0; rep < 600; ++rep) {
+    seq += motif;
+    if (rng.uniform(7) == 0) {
+      seq[seq.size() - 1 - rng.uniform(motif.size())] =
+          "ACGTN"[rng.uniform(5)];
+    }
+  }
+  std::vector<Contig> contigs(1);
+  contigs[0].name = "rep1";
+  contigs[0].sequence = seq;
+  const Assembly assembly("Repetitiva synthetica", 1,
+                          AssemblyType::kToplevel, std::move(contigs));
+  const GenomeIndex raw = GenomeIndex::build(assembly);
+  const TempIndexFile file(raw, GenomeIndex::kVersionV4);
+  const GenomeIndex packed =
+      GenomeIndex::load_file(file.path, IndexLoadMode::kStream);
+  ASSERT_TRUE(packed.packed_text());
+
+  std::vector<std::string> storage;
+  for (int i = 0; i < 250; ++i) {
+    const u64 len = 40 + rng.uniform(200);
+    std::string q = seq.substr(rng.uniform(seq.size() - len), len);
+    // Mutated tails end walks at varied depths, exercising the
+    // empty-block fallback at many interval widths.
+    if (rng.uniform(3) == 0) {
+      q[q.size() - 1 - rng.uniform(std::min<u64>(8, q.size()))] =
+          "ACGTN"[rng.uniform(5)];
+    }
+    storage.push_back(std::move(q));
+  }
+  storage.push_back(motif + motif + motif);  // huge interval at full depth
+  storage.push_back(std::string(200, 'A'));  // absent: dies immediately
+
+  for (const std::string& q : storage) {
+    const MmpResult a = raw.mmp(q);
+    const MmpResult b = packed.mmp(q);
+    ASSERT_EQ(a.length, b.length) << "query " << q;
+    ASSERT_EQ(a.interval.lo, b.interval.lo) << "query " << q;
+    ASSERT_EQ(a.interval.hi, b.interval.hi) << "query " << q;
+  }
+
+  std::vector<std::string_view> queries(storage.begin(), storage.end());
+  std::vector<MmpResult> raw_results(queries.size());
+  std::vector<MmpResult> packed_results(queries.size());
+  raw.mmp_batch(queries, raw_results);
+  packed.mmp_batch(queries, packed_results);
+  for (usize i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(raw_results[i].length, packed_results[i].length) << "query " << i;
+    ASSERT_EQ(raw_results[i].interval.lo, packed_results[i].interval.lo)
+        << "query " << i;
+    ASSERT_EQ(raw_results[i].interval.hi, packed_results[i].interval.hi)
+        << "query " << i;
   }
 }
 

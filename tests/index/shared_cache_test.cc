@@ -209,6 +209,49 @@ TEST(SharedIndexCache, HammeredUnderTightCapacityStaysConsistent) {
   EXPECT_GT(cache.evictions(), 0u);
 }
 
+TEST(SharedIndexCache, PinnedEntriesSurviveEvictionPressureHammer) {
+  // The multi-tenant service's load-bearing property: entries pinned by
+  // active samples (live shared_ptrs) must never be evicted, no matter
+  // how hard unpinned keys churn the budget. Two long-lived pins hold
+  // "svc0"/"svc1" while worker threads thrash six scratch keys through a
+  // budget that fits almost nothing — every reload decision happens under
+  // pressure with the pins present.
+  const ByteSize one = small_index(1).stats().total();
+  SharedIndexCache cache(one * 2.5);
+  auto pin0 = cache.acquire("svc0", [] { return small_index(1); });
+  auto pin1 = cache.acquire("svc1", [] { return small_index(2); });
+  const GenomeIndex* raw0 = pin0.get();
+  const GenomeIndex* raw1 = pin1.get();
+
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 30;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<u64>(t) + 11);
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const std::string key = "scratch" + std::to_string(rng.uniform(6));
+        auto index = cache.acquire(key, [] { return small_index(42); });
+        ASSERT_LE(index->mmp("ACGT").length, 4u);
+        // Re-acquiring a pinned key mid-churn must hit the same object.
+        auto again = cache.acquire("svc0", [] { return small_index(99); });
+        ASSERT_EQ(again.get(), raw0);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_GT(cache.evictions(), 0u);  // pressure was real
+  EXPECT_TRUE(cache.resident("svc0"));
+  EXPECT_TRUE(cache.resident("svc1"));
+  EXPECT_EQ(cache.acquire("svc0", [] { return small_index(99); }).get(), raw0);
+  EXPECT_EQ(cache.acquire("svc1", [] { return small_index(99); }).get(), raw1);
+  // Accounting stays coherent after the churn: resident bytes equal the
+  // sum over surviving entries, which the pinned pair is part of.
+  EXPECT_GE(cache.resident_bytes().bytes(), (one * 2.0).bytes());
+  EXPECT_LE(cache.entries(), 8u);
+}
+
 TEST(SharedIndexCache, LoaderFailurePropagatesAndRetries) {
   SharedIndexCache cache(ByteSize::from_gib(1.0));
   int calls = 0;

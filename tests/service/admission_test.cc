@@ -1,0 +1,128 @@
+#include "service/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace staratlas {
+namespace {
+
+AdmissionLimits limits(usize samples, u64 reads) {
+  AdmissionLimits l;
+  l.max_total_samples = samples;
+  l.max_total_reads = reads;
+  return l;
+}
+
+TEST(AdmissionController, AdmitsUntilTenantSampleCap) {
+  AdmissionController admission(limits(100, 1 << 20));
+  TenantProfile profile;
+  profile.max_queued_samples = 2;
+  admission.set_profile("t", profile);
+  EXPECT_EQ(admission.try_admit("t", 10), SubmitStatus::kAccepted);
+  EXPECT_EQ(admission.try_admit("t", 10), SubmitStatus::kAccepted);
+  EXPECT_EQ(admission.try_admit("t", 10), SubmitStatus::kTenantQueueFull);
+  admission.release("t", 10);
+  EXPECT_EQ(admission.try_admit("t", 10), SubmitStatus::kAccepted);
+}
+
+TEST(AdmissionController, TenantReadCapIndependentOfSampleCap) {
+  AdmissionController admission(limits(100, 1 << 20));
+  TenantProfile profile;
+  profile.max_queued_samples = 100;
+  profile.max_queued_reads = 1000;
+  admission.set_profile("t", profile);
+  EXPECT_EQ(admission.try_admit("t", 900), SubmitStatus::kAccepted);
+  EXPECT_EQ(admission.try_admit("t", 200), SubmitStatus::kTenantQueueFull);
+  EXPECT_EQ(admission.try_admit("t", 100), SubmitStatus::kAccepted);
+}
+
+TEST(AdmissionController, GlobalCapsRejectAcrossTenants) {
+  AdmissionController admission(limits(3, 1 << 20));
+  EXPECT_EQ(admission.try_admit("a", 1), SubmitStatus::kAccepted);
+  EXPECT_EQ(admission.try_admit("b", 1), SubmitStatus::kAccepted);
+  EXPECT_EQ(admission.try_admit("c", 1), SubmitStatus::kAccepted);
+  EXPECT_EQ(admission.try_admit("d", 1), SubmitStatus::kGlobalQueueFull);
+  admission.release("b", 1);
+  EXPECT_EQ(admission.try_admit("d", 1), SubmitStatus::kAccepted);
+}
+
+TEST(AdmissionController, DrainRejectsEverything) {
+  AdmissionController admission(limits(100, 1 << 20));
+  EXPECT_EQ(admission.try_admit("t", 1), SubmitStatus::kAccepted);
+  admission.begin_drain();
+  EXPECT_TRUE(admission.draining());
+  EXPECT_EQ(admission.try_admit("t", 1), SubmitStatus::kDraining);
+  // Release still works during drain (in-flight samples completing).
+  admission.release("t", 1);
+  EXPECT_EQ(admission.depths().total_samples, 0u);
+  EXPECT_EQ(admission.depths().rejected_draining, 1u);
+}
+
+TEST(AdmissionController, DepthsTrackHighWaterAndCounters) {
+  AdmissionController admission(limits(100, 1 << 20));
+  admission.try_admit("t", 5);
+  admission.try_admit("t", 5);
+  admission.release("t", 5);
+  admission.try_admit("u", 7);
+  const auto depths = admission.depths();
+  EXPECT_EQ(depths.tenants.at("t").samples, 1u);
+  EXPECT_EQ(depths.tenants.at("t").reads, 5u);
+  EXPECT_EQ(depths.tenants.at("t").sample_high_water, 2u);
+  EXPECT_EQ(depths.tenants.at("t").admitted, 2u);
+  EXPECT_EQ(depths.total_samples, 2u);
+  EXPECT_EQ(depths.total_reads, 12u);
+  EXPECT_EQ(depths.total_sample_high_water, 2u);
+}
+
+TEST(AdmissionController, SubmitStatusNames) {
+  EXPECT_STREQ(submit_status_name(SubmitStatus::kAccepted), "accepted");
+  EXPECT_STREQ(submit_status_name(SubmitStatus::kTenantQueueFull),
+               "tenant_queue_full");
+  EXPECT_STREQ(submit_status_name(SubmitStatus::kGlobalQueueFull),
+               "global_queue_full");
+  EXPECT_STREQ(submit_status_name(SubmitStatus::kDraining), "draining");
+}
+
+TEST(AdmissionController, HammeredAdmitReleaseStaysCoherent) {
+  // Many threads admit/release concurrently against tight caps; the
+  // controller's internal accounting (guarded by STARATLAS_CHECKs in
+  // release) must never go negative or leak, and the final depths must
+  // return to zero.
+  AdmissionController admission(limits(16, 1 << 14));
+  TenantProfile profile;
+  profile.max_queued_samples = 6;
+  profile.max_queued_reads = 1 << 12;
+  for (const char* t : {"a", "b", "c"}) admission.set_profile(t, profile);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<u64>(t) + 1);
+      const char* tenants[] = {"a", "b", "c"};
+      for (int i = 0; i < kIters; ++i) {
+        const char* tenant = tenants[rng.uniform(3)];
+        const u64 reads = 1 + rng.uniform(512);
+        if (admission.try_admit(tenant, reads) == SubmitStatus::kAccepted) {
+          admission.release(tenant, reads);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const auto depths = admission.depths();
+  EXPECT_EQ(depths.total_samples, 0u);
+  EXPECT_EQ(depths.total_reads, 0u);
+  for (const auto& [tenant, depth] : depths.tenants) {
+    EXPECT_EQ(depth.samples, 0u) << tenant;
+    EXPECT_EQ(depth.reads, 0u) << tenant;
+  }
+}
+
+}  // namespace
+}  // namespace staratlas
