@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "align/engine.h"
+#include "align/run_request.h"
 #include "genome/synthesizer.h"
 #include "index/footprint.h"
 #include "index/genome_index.h"
@@ -91,7 +92,9 @@ inline AlignmentRun align_reads(const GenomeIndex& index, const ReadSet& reads,
   config.num_threads = threads;
   AlignmentEngine engine(
       index, &bench_world().synthesizer->annotation(), config);
-  return engine.run(reads);
+  EngineRunRequest request;
+  request.reads = &reads;
+  return engine.execute(request);
 }
 
 }  // namespace staratlas::bench

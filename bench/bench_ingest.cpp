@@ -228,7 +228,10 @@ OverlapResult run_overlap(const IngestConfig& cfg) {
         const BatchSource source = [&](ReadBatch& batch) {
           return dump.next_batch(batch, config.chunk_size) > 0;
         };
-        const AlignmentRun run = engine.run_stream(source, metadata.num_reads);
+        EngineRunRequest request;
+        request.batches = source;
+        request.total_reads_hint = metadata.num_reads;
+        const AlignmentRun run = engine.execute(request);
         // Minimum across runs: the steady-state claim is that a fully
         // warm run allocates nothing on the consumer side. Which worker
         // threads (and so which workspaces) drain a given run is the

@@ -20,9 +20,9 @@ namespace {
 void report_release(int release, double index_gib, double slowdown,
                     const char* label = "") {
   RightSizingQuery query;
-  query.genome_release = release;
-  query.index_bytes = ByteSize::from_gib(index_gib);
-  query.stages.release_slowdown_108 = slowdown;
+  query.cloud.genome_release = release;
+  query.cloud.index_bytes = ByteSize::from_gib(index_gib);
+  query.cloud.stages.release_slowdown_108 = slowdown;
   std::cout << "release " << release << label << " (index " << index_gib
             << " GiB):\n";
   Table table({"instance", "vCPU", "RAM", "feasible", "sample time",
@@ -66,14 +66,14 @@ int main() {
   report_release(111, packed_gib_111, slowdown, " packed (v4)");
 
   RightSizingQuery q108;
-  q108.genome_release = 108;
-  q108.index_bytes = ByteSize::from_gib(kPaperIndexGib108);
-  q108.stages.release_slowdown_108 = slowdown;
+  q108.cloud.genome_release = 108;
+  q108.cloud.index_bytes = ByteSize::from_gib(kPaperIndexGib108);
+  q108.cloud.stages.release_slowdown_108 = slowdown;
   RightSizingQuery q111;
-  q111.genome_release = 111;
-  q111.index_bytes = ByteSize::from_gib(kPaperIndexGib111);
+  q111.cloud.genome_release = 111;
+  q111.cloud.index_bytes = ByteSize::from_gib(kPaperIndexGib111);
   RightSizingQuery q111p = q111;
-  q111p.index_bytes = ByteSize::from_gib(packed_gib_111);
+  q111p.cloud.index_bytes = ByteSize::from_gib(packed_gib_111);
   const auto best108 = best_option(evaluate_instances(q108));
   const auto best111 = best_option(evaluate_instances(q111));
   const auto best111p = best_option(evaluate_instances(q111p));

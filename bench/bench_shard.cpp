@@ -42,6 +42,7 @@
 
 #include "align/final_log.h"
 #include "align/junctions.h"
+#include "align/run_request.h"
 #include "align/sharded.h"
 #include "bench_common.h"
 #include "bench_json.h"
@@ -120,8 +121,18 @@ MeasuredResult run_measured(const ShardBenchConfig& cfg) {
     out.unsharded_secs = std::min(out.unsharded_secs, seconds_since(start));
 
     start = std::chrono::steady_clock::now();
-    sharded = align_sharded(fastq, w.index111, &w.synthesizer->annotation(),
-                            config);
+    {
+      // Scatter/gather through the unified run-request entrypoint, same
+      // path the CLI takes for --shards.
+      AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+                             config.engine);
+      EngineRunRequest request;
+      request.fastq_text = fastq;
+      request.num_shards = config.num_shards;
+      request.batch_reads = config.batch_reads;
+      request.sharded_out = &sharded;
+      sharded.merged = engine.execute(request);
+    }
     out.sharded_secs = std::min(out.sharded_secs, seconds_since(start));
   }
 
@@ -157,7 +168,7 @@ SweepResult run_sweep(double index_gib) {
   for (const double gib : kSampleGib) {
     SingleInstanceQuery single;
     single.sample_fastq = ByteSize::from_gib(gib);
-    single.index_bytes = ByteSize::from_gib(index_gib);
+    single.cloud.index_bytes = ByteSize::from_gib(index_gib);
     single.instance = instance_type("r6a.4xlarge");
     const SingleInstanceResult baseline = simulate_single_instance(single);
 
@@ -168,7 +179,7 @@ SweepResult run_sweep(double index_gib) {
     for (const usize workers : kWorkers) {
       ScatterGatherQuery query;
       query.sample_fastq = ByteSize::from_gib(gib);
-      query.index_bytes = ByteSize::from_gib(index_gib);
+      query.cloud.index_bytes = ByteSize::from_gib(index_gib);
       query.num_workers = workers;
       query.worker = faas_class("fn-10gb");
       const ScatterGatherResult result = simulate_scatter_gather(query);

@@ -80,10 +80,9 @@ int main() {
                     hostile.wasted_hours_interrupted,
                     hostile.requeues_interrupted)
             << "\n  per stage:";
-  for (usize s = 0; s < kNumSampleStages; ++s) {
-    const auto stage = static_cast<SampleStage>(s);
-    std::cout << strf(" %s %.2fh", stage_name(stage),
-                      hostile.wasted_hours_for(stage));
+  for (usize s = 0; s < hostile.wasted_hours_stage.size(); ++s) {
+    std::cout << strf(" %s %.2fh", hostile.stage_names[s].c_str(),
+                      hostile.wasted_hours_stage[s]);
   }
   std::cout << "\n  heartbeats sent: "
             << strf("%llu",

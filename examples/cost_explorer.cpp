@@ -15,8 +15,8 @@ namespace {
 
 void explore(int release, ByteSize index_bytes) {
   RightSizingQuery query;
-  query.genome_release = release;
-  query.index_bytes = index_bytes;
+  query.cloud.genome_release = release;
+  query.cloud.index_bytes = index_bytes;
   std::cout << "=== release " << release << " index (" << index_bytes.str()
             << ") ===\n";
   Table table({"instance", "vCPU", "RAM", "feasible", "sample time",

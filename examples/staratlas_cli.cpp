@@ -39,6 +39,7 @@
 #include "align/final_log.h"
 #include "align/junctions.h"
 #include "align/sam.h"
+#include "align/run_request.h"
 #include "align/sharded.h"
 #include "core/early_stopping.h"
 #include "genome/synthesizer.h"
@@ -230,30 +231,34 @@ int cmd_align(const Args& args) {
   config.collect_junctions = true;
 
   const usize shards = args.get_u64("shards", 1);
-  AlignmentRun run;
+  AlignmentEngine engine(index, quant ? &annotation : nullptr, config);
+
+  // All modes go through one request; execute() owns validation (e.g.
+  // early-stop x shards rejection) so the CLI carries no mode rules.
+  EngineRunRequest request;
+  std::string raw;  // keeps sharded input alive across execute()
   if (shards > 1) {
     // Scatter/gather over byte ranges of the file; merged output is
-    // byte-identical to the unsharded run (early-stop applies to a
-    // single streaming engine only).
-    if (args.has("early-stop")) {
-      std::cerr << "--early-stop is not supported with --shards\n";
-      return 1;
-    }
+    // byte-identical to the unsharded run.
     std::ifstream in(fastq, std::ios::binary);
-    std::stringstream raw;
-    raw << in.rdbuf();
-    ShardedConfig sharded_config;
-    sharded_config.engine = config;
-    sharded_config.num_shards = shards;
-    ShardedRun sharded = align_sharded(raw.str(), index,
-                                       quant ? &annotation : nullptr,
-                                       sharded_config);
-    run = std::move(sharded.merged);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    raw = std::move(buf).str();
+    request.fastq_text = raw;
+    request.num_shards = shards;
   } else {
-    AlignmentEngine engine(index, quant ? &annotation : nullptr, config);
-    EarlyStopController controller(EarlyStopPolicy{});
-    run = args.has("early-stop") ? engine.run(reads, controller.callback())
-                                 : engine.run(reads);
+    request.reads = &reads;
+  }
+  if (args.has("early-stop")) {
+    request.early_stop = EarlyStopPolicy{};  // enabled by default
+  }
+
+  AlignmentRun run;
+  try {
+    run = engine.execute(request);
+  } catch (const InvalidArgument& error) {
+    std::cerr << error.what() << "\n";
+    return 1;
   }
 
   // Log.final.out

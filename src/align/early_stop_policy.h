@@ -1,0 +1,26 @@
+// The early-stopping decision rule (paper §III.B), separated from the
+// engine-attached controller so both the alignment engine's run-request
+// API and the cloud simulator can carry/evaluate a policy without pulling
+// in the engine headers.
+#pragma once
+
+#include "common/types.h"
+
+namespace staratlas {
+
+struct EarlyStopPolicy {
+  bool enabled = true;
+  /// Fraction of reads processed before the one-shot decision (paper: 10%).
+  double checkpoint_fraction = 0.10;
+  /// Minimum acceptable mapping rate (paper: 30%).
+  double min_mapped_rate = 0.30;
+
+  void validate() const;
+};
+
+/// Pure decision rule (used by the live controller, the cloud simulator
+/// and the campaign estimator): stop iff the policy is enabled and the
+/// observed rate at the checkpoint is below the threshold.
+bool early_stop_decision(const EarlyStopPolicy& policy, double observed_rate);
+
+}  // namespace staratlas

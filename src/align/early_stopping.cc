@@ -1,4 +1,4 @@
-#include "core/early_stopping.h"
+#include "align/early_stopping.h"
 
 #include "common/error.h"
 

@@ -64,7 +64,7 @@ void AlignmentEngine::ensure_stream_slots(usize count) {
   }
 }
 
-AlignmentRun AlignmentEngine::run(const ReadSet& reads,
+AlignmentRun AlignmentEngine::run_memory(const ReadSet& reads,
                                   const ProgressCallback& callback) {
   const auto wall_start = std::chrono::steady_clock::now();
   AlignmentRun run;
@@ -245,7 +245,7 @@ void AlignmentEngine::align_chunk(const ReadSet& reads, usize begin,
   }
 }
 
-AlignmentRun AlignmentEngine::run_stream(const BatchSource& source,
+AlignmentRun AlignmentEngine::run_streaming(const BatchSource& source,
                                          u64 total_reads_hint,
                                          const ProgressCallback& callback) {
   STARATLAS_CHECK(source != nullptr);
@@ -432,23 +432,6 @@ AlignmentRun AlignmentEngine::run_stream(const BatchSource& source,
         stream_slots_[i]->outcomes.capacity() * sizeof(ReadOutcome);
   }
   return run;
-}
-
-AlignmentRun AlignmentEngine::run_stream_reads(const ReadSet& reads,
-                                               usize batch_size,
-                                               const ProgressCallback& callback) {
-  STARATLAS_CHECK(batch_size >= 1);
-  usize next = 0;
-  const BatchSource source = [&](ReadBatch& batch) {
-    if (next >= reads.size()) return false;
-    const usize end = std::min(next + batch_size, reads.size());
-    for (; next < end; ++next) {
-      const FastqRecord& rec = reads.reads[next];
-      batch.append(rec.name, rec.sequence, rec.quality);
-    }
-    return true;
-  };
-  return run_stream(source, reads.size(), callback);
 }
 
 }  // namespace staratlas

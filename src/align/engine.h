@@ -29,6 +29,8 @@
 
 namespace staratlas {
 
+struct EngineRunRequest;  // align/run_request.h
+
 enum class EngineCommand { kContinue, kAbort };
 
 /// Invoked (serialized) whenever `progress_check_interval` more reads have
@@ -104,12 +106,20 @@ class AlignmentEngine {
 
   const EngineConfig& config() const { return config_; }
 
-  /// Aligns the read set. Deterministic in its statistics regardless of
-  /// thread count; abort timing has chunk granularity. Not reentrant: one
-  /// run() at a time per engine (the worker pool and workspaces are
-  /// engine-owned and reused run to run).
+  /// The single front door: validates the request (every combination rule
+  /// in EngineRunRequest::validate) and dispatches to the in-memory,
+  /// streaming or sharded execution strategy. The entrypoints below are
+  /// thin compatibility wrappers over this. See align/run_request.h.
+  AlignmentRun execute(const EngineRunRequest& request);
+
+  /// Thin wrapper: execute() in memory mode. Aligns the read set.
+  /// Deterministic in its statistics regardless of thread count; abort
+  /// timing has chunk granularity. Not reentrant: one run at a time per
+  /// engine (the worker pool and workspaces are engine-owned and reused
+  /// run to run).
   AlignmentRun run(const ReadSet& reads, const ProgressCallback& callback = {});
 
+  /// Thin wrapper: execute() in stream mode over a pull source.
   /// Streaming form: a producer thread pulls batches from `source` while
   /// the worker pool aligns them, overlapping parse/decode with alignment.
   /// A bounded ring of `stream_queue_depth` recycled batch slots provides
@@ -126,9 +136,9 @@ class AlignmentEngine {
   AlignmentRun run_stream(const BatchSource& source, u64 total_reads_hint = 0,
                           const ProgressCallback& callback = {});
 
-  /// run_stream over an in-memory ReadSet, batching `batch_size` reads at
-  /// a time (tests and benchmarks; the pipeline streams from the SRA
-  /// decoder instead).
+  /// Thin wrapper: execute() in stream mode over an in-memory ReadSet,
+  /// batching `batch_size` reads at a time (tests and benchmarks; the
+  /// pipeline streams from the SRA decoder instead).
   AlignmentRun run_stream_reads(const ReadSet& reads, usize batch_size,
                                 const ProgressCallback& callback = {});
 
@@ -160,6 +170,13 @@ class AlignmentEngine {
 
  private:
   struct StreamSlot;
+
+  /// The real in-memory execution body (execute()'s kMemory strategy).
+  AlignmentRun run_memory(const ReadSet& reads,
+                          const ProgressCallback& callback);
+  /// The real streaming execution body (execute()'s kStream strategy).
+  AlignmentRun run_streaming(const BatchSource& source, u64 total_reads_hint,
+                             const ProgressCallback& callback);
 
   /// Creates the worker pool and per-worker workspaces on first use.
   void ensure_workers();

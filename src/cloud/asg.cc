@@ -11,12 +11,20 @@ AutoScalingGroup::AutoScalingGroup(SimKernel& kernel, Ec2Fleet& fleet,
                                    const InstanceType& type, bool spot,
                                    AsgPolicy policy,
                                    std::function<usize()> backlog_fn)
+    : AutoScalingGroup(kernel, fleet, type, spot ? 1.0 : 0.0, policy,
+                       std::move(backlog_fn)) {}
+
+AutoScalingGroup::AutoScalingGroup(SimKernel& kernel, Ec2Fleet& fleet,
+                                   const InstanceType& type,
+                                   double spot_fraction, AsgPolicy policy,
+                                   std::function<usize()> backlog_fn)
     : kernel_(&kernel),
       fleet_(&fleet),
       type_(&type),
-      spot_(spot),
+      spot_fraction_(spot_fraction),
       policy_(policy),
       backlog_fn_(std::move(backlog_fn)) {
+  STARATLAS_CHECK(spot_fraction_ >= 0.0 && spot_fraction_ <= 1.0);
   STARATLAS_CHECK(policy_.min_size <= policy_.max_size);
   STARATLAS_CHECK(policy_.target_backlog_per_instance > 0.0);
   STARATLAS_CHECK(backlog_fn_ != nullptr);
@@ -45,7 +53,17 @@ void AutoScalingGroup::evaluate() {
   const usize running = fleet_->running_count();
   if (desired_ > running) {
     const usize to_launch = desired_ - running;
-    for (usize i = 0; i < to_launch; ++i) fleet_->launch(*type_, spot_);
+    for (usize i = 0; i < to_launch; ++i) {
+      // Deterministic spot/on-demand interleave: launch n is spot iff the
+      // integer spot quota floor(n * fraction) advances at n. Fractions
+      // 0 and 1 degenerate to pure fleets, so classic configs see the
+      // exact historical launch sequence.
+      ++launches_;
+      const bool spot =
+          std::floor(static_cast<double>(launches_) * spot_fraction_) >
+          std::floor(static_cast<double>(launches_ - 1) * spot_fraction_);
+      fleet_->launch(*type_, spot);
+    }
     ++scale_outs_;
   }
   // Scale-in happens by worker attrition via should_release().

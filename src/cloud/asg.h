@@ -30,6 +30,14 @@ class AutoScalingGroup {
                    const InstanceType& type, bool spot, AsgPolicy policy,
                    std::function<usize()> backlog_fn);
 
+  /// Mixed-purchase form: `spot_fraction` of launches (deterministically
+  /// interleaved so every prefix of the launch sequence holds the ratio)
+  /// are spot, the rest on-demand. 0.0 and 1.0 reproduce the pure
+  /// on-demand / pure spot launch sequences exactly.
+  AutoScalingGroup(SimKernel& kernel, Ec2Fleet& fleet,
+                   const InstanceType& type, double spot_fraction,
+                   AsgPolicy policy, std::function<usize()> backlog_fn);
+
   /// Starts periodic evaluation (first evaluation immediately).
   void start();
   /// Stops evaluating; does not terminate instances.
@@ -38,7 +46,8 @@ class AutoScalingGroup {
   usize desired_capacity() const { return desired_; }
   const AsgPolicy& policy() const { return policy_; }
   const InstanceType& type() const { return *type_; }
-  bool spot() const { return spot_; }
+  bool spot() const { return spot_fraction_ >= 1.0; }
+  double spot_fraction() const { return spot_fraction_; }
   u64 scale_out_events() const { return scale_outs_; }
 
   /// True when the fleet exceeds desired capacity; the calling worker
@@ -51,12 +60,13 @@ class AutoScalingGroup {
   SimKernel* kernel_;
   Ec2Fleet* fleet_;
   const InstanceType* type_;
-  bool spot_;
+  double spot_fraction_;
   AsgPolicy policy_;
   std::function<usize()> backlog_fn_;
   bool running_ = false;
   usize desired_ = 0;
   u64 scale_outs_ = 0;
+  u64 launches_ = 0;  ///< lifetime launch count (drives the spot mix)
   SimKernel::EventId timer_ = 0;
 };
 

@@ -13,6 +13,20 @@ void AtlasConfig::use_release(int release) {
                                : ByteSize::from_gib(29.5);
 }
 
+StageContext stage_context_for(const AtlasConfig& config,
+                               const SraSample& sample,
+                               const InstanceType& type) {
+  StageContext ctx;
+  ctx.sra_bytes = sample.sra_bytes;
+  ctx.fastq_bytes = sample.fastq_bytes;
+  ctx.genome_release = config.genome_release;
+  ctx.instance = &type;
+  ctx.model = &config.stages;
+  ctx.checkpoint_fraction = config.early_stop.checkpoint_fraction;
+  ctx.align_threads = config.align_threads;
+  return ctx;
+}
+
 VirtualDuration AtlasConfig::effective_heartbeat_interval() const {
   return heartbeat_interval > VirtualDuration::zero() ? heartbeat_interval
                                                       : visibility_timeout * 0.5;
@@ -22,12 +36,14 @@ AtlasSimulation::AtlasSimulation(std::vector<SraSample> catalog,
                                  AtlasConfig config)
     : catalog_(std::move(catalog)),
       config_(std::move(config)),
+      graph_(PipelineCatalog::instance().build(config_.pipeline)),
       type_(&instance_type(config_.instance_type)),
       spot_market_(Rng(config_.seed).fork("spot"),
                    config_.mean_time_to_interruption),
       fleet_(kernel_, cost_, &spot_market_, config_.boot_delay),
       queue_(kernel_, config_.visibility_timeout, config_.max_receives),
-      asg_(kernel_, fleet_, *type_, config_.spot, config_.asg,
+      asg_(kernel_, fleet_, *type_, config_.effective_spot_fraction(),
+           config_.asg,
            [this] { return queue_.approximate_depth(); }),
       faults_(config_.faults),
       noise_rng_(Rng(config_.seed).fork("noise")) {
@@ -63,6 +79,8 @@ bool AtlasSimulation::instance_alive(u64 instance_id) const {
 AtlasReport AtlasSimulation::run() {
   report_ = AtlasReport{};
   report_.samples_total = catalog_.size();
+  report_.wasted_hours_stage.assign(graph_.size(), 0.0);
+  report_.stage_names = graph_.stage_names();
 
   fleet_.set_on_ready([this](u64 id) { worker_ready(id); });
   fleet_.set_on_interrupted([this](u64 id) { on_interrupted(id); });
@@ -111,8 +129,8 @@ void AtlasSimulation::worker_ready(u64 instance_id) {
   // (and as far as) the init actually runs, not up front — a reclaim
   // mid-initialization bills the elapsed part only.
   index_bucket_.get("star-index-r" + std::to_string(config_.genome_release));
-  const VirtualDuration init =
-      config_.stages.index_init_time(config_.index_bytes, *type_);
+  const VirtualDuration init = config_.stages.index_init_time(
+      config_.index_bytes, *type_, config_.index_load_path);
   init_started_[instance_id] = kernel_.now();
   kernel_.schedule_after(init, [this, instance_id] { init_done(instance_id); });
 }
@@ -163,17 +181,20 @@ void AtlasSimulation::process(u64 instance_id, SqsMessage message) {
   // Early-stopping decision from the Log.progress.out-equivalent telemetry
   // at the checkpoint fraction. (Drawn at receive time so the noise stream
   // depends only on the processing order, as it always has; redelivered
-  // samples restart from scratch and re-observe.)
+  // samples restart from scratch and re-observe. The draw happens even
+  // for pipelines without a decision point, keeping the noise stream —
+  // and thus cross-pipeline comparisons — aligned.)
   const double observed = config_.maprate.checkpoint_observation(
       runtime.true_rate, noise_rng_);
-  const bool stop_early = early_stop_decision(config_.early_stop, observed);
+  const bool stop_early = graph_.supports_early_stop() &&
+                          early_stop_decision(config_.early_stop, observed);
 
   ActiveWork work;
   work.receipt = message.receipt_handle;
   work.accession = message.body;
-  work.plan = config_.stages.plan_sample(
-      sample.sra_bytes, sample.fastq_bytes, config_.genome_release, *type_,
-      config_.early_stop.checkpoint_fraction, stop_early);
+  work.plan = graph_.plan(stage_context_for(config_, sample, *type_),
+                          stop_early);
+  work.completed_hours.assign(graph_.size(), 0.0);
   work.sample_started = kernel_.now();
   work.stage_started = kernel_.now();
   auto [active_it, inserted] = active_.emplace(instance_id, std::move(work));
@@ -192,20 +213,22 @@ void AtlasSimulation::start_stage(u64 instance_id) {
   auto it = active_.find(instance_id);
   STARATLAS_CHECK(it != active_.end());
   ActiveWork& work = it->second;
-  while (work.stage < kNumSampleStages) {
-    const SampleStage stage = static_cast<SampleStage>(work.stage);
-    const VirtualDuration duration = work.plan.duration(stage);
+  const std::vector<StageId>& topo = graph_.topo_order();
+  while (work.step < topo.size()) {
+    const StageId stage_id = topo[work.step];
+    const StageNode& node = graph_.node(stage_id);
+    const VirtualDuration duration = work.plan.duration(stage_id);
     work.stage_started = kernel_.now();
 
-    if (is_transfer_stage(stage) && faults_.enabled()) {
-      if (auto fraction = faults_.sample_transfer_failure(stage_name(stage))) {
+    if (node.kind == StageKind::kTransfer && faults_.enabled()) {
+      if (auto fraction = faults_.sample_transfer_failure(node.name)) {
         ++work.failed_attempts;
         const VirtualDuration burned = duration * *fraction;
         const u64 receipt = work.receipt;
         if (work.failed_attempts >= faults_.max_attempts()) {
           // Out of retries: burn the partial attempt, then hand the
           // sample back to the queue for another worker.
-          report_.wasted_hours_stage[work.stage] += burned.hrs();
+          report_.wasted_hours_stage[stage_id] += burned.hrs();
           report_.wasted_hours_transfer += burned.hrs();
           work.stage_started = kernel_.now() + burned;  // pre-charged window
           kernel_.schedule_after(burned, [this, instance_id, receipt] {
@@ -218,7 +241,7 @@ void AtlasSimulation::start_stage(u64 instance_id) {
         }
         const VirtualDuration backoff = faults_.backoff(work.failed_attempts);
         ++report_.transfer_retries;
-        report_.wasted_hours_stage[work.stage] += (burned + backoff).hrs();
+        report_.wasted_hours_stage[stage_id] += (burned + backoff).hrs();
         report_.wasted_hours_transfer += (burned + backoff).hrs();
         // The whole retry window is charged as transfer waste up front;
         // advancing stage_started past it keeps a reclaim inside the
@@ -244,8 +267,8 @@ void AtlasSimulation::start_stage(u64 instance_id) {
     }
     // Zero-length stage (skipped align remainder / postprocess on early
     // stop, upload bookkeeping): advance inline, no kernel event.
-    work.completed_hours[work.stage] = 0.0;
-    ++work.stage;
+    work.completed_hours[stage_id] = 0.0;
+    ++work.step;
     work.failed_attempts = 0;
   }
   complete_sample(instance_id);
@@ -255,9 +278,9 @@ void AtlasSimulation::stage_done(u64 instance_id, u64 receipt) {
   if (finished_) return;
   ActiveWork* work = active_work(instance_id, receipt);
   if (work == nullptr) return;  // reclaimed or requeued since scheduling
-  work->completed_hours[work->stage] =
+  work->completed_hours[graph_.topo_order()[work->step]] =
       (kernel_.now() - work->stage_started).hrs();
-  ++work->stage;
+  ++work->step;
   work->failed_attempts = 0;
   // Stage-boundary heartbeat: prove liveness after every stage in
   // addition to the periodic timer (ChangeMessageVisibility is cheap).
@@ -275,7 +298,7 @@ void AtlasSimulation::complete_sample(u64 instance_id) {
   active_.erase(it);
   if (work.heartbeat_timer != 0) kernel_.cancel(work.heartbeat_timer);
 
-  const StagePlan& plan = work.plan;
+  const GraphPlan& plan = work.plan;
   SampleRuntime& rt = samples_.at(work.accession);
   if (rt.done) {
     // Another worker finished a redelivered copy first.
@@ -292,8 +315,8 @@ void AtlasSimulation::complete_sample(u64 instance_id) {
     --dead_lettered_samples_;
   }
 
-  report_.prefetch_hours += plan.duration(SampleStage::kPrefetch).hrs();
-  report_.dump_hours += plan.duration(SampleStage::kDump).hrs();
+  report_.prefetch_hours += plan.role_total(StageRole::kPrefetch).hrs();
+  report_.dump_hours += plan.role_total(StageRole::kDump).hrs();
   report_.align_hours_spent += plan.align_actual().hrs();
 
   if (plan.stop_early) {
@@ -337,7 +360,7 @@ void AtlasSimulation::requeue_after_transfer_failure(u64 instance_id) {
 
   // Whatever this instance had already finished for the sample will be
   // redone from scratch by whoever receives the redelivery.
-  for (usize s = 0; s < kNumSampleStages; ++s) {
+  for (usize s = 0; s < graph_.size(); ++s) {
     report_.wasted_hours_stage[s] += work.completed_hours[s];
     report_.wasted_hours_transfer += work.completed_hours[s];
   }
@@ -367,17 +390,17 @@ void AtlasSimulation::on_interrupted(u64 instance_id) {
   // Workers are stateless (paper §II): the redelivered sample restarts
   // from scratch, so everything burned here is the interruption tax.
   double wasted = 0.0;
-  for (usize s = 0; s < kNumSampleStages; ++s) {
+  for (usize s = 0; s < graph_.size(); ++s) {
     report_.wasted_hours_stage[s] += work.completed_hours[s];
     wasted += work.completed_hours[s];
   }
-  if (work.stage < kNumSampleStages) {
+  if (work.step < graph_.size()) {
     // Partial progress into the in-flight stage. Clamped: during a retry
     // window stage_started sits in the future (the window is pre-charged
     // as transfer waste).
     const double partial =
         std::max(0.0, (kernel_.now() - work.stage_started).hrs());
-    report_.wasted_hours_stage[work.stage] += partial;
+    report_.wasted_hours_stage[graph_.topo_order()[work.step]] += partial;
     wasted += partial;
   }
   report_.wasted_hours_interrupted += wasted;

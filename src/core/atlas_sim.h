@@ -34,8 +34,9 @@
 #include "cloud/metrics.h"
 #include "cloud/s3.h"
 #include "cloud/sqs.h"
-#include "core/early_stopping.h"
+#include "align/early_stop_policy.h"
 #include "core/maprate_model.h"
+#include "core/stage_graph.h"
 #include "core/stage_model.h"
 #include "sim/catalog.h"
 
@@ -44,6 +45,20 @@ namespace staratlas {
 struct AtlasConfig {
   std::string instance_type = "r6a.4xlarge";
   bool spot = false;
+  /// Spot share of the fleet's launches, in [0,1]; negative = derive
+  /// from the `spot` bool (the planner's spot-mix dimension — 0.0 and
+  /// 1.0 reproduce the pure fleets exactly).
+  double spot_mix = -1.0;
+  /// Pipeline to run, looked up in the PipelineCatalog ("alignment" is
+  /// the paper's 4-stage chain; "variant_calling" proves the scheduler
+  /// is workload-agnostic).
+  std::string pipeline = "alignment";
+  /// Thread cap for compute stages; 0 = all instance vCPUs (the
+  /// planner's thread-count dimension; default leaves costs unchanged).
+  u32 align_threads = 0;
+  /// How workers materialize the index at boot (the planner's load-path
+  /// dimension; kStream is the historical default).
+  IndexLoadPath index_load_path = IndexLoadPath::kStream;
   AsgPolicy asg{.min_size = 0,
                 .max_size = 16,
                 .target_backlog_per_instance = 2.0,
@@ -76,6 +91,13 @@ struct AtlasConfig {
 
   /// Convenience: set release + matching paper-scale index size.
   void use_release(int release);
+
+  /// The spot launch fraction the fleet actually uses (resolves the
+  /// spot_mix = negative "derive from the spot bool" default).
+  double effective_spot_fraction() const {
+    if (spot_mix >= 0.0) return spot_mix;
+    return spot ? 1.0 : 0.0;
+  }
 
   /// Effective heartbeat period (resolves the zero = auto default).
   VirtualDuration effective_heartbeat_interval() const;
@@ -110,8 +132,13 @@ struct AtlasReport {
   /// after the requeue).
   double wasted_hours_transfer = 0.0;
   /// Per-stage breakdown; sums to wasted_hours_interrupted +
-  /// wasted_hours_transfer. Indexed by SampleStage.
-  std::array<double, kNumSampleStages> wasted_hours_stage{};
+  /// wasted_hours_transfer. Indexed by the pipeline graph's StageId
+  /// (== SampleStage order for the default alignment pipeline).
+  std::vector<double> wasted_hours_stage =
+      std::vector<double>(kNumSampleStages, 0.0);
+  /// Stage labels, index-aligned with wasted_hours_stage (the graph's
+  /// node names; filled by run()).
+  std::vector<std::string> stage_names;
   /// Partial boot-time index initialization lost to reclaims (also
   /// included in init_hours — it did run, it just bought nothing).
   double wasted_init_hours = 0.0;
@@ -144,9 +171,20 @@ struct AtlasReport {
   }
 };
 
+/// The StageContext one sample is planned with — shared by the simulator
+/// and the closed-form estimator so their per-stage arithmetic cannot
+/// diverge. The returned context borrows `type` and `config.stages`;
+/// both must outlive any plan() call using it.
+StageContext stage_context_for(const AtlasConfig& config,
+                               const SraSample& sample,
+                               const InstanceType& type);
+
 class AtlasSimulation {
  public:
   AtlasSimulation(std::vector<SraSample> catalog, AtlasConfig config);
+
+  /// The pipeline DAG this campaign walks (from the PipelineCatalog).
+  const StageGraph& graph() const { return graph_; }
 
   /// Runs the whole campaign to completion and returns the report.
   AtlasReport run();
@@ -166,13 +204,14 @@ class AtlasSimulation {
   struct ActiveWork {
     u64 receipt = 0;
     std::string accession;
-    StagePlan plan;
-    usize stage = 0;           ///< index into plan.durations
+    GraphPlan plan;
+    usize step = 0;            ///< position in the graph's topo order
     u32 failed_attempts = 0;   ///< of the current (transfer) stage
     VirtualTime sample_started;
     VirtualTime stage_started;
-    /// Hours of each successfully completed stage (for waste breakdown).
-    std::array<double, kNumSampleStages> completed_hours{};
+    /// Hours of each successfully completed stage, by StageId (for the
+    /// waste breakdown).
+    std::vector<double> completed_hours;
     SimKernel::EventId heartbeat_timer = 0;
   };
 
@@ -201,6 +240,9 @@ class AtlasSimulation {
 
   std::vector<SraSample> catalog_;
   AtlasConfig config_;
+  /// The pipeline DAG this campaign runs (from the PipelineCatalog);
+  /// every stage walk, cost plan and waste bucket goes through it.
+  StageGraph graph_;
   const InstanceType* type_ = nullptr;
 
   SimKernel kernel_;

@@ -1,0 +1,51 @@
+// CloudContext: the cloud-environment parameters every cost/capacity
+// query needs — index size, genome release, index load path, the stage
+// time model, and the pipeline being run. Previously RightSizingQuery,
+// the shard_sim queries and the atlas config each carried their own
+// copies of these fields (and could silently disagree); they now share
+// this one struct, and the campaign planner searches over it.
+#pragma once
+
+#include <string>
+
+#include "cloud/instance_types.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "core/stage_model.h"
+
+namespace staratlas {
+
+struct CloudContext {
+  /// Index object size (85 GiB for release 108, 29.5 GiB for 111).
+  ByteSize index_bytes = ByteSize::from_gib(29.5);
+  int genome_release = 111;
+  /// How workers materialize the index at boot (stream load vs the v3
+  /// mmap attach, which divides the materialization term by the measured
+  /// attach speedup).
+  IndexLoadPath index_load_path = IndexLoadPath::kStream;
+  StageTimeModel stages{};
+  /// Pipeline name, looked up in the PipelineCatalog.
+  std::string pipeline = "alignment";
+
+  /// Sets release + the matching paper-scale index size.
+  void use_release(int release) {
+    STARATLAS_CHECK(release == 108 || release == 111);
+    genome_release = release;
+    index_bytes = release == 108 ? ByteSize::from_gib(85.0)
+                                 : ByteSize::from_gib(29.5);
+  }
+
+  /// Peak RAM an instance needs with this index resident.
+  ByteSize required_memory() const {
+    return StageTimeModel::required_memory(index_bytes);
+  }
+
+  /// Boot-time index initialization on `type` under this context's load
+  /// path — THE init-cost function: the estimator, the event sim and the
+  /// planner all call this, so their init plumbing cannot diverge.
+  VirtualDuration index_init_time(const InstanceType& type) const {
+    return stages.index_init_time(index_bytes, type, index_load_path);
+  }
+};
+
+}  // namespace staratlas

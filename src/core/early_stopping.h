@@ -1,56 +1,6 @@
-// Early stopping for STAR alignment (paper §III.B).
-//
-// STAR reports the running mapped-read percentage in Log.progress.out.
-// The paper's analysis of 1000 runs showed that once 10% of reads are
-// processed the final mapping rate is already predictable, so alignments
-// whose rate is below the atlas acceptance threshold (30%) can be aborted,
-// saving ~19.5% of total STAR compute. The controller below implements
-// that rule against our engine's progress stream.
+// Forwarding header: early stopping moved to src/align (the engine's
+// EngineRunRequest carries an EarlyStopPolicy, and align must not depend
+// on core). Include align/early_stopping.h directly in new code.
 #pragma once
 
-#include "align/engine.h"
-#include "common/types.h"
-
-namespace staratlas {
-
-struct EarlyStopPolicy {
-  bool enabled = true;
-  /// Fraction of reads processed before the one-shot decision (paper: 10%).
-  double checkpoint_fraction = 0.10;
-  /// Minimum acceptable mapping rate (paper: 30%).
-  double min_mapped_rate = 0.30;
-
-  void validate() const;
-};
-
-struct EarlyStopDecision {
-  bool evaluated = false;     ///< checkpoint reached
-  bool stopped = false;       ///< alignment aborted
-  double observed_rate = 0.0; ///< mapped rate at the checkpoint
-  double at_fraction = 0.0;   ///< actual fraction processed at decision
-  u64 at_reads = 0;
-};
-
-/// Pure decision rule (used by both the live controller and the cloud
-/// simulator): stop iff the policy is enabled and the observed rate at the
-/// checkpoint is below the threshold.
-bool early_stop_decision(const EarlyStopPolicy& policy, double observed_rate);
-
-/// Attaches the paper's rule to an AlignmentEngine progress stream.
-/// One-shot: evaluates at the first snapshot at/after the checkpoint.
-class EarlyStopController {
- public:
-  explicit EarlyStopController(const EarlyStopPolicy& policy);
-
-  /// The callback to pass to AlignmentEngine::run. The controller must
-  /// outlive the run.
-  ProgressCallback callback();
-
-  const EarlyStopDecision& decision() const { return decision_; }
-
- private:
-  EarlyStopPolicy policy_;
-  EarlyStopDecision decision_;
-};
-
-}  // namespace staratlas
+#include "align/early_stopping.h"  // IWYU pragma: export

@@ -3,35 +3,37 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "core/stage_graph.h"
 
 namespace staratlas {
+
+double campaign_init_hours(const AtlasConfig& config) {
+  const InstanceType& type = instance_type(config.instance_type);
+  return config.stages
+      .index_init_time(config.index_bytes, type, config.index_load_path)
+      .hrs();
+}
 
 CampaignEstimate estimate_campaign(const std::vector<SraSample>& catalog,
                                    const AtlasConfig& config) {
   STARATLAS_CHECK(!catalog.empty());
   const InstanceType& type = instance_type(config.instance_type);
-  const StageTimeModel& stages = config.stages;
+  StageGraph graph = PipelineCatalog::instance().build(config.pipeline);
+  const bool has_decision_point = graph.supports_early_stop();
 
   CampaignEstimate estimate;
   for (const SraSample& sample : catalog) {
-    const double prefetch =
-        stages.prefetch_time(sample.sra_bytes, type).hrs();
-    const double dump = stages.dump_time(sample.fastq_bytes, type).hrs();
-    const double align_full =
-        stages.align_time(sample.fastq_bytes, config.genome_release, type)
-            .hrs();
-    const bool stops = config.early_stop.enabled &&
+    const bool stops = has_decision_point && config.early_stop.enabled &&
                        sample.type == LibraryType::kSingleCell;
-    const double align = stops
-                             ? align_full * config.early_stop.checkpoint_fraction
-                             : align_full;
-    const double post = stops ? 0.0 : stages.postprocess_time().hrs();
-    estimate.align_hours += align;
+    const GraphPlan plan =
+        graph.plan(stage_context_for(config, sample, type), stops);
+    estimate.align_hours += plan.align_actual().hrs();
     if (stops) {
       ++estimate.expected_early_stops;
-      estimate.align_hours_saved += align_full - align;
+      estimate.align_hours_saved +=
+          (plan.align_full - plan.align_actual()).hrs();
     }
-    estimate.total_work_hours += prefetch + dump + align + post;
+    estimate.total_work_hours += plan.total().hrs();
   }
 
   // Fleet-level: work spread over the ASG's maximum parallelism, plus one
@@ -39,13 +41,18 @@ CampaignEstimate estimate_campaign(const std::vector<SraSample>& catalog,
   const double fleet = static_cast<double>(std::max<usize>(
       1, std::min(config.asg.max_size,
                   catalog.size())));
-  const double init_hours =
-      stages.index_init_time(config.index_bytes, type).hrs();
-  estimate.makespan_hours = estimate.total_work_hours / fleet + init_hours +
+  estimate.init_hours_per_instance = campaign_init_hours(config);
+  estimate.makespan_hours = estimate.total_work_hours / fleet +
+                            estimate.init_hours_per_instance +
                             config.boot_delay.hrs();
   estimate.instance_hours =
-      estimate.total_work_hours + fleet * init_hours;
-  estimate.ec2_cost_usd = estimate.instance_hours * type.hourly(config.spot);
+      estimate.total_work_hours + fleet * estimate.init_hours_per_instance;
+  // Blended purchase price over the configured spot mix (pure fleets
+  // reproduce type.hourly exactly).
+  const double spot_fraction = config.effective_spot_fraction();
+  const double hourly = spot_fraction * type.spot_hourly +
+                        (1.0 - spot_fraction) * type.on_demand_hourly;
+  estimate.ec2_cost_usd = estimate.instance_hours * hourly;
   estimate.cost_per_sample_usd =
       estimate.ec2_cost_usd / static_cast<double>(catalog.size());
   return estimate;

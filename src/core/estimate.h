@@ -17,15 +17,29 @@ struct CampaignEstimate {
   double align_hours = 0.0;          ///< alignment share (after early stop)
   double align_hours_saved = 0.0;    ///< expected early-stop savings
   usize expected_early_stops = 0;
+  /// Boot-time index init per instance (download + materialization under
+  /// the configured load path) — the shared init-cost term (see
+  /// campaign_init_hours).
+  double init_hours_per_instance = 0.0;
   double makespan_hours = 0.0;       ///< work / fleet + boot/init overhead
   double instance_hours = 0.0;
   double ec2_cost_usd = 0.0;
   double cost_per_sample_usd = 0.0;
 };
 
+/// One instance's boot-time index-initialization hours under `config` —
+/// THE init-cost function: the closed-form estimator, the campaign
+/// planner and the event sim's worker boot all derive init cost from the
+/// same StageTimeModel call with the same load path, so their plumbing
+/// cannot diverge (regression-tested estimate-vs-sim in planner_test).
+double campaign_init_hours(const AtlasConfig& config);
+
 /// Deterministic expectation (uses each sample's library type directly —
 /// the estimator assumes the early-stop rule is accurate, which ABL-ES
-/// justifies at the paper's design point).
+/// justifies at the paper's design point). Per-sample stage times come
+/// from the SAME pipeline graph plan the event simulator walks
+/// (PipelineCatalog lookup of config.pipeline + stage_context_for), so
+/// estimator and simulator arithmetic agree by construction.
 CampaignEstimate estimate_campaign(const std::vector<SraSample>& catalog,
                                    const AtlasConfig& config);
 

@@ -1,0 +1,159 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+AtlasConfig planner_config(const PlannerQuery& query,
+                           const PlanCandidate& candidate) {
+  AtlasConfig config;
+  config.instance_type = candidate.instance;
+  config.pipeline = query.cloud.pipeline;
+  config.genome_release = query.cloud.genome_release;
+  config.index_bytes = query.cloud.index_bytes;
+  config.index_load_path = candidate.load_path;
+  config.align_threads = candidate.threads;
+  config.spot = candidate.spot_mix >= 1.0;
+  config.spot_mix = candidate.spot_mix;
+  config.asg.max_size = query.max_fleet;
+  config.early_stop = query.early_stop;
+  config.stages = query.cloud.stages;
+  config.boot_delay = query.boot_delay;
+  config.mean_time_to_interruption = query.mean_time_to_interruption;
+  return config;
+}
+
+PlannerResult plan_campaign(const PlannerQuery& query) {
+  STARATLAS_CHECK(!query.catalog.empty());
+  STARATLAS_CHECK(!query.thread_choices.empty());
+  STARATLAS_CHECK(!query.load_path_choices.empty());
+  STARATLAS_CHECK(!query.spot_mix_choices.empty());
+  for (double mix : query.spot_mix_choices) {
+    STARATLAS_CHECK(mix >= 0.0 && mix <= 1.0);
+  }
+
+  std::vector<const InstanceType*> instances;
+  if (query.instance_names.empty()) {
+    for (const InstanceType& type : instance_catalog()) {
+      instances.push_back(&type);
+    }
+  } else {
+    for (const std::string& name : query.instance_names) {
+      instances.push_back(&instance_type(name));
+    }
+  }
+
+  PlannerResult result;
+  const ByteSize needed = query.cloud.required_memory();
+  for (const InstanceType* type : instances) {
+    for (u32 threads : query.thread_choices) {
+      for (IndexLoadPath load_path : query.load_path_choices) {
+        for (double spot_mix : query.spot_mix_choices) {
+          PlanCandidate candidate;
+          candidate.instance = type->name;
+          candidate.threads = threads;
+          candidate.load_path = load_path;
+          candidate.spot_mix = spot_mix;
+          if (type->memory < needed) {
+            candidate.feasible = false;
+            candidate.infeasible_reason = "needs " + needed.str() +
+                                          " RAM, has " + type->memory.str();
+            result.candidates.push_back(std::move(candidate));
+            continue;
+          }
+          candidate.feasible = true;
+          candidate.estimate = estimate_campaign(
+              query.catalog, planner_config(query, candidate));
+          candidate.meets_deadline =
+              query.deadline_hours <= 0.0 ||
+              candidate.estimate.makespan_hours <= query.deadline_hours;
+          candidate.meets_budget =
+              query.budget_usd <= 0.0 ||
+              candidate.estimate.ec2_cost_usd <= query.budget_usd;
+          result.candidates.push_back(std::move(candidate));
+        }
+      }
+    }
+  }
+
+  // Pareto frontier over (cost, makespan): sweep cost-ascending, keep
+  // candidates that strictly improve makespan.
+  std::vector<usize> feasible;
+  for (usize i = 0; i < result.candidates.size(); ++i) {
+    if (result.candidates[i].feasible) feasible.push_back(i);
+  }
+  std::sort(feasible.begin(), feasible.end(), [&](usize a, usize b) {
+    const PlanCandidate& ca = result.candidates[a];
+    const PlanCandidate& cb = result.candidates[b];
+    if (ca.est_cost_usd() != cb.est_cost_usd()) {
+      return ca.est_cost_usd() < cb.est_cost_usd();
+    }
+    if (ca.est_makespan_hours() != cb.est_makespan_hours()) {
+      return ca.est_makespan_hours() < cb.est_makespan_hours();
+    }
+    return a < b;  // deterministic tiebreak
+  });
+  double best_makespan = std::numeric_limits<double>::infinity();
+  for (usize index : feasible) {
+    const PlanCandidate& candidate = result.candidates[index];
+    if (candidate.est_makespan_hours() < best_makespan) {
+      result.frontier.push_back(index);
+      best_makespan = candidate.est_makespan_hours();
+    }
+  }
+
+  // Best: cheapest feasible candidate meeting both constraints.
+  for (usize index : feasible) {
+    const PlanCandidate& candidate = result.candidates[index];
+    if (candidate.meets_deadline && candidate.meets_budget) {
+      result.best = index;
+      break;  // feasible[] is cost-ascending
+    }
+  }
+  return result;
+}
+
+void validate_frontier(const PlannerQuery& query, PlannerResult& result,
+                       usize max_points) {
+  const usize count = max_points == 0
+                          ? result.frontier.size()
+                          : std::min(max_points, result.frontier.size());
+  for (usize i = 0; i < count; ++i) {
+    const usize index = result.frontier[i];
+    const PlanCandidate& candidate = result.candidates[index];
+    AtlasSimulation sim(query.catalog, planner_config(query, candidate));
+    const AtlasReport report = sim.run();
+    FrontierValidation validation;
+    validation.candidate_index = index;
+    validation.sim_makespan_hours = report.makespan_hours;
+    validation.sim_cost_usd = report.ec2_cost_usd;
+    validation.makespan_rel_error =
+        report.makespan_hours > 0.0
+            ? std::abs(candidate.est_makespan_hours() -
+                       report.makespan_hours) /
+                  report.makespan_hours
+            : 0.0;
+    validation.cost_rel_error =
+        report.ec2_cost_usd > 0.0
+            ? std::abs(candidate.est_cost_usd() - report.ec2_cost_usd) /
+                  report.ec2_cost_usd
+            : 0.0;
+    result.validations.push_back(validation);
+  }
+}
+
+PlannerQuery planner_query_from(const RightSizingQuery& query,
+                                std::vector<SraSample> catalog) {
+  PlannerQuery planner;
+  planner.cloud = query.cloud;
+  planner.catalog = std::move(catalog);
+  planner.load_path_choices = {query.cloud.index_load_path};
+  planner.spot_mix_choices = {query.spot ? 1.0 : 0.0};
+  return planner;
+}
+
+}  // namespace staratlas

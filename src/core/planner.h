@@ -1,0 +1,112 @@
+// Campaign planner: searches instance type x thread count x index load
+// path x spot mix under cost/deadline constraints — the optimizer the
+// group's "Accelerating Cloud-Based Transcriptomics" paper gestures at.
+//
+// Every candidate is costed by the closed-form estimator
+// (estimate_campaign), which plans samples over the SAME pipeline graph
+// the event simulator walks, and every candidate carries the exact
+// AtlasConfig (planner_config) that reproduces it in the simulator — so
+// frontier points can be validated end-to-end against the event sim
+// (validate_frontier), which bench_planner gates in CI.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "align/early_stop_policy.h"
+#include "core/atlas_sim.h"
+#include "core/cloud_context.h"
+#include "core/estimate.h"
+#include "core/rightsizing.h"
+#include "sim/catalog.h"
+
+namespace staratlas {
+
+struct PlannerQuery {
+  /// Index size / release / stage model / pipeline. The context's
+  /// index_load_path is ignored: the load path is a search dimension.
+  CloudContext cloud{};
+  std::vector<SraSample> catalog;
+  EarlyStopPolicy early_stop{};
+  usize max_fleet = 16;
+  VirtualDuration boot_delay = VirtualDuration::seconds(45);
+  VirtualDuration mean_time_to_interruption = VirtualDuration::hours(24);
+
+  // ---- constraints (0 = unconstrained) ------------------------------
+  double deadline_hours = 0.0;
+  double budget_usd = 0.0;
+
+  // ---- search space -------------------------------------------------
+  /// Instance types to consider; empty = the whole instance catalog.
+  std::vector<std::string> instance_names;
+  /// Compute-stage thread caps; 0 = all instance vCPUs.
+  std::vector<u32> thread_choices{0};
+  std::vector<IndexLoadPath> load_path_choices{IndexLoadPath::kStream,
+                                               IndexLoadPath::kMmap};
+  /// Spot share of the fleet's launches (0 = pure on-demand, 1 = pure
+  /// spot, intermediate = deterministically interleaved mixed fleet).
+  std::vector<double> spot_mix_choices{0.0, 1.0};
+};
+
+struct PlanCandidate {
+  std::string instance;
+  u32 threads = 0;  ///< 0 = all vCPUs
+  IndexLoadPath load_path = IndexLoadPath::kStream;
+  double spot_mix = 0.0;
+  bool feasible = false;
+  std::string infeasible_reason;
+  CampaignEstimate estimate;
+  bool meets_deadline = true;
+  bool meets_budget = true;
+
+  double est_makespan_hours() const { return estimate.makespan_hours; }
+  double est_cost_usd() const { return estimate.ec2_cost_usd; }
+};
+
+/// One frontier point replayed through the event simulator.
+struct FrontierValidation {
+  usize candidate_index = 0;  ///< into PlannerResult::candidates
+  double sim_makespan_hours = 0.0;
+  double sim_cost_usd = 0.0;
+  double makespan_rel_error = 0.0;  ///< |est - sim| / sim
+  double cost_rel_error = 0.0;
+};
+
+struct PlannerResult {
+  /// Every evaluated candidate, in deterministic search order.
+  std::vector<PlanCandidate> candidates;
+  /// Indices of the Pareto-minimal (cost, makespan) feasible candidates,
+  /// cost-ascending (so makespan strictly descends along it).
+  std::vector<usize> frontier;
+  /// Cheapest feasible candidate meeting BOTH constraints (ties broken
+  /// by makespan); nullopt when no candidate satisfies them.
+  std::optional<usize> best;
+  std::vector<FrontierValidation> validations;
+};
+
+/// The exact simulator configuration a candidate describes — the bridge
+/// that makes every planner point sim-checkable. Shares init-cost
+/// plumbing with the estimator by construction (campaign_init_hours).
+AtlasConfig planner_config(const PlannerQuery& query,
+                           const PlanCandidate& candidate);
+
+/// Enumerates and costs the search space, computes the Pareto frontier
+/// and picks the best constrained candidate. Purely closed-form: no
+/// event simulation (see validate_frontier).
+PlannerResult plan_campaign(const PlannerQuery& query);
+
+/// Replays up to `max_points` frontier candidates (0 = all) through the
+/// event simulator and records relative cost/makespan errors in
+/// result.validations.
+void validate_frontier(const PlannerQuery& query, PlannerResult& result,
+                       usize max_points = 0);
+
+/// Bridge from the right-sizing advisor's per-sample view to a campaign
+/// query: seeds the planner with the advisor's cloud context and spot
+/// preference (the planner is the campaign-level refinement of
+/// evaluate_instances' per-sample ranking).
+PlannerQuery planner_query_from(const RightSizingQuery& query,
+                                std::vector<SraSample> catalog);
+
+}  // namespace staratlas

@@ -9,7 +9,8 @@ namespace staratlas {
 std::vector<RightSizingOption> evaluate_instances(
     const RightSizingQuery& query) {
   std::vector<RightSizingOption> options;
-  const ByteSize needed = StageTimeModel::required_memory(query.index_bytes);
+  const CloudContext& cloud = query.cloud;
+  const ByteSize needed = cloud.required_memory();
   for (const auto& type : instance_catalog()) {
     RightSizingOption option;
     option.type = &type;
@@ -22,16 +23,13 @@ std::vector<RightSizingOption> evaluate_instances(
     }
     option.feasible = true;
     const double stage_secs =
-        query.stages.prefetch_time(query.mean_sra, type).secs() +
-        query.stages.dump_time(query.mean_fastq, type).secs() +
-        query.stages
-            .align_time(query.mean_fastq, query.genome_release, type)
+        cloud.stages.prefetch_time(query.mean_sra, type).secs() +
+        cloud.stages.dump_time(query.mean_fastq, type).secs() +
+        cloud.stages
+            .align_time(query.mean_fastq, cloud.genome_release, type)
             .secs() +
-        query.stages.postprocess_time().secs();
-    const double init_secs =
-        query.stages
-            .index_init_time(query.index_bytes, type, query.index_load_path)
-            .secs();
+        cloud.stages.postprocess_time().secs();
+    const double init_secs = cloud.index_init_time(type).secs();
     option.sample_seconds =
         stage_secs + init_secs / query.samples_per_boot;
     option.cost_per_sample_usd =

@@ -11,6 +11,7 @@
 
 #include "cloud/instance_types.h"
 #include "common/units.h"
+#include "core/cloud_context.h"
 #include "core/stage_model.h"
 
 namespace staratlas {
@@ -25,18 +26,15 @@ struct RightSizingOption {
 };
 
 struct RightSizingQuery {
-  ByteSize index_bytes = ByteSize::from_gib(29.5);
-  int genome_release = 111;
+  /// Index size / release / load path / stage model — shared with the
+  /// shard sim and the campaign planner.
+  CloudContext cloud{};
   ByteSize mean_fastq = ByteSize::from_gib(15.9);
   ByteSize mean_sra = ByteSize::from_gib(6.9);
   bool spot = false;
   /// Samples processed per instance lifetime, for amortizing the index
   /// download/load into per-sample cost.
   double samples_per_boot = 40.0;
-  /// How workers materialize the index at boot; kMmap shrinks the
-  /// amortized init term by StageTimeModel::mmap_attach_speedup.
-  IndexLoadPath index_load_path = IndexLoadPath::kStream;
-  StageTimeModel stages{};
 };
 
 /// Evaluates every catalog type; result is sorted feasible-first by cost

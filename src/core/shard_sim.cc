@@ -30,21 +30,21 @@ ScatterGatherResult simulate_scatter_gather(const ScatterGatherQuery& query) {
   if (query.worker.memory < query.worker_headroom) return result;
   result.feasible = true;
 
-  const StageTimeModel& model = query.model;
+  const StageTimeModel& model = query.cloud.stages;
   // Index attach: O(header) mmap (the v3 stream-load cost divided by the
   // measured attach speedup) plus first-touch streaming of the pages the
   // alignment actually faults in.
   const double attach_secs =
-      query.index_bytes.gib() / model.shm_load_gibps / model.mmap_attach_speedup;
+      query.cloud.index_bytes.gib() / model.shm_load_gibps / model.mmap_attach_speedup;
   const VirtualDuration first_touch = S3Bucket::transfer_time(
-      query.index_bytes * query.index_touch_fraction,
+      query.cloud.index_bytes * query.index_touch_fraction,
       query.worker.network_gbps);
   result.attach = VirtualDuration::seconds(attach_secs) + first_touch;
 
   const ByteSize shard_bytes =
       query.sample_fastq * (1.0 / static_cast<double>(query.num_workers));
   const double slowdown =
-      query.genome_release == 108 ? model.release_slowdown_108 : 1.0;
+      query.cloud.genome_release == 108 ? model.release_slowdown_108 : 1.0;
   result.worker_align = VirtualDuration::seconds(
       model.align_secs_per_gib_r111_16vcpu * slowdown * shard_bytes.gib() /
       vcpu_speedup(query.worker.vcpus, model.vcpu_scaling_alpha));
@@ -79,19 +79,17 @@ ScatterGatherResult simulate_scatter_gather(const ScatterGatherQuery& query) {
 SingleInstanceResult simulate_single_instance(
     const SingleInstanceQuery& query) {
   SingleInstanceResult result;
-  const StageTimeModel& model = query.model;
+  const StageTimeModel& model = query.cloud.stages;
   if (query.instance.memory <
-      StageTimeModel::required_memory(query.index_bytes)) {
+      StageTimeModel::required_memory(query.cloud.index_bytes)) {
     return result;
   }
   result.feasible = true;
-  result.boot_and_init =
-      VirtualDuration::seconds(query.boot_seconds) +
-      model.index_init_time(query.index_bytes, query.instance,
-                            query.load_path);
+  result.boot_and_init = VirtualDuration::seconds(query.boot_seconds) +
+                         query.cloud.index_init_time(query.instance);
   result.makespan =
       result.boot_and_init +
-      model.align_time(query.sample_fastq, query.genome_release,
+      model.align_time(query.sample_fastq, query.cloud.genome_release,
                        query.instance) +
       model.postprocess_time();
   CostMeter meter;

@@ -19,14 +19,16 @@
 
 #include "cloud/faas.h"
 #include "cloud/instance_types.h"
+#include "core/cloud_context.h"
 #include "core/stage_model.h"
 
 namespace staratlas {
 
 struct ScatterGatherQuery {
+  /// Index size / release / stage model — shared with rightsizing and
+  /// the campaign planner (load path is moot: FaaS workers always mmap).
+  CloudContext cloud{};
   ByteSize sample_fastq;
-  ByteSize index_bytes;
-  int genome_release = 111;
   usize num_workers = 32;
   FaasClass worker;
   /// Fraction of index pages a worker faults in from the shared FS while
@@ -38,7 +40,6 @@ struct ScatterGatherQuery {
   /// Engine working set a worker needs beyond the evictable mmap'd index
   /// pages (streaming ingest is queue-bounded, not sample-bounded).
   ByteSize worker_headroom = ByteSize::from_gib(2.0);
-  StageTimeModel model;
 };
 
 struct ScatterGatherResult {
@@ -56,14 +57,13 @@ struct ScatterGatherResult {
 ScatterGatherResult simulate_scatter_gather(const ScatterGatherQuery& query);
 
 struct SingleInstanceQuery {
+  /// Index size / release / load path / stage model — shared with
+  /// rightsizing and the campaign planner.
+  CloudContext cloud{};
   ByteSize sample_fastq;
-  ByteSize index_bytes;
-  int genome_release = 111;
   InstanceType instance;
   double boot_seconds = 45.0;  ///< EC2 launch to usable
-  IndexLoadPath load_path = IndexLoadPath::kStream;
   bool spot = false;
-  StageTimeModel model;
 };
 
 struct SingleInstanceResult {

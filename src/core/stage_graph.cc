@@ -1,0 +1,353 @@
+#include "core/stage_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace staratlas {
+
+InstanceType StageContext::effective_instance() const {
+  STARATLAS_CHECK(instance != nullptr);
+  InstanceType type = *instance;
+  if (align_threads > 0 && align_threads < type.vcpus) {
+    type.vcpus = align_threads;
+  }
+  return type;
+}
+
+VirtualDuration GraphPlan::total() const {
+  VirtualDuration sum;
+  for (const VirtualDuration& d : durations) sum += d;
+  return sum;
+}
+
+StageId StageGraph::add_stage(StageNode node, std::vector<StageId> deps) {
+  if (!node.cost) {
+    throw InvalidArgument("stage '" + node.name + "' has no cost function");
+  }
+  const StageId id = static_cast<StageId>(nodes_.size());
+  for (StageId dep : deps) {
+    if (dep >= id) {
+      throw InvalidArgument("stage '" + node.name +
+                            "' depends on a stage that does not exist yet");
+    }
+  }
+  nodes_.push_back(std::move(node));
+  deps_.push_back(std::move(deps));
+  validated_ = false;
+  return id;
+}
+
+void StageGraph::add_edge(StageId from, StageId to) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    throw InvalidArgument("add_edge: unknown stage id");
+  }
+  deps_[to].push_back(from);
+  validated_ = false;
+}
+
+void StageGraph::validate() {
+  if (nodes_.empty()) throw InvalidArgument("stage graph is empty");
+
+  // Kahn's algorithm with a smallest-id-first ready set: a deterministic
+  // topological order that equals insertion order for any chain (and in
+  // particular the historical SampleStage order for the alignment
+  // pipeline, which the bit-identity contract depends on).
+  std::vector<usize> pending(nodes_.size());
+  std::vector<std::vector<StageId>> dependents(nodes_.size());
+  for (StageId id = 0; id < nodes_.size(); ++id) {
+    pending[id] = deps_[id].size();
+    for (StageId dep : deps_[id]) dependents[dep].push_back(id);
+  }
+  topo_.clear();
+  topo_.reserve(nodes_.size());
+  std::vector<StageId> ready;
+  for (StageId id = 0; id < nodes_.size(); ++id) {
+    if (pending[id] == 0) ready.push_back(id);
+  }
+  while (!ready.empty()) {
+    const auto next = std::min_element(ready.begin(), ready.end());
+    const StageId id = *next;
+    ready.erase(next);
+    topo_.push_back(id);
+    for (StageId dependent : dependents[id]) {
+      if (--pending[dependent] == 0) ready.push_back(dependent);
+    }
+  }
+  if (topo_.size() != nodes_.size()) {
+    throw InvalidArgument("stage graph '" + name_ + "' contains a cycle");
+  }
+  validated_ = true;
+}
+
+const std::vector<StageId>& StageGraph::topo_order() const {
+  STARATLAS_CHECK(validated_);
+  return topo_;
+}
+
+bool StageGraph::supports_early_stop() const {
+  for (const StageNode& node : nodes_) {
+    if (node.skip_on_early_stop) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> StageGraph::stage_names() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const StageNode& node : nodes_) names.push_back(node.name);
+  return names;
+}
+
+GraphPlan StageGraph::plan(const StageContext& ctx, bool stop_early) const {
+  STARATLAS_CHECK(validated_);
+  STARATLAS_CHECK(ctx.instance != nullptr && ctx.model != nullptr);
+  GraphPlan plan;
+  plan.stop_early = stop_early;
+  plan.durations.resize(nodes_.size());
+  for (StageId id = 0; id < nodes_.size(); ++id) {
+    const StageNode& node = nodes_[id];
+    const VirtualDuration d = (stop_early && node.skip_on_early_stop)
+                                  ? VirtualDuration::zero()
+                                  : node.cost(ctx);
+    plan.durations[id] = d;
+    plan.role_totals[static_cast<usize>(node.role)] += d;
+  }
+  plan.align_full =
+      align_full_ ? align_full_(ctx) : plan.role_total(StageRole::kAlign);
+  return plan;
+}
+
+StageGraph alignment_pipeline() {
+  StageGraph graph("alignment");
+  // Node names match the historical stage_name() labels: the fault
+  // injector keys its deterministic per-operation streams by this name,
+  // so renaming a transfer stage would shift fault draws.
+  const StageId prefetch = graph.add_stage(
+      {.name = "prefetch",
+       .kind = StageKind::kTransfer,
+       .role = StageRole::kPrefetch,
+       .resources = {.cores = 0.1,
+                     .ram = ByteSize::from_gib(1.0),
+                     .bandwidth_gbps = 1.5,
+                     .spot_safe = true,
+                     .checkpointable = false},
+       .cost =
+           [](const StageContext& ctx) {
+             return ctx.model->prefetch_time(ctx.sra_bytes, *ctx.instance);
+           }});
+  const StageId dump = graph.add_stage(
+      {.name = "dump",
+       .kind = StageKind::kCompute,
+       .role = StageRole::kDump,
+       .resources = {.cores = 0.75, .ram = ByteSize::from_gib(2.0)},
+       .cost =
+           [](const StageContext& ctx) {
+             const InstanceType type = ctx.effective_instance();
+             return ctx.model->dump_time(ctx.fastq_bytes, type);
+           }},
+      {prefetch});
+  const StageId align_ckpt = graph.add_stage(
+      {.name = "align_ckpt",
+       .kind = StageKind::kCompute,
+       .role = StageRole::kAlign,
+       .resources = {.cores = 1.0,
+                     .ram = ByteSize::from_gib(4.0),
+                     .spot_safe = true,
+                     .checkpointable = true},
+       .cost =
+           [](const StageContext& ctx) {
+             const InstanceType type = ctx.effective_instance();
+             return ctx.model->align_time(ctx.fastq_bytes, ctx.genome_release,
+                                          type) *
+                    ctx.checkpoint_fraction;
+           }},
+      {dump});
+  const StageId align_rest = graph.add_stage(
+      {.name = "align_rest",
+       .kind = StageKind::kCompute,
+       .role = StageRole::kAlign,
+       .resources = {.cores = 1.0,
+                     .ram = ByteSize::from_gib(4.0),
+                     .spot_safe = true,
+                     .checkpointable = true},
+       .skip_on_early_stop = true,
+       .cost =
+           [](const StageContext& ctx) {
+             const InstanceType type = ctx.effective_instance();
+             return ctx.model->align_time(ctx.fastq_bytes, ctx.genome_release,
+                                          type) *
+                    (1.0 - ctx.checkpoint_fraction);
+           }},
+      {align_ckpt});
+  const StageId postprocess = graph.add_stage(
+      {.name = "postprocess",
+       .kind = StageKind::kFixed,
+       .resources = {.cores = 0.25, .ram = ByteSize::from_gib(1.0)},
+       .skip_on_early_stop = true,
+       .cost =
+           [](const StageContext& ctx) {
+             return ctx.model->postprocess_time();
+           }},
+      {align_rest});
+  graph.add_stage(
+      {.name = "upload",
+       .kind = StageKind::kTransfer,
+       .resources = {.cores = 0.1,
+                     .ram = ByteSize::from_gib(0.5),
+                     .bandwidth_gbps = 1.0},
+       // Zero-length (upload bookkeeping lives in postprocess_secs); it
+       // exists as a node so S3 upload faults have a place to land.
+       .cost = [](const StageContext&) { return VirtualDuration::zero(); }},
+      {postprocess});
+  graph.set_align_full([](const StageContext& ctx) {
+    const InstanceType type = ctx.effective_instance();
+    return ctx.model->align_time(ctx.fastq_bytes, ctx.genome_release, type);
+  });
+  graph.validate();
+  return graph;
+}
+
+StageGraph variant_calling_pipeline() {
+  StageGraph graph("variant_calling");
+  const StageId prefetch = graph.add_stage(
+      {.name = "prefetch",
+       .kind = StageKind::kTransfer,
+       .role = StageRole::kPrefetch,
+       .resources = {.cores = 0.1,
+                     .ram = ByteSize::from_gib(1.0),
+                     .bandwidth_gbps = 1.5},
+       .cost =
+           [](const StageContext& ctx) {
+             return ctx.model->prefetch_time(ctx.sra_bytes, *ctx.instance);
+           }});
+  const StageId dump = graph.add_stage(
+      {.name = "dump",
+       .kind = StageKind::kCompute,
+       .role = StageRole::kDump,
+       .resources = {.cores = 0.75, .ram = ByteSize::from_gib(2.0)},
+       .cost =
+           [](const StageContext& ctx) {
+             const InstanceType type = ctx.effective_instance();
+             return ctx.model->dump_time(ctx.fastq_bytes, type);
+           }},
+      {prefetch});
+  // The aligner stage is REUSED: same cost model as the alignment
+  // pipeline, unsplit (variant calling has no early-stop decision point).
+  const StageId align = graph.add_stage(
+      {.name = "align",
+       .kind = StageKind::kCompute,
+       .role = StageRole::kAlign,
+       .resources = {.cores = 1.0,
+                     .ram = ByteSize::from_gib(4.0),
+                     .checkpointable = true},
+       .cost =
+           [](const StageContext& ctx) {
+             const InstanceType type = ctx.effective_instance();
+             return ctx.model->align_time(ctx.fastq_bytes, ctx.genome_release,
+                                          type);
+           }},
+      {dump});
+  // Diamond: sort/markdup and QC both consume the alignment...
+  const StageId sort_markdup = graph.add_stage(
+      {.name = "sort_markdup",
+       .kind = StageKind::kCompute,
+       .resources = {.cores = 0.5, .ram = ByteSize::from_gib(4.0)},
+       .cost =
+           [](const StageContext& ctx) {
+             // samtools sort + markdup: I/O-bound, ~6 s per FASTQ GiB at
+             // the 16-vCPU reference, with the same sublinear scaling.
+             const InstanceType type = ctx.effective_instance();
+             const double speedup = std::pow(
+                 static_cast<double>(type.vcpus) / 16.0,
+                 ctx.model->vcpu_scaling_alpha);
+             return VirtualDuration::seconds(6.0 * ctx.fastq_bytes.gib() /
+                                             speedup);
+           }},
+      {align});
+  const StageId qc = graph.add_stage(
+      {.name = "qc",
+       .kind = StageKind::kFixed,
+       .resources = {.cores = 0.25, .ram = ByteSize::from_gib(1.0)},
+       .cost =
+           [](const StageContext&) { return VirtualDuration::seconds(30.0); }},
+      {align});
+  const StageId call = graph.add_stage(
+      {.name = "call_variants",
+       .kind = StageKind::kCompute,
+       .resources = {.cores = 1.0, .ram = ByteSize::from_gib(4.0)},
+       .cost =
+           [](const StageContext& ctx) {
+             // Haplotype-caller-shaped cost: ~20 s per FASTQ GiB at the
+             // reference shape.
+             const InstanceType type = ctx.effective_instance();
+             const double speedup = std::pow(
+                 static_cast<double>(type.vcpus) / 16.0,
+                 ctx.model->vcpu_scaling_alpha);
+             return VirtualDuration::seconds(20.0 * ctx.fastq_bytes.gib() /
+                                             speedup);
+           }},
+      {sort_markdup});
+  // ...and the upload fans both branches back in.
+  graph.add_stage(
+      {.name = "upload",
+       .kind = StageKind::kTransfer,
+       .resources = {.cores = 0.1,
+                     .ram = ByteSize::from_gib(0.5),
+                     .bandwidth_gbps = 1.0},
+       .cost = [](const StageContext&) { return VirtualDuration::zero(); }},
+      {call, qc});
+  graph.set_align_full([](const StageContext& ctx) {
+    const InstanceType type = ctx.effective_instance();
+    return ctx.model->align_time(ctx.fastq_bytes, ctx.genome_release, type);
+  });
+  graph.validate();
+  return graph;
+}
+
+PipelineCatalog::PipelineCatalog() {
+  builders_["alignment"] = [] { return alignment_pipeline(); };
+  builders_["variant_calling"] = [] { return variant_calling_pipeline(); };
+}
+
+PipelineCatalog& PipelineCatalog::instance() {
+  static PipelineCatalog catalog;
+  return catalog;
+}
+
+void PipelineCatalog::register_pipeline(const std::string& name,
+                                        Builder builder) {
+  STARATLAS_CHECK(builder != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  builders_[name] = std::move(builder);
+}
+
+StageGraph PipelineCatalog::build(const std::string& name) const {
+  Builder builder;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = builders_.find(name);
+    if (it == builders_.end()) {
+      throw InvalidArgument("unknown pipeline: " + name);
+    }
+    builder = it->second;
+  }
+  StageGraph graph = builder();
+  graph.validate();
+  return graph;
+}
+
+bool PipelineCatalog::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return builders_.count(name) > 0;
+}
+
+std::vector<std::string> PipelineCatalog::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, builder] : builders_) out.push_back(name);
+  return out;
+}
+
+}  // namespace staratlas

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "align/run_request.h"
 #include "common/error.h"
 
 namespace staratlas {
@@ -98,6 +99,14 @@ void AlignmentService::ensure_tenant(const TenantId& tenant) {
 
 AlignmentService::Ticket AlignmentService::submit(SampleSubmission submission) {
   const auto now = std::chrono::steady_clock::now();
+  // The service is the fourth engine entrypoint: every submission is
+  // validated as an in-memory run request at admission (the same single
+  // validation point the direct entrypoints use), then executed through
+  // the chunk hooks for fair-share interleaving instead of execute().
+  EngineRunRequest request;
+  request.reads = &submission.reads;
+  request.mode = EngineRunRequest::Mode::kMemory;
+  request.validate();
   ensure_tenant(submission.tenant);
 
   Ticket ticket;

@@ -1,0 +1,234 @@
+// EngineRunRequest: the single validated entrypoint in front of the
+// engine's in-memory, streaming and sharded paths. Validation rules live
+// in exactly one place (EngineRunRequest::validate), and execute() must
+// reproduce the legacy entrypoints' results identically — they are now
+// thin wrappers over it.
+#include "align/run_request.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "align/engine.h"
+#include "align/sharded.h"
+#include "common/error.h"
+#include "io/fastq.h"
+#include "sim/library_profile.h"
+#include "sim/read_simulator.h"
+#include "testutil.h"
+
+namespace staratlas {
+namespace {
+
+using staratlas::testing::world;
+
+ReadSet sample_reads(usize n = 400, u64 seed = 77) {
+  const auto& w = world();
+  return w.simulator->simulate(bulk_rna_profile(), n, Rng(seed));
+}
+
+std::string to_fastq(const ReadSet& reads) {
+  std::ostringstream out;
+  write_fastq(out, reads.reads);
+  return out.str();
+}
+
+EngineConfig engine_config(usize threads = 2) {
+  EngineConfig config;
+  config.num_threads = threads;
+  config.collect_junctions = true;
+  return config;
+}
+
+void expect_same_outcomes(const AlignmentRun& a, const AlignmentRun& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (usize i = 0; i < a.outcomes.size(); ++i) {
+    ASSERT_EQ(a.outcomes[i], b.outcomes[i]) << "read " << i;
+  }
+  EXPECT_EQ(a.stats.processed, b.stats.processed);
+  EXPECT_EQ(a.stats.unique, b.stats.unique);
+  EXPECT_EQ(a.stats.multi, b.stats.multi);
+  EXPECT_EQ(a.stats.unmapped, b.stats.unmapped);
+}
+
+// ---- validation: every rule rejected in the one shared place ----------
+
+TEST(RunRequest, RejectsMissingAndAmbiguousSources) {
+  EngineRunRequest request;
+  EXPECT_THROW(request.validate(), InvalidArgument);
+
+  const ReadSet reads = sample_reads(10);
+  const std::string fastq = to_fastq(reads);
+  request.reads = &reads;
+  request.fastq_text = fastq;
+  EXPECT_THROW(request.validate(), InvalidArgument);
+}
+
+TEST(RunRequest, RejectsDegenerateCounts) {
+  const ReadSet reads = sample_reads(10);
+  EngineRunRequest request;
+  request.reads = &reads;
+  request.num_shards = 0;
+  EXPECT_THROW(request.validate(), InvalidArgument);
+
+  request.num_shards = 1;
+  request.batch_reads = 0;
+  EXPECT_THROW(request.validate(), InvalidArgument);
+}
+
+TEST(RunRequest, RejectsShardingWithoutRawText) {
+  const ReadSet reads = sample_reads(10);
+  EngineRunRequest request;
+  request.reads = &reads;
+  request.mode = EngineRunRequest::Mode::kSharded;
+  EXPECT_THROW(request.validate(), InvalidArgument);
+
+  EngineRunRequest implied;
+  implied.reads = &reads;
+  implied.num_shards = 4;  // kAuto resolves to sharded, which needs text
+  EXPECT_THROW(implied.validate(), InvalidArgument);
+}
+
+TEST(RunRequest, RejectsEarlyStopWithSharding) {
+  // Historically the CLI enforced this; now every caller inherits it.
+  const std::string fastq = to_fastq(sample_reads(10));
+  EngineRunRequest request;
+  request.fastq_text = fastq;
+  request.num_shards = 4;
+  request.early_stop = EarlyStopPolicy{};
+  EXPECT_THROW(request.validate(), InvalidArgument);
+}
+
+TEST(RunRequest, RejectsInvalidEarlyStopPolicy) {
+  const ReadSet reads = sample_reads(10);
+  EngineRunRequest request;
+  request.reads = &reads;
+  request.early_stop = EarlyStopPolicy{};
+  request.early_stop.checkpoint_fraction = 1.5;
+  EXPECT_THROW(request.validate(), InvalidArgument);
+}
+
+TEST(RunRequest, RejectsShardedOutOnNonShardedModes) {
+  const ReadSet reads = sample_reads(10);
+  ShardedRun sharded;
+  EngineRunRequest request;
+  request.reads = &reads;
+  request.sharded_out = &sharded;
+  EXPECT_THROW(request.validate(), InvalidArgument);
+}
+
+TEST(RunRequest, AutoModeResolution) {
+  const ReadSet reads = sample_reads(10);
+  const std::string fastq = to_fastq(reads);
+
+  EngineRunRequest memory;
+  memory.reads = &reads;
+  EXPECT_EQ(memory.resolved_mode(), EngineRunRequest::Mode::kMemory);
+
+  EngineRunRequest stream;
+  stream.fastq_text = fastq;
+  EXPECT_EQ(stream.resolved_mode(), EngineRunRequest::Mode::kStream);
+
+  EngineRunRequest sharded;
+  sharded.fastq_text = fastq;
+  sharded.num_shards = 4;
+  EXPECT_EQ(sharded.resolved_mode(), EngineRunRequest::Mode::kSharded);
+}
+
+// ---- execute() parity with the legacy entrypoints ---------------------
+
+TEST(RunRequest, ExecuteMemoryMatchesLegacyRun) {
+  const auto& w = world();
+  const ReadSet reads = sample_reads();
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+                         engine_config());
+  const AlignmentRun legacy = engine.run(reads);
+
+  EngineRunRequest request;
+  request.reads = &reads;
+  const AlignmentRun via_request = engine.execute(request);
+  expect_same_outcomes(legacy, via_request);
+}
+
+TEST(RunRequest, ExecuteStreamFromTextMatchesMemoryRun) {
+  const auto& w = world();
+  const ReadSet reads = sample_reads();
+  const std::string fastq = to_fastq(reads);
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+                         engine_config());
+  const AlignmentRun memory = engine.run(reads);
+
+  EngineRunRequest request;
+  request.fastq_text = fastq;
+  request.batch_reads = 64;
+  request.total_reads_hint = reads.size();
+  const AlignmentRun streamed = engine.execute(request);
+  expect_same_outcomes(memory, streamed);
+}
+
+TEST(RunRequest, ExecuteShardedMatchesDirectScatterGather) {
+  const auto& w = world();
+  const ReadSet reads = sample_reads();
+  const std::string fastq = to_fastq(reads);
+  const Annotation* annotation = &w.synthesizer->annotation();
+
+  ShardedConfig direct_config;
+  direct_config.engine = engine_config();
+  direct_config.num_shards = 4;
+  const ShardedRun direct =
+      align_sharded(fastq, w.index111, annotation, direct_config);
+
+  AlignmentEngine engine(w.index111, annotation, engine_config());
+  ShardedRun details;
+  EngineRunRequest request;
+  request.fastq_text = fastq;
+  request.num_shards = 4;
+  const AlignmentRun merged = engine.execute(request);
+  expect_same_outcomes(direct.merged, merged);
+
+  // With sharded_out the per-shard detail comes back too.
+  request.sharded_out = &details;
+  const AlignmentRun merged_again = engine.execute(request);
+  expect_same_outcomes(direct.merged, merged_again);
+  EXPECT_EQ(details.plan.num_shards(), 4u);
+}
+
+TEST(RunRequest, EngineOwnedEarlyStopAborts) {
+  const auto& w = world();
+  // Single-cell-shaped reads map poorly, tripping the early-stop rule.
+  const ReadSet reads =
+      w.simulator->simulate(single_cell_profile(), 400, Rng(99));
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+                         engine_config());
+
+  EngineRunRequest request;
+  request.reads = &reads;
+  request.early_stop = EarlyStopPolicy{};
+  EarlyStopDecision decision;
+  request.early_stop_out = &decision;
+  const AlignmentRun run = engine.execute(request);
+  EXPECT_TRUE(run.aborted);
+  EXPECT_TRUE(decision.evaluated);
+  EXPECT_TRUE(decision.stopped);
+  EXPECT_LT(run.stats.processed, reads.size());
+}
+
+TEST(RunRequest, UserCallbackStillSeesSnapshots) {
+  const auto& w = world();
+  const ReadSet reads = sample_reads(200);
+  AlignmentEngine engine(w.index111, &w.synthesizer->annotation(),
+                         engine_config());
+  usize snapshots = 0;
+  EngineRunRequest request;
+  request.reads = &reads;
+  request.callback = [&](const ProgressSnapshot&) {
+    ++snapshots;
+    return EngineCommand::kContinue;
+  };
+  engine.execute(request);
+  EXPECT_GT(snapshots, 0u);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -1,0 +1,193 @@
+// Campaign planner: Pareto-frontier properties, constraint handling,
+// the estimator/planner/sim shared init-cost regression, and frontier
+// validation against the event simulator.
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace staratlas {
+namespace {
+
+std::vector<SraSample> planner_catalog(usize n = 120) {
+  CatalogSpec spec;
+  spec.num_samples = n;
+  spec.seed = 31;
+  return make_catalog(spec);
+}
+
+PlannerQuery small_query() {
+  PlannerQuery query;
+  query.catalog = planner_catalog();
+  query.instance_names = {"r6a.2xlarge", "r6a.4xlarge", "r6a.8xlarge",
+                          "m6a.4xlarge", "c6a.4xlarge", "c6a.8xlarge"};
+  return query;
+}
+
+TEST(Planner, EnumeratesFullSearchSpace) {
+  PlannerQuery query = small_query();
+  query.thread_choices = {0, 16};
+  const PlannerResult result = plan_campaign(query);
+  // 6 instances x 2 threads x 2 load paths x 2 spot mixes.
+  EXPECT_EQ(result.candidates.size(), 48u);
+  usize feasible = 0;
+  for (const PlanCandidate& candidate : result.candidates) {
+    if (candidate.feasible) {
+      ++feasible;
+      EXPECT_GT(candidate.estimate.makespan_hours, 0.0);
+      EXPECT_GT(candidate.estimate.ec2_cost_usd, 0.0);
+    } else {
+      EXPECT_FALSE(candidate.infeasible_reason.empty());
+    }
+  }
+  EXPECT_GT(feasible, 0u);
+  // c6a.4xlarge (32 GiB) cannot hold the 29.5 GiB index + working set.
+  for (const PlanCandidate& candidate : result.candidates) {
+    if (candidate.instance == "c6a.4xlarge") {
+      EXPECT_FALSE(candidate.feasible);
+    }
+  }
+}
+
+TEST(Planner, FrontierIsParetoMinimal) {
+  const PlannerResult result = plan_campaign(small_query());
+  ASSERT_FALSE(result.frontier.empty());
+  // Cost ascends, makespan strictly descends along the frontier.
+  for (usize i = 1; i < result.frontier.size(); ++i) {
+    const PlanCandidate& prev = result.candidates[result.frontier[i - 1]];
+    const PlanCandidate& cur = result.candidates[result.frontier[i]];
+    EXPECT_GE(cur.est_cost_usd(), prev.est_cost_usd());
+    EXPECT_LT(cur.est_makespan_hours(), prev.est_makespan_hours());
+  }
+  // No feasible candidate strictly dominates a frontier point.
+  for (usize index : result.frontier) {
+    const PlanCandidate& point = result.candidates[index];
+    for (const PlanCandidate& other : result.candidates) {
+      if (!other.feasible) continue;
+      const bool dominates =
+          other.est_cost_usd() < point.est_cost_usd() &&
+          other.est_makespan_hours() < point.est_makespan_hours();
+      EXPECT_FALSE(dominates)
+          << other.instance << " dominates frontier point " << point.instance;
+    }
+  }
+}
+
+TEST(Planner, ConstraintsSelectBestAndCanBeUnsatisfiable) {
+  PlannerQuery query = small_query();
+  query.deadline_hours = 8.0;
+  const PlannerResult result = plan_campaign(query);
+  ASSERT_TRUE(result.best.has_value());
+  const PlanCandidate& best = result.candidates[*result.best];
+  EXPECT_TRUE(best.meets_deadline);
+  EXPECT_LE(best.est_makespan_hours(), query.deadline_hours);
+  // Best is the CHEAPEST candidate meeting the constraints.
+  for (const PlanCandidate& other : result.candidates) {
+    if (other.feasible && other.meets_deadline && other.meets_budget) {
+      EXPECT_LE(best.est_cost_usd(), other.est_cost_usd());
+    }
+  }
+
+  PlannerQuery impossible = small_query();
+  impossible.budget_usd = 0.01;  // nothing aligns 120 samples for a cent
+  EXPECT_FALSE(plan_campaign(impossible).best.has_value());
+}
+
+TEST(Planner, MmapLoadPathDominatesStream) {
+  // At equal hourly rate the mmap attach strictly shrinks the per-boot
+  // init term, so for every (instance, threads, spot) the mmap candidate
+  // is no worse on both axes.
+  const PlannerResult result = plan_campaign(small_query());
+  for (const PlanCandidate& a : result.candidates) {
+    if (!a.feasible || a.load_path != IndexLoadPath::kMmap) continue;
+    for (const PlanCandidate& b : result.candidates) {
+      if (!b.feasible || b.load_path != IndexLoadPath::kStream) continue;
+      if (a.instance != b.instance || a.threads != b.threads ||
+          a.spot_mix != b.spot_mix) {
+        continue;
+      }
+      EXPECT_LT(a.est_makespan_hours(), b.est_makespan_hours());
+      EXPECT_LT(a.est_cost_usd(), b.est_cost_usd());
+    }
+  }
+}
+
+// The bugfix regression: estimator, planner and event sim must derive
+// boot-time init cost from the SAME StageGraph-adjacent estimator
+// (campaign_init_hours), for every index load path.
+TEST(Planner, InitCostSharedByEstimatorAndSim) {
+  for (IndexLoadPath path : {IndexLoadPath::kStream, IndexLoadPath::kMmap}) {
+    AtlasConfig config;
+    config.use_release(111);
+    config.asg.max_size = 8;
+    config.index_load_path = path;
+    const auto catalog = planner_catalog(60);
+
+    const double per_instance = campaign_init_hours(config);
+    ASSERT_GT(per_instance, 0.0);
+    const CampaignEstimate estimate = estimate_campaign(catalog, config);
+    EXPECT_DOUBLE_EQ(estimate.init_hours_per_instance, per_instance);
+
+    // Fault-free run: every launched instance pays init exactly once, so
+    // the sim's aggregate init hours are launches x the shared estimate.
+    const AtlasReport report = AtlasSimulation(catalog, config).run();
+    ASSERT_EQ(report.interruptions, 0u);
+    EXPECT_NEAR(report.init_hours,
+                static_cast<double>(report.instances_launched) * per_instance,
+                1e-9);
+  }
+  // And the mmap path is the cheaper one in both views.
+  AtlasConfig stream_config;
+  stream_config.use_release(111);
+  AtlasConfig mmap_config = stream_config;
+  mmap_config.index_load_path = IndexLoadPath::kMmap;
+  EXPECT_LT(campaign_init_hours(mmap_config),
+            campaign_init_hours(stream_config));
+}
+
+TEST(Planner, FrontierValidatesAgainstEventSim) {
+  PlannerQuery query = small_query();
+  PlannerResult result = plan_campaign(query);
+  validate_frontier(query, result, /*max_points=*/2);
+  ASSERT_FALSE(result.validations.empty());
+  ASSERT_LE(result.validations.size(), 2u);
+  for (const FrontierValidation& validation : result.validations) {
+    EXPECT_GT(validation.sim_makespan_hours, 0.0);
+    EXPECT_GT(validation.sim_cost_usd, 0.0);
+    // The closed form ignores queueing discreteness and interruption
+    // rework; on this small catalog (120 samples over a 16-wide fleet)
+    // the discreteness bias is coarser than the bench's 250-sample
+    // configuration, hence the wider makespan band.
+    EXPECT_LE(validation.cost_rel_error, 0.15);
+    EXPECT_LE(validation.makespan_rel_error, 0.40);
+  }
+}
+
+TEST(Planner, BridgesFromRightSizingQuery) {
+  RightSizingQuery advisor;
+  advisor.cloud.use_release(108);
+  advisor.cloud.index_load_path = IndexLoadPath::kMmap;
+  advisor.spot = true;
+  const PlannerQuery query = planner_query_from(advisor, planner_catalog(20));
+  EXPECT_EQ(query.cloud.genome_release, 108);
+  EXPECT_DOUBLE_EQ(query.cloud.index_bytes.gib(), 85.0);
+  ASSERT_EQ(query.load_path_choices.size(), 1u);
+  EXPECT_EQ(query.load_path_choices[0], IndexLoadPath::kMmap);
+  ASSERT_EQ(query.spot_mix_choices.size(), 1u);
+  EXPECT_DOUBLE_EQ(query.spot_mix_choices[0], 1.0);
+  EXPECT_EQ(query.catalog.size(), 20u);
+}
+
+TEST(Planner, RejectsDegenerateQueries) {
+  PlannerQuery empty_catalog = small_query();
+  empty_catalog.catalog.clear();
+  EXPECT_THROW(plan_campaign(empty_catalog), Error);
+
+  PlannerQuery bad_mix = small_query();
+  bad_mix.spot_mix_choices = {1.5};
+  EXPECT_THROW(plan_campaign(bad_mix), Error);
+}
+
+}  // namespace
+}  // namespace staratlas

@@ -9,8 +9,8 @@ namespace {
 
 RightSizingQuery query_for(int release) {
   RightSizingQuery query;
-  query.genome_release = release;
-  query.index_bytes =
+  query.cloud.genome_release = release;
+  query.cloud.index_bytes =
       release == 108 ? ByteSize::from_gib(85.0) : ByteSize::from_gib(29.5);
   return query;
 }
@@ -80,7 +80,7 @@ TEST(RightSizing, SpotPricingLowersCost) {
 TEST(RightSizing, MmapLoadPathLowersAmortizedCost) {
   RightSizingQuery stream = query_for(111);
   RightSizingQuery mapped = query_for(111);
-  mapped.index_load_path = IndexLoadPath::kMmap;
+  mapped.cloud.index_load_path = IndexLoadPath::kMmap;
   const auto stream_best = best_option(evaluate_instances(stream));
   const auto mapped_best = best_option(evaluate_instances(mapped));
   // The init term shrinks, so per-sample time/cost can only improve; the
@@ -91,7 +91,7 @@ TEST(RightSizing, MmapLoadPathLowersAmortizedCost) {
 
 TEST(RightSizing, NoFeasibleOptionThrows) {
   RightSizingQuery query = query_for(108);
-  query.index_bytes = ByteSize::from_tib(2.0);  // fits nothing
+  query.cloud.index_bytes = ByteSize::from_tib(2.0);  // fits nothing
   EXPECT_THROW(best_option(evaluate_instances(query)), InvalidArgument);
 }
 

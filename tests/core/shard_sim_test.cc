@@ -12,7 +12,7 @@ namespace {
 ScatterGatherQuery scatter_query(double sample_gib, usize workers) {
   ScatterGatherQuery query;
   query.sample_fastq = ByteSize::from_gib(sample_gib);
-  query.index_bytes = ByteSize::from_gib(28.0);
+  query.cloud.index_bytes = ByteSize::from_gib(28.0);
   query.num_workers = workers;
   query.worker = faas_class("fn-10gb");
   return query;
@@ -21,7 +21,7 @@ ScatterGatherQuery scatter_query(double sample_gib, usize workers) {
 SingleInstanceQuery single_query(double sample_gib) {
   SingleInstanceQuery query;
   query.sample_fastq = ByteSize::from_gib(sample_gib);
-  query.index_bytes = ByteSize::from_gib(28.0);
+  query.cloud.index_bytes = ByteSize::from_gib(28.0);
   query.instance = instance_type("r6a.4xlarge");
   return query;
 }
@@ -73,7 +73,7 @@ TEST(ShardSim, SingleInstanceFeasibilityTracksIndexMemory) {
   EXPECT_GT(ok.cost_usd, 0.0);
 
   SingleInstanceQuery cramped = single_query(8.0);
-  cramped.index_bytes = ByteSize::from_gib(130.0);  // needs 136 GiB > 128
+  cramped.cloud.index_bytes = ByteSize::from_gib(130.0);  // needs 136 GiB > 128
   const SingleInstanceResult bad = simulate_single_instance(cramped);
   EXPECT_FALSE(bad.feasible);
 }
@@ -108,7 +108,7 @@ TEST(ShardSim, LatencyCrossoverFavorsScatterOnLargeSamples) {
 
 TEST(ShardSim, Release108SlowdownPropagates) {
   ScatterGatherQuery r108 = scatter_query(8.0, 32);
-  r108.genome_release = 108;
+  r108.cloud.genome_release = 108;
   const ScatterGatherResult slow = simulate_scatter_gather(r108);
   const ScatterGatherResult fast =
       simulate_scatter_gather(scatter_query(8.0, 32));

@@ -1,0 +1,184 @@
+// Graph-executor equivalence goldens: default-config sim outputs must be
+// BIT-IDENTICAL to the pre-graph stage machine. The constants below were
+// captured (at %.17g, i.e. round-trip-exact doubles) from the simulator
+// immediately before AtlasSimulation::process was reworked to walk the
+// pipeline graph; EXPECT_DOUBLE_EQ on them asserts the refactor changed
+// no observable number in the SPOT and FIG4 replays — makespans, costs,
+// waste partitions, heartbeat and launch counts, everything.
+//
+// If a deliberate model change moves these numbers, recapture them with
+// the same configurations at full precision — do not loosen to NEAR.
+#include <gtest/gtest.h>
+
+#include "core/atlas_sim.h"
+#include "core/estimate.h"
+
+namespace staratlas {
+namespace {
+
+std::vector<SraSample> spot_catalog() {
+  CatalogSpec spec;
+  spec.num_samples = 250;
+  spec.seed = 61;
+  return make_catalog(spec);
+}
+
+AtlasReport run_spot_config(bool spot, double mtti_hours,
+                            double failure_rate = 0.0) {
+  AtlasConfig config;
+  config.use_release(111);
+  config.spot = spot;
+  config.mean_time_to_interruption = VirtualDuration::hours(mtti_hours);
+  config.asg.max_size = 16;
+  config.visibility_timeout = VirtualDuration::hours(12);
+  config.seed = 2025;
+  if (failure_rate > 0.0) {
+    config.faults.enabled = true;
+    config.faults.transfer_failure_rate = failure_rate;
+    config.faults.seed = 777;
+  }
+  return AtlasSimulation(spot_catalog(), config).run();
+}
+
+TEST(SimGolden, OnDemandReplayBitIdentical) {
+  const AtlasReport r = run_spot_config(false, 1e6);
+  EXPECT_DOUBLE_EQ(r.makespan_hours, 3.1666666666666665);
+  EXPECT_DOUBLE_EQ(r.total_cost_usd, 39.939419950851615);
+  EXPECT_DOUBLE_EQ(r.ec2_cost_usd, 39.939419950851615);
+  EXPECT_DOUBLE_EQ(r.instance_hours, 44.024933808257963);
+  EXPECT_EQ(r.samples_completed, 240u);
+  EXPECT_EQ(r.samples_early_stopped, 10u);
+  EXPECT_EQ(r.samples_rejected_late, 0u);
+  EXPECT_EQ(r.samples_dead_lettered, 0u);
+  EXPECT_EQ(r.interruptions, 0u);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_interrupted, 0.0);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_transfer, 0.0);
+  EXPECT_DOUBLE_EQ(r.wasted_init_hours, 0.0);
+  EXPECT_DOUBLE_EQ(r.init_hours, 0.32125659925528544);
+  EXPECT_EQ(r.heartbeats_sent, 1230u);
+  EXPECT_EQ(r.instances_launched, 16u);
+  EXPECT_EQ(r.peak_instances, 16u);
+  EXPECT_DOUBLE_EQ(r.align_hours_spent, 30.302586078943101);
+  EXPECT_DOUBLE_EQ(r.align_hours_saved, 8.028776104325102);
+  EXPECT_DOUBLE_EQ(r.unnecessary_align_hours, 0.0);
+  EXPECT_DOUBLE_EQ(r.prefetch_hours, 3.1807635342291962);
+  EXPECT_DOUBLE_EQ(r.dump_hours, 8.6869942624970484);
+  for (double stage_waste : r.wasted_hours_stage) {
+    EXPECT_DOUBLE_EQ(stage_waste, 0.0);
+  }
+}
+
+TEST(SimGolden, CalmSpotReplayBitIdentical) {
+  // Calm market (48 h mean TTI): no reclaims land, so the run matches
+  // on-demand in everything but price.
+  const AtlasReport r = run_spot_config(true, 48.0);
+  EXPECT_DOUBLE_EQ(r.makespan_hours, 3.1666666666666665);
+  EXPECT_DOUBLE_EQ(r.total_cost_usd, 15.175394683706521);
+  EXPECT_DOUBLE_EQ(r.instance_hours, 44.024933808257963);
+  EXPECT_EQ(r.samples_completed, 240u);
+  EXPECT_EQ(r.samples_early_stopped, 10u);
+  EXPECT_DOUBLE_EQ(r.init_hours, 0.32125659925528544);
+  EXPECT_EQ(r.heartbeats_sent, 1230u);
+  EXPECT_EQ(r.instances_launched, 16u);
+}
+
+TEST(SimGolden, HostileSpotReplayBitIdentical) {
+  // 1.5 h mean TTI: dozens of reclaims; the waste partition per stage is
+  // part of the golden contract.
+  const AtlasReport r = run_spot_config(true, 1.5);
+  EXPECT_DOUBLE_EQ(r.makespan_hours, 3.6666666666666665);
+  EXPECT_DOUBLE_EQ(r.total_cost_usd, 16.721713113806508);
+  EXPECT_DOUBLE_EQ(r.instance_hours, 48.51091706935452);
+  EXPECT_EQ(r.interruptions, 36u);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_interrupted, 3.4367500514991938);
+  EXPECT_DOUBLE_EQ(r.init_hours, 0.96376979776585603);
+  EXPECT_EQ(r.requeues_interrupted, 35u);
+  EXPECT_EQ(r.heartbeats_sent, 1311u);
+  EXPECT_EQ(r.instances_launched, 49u);
+  ASSERT_EQ(r.wasted_hours_stage.size(), 6u);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_stage[0], 0.49270266007840624);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_stage[1], 1.1187894345100249);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_stage[2], 0.31689125344689295);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_stage[3], 1.5055161736626279);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_stage[4], 0.0028505298012416664);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_stage[5], 0.0);
+  EXPECT_DOUBLE_EQ(r.align_hours_spent, 30.30258607894309);
+  EXPECT_DOUBLE_EQ(r.align_hours_saved, 8.028776104325102);
+  EXPECT_DOUBLE_EQ(r.prefetch_hours, 3.1807635342291944);
+  EXPECT_DOUBLE_EQ(r.dump_hours, 8.6869942624970431);
+}
+
+TEST(SimGolden, ChaosReplayBitIdentical) {
+  // Spot reclaims (4 h TTI) + injected transfer faults at 15%: both
+  // requeue paths and the transfer-waste column are exercised.
+  const AtlasReport r = run_spot_config(true, 4.0, 0.15);
+  EXPECT_DOUBLE_EQ(r.makespan_hours, 3.4166666666666665);
+  EXPECT_DOUBLE_EQ(r.total_cost_usd, 15.872608615094194);
+  EXPECT_DOUBLE_EQ(r.instance_hours, 46.047602596733952);
+  EXPECT_EQ(r.interruptions, 11u);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_interrupted, 0.77202681373292703);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_transfer, 0.94233970388185828);
+  EXPECT_DOUBLE_EQ(r.init_hours, 0.52204197378983852);
+  EXPECT_EQ(r.requeues_interrupted, 11u);
+  EXPECT_EQ(r.requeues_transfer, 1u);
+  EXPECT_EQ(r.heartbeats_sent, 1252u);
+  EXPECT_EQ(r.instances_launched, 26u);
+  ASSERT_EQ(r.wasted_hours_stage.size(), 6u);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_stage[0], 0.62330576746594413);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_stage[1], 0.17201605618206992);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_stage[2], 0.075902084790338331);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_stage[3], 0.40867417218289681);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_stage[4], 0.0011351036602028823);
+  EXPECT_DOUBLE_EQ(r.wasted_hours_stage[5], 0.43333333333333379);
+}
+
+TEST(SimGolden, Fig4CorpusReplayBitIdentical) {
+  // The paper corpus (1000 samples, 38 single-cell) through the default
+  // configuration.
+  CatalogSpec corpus;
+  corpus.num_samples = 1000;
+  corpus.single_cell_fraction = 0.038;
+  corpus.seed = 88;
+  AtlasConfig config;
+  config.use_release(111);
+  config.asg.max_size = 16;
+  config.seed = 4242;
+  const AtlasReport r = AtlasSimulation(make_catalog(corpus), config).run();
+  EXPECT_DOUBLE_EQ(r.makespan_hours, 11.5);
+  EXPECT_DOUBLE_EQ(r.total_cost_usd, 161.31489284806344);
+  EXPECT_DOUBLE_EQ(r.instance_hours, 177.8162399118865);
+  EXPECT_EQ(r.samples_completed, 962u);
+  EXPECT_EQ(r.samples_early_stopped, 38u);
+  EXPECT_EQ(r.samples_rejected_late, 0u);
+  EXPECT_EQ(r.samples_dead_lettered, 0u);
+  EXPECT_EQ(r.interruptions, 0u);
+  EXPECT_DOUBLE_EQ(r.init_hours, 0.32125659925528544);
+  EXPECT_EQ(r.heartbeats_sent, 4924u);
+  EXPECT_EQ(r.instances_launched, 16u);
+  EXPECT_DOUBLE_EQ(r.align_hours_spent, 123.59255176015773);
+  EXPECT_DOUBLE_EQ(r.align_hours_saved, 32.597652829446986);
+  EXPECT_DOUBLE_EQ(r.unnecessary_align_hours, 0.0);
+  EXPECT_DOUBLE_EQ(r.prefetch_hours, 12.960773603302842);
+  EXPECT_DOUBLE_EQ(r.dump_hours, 35.39721350472626);
+}
+
+TEST(SimGolden, EstimatorAgreesWithPreGraphClosedForm) {
+  // The estimator now plans over the pipeline graph; its outputs must
+  // agree with the pre-graph closed form to floating-point noise (the
+  // summation order over split alignment stages is the only difference).
+  AtlasConfig config;
+  config.use_release(111);
+  config.asg.max_size = 8;
+  const CampaignEstimate est = estimate_campaign(spot_catalog(), config);
+  EXPECT_NEAR(est.total_work_hours, 43.503677209002689, 1e-9);
+  EXPECT_NEAR(est.align_hours, 30.302586078943104, 1e-9);
+  EXPECT_NEAR(est.align_hours_saved, 8.028776104325102, 1e-9);
+  EXPECT_EQ(est.expected_early_stops, 10u);
+  EXPECT_NEAR(est.makespan_hours, 5.470538188578792, 1e-9);
+  EXPECT_NEAR(est.instance_hours, 43.664305508630335, 1e-9);
+  EXPECT_NEAR(est.ec2_cost_usd, 39.612257957429442, 1e-8);
+  EXPECT_NEAR(est.cost_per_sample_usd, 0.15844903182971776, 1e-10);
+}
+
+}  // namespace
+}  // namespace staratlas
